@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ablation of SUSHI's asynchronous design choice (paper Sec. 3A /
+ * Sec. 4.1): a synchronous re-implementation of the same logic needs
+ * a clock tree, per-cell clock lines, and skew-balancing JTL padding
+ * — "about 80 % of the total design" goes to wiring. This bench
+ * constructs the synchronous counterpart of each mesh scale and
+ * compares it with SUSHI's asynchronous design.
+ */
+
+#include <cstdio>
+
+#include "fabric/resource_model.hh"
+#include "fabric/sync_baseline.hh"
+
+using namespace sushi::fabric;
+
+int
+main()
+{
+    std::printf("=== Ablation: asynchronous vs synchronous timing "
+                "(Sec. 3A) ===\n");
+    std::printf("%7s | %9s %8s | %9s %8s %9s | %7s\n", "mesh",
+                "async JJ", "wiring%", "sync JJ", "wiring%",
+                "clock JJ", "saved");
+    for (int n : {1, 2, 4, 8, 16}) {
+        const DesignPoint a = designPoint(n);
+        const SyncDesign s = synchronousMesh(n);
+        const long clock = s.clock_tree_jjs + s.clock_line_jjs +
+                           s.balancing_jjs;
+        std::printf("%4dx%-2d | %9ld %7.1f%% | %9ld %7.1f%% %9ld | "
+                    "%6.1f%%\n",
+                    n, n, a.total_jjs, 100.0 * a.wiring_fraction,
+                    s.totalJjs(), 100.0 * s.wiringFraction(), clock,
+                    100.0 *
+                        static_cast<double>(s.totalJjs() -
+                                            a.total_jjs) /
+                        static_cast<double>(s.totalJjs()));
+    }
+    std::printf("paper: synchronous RSFQ structures typically spend "
+                "~80%% of resources on wiring;\n"
+                "SUSHI's asynchronous design reduced that to 68%% "
+                "at the 4x4 scale (Table 2)\n");
+    return 0;
+}

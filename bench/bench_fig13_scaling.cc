@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces paper Fig. 13: JJs (total / logic / wiring) and chip
+ * area as the number of NPEs (network size) scales from 2 (1x1) to
+ * 32 (16x16), with a linear reference line through the first point.
+ */
+
+#include <cstdio>
+
+#include "fabric/resource_model.hh"
+
+using namespace sushi::fabric;
+
+int
+main()
+{
+    auto sweep = fig13Sweep();
+    std::printf("=== Fig. 13(a): JJs of SUSHI vs number of NPEs "
+                "===\n");
+    std::printf("%5s %9s %9s %9s %9s %9s\n", "NPEs", "net", "total",
+                "logic", "wiring", "linear*");
+    const double per_npe =
+        static_cast<double>(sweep[0].total_jjs) / sweep[0].npes;
+    for (const auto &p : sweep) {
+        std::printf("%5d %6dx%-2d %9ld %9ld %9ld %9.0f\n", p.npes,
+                    p.n, p.n, p.total_jjs, p.logic_jjs, p.wiring_jjs,
+                    per_npe * p.npes);
+    }
+    std::printf("(*linear reference through the 2-NPE point)\n");
+    std::printf("paper anchors: 45,542 JJs at 8 NPEs (Table 2); "
+                "99,982 JJs at 32 NPEs (Sec. 6.3)\n");
+
+    std::printf("\n=== Fig. 13(b): area of SUSHI vs number of NPEs "
+                "===\n");
+    std::printf("%5s %9s %10s %10s\n", "NPEs", "net", "area mm^2",
+                "linear*");
+    const double area_per_npe = sweep[0].area_mm2 / sweep[0].npes;
+    for (const auto &p : sweep) {
+        std::printf("%5d %6dx%-2d %10.2f %10.2f\n", p.npes, p.n, p.n,
+                    p.area_mm2, area_per_npe * p.npes);
+    }
+    std::printf("paper anchors: 44.73 mm^2 at 8 NPEs; 103.75 mm^2 "
+                "at 32 NPEs\n");
+    return 0;
+}

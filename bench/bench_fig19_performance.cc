@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces paper Fig. 19: performance (GSOPS) of SUSHI as the
+ * number of NPEs grows, against TrueNorth's 58-GSOPS peak, plus the
+ * Sec. 6.3 FPS figure on the verification network.
+ */
+
+#include <cstdio>
+
+#include "perf/baselines.hh"
+#include "perf/power_model.hh"
+
+using namespace sushi::perf;
+
+int
+main()
+{
+    auto sweep = scalingSweep();
+    std::printf("=== Fig. 19: performance of SUSHI vs number of "
+                "NPEs ===\n");
+    std::printf("%5s %9s %12s %12s\n", "NPEs", "net", "GSOPS",
+                "TrueNorth");
+    for (const auto &p : sweep) {
+        std::printf("%5d %6dx%-2d %12.1f %12.1f\n", p.npes, p.n, p.n,
+                    p.gsops, trueNorth().gsops);
+    }
+    std::printf("paper anchor: 1,355 GSOPS at 32 NPEs "
+                "(23x TrueNorth)\n");
+    std::printf("measured peak: %.1f GSOPS (%.1fx TrueNorth)\n",
+                sweep.back().gsops,
+                sweep.back().gsops / trueNorth().gsops);
+
+    // Sec. 6.3: frames per second on INPUT784-FC800-IF-FC10-IF.
+    // Every synapse slot is processed once per slice pass whether or
+    // not a spike is present (rate 1.0), and ~20 % of wall time goes
+    // to weight reloading (Sec. 4.2.2), so the sustained throughput
+    // is 0.8x peak.
+    const double sops_frame = sopsPerFrame(800, 5, 1.0, 1.0);
+    const double fps =
+        framesPerSecond(0.8 * sweep.back().gsops, sops_frame);
+    std::printf("\nFPS on the 784-800-10 network (T=5): %.3g "
+                "(paper: up to 2.61e5)\n",
+                fps);
+    return 0;
+}

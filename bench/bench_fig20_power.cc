@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Reproduces paper Fig. 20: power of SUSHI as the number of NPEs
+ * grows, with a linear reference line through the first point.
+ */
+
+#include <cstdio>
+
+#include "perf/power_model.hh"
+
+using namespace sushi::perf;
+
+int
+main()
+{
+    auto sweep = scalingSweep();
+    std::printf("=== Fig. 20: power of SUSHI vs number of NPEs "
+                "===\n");
+    std::printf("%5s %9s %10s %10s %10s %10s\n", "NPEs", "net",
+                "power mW", "static", "dynamic", "linear*");
+    const double per_npe = sweep[0].power_mw / sweep[0].npes;
+    for (const auto &p : sweep) {
+        std::printf("%5d %6dx%-2d %10.2f %10.2f %10.4f %10.2f\n",
+                    p.npes, p.n, p.n, p.power_mw,
+                    staticPowerMw(p.total_jjs),
+                    dynamicPowerMw(p.gsops), per_npe * p.npes);
+    }
+    std::printf("(*linear reference through the 2-NPE point)\n");
+    std::printf("paper anchor: 41.87 mW at 32 NPEs; measured "
+                "%.2f mW\n",
+                sweep.back().power_mw);
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Reproduces paper Fig. 21: power efficiency (GSOPS/W) of SUSHI as
+ * the number of NPEs grows, against TrueNorth (400 GSOPS/W) and
+ * Tianjic (649 GSOPS/W).
+ */
+
+#include <cstdio>
+
+#include "perf/baselines.hh"
+#include "perf/power_model.hh"
+
+using namespace sushi::perf;
+
+int
+main()
+{
+    auto sweep = scalingSweep();
+    std::printf("=== Fig. 21: power efficiency of SUSHI vs number "
+                "of NPEs ===\n");
+    std::printf("%5s %9s %12s %11s %9s\n", "NPEs", "net", "GSOPS/W",
+                "TrueNorth", "Tianjic");
+    for (const auto &p : sweep) {
+        std::printf("%5d %6dx%-2d %12.0f %11.0f %9.0f\n", p.npes,
+                    p.n, p.n, p.gsops_per_w,
+                    trueNorth().gsops_per_w, tianjic().gsops_per_w);
+    }
+    std::printf("paper anchor: 32,366 GSOPS/W at 32 NPEs "
+                "(81x TrueNorth, 50x Tianjic)\n");
+    std::printf("measured peak: %.0f GSOPS/W (%.0fx TrueNorth, "
+                "%.0fx Tianjic)\n",
+                sweep.back().gsops_per_w,
+                sweep.back().gsops_per_w / trueNorth().gsops_per_w,
+                sweep.back().gsops_per_w / tianjic().gsops_per_w);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The memory-wall motivation (paper Sec. 3B): shift registers — the
+ * common RSFQ on-chip memory — only support sequential access, so a
+ * compute engine fetching operands from them loses most of its peak
+ * (SuperNPU reached only 16 % of peak inference throughput). SUSHI's
+ * NPEs store state *in place* (the SC flux), which "essentially
+ * eliminates most of the memory requirements". This bench quantifies
+ * both sides.
+ */
+
+#include <cstdio>
+
+#include "sfq/shift_register.hh"
+#include "sfq/simulator.hh"
+
+using namespace sushi;
+using namespace sushi::sfq;
+
+int
+main()
+{
+    std::printf("=== Sec. 3B: the RSFQ memory wall ===\n");
+    std::printf("shift-register effective utilisation "
+                "(4 compute clocks per access):\n");
+    std::printf("%7s | %11s %11s %11s\n", "depth", "sequential",
+                "85%% seq.", "random");
+    for (int depth : {16, 64, 256, 1024}) {
+        std::printf("%7d | %10.1f%% %10.1f%% %10.1f%%\n", depth,
+                    100.0 * shiftRegisterUtilisation(depth, 1.0, 4),
+                    100.0 * shiftRegisterUtilisation(depth, 0.85, 4),
+                    100.0 * shiftRegisterUtilisation(depth, 0.0, 4));
+    }
+    std::printf("paper reference point: SuperNPU reached 16%% of "
+                "peak with shift-register memory;\n"
+                "our 256-deep register at an 85%%-sequential mix "
+                "gives %.0f%%\n",
+                100.0 * shiftRegisterUtilisation(256, 0.85, 4));
+
+    // Gate-level demonstration: a 6-stage register streamed
+    // end-to-end, with resource cost per stored bit.
+    Simulator sim;
+    sim.setViolationPolicy(ViolationPolicy::Ignore);
+    Netlist net(sim);
+    ShiftRegisterGate sr(net, "sr", 6);
+    const Tick period = 4 * safePulseSpacing();
+    // Write the pattern 101101, then drain with 6 clocks.
+    const bool pattern[] = {true, false, true, true, false, true};
+    Tick t = period;
+    for (bool bit : pattern) {
+        sr.injectClock(t);
+        if (bit)
+            sr.injectData(t + period / 2);
+        t += period;
+    }
+    for (int c = 0; c < 6; ++c) {
+        sr.injectClock(t);
+        t += period;
+    }
+    sim.run();
+    std::printf("\ngate-level 6-stage register: stored 4 ones, "
+                "drained %zu output pulses, %ld JJs "
+                "(%.0f JJs per stored bit)\n",
+                sr.outSink().count(), net.resources().totalJjs(),
+                static_cast<double>(net.resources().totalJjs()) /
+                    6.0);
+    std::printf("SUSHI comparison: an SC stores its state in 1 flux "
+                "quantum within the processing element itself — no "
+                "separate memory, no access latency\n");
+    return 0;
+}

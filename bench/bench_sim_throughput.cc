@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Engineering microbenchmarks (google-benchmark) of the simulator
+ * substrate: event-kernel throughput, cell-level pulse processing,
+ * state-controller and NPE operations. Not a paper figure — these
+ * guard the performance of the infrastructure everything else runs
+ * on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "npe/npe.hh"
+#include "sfq/cells.hh"
+#include "sfq/constraints.hh"
+#include "sfq/netlist.hh"
+#include "sfq/simulator.hh"
+
+using namespace sushi;
+using namespace sushi::sfq;
+
+namespace {
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            q.schedule(i * 7 % 997, [&sink] { ++sink; });
+        while (!q.empty())
+            q.runOne();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_JtlChainPulse(benchmark::State &state)
+{
+    const int stages = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Simulator sim;
+        sim.setViolationPolicy(ViolationPolicy::Ignore);
+        Netlist net(sim);
+        Jtl &head = net.makeJtl("head");
+        PulseSink &sink = net.makeSink("sink");
+        net.makeJtlChain("chain", head, 0, sink, 0, stages);
+        head.inject(0, 0);
+        sim.run();
+        benchmark::DoNotOptimize(sink.count());
+    }
+    state.SetItemsProcessed(state.iterations() * stages);
+}
+BENCHMARK(BM_JtlChainPulse)->Arg(16)->Arg(256);
+
+void
+BM_StateControllerGate(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulator sim;
+        sim.setViolationPolicy(ViolationPolicy::Ignore);
+        Netlist net(sim);
+        npe::ScGate sc(net, "sc");
+        PulseSink &out = net.makeSink("out");
+        sc.connectOut(out, 0);
+        const Tick gap = safePulseSpacing();
+        sc.injectSet1(gap);
+        for (int i = 0; i < 32; ++i)
+            sc.injectIn((i + 2) * gap);
+        sim.run();
+        benchmark::DoNotOptimize(out.count());
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_StateControllerGate);
+
+void
+BM_NpeBehaviouralPulse(benchmark::State &state)
+{
+    npe::Npe npe(10);
+    std::uint64_t spikes = 0;
+    for (auto _ : state)
+        spikes += npe.in() ? 1 : 0;
+    benchmark::DoNotOptimize(spikes);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NpeBehaviouralPulse);
+
+void
+BM_NpeBatchedPulses(benchmark::State &state)
+{
+    npe::Npe npe(10);
+    std::uint64_t spikes = 0;
+    for (auto _ : state)
+        spikes += npe.addPulses(1000);
+    benchmark::DoNotOptimize(spikes);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_NpeBatchedPulses);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces paper Table 1: the RSFQ cell timing-constraint table,
+ * and demonstrates the checker catching a violation live.
+ */
+
+#include <cstdio>
+
+#include "sfq/cells.hh"
+#include "sfq/constraints.hh"
+#include "sfq/netlist.hh"
+#include "sfq/simulator.hh"
+
+using namespace sushi;
+using namespace sushi::sfq;
+
+int
+main()
+{
+    std::printf("=== Table 1: constraints for RSFQ cells (ps) ===\n");
+    std::printf("%-6s %-12s %8s\n", "cell", "rule", "min (ps)");
+    for (const auto &row : constraintTable())
+        std::printf("%-6s %-12s %8.2f\n", row.cell.c_str(),
+                    row.rule.c_str(), row.min_ps);
+
+    std::printf("\nsafe pulse spacing (1.25x margin): %.2f ps\n",
+                ticksToPs(safePulseSpacing()));
+
+    // Live demonstration: two pulses 5 ps apart through an SPL
+    // violate din-din 19.9 ps and are reported.
+    Simulator sim;
+    sim.setViolationPolicy(ViolationPolicy::Ignore);
+    Netlist net(sim);
+    Spl &spl = net.makeSpl("spl");
+    PulseSink &a = net.makeSink("a");
+    PulseSink &b = net.makeSink("b");
+    spl.connect(0, a, 0);
+    spl.connect(1, b, 0);
+    spl.inject(0, 0);
+    spl.inject(0, psToTicks(5.0));
+    sim.run();
+    std::printf("checker demo: 2 pulses 5 ps apart through SPL -> "
+                "%llu violation(s) detected\n",
+                static_cast<unsigned long long>(sim.violations()));
+    return 0;
+}

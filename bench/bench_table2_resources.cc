@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces paper Table 2: resource overhead of the 4x4 mesh
+ * network of NPEs (total/wiring/logic JJs and area), by building the
+ * actual gate-level netlist and tallying it. Also prints the
+ * tree-vs-mesh trade-off of Fig. 11.
+ */
+
+#include <cstdio>
+
+#include "fabric/resource_model.hh"
+#include "fabric/tree_network.hh"
+#include "sfq/simulator.hh"
+
+using namespace sushi;
+using namespace sushi::fabric;
+
+int
+main()
+{
+    const DesignPoint p = designPoint(4);
+    std::printf("=== Table 2: resource overhead of a 4x4 mesh "
+                "network of NPEs ===\n");
+    std::printf("%-22s %12s %12s %9s\n", "", "measured", "paper",
+                "delta");
+    std::printf("%-22s %12ld %12ld %8.2f%%\n", "total JJs",
+                p.total_jjs, paper::kTable2TotalJjs,
+                100.0 * (p.total_jjs - paper::kTable2TotalJjs) /
+                    paper::kTable2TotalJjs);
+    std::printf("%-22s %12ld %12ld %8.2f%%\n", "wiring JJs",
+                p.wiring_jjs, paper::kTable2WiringJjs,
+                100.0 * (p.wiring_jjs - paper::kTable2WiringJjs) /
+                    paper::kTable2WiringJjs);
+    std::printf("%-22s %12ld %12ld %8.2f%%\n", "logic JJs",
+                p.logic_jjs, paper::kTable2LogicJjs,
+                100.0 * (p.logic_jjs - paper::kTable2LogicJjs) /
+                    paper::kTable2LogicJjs);
+    std::printf("%-22s %11.2f%% %11.2f%%\n", "wiring share",
+                100.0 * p.wiring_fraction, 68.13);
+    std::printf("%-22s %9.2fmm2 %9.2fmm2 %8.2f%%\n", "total area",
+                p.area_mm2, paper::kTable2AreaMm2,
+                100.0 * (p.area_mm2 - paper::kTable2AreaMm2) /
+                    paper::kTable2AreaMm2);
+
+    // Fig. 11 trade-off: same input count, tree vs mesh fabric.
+    sfq::Simulator sim;
+    sfq::Netlist tree_net(sim);
+    TreeConfig tcfg;
+    tcfg.leaves = 4;
+    TreeGate tree(tree_net, tcfg);
+    std::printf("\n=== Fig. 11 fabric trade-off (4 inputs) ===\n");
+    std::printf("tree network:  %6ld JJs (normalised weights only)\n",
+                tree_net.resources().totalJjs());
+    std::printf("mesh network:  %6ld JJs (arbitrary connections)\n",
+                p.total_jjs);
+    return 0;
+}

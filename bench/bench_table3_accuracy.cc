@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Reproduces paper Table 3: differences in SNN inference results
+ * between the software reference (the SpikingJelly stand-in: float
+ * weights, stateful IF, trained with adam/lr 1e-3 on T=5 Poisson
+ * frames) and SUSHI (XNOR-binarized, stateless neurons, bit-sliced
+ * onto the 16x16 mesh chip model), on the synthetic MNIST and
+ * Fashion-MNIST stand-ins.
+ *
+ * Default sizes keep the run under a minute; set SUSHI_FULL=1 for
+ * the paper-size 784-800-10 network on the full synthetic sets.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hh"
+#include "chip/sushi_chip.hh"
+#include "data/synth_digits.hh"
+#include "data/synth_fashion.hh"
+#include "snn/train.hh"
+
+using namespace sushi;
+
+namespace {
+
+struct Sizes
+{
+    std::size_t hidden;
+    std::size_t train_n;
+    std::size_t test_n;
+    int epochs;
+};
+
+struct Row
+{
+    double ref_acc;
+    double sushi_acc;
+    double consistency;
+    chip::InferenceStats stats;
+};
+
+Row
+runDataset(const data::Dataset &all, const Sizes &sz,
+           std::uint64_t seed)
+{
+    auto [test, train] = data::split(all, sz.test_n);
+
+    // Reference: float weights, stateful IF (SpikingJelly regime).
+    snn::SnnConfig ref_cfg;
+    ref_cfg.hidden = sz.hidden;
+    ref_cfg.t_steps = 5;
+    ref_cfg.stateless = false;
+    snn::SnnMlp ref(ref_cfg, seed);
+    snn::TrainConfig ref_tc;
+    ref_tc.epochs = sz.epochs;
+    ref_tc.binary_aware = false;
+    snn::Trainer(ref, ref_tc).fit(train.images, train.labels);
+
+    // SUSHI: binarization-aware, stateless training (Sec. 5.1).
+    snn::SnnConfig s_cfg = ref_cfg;
+    s_cfg.stateless = true;
+    snn::SnnMlp sushi_net(s_cfg, seed);
+    snn::TrainConfig s_tc;
+    s_tc.epochs = sz.epochs;
+    s_tc.binary_aware = true;
+    snn::Trainer(sushi_net, s_tc).fit(train.images, train.labels);
+    auto bin = snn::BinarySnn::fromFloat(sushi_net);
+
+    // Bit-slice compile for the 16x16 chip and run on the
+    // behavioural chip model.
+    compiler::ChipConfig chip_cfg;
+    chip_cfg.n = 16;
+    chip_cfg.sc_per_npe = 10;
+    auto compiled = compiler::compileNetwork(bin, chip_cfg);
+    chip::SushiChip sushi_chip(chip_cfg);
+
+    const std::size_t n = test.size();
+    std::size_t ref_hits = 0, sushi_hits = 0, agree = 0;
+    snn::PoissonEncoder enc(99);
+    const std::size_t batch = 256;
+    for (std::size_t start = 0; start < n; start += batch) {
+        const std::size_t bsz = std::min(n, start + batch) - start;
+        snn::Tensor bi(bsz, test.images.cols());
+        for (std::size_t b = 0; b < bsz; ++b)
+            std::copy_n(test.images.row(start + b),
+                        test.images.cols(), bi.row(b));
+        auto frames = enc.encodeBatch(bi, ref_cfg.t_steps);
+        auto ref_preds = ref.predict(frames);
+        for (std::size_t b = 0; b < bsz; ++b) {
+            auto bf = benchutil::binaryFrames(frames, b);
+            const int sp = sushi_chip.predict(compiled, bf);
+            const int label = test.labels[start + b];
+            ref_hits += ref_preds[b] == label ? 1 : 0;
+            sushi_hits += sp == label ? 1 : 0;
+            agree += sp == ref_preds[b] ? 1 : 0;
+        }
+    }
+    Row row;
+    row.ref_acc = static_cast<double>(ref_hits) / n;
+    row.sushi_acc = static_cast<double>(sushi_hits) / n;
+    row.consistency = static_cast<double>(agree) / n;
+    row.stats = sushi_chip.stats();
+    return row;
+}
+
+void
+printRow(const char *name, const Row &r, double paper_ref,
+         double paper_sushi, double paper_cons)
+{
+    std::printf("%-22s %10.2f%% %9.2f%% %12.2f%%\n", name,
+                100.0 * r.ref_acc, 100.0 * r.sushi_acc,
+                100.0 * r.consistency);
+    std::printf("%-22s %10.2f%% %9.2f%% %12.2f%%\n",
+                "  (paper, real MNIST)", paper_ref, paper_sushi,
+                paper_cons);
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool full = benchutil::envFlag("SUSHI_FULL");
+    const Sizes sz = full ? Sizes{800, 12000, 2000, 3}
+                          : Sizes{128, 4000, 800, 2};
+    std::printf("=== Table 3: reference vs SUSHI inference "
+                "(synthetic datasets%s) ===\n",
+                full ? ", SUSHI_FULL" : "; SUSHI_FULL=1 for "
+                                        "paper-size run");
+    std::printf("network INPUT784-FC%zu-IF-FC10-IF, T=5, theta=1.0, "
+                "Poisson encoder, adam lr 1e-3\n\n",
+                sz.hidden);
+    std::printf("%-22s %11s %10s %13s\n", "dataset", "reference",
+                "SUSHI", "consistency");
+
+    auto digits =
+        data::synthDigits(sz.train_n + sz.test_n, 42);
+    Row drow = runDataset(digits, sz, 1);
+    printRow("synthetic digits", drow, 98.65, 97.84, 98.18);
+
+    auto fashion =
+        data::synthFashion(sz.train_n + sz.test_n, 43);
+    Row frow = runDataset(fashion, sz, 2);
+    printRow("synthetic fashion", frow, 88.90, 86.23, 88.71);
+
+    std::printf("\nshape checks: SUSHI <= reference on both; "
+                "fashion consistency < digits consistency: %s\n",
+                (drow.sushi_acc <= drow.ref_acc + 0.02 &&
+                 frow.sushi_acc <= frow.ref_acc + 0.02 &&
+                 frow.consistency < drow.consistency)
+                    ? "yes"
+                    : "NO");
+    std::printf("chip stats (fashion run): %llu synaptic ops, "
+                "%llu reload events, %llu underflow pulses, "
+                "%llu multi-fire neuron-steps\n",
+                static_cast<unsigned long long>(
+                    frow.stats.synaptic_ops),
+                static_cast<unsigned long long>(
+                    frow.stats.reload_events),
+                static_cast<unsigned long long>(
+                    frow.stats.underflow_spikes),
+                static_cast<unsigned long long>(
+                    frow.stats.multi_fires));
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces paper Table 4: SUSHI vs TrueNorth vs Tianjic, with
+ * SUSHI's row computed from this repository's resource, timing and
+ * power models at the 16x16 / 32-NPE design point.
+ */
+
+#include <cstdio>
+
+#include "perf/baselines.hh"
+
+using namespace sushi::perf;
+
+namespace {
+
+void
+printRow(const Platform &p)
+{
+    std::printf("%-12s %-7s %-6s %-12s %-8s %8.2f %8.2f",
+                p.name.c_str(), p.model.c_str(), p.memory.c_str(),
+                p.technology.c_str(), p.clock.c_str(), p.area_mm2,
+                p.power_mw);
+    if (p.gsops > 0)
+        std::printf(" %8.0f", p.gsops);
+    else
+        std::printf(" %8s", "-");
+    std::printf(" %10.0f\n", p.gsops_per_w);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Table 4: comparison with state-of-the-art "
+                "neuromorphic chips ===\n");
+    std::printf("%-12s %-7s %-6s %-12s %-8s %8s %8s %8s %10s\n",
+                "platform", "model", "mem", "technology", "clock",
+                "mm^2", "mW", "GSOPS", "GSOPS/W");
+    printRow(trueNorth());
+    printRow(tianjic());
+    const Platform sushi = sushiPlatform();
+    printRow(sushi);
+
+    std::printf("\npaper anchors: SUSHI 103.75 mm^2, 41.87 mW, "
+                "1,355 GSOPS, 32,366 GSOPS/W\n");
+    std::printf("headline ratios (measured vs paper):\n");
+    std::printf("  GSOPS vs TrueNorth:    %5.1fx (paper 23x)\n",
+                sushi.gsops / trueNorth().gsops);
+    std::printf("  GSOPS/W vs TrueNorth:  %5.1fx (paper 81x)\n",
+                sushi.gsops_per_w / trueNorth().gsops_per_w);
+    std::printf("  GSOPS/W vs Tianjic:    %5.1fx (paper 50x)\n",
+                sushi.gsops_per_w / tianjic().gsops_per_w);
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Reproduces the paper's Sec. 6.3 transmission-delay analysis: "when
+ * processing a single pulse, the transmission delay accounts for
+ * about 53 % of the total in the 16x16 design, while only about 6 %
+ * in the 1x1 design."
+ */
+
+#include <cstdio>
+
+#include "fabric/resource_model.hh"
+#include "fabric/timing_model.hh"
+
+using namespace sushi::fabric;
+
+int
+main()
+{
+    std::printf("=== Sec. 6.3: transmission-delay share of "
+                "per-pulse processing time ===\n");
+    std::printf("%9s %12s %12s %12s %9s\n", "design", "logic ps",
+                "trans ps", "total ps", "share");
+    for (int n : {1, 2, 4, 8, 16}) {
+        MeshConfig cfg = scalingMeshConfig(n);
+        std::printf("%6dx%-2d %12.1f %12.1f %12.1f %8.1f%%\n", n, n,
+                    synapseLogicDelayPs(cfg), transmissionDelayPs(n),
+                    pulseTimePs(cfg),
+                    100.0 * transmissionShare(cfg));
+    }
+    std::printf("paper anchors: ~6%% at 1x1, ~53%% at 16x16\n");
+    std::printf("measured:      %.1f%% at 1x1, %.1f%% at 16x16\n",
+                100.0 * transmissionShare(scalingMeshConfig(1)),
+                100.0 * transmissionShare(scalingMeshConfig(16)));
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness binaries.
+ */
+
+#ifndef SUSHI_BENCH_BENCH_UTIL_HH
+#define SUSHI_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "snn/tensor.hh"
+
+namespace sushi::benchutil {
+
+/** True if the named environment flag is set to a truthy value. */
+inline bool
+envFlag(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/** Row @p b of batched float frames as binary per-step frames. */
+inline std::vector<std::vector<std::uint8_t>>
+binaryFrames(const std::vector<snn::Tensor> &frames, std::size_t b)
+{
+    std::vector<std::vector<std::uint8_t>> out;
+    out.reserve(frames.size());
+    for (const auto &f : frames) {
+        std::vector<std::uint8_t> bf(f.cols());
+        for (std::size_t i = 0; i < f.cols(); ++i)
+            bf[i] = f.at(b, i) > 0.5f ? 1 : 0;
+        out.push_back(std::move(bf));
+    }
+    return out;
+}
+
+} // namespace sushi::benchutil
+
+#endif // SUSHI_BENCH_BENCH_UTIL_HH

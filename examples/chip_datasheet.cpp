@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Chip datasheet: prints the complete specification of a SUSHI
+ * configuration the way a chip brief would — cell inventory,
+ * resources, timing, power, throughput, and the constraint table the
+ * pulse encoder must honour.
+ *
+ * Run: ./chip_datasheet [N]   (mesh dimension, default 16)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fabric/resource_model.hh"
+#include "fabric/sync_baseline.hh"
+#include "fabric/timing_model.hh"
+#include "perf/power_model.hh"
+#include "sfq/constraints.hh"
+#include "sfq/simulator.hh"
+
+using namespace sushi;
+using namespace sushi::fabric;
+
+int
+main(int argc, char **argv)
+{
+    const int n = argc > 1 ? std::atoi(argv[1]) : 16;
+    if (n < 1 || n > 64) {
+        std::fprintf(stderr, "mesh dimension must be 1..64\n");
+        return 1;
+    }
+
+    const MeshConfig cfg = scalingMeshConfig(n);
+    std::printf("================ SUSHI %dx%d datasheet "
+                "================\n",
+                n, n);
+    std::printf("organisation: %d NPEs (%d SCs each, %llu neuron "
+                "states), %ld synapses, w_max %d\n",
+                cfg.numNpes(), cfg.sc_per_npe,
+                static_cast<unsigned long long>(1ULL << cfg.sc_per_npe),
+                cfg.numSynapses(), cfg.effectiveWMax());
+
+    // Resources, from the real netlist.
+    sfq::Simulator sim;
+    sfq::Netlist net(sim);
+    MeshGate mesh(net, cfg);
+    const auto &r = net.resources();
+    std::printf("\nresources\n");
+    std::printf("  JJs:    %ld total (%ld logic / %ld wiring, "
+                "%.1f%% wiring)\n",
+                r.totalJjs(), r.logic_jjs, r.wiring_jjs,
+                100.0 * r.wiringFraction());
+    std::printf("  area:   %.2f mm^2\n",
+                designAreaMm2(r.totalJjs(), n));
+    std::printf("  cells:  ");
+    for (int k = 0; k < static_cast<int>(sfq::CellKind::kNumKinds);
+         ++k) {
+        const long count =
+            r.cells_by_kind[static_cast<std::size_t>(k)];
+        if (count)
+            std::printf("%s:%ld ",
+                        sfq::cellKindName(
+                            static_cast<sfq::CellKind>(k)),
+                        count);
+    }
+    std::printf("\n");
+
+    // Timing and throughput.
+    std::printf("\ntiming\n");
+    std::printf("  per-pulse logic delay:        %.1f ps\n",
+                synapseLogicDelayPs(cfg));
+    std::printf("  per-pulse transmission delay: %.1f ps (%.1f%% "
+                "share)\n",
+                transmissionDelayPs(n),
+                100.0 * transmissionShare(cfg));
+    std::printf("  safe encoder pulse spacing:   %.2f ps\n",
+                ticksToPs(sfq::safePulseSpacing()));
+
+    const double gsops = peakGsops(cfg);
+    const double power = perf::totalPowerMw(r.totalJjs(), gsops);
+    std::printf("\nperformance\n");
+    std::printf("  peak throughput: %.1f GSOPS\n", gsops);
+    std::printf("  power:           %.2f mW (%.2f static + %.4f "
+                "dynamic)\n",
+                power, perf::staticPowerMw(r.totalJjs()),
+                perf::dynamicPowerMw(gsops));
+    std::printf("  efficiency:      %.0f GSOPS/W\n",
+                gsops / (power * 1e-3));
+
+    // What the asynchronous design saved (Sec. 3A).
+    const SyncDesign sync = synchronousMesh(n);
+    std::printf("\nvs a synchronous implementation of the same "
+                "logic\n");
+    std::printf("  sync total: %ld JJs (%.1f%% wiring); async saves "
+                "%.1f%%\n",
+                sync.totalJjs(), 100.0 * sync.wiringFraction(),
+                100.0 *
+                    static_cast<double>(sync.totalJjs() -
+                                        r.totalJjs()) /
+                    static_cast<double>(sync.totalJjs()));
+
+    std::printf("\ninput timing constraints (Table 1)\n");
+    for (const auto &row : sfq::constraintTable())
+        std::printf("  %-6s %-12s %6.2f ps\n", row.cell.c_str(),
+                    row.rule.c_str(), row.min_ps);
+    return 0;
+}

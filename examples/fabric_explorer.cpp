@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fabric explorer: sweeps mesh sizes and prints the resource /
+ * performance / power landscape a designer would use to pick a
+ * SUSHI configuration for a given fabrication budget (paper
+ * Sec. 4.3: the architecture scales to the available integration
+ * level).
+ *
+ * Run: ./fabric_explorer [max_jjs]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fabric/resource_model.hh"
+#include "fabric/timing_model.hh"
+#include "fabric/tree_network.hh"
+#include "perf/power_model.hh"
+#include "sfq/simulator.hh"
+
+using namespace sushi;
+using namespace sushi::fabric;
+
+int
+main(int argc, char **argv)
+{
+    // E.g. the Nb03 process supports ~1e4 JJs on a 5x5 mm die
+    // (paper Sec. 5.3).
+    const long budget =
+        argc > 1 ? std::atol(argv[1]) : 100000;
+
+    std::printf("=== SUSHI design-space sweep (JJ budget: %ld) "
+                "===\n",
+                budget);
+    std::printf("%7s %6s %9s %9s %8s %9s %10s %6s\n", "mesh",
+                "NPEs", "JJs", "area mm2", "GSOPS", "GSOPS/W",
+                "trans.%", "fits");
+    int best = 0;
+    for (int n : {1, 2, 4, 8, 16}) {
+        const DesignPoint p = designPoint(n);
+        const MeshConfig cfg = scalingMeshConfig(n);
+        const double gsops = peakGsops(cfg);
+        const double power =
+            perf::totalPowerMw(p.total_jjs, gsops);
+        const bool fits = p.total_jjs <= budget;
+        if (fits)
+            best = n;
+        std::printf("%4dx%-2d %6d %9ld %9.2f %8.1f %9.0f %9.1f %6s\n",
+                    n, n, p.npes, p.total_jjs, p.area_mm2, gsops,
+                    gsops / (power * 1e-3),
+                    100.0 * transmissionShare(cfg),
+                    fits ? "yes" : "no");
+    }
+    if (best > 0) {
+        std::printf("\nlargest mesh within budget: %dx%d "
+                    "(w_max=%d per synapse)\n",
+                    best, best, wMaxForN(best));
+    } else {
+        std::printf("\nno mesh fits; consider the tree fabric:\n");
+    }
+
+    // Tree-fabric alternative at the same input count.
+    sfq::Simulator sim;
+    sfq::Netlist tnet(sim);
+    TreeConfig tcfg;
+    tcfg.leaves = best > 0 ? best : 4;
+    TreeGate tree(tnet, tcfg);
+    std::printf("tree fabric with %d leaves: %ld JJs "
+                "(normalised weights only, Fig. 11 trade-off)\n",
+                tcfg.leaves, tnet.resources().totalJjs());
+    return 0;
+}

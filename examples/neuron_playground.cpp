@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Neuron playground: drives the multi-phase biological neuron model
+ * of paper Fig. 6/7 through an action potential and shows how its
+ * linearised state maps onto the NPE's counter (Sec. 4.1.2), plus
+ * the state-budget claim (~500 states suffice; a 10-SC NPE offers
+ * 1024).
+ *
+ * Run: ./neuron_playground
+ */
+
+#include <cstdio>
+
+#include "npe/neuron_fsm.hh"
+#include "npe/npe.hh"
+
+using namespace sushi::npe;
+
+int
+main()
+{
+    NeuronFsm neuron(/*threshold=*/4, /*rising=*/3, /*falling=*/3);
+    std::printf("Fig. 6/7 neuron: %d states "
+                "(b0..b4, r0..r3, f0..f3)\n",
+                neuron.numStates());
+
+    // A failed initiation, then a successful action potential.
+    struct Step
+    {
+        Stimulus s;
+        const char *what;
+    };
+    const Step script[] = {
+        {Stimulus::Spike, "input spike"},
+        {Stimulus::Spike, "input spike"},
+        {Stimulus::Time, "time (decay: failed initiation)"},
+        {Stimulus::Spike, "input spike"},
+        {Stimulus::Spike, "input spike"},
+        {Stimulus::Spike, "input spike"},
+        {Stimulus::Spike, "input spike (at threshold)"},
+        {Stimulus::Time, "time (launch rising phase)"},
+        {Stimulus::Time, "time"},
+        {Stimulus::Time, "time"},
+        {Stimulus::Time, "time"},
+        {Stimulus::Time, "time (falling)"},
+        {Stimulus::Time, "time"},
+        {Stimulus::Time, "time"},
+        {Stimulus::Time, "time"},
+        {Stimulus::Time, "time (back to rest)"},
+    };
+
+    std::printf("%-38s %6s %7s %6s\n", "stimulus", "state",
+                "linear", "spike");
+    for (const Step &step : script) {
+        const bool spiked = neuron.stimulate(step.s);
+        std::printf("%-38s %6s %7d %6s\n", step.what,
+                    neuron.stateName().c_str(), neuron.linearState(),
+                    spiked ? "SPIKE" : "");
+    }
+    std::printf("spikes sent: %ld\n", neuron.spikesSent());
+
+    // The Sec. 4.1.2 budget claim, checked against the NPE.
+    Npe npe(10);
+    const int biological =
+        neuronStateBudget(255, 128, 112); // a rich neuron
+    std::printf("\nstate budget: a (255,128,112) neuron needs %d "
+                "states; ~500 are adequate (Sec. 4.1.2); the 10-SC "
+                "NPE provides %llu\n",
+                biological,
+                static_cast<unsigned long long>(npe.numStates()));
+    return 0;
+}

@@ -1,0 +1,57 @@
+#include "chip/sampler.hh"
+
+#include "common/logging.hh"
+
+namespace sushi::chip {
+
+std::vector<std::vector<int>>
+spikesPerStep(const std::vector<sfq::PulseTrace> &traces,
+              const std::vector<Tick> &step_bounds)
+{
+    sushi_assert(step_bounds.size() >= 2);
+    const std::size_t steps = step_bounds.size() - 1;
+    std::vector<std::vector<int>> out(
+        traces.size(), std::vector<int>(steps, 0));
+    for (std::size_t c = 0; c < traces.size(); ++c) {
+        for (std::size_t s = 0; s < steps; ++s) {
+            out[c][s] = static_cast<int>(sfq::pulsesInWindow(
+                traces[c], step_bounds[s], step_bounds[s + 1]));
+        }
+    }
+    return out;
+}
+
+LabelReadout
+decodeLabels(const std::vector<sfq::LevelWave> &waves,
+             const std::vector<Tick> &step_bounds)
+{
+    sushi_assert(!waves.empty());
+    std::vector<sfq::PulseTrace> traces;
+    traces.reserve(waves.size());
+    for (const auto &w : waves)
+        traces.push_back(sfq::levelsToPulses(w));
+    const auto spikes = spikesPerStep(traces, step_bounds);
+
+    LabelReadout readout;
+    readout.per_label.reserve(waves.size());
+    int best = 0, best_count = -1;
+    for (std::size_t c = 0; c < spikes.size(); ++c) {
+        std::string bits;
+        int total = 0;
+        for (std::size_t s = 0; s < spikes[c].size(); ++s) {
+            if (s)
+                bits += '-';
+            bits += spikes[c][s] > 0 ? '1' : '0';
+            total += spikes[c][s];
+        }
+        readout.per_label.push_back(bits);
+        if (total > best_count) {
+            best_count = total;
+            best = static_cast<int>(c);
+        }
+    }
+    readout.winner = best;
+    return readout;
+}
+
+} // namespace sushi::chip

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The oscilloscope-side sampler, paper Sec. 5.2 / Fig. 14 / Fig. 16.
+ *
+ * The fabricated chip's outputs are SFQ/DC drivers: each output
+ * pulse inverts a DC level that the oscilloscope records. Decoding
+ * an inference result therefore means: capture the level waveform,
+ * recover the pulse sequence (each toggle = one pulse), window the
+ * pulses by time step, and pick the label whose channel pulsed most
+ * (Fig. 16(d): "judging the inference result by the pulse output
+ * from each label").
+ */
+
+#ifndef SUSHI_CHIP_SAMPLER_HH
+#define SUSHI_CHIP_SAMPLER_HH
+
+#include <string>
+#include <vector>
+
+#include "sfq/waveform.hh"
+
+namespace sushi::chip {
+
+/** Per-label pulse bit-strings, e.g. "0-1-1-1-1" (Fig. 16(d)). */
+struct LabelReadout
+{
+    std::vector<std::string> per_label; ///< one string per channel
+    int winner;                         ///< decoded label
+};
+
+/**
+ * Decode label waveforms.
+ * @param waves       one recorded level waveform per label channel
+ * @param step_bounds time-step window boundaries (size = steps + 1)
+ * @return per-step pulse presence per label and the argmax winner
+ */
+LabelReadout decodeLabels(const std::vector<sfq::LevelWave> &waves,
+                          const std::vector<Tick> &step_bounds);
+
+/**
+ * Per-step spike matrix from pulse traces: out[label][step] is the
+ * number of pulses channel `label` produced within step window
+ * `step`.
+ */
+std::vector<std::vector<int>>
+spikesPerStep(const std::vector<sfq::PulseTrace> &traces,
+              const std::vector<Tick> &step_bounds);
+
+} // namespace sushi::chip
+
+#endif // SUSHI_CHIP_SAMPLER_HH

@@ -1,0 +1,187 @@
+#include "chip/sushi_chip.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+#include "fabric/resource_model.hh"
+#include "fabric/timing_model.hh"
+#include "sfq/cell_params.hh"
+
+namespace sushi::chip {
+
+namespace {
+
+/** Popcount of (act & mask) over scheduled positions [begin, end). */
+std::uint64_t
+popcountRange(const std::vector<std::uint64_t> &act,
+              const std::vector<std::uint64_t> &mask, int begin,
+              int end)
+{
+    std::uint64_t count = 0;
+    const int w0 = begin / 64;
+    const int w1 = (end + 63) / 64;
+    for (int w = w0; w < w1; ++w) {
+        std::uint64_t bits =
+            act[static_cast<std::size_t>(w)] &
+            mask[static_cast<std::size_t>(w)];
+        if (w == w0 && begin % 64)
+            bits &= ~std::uint64_t{0} << (begin % 64);
+        if (w == w1 - 1 && end % 64)
+            bits &= ~std::uint64_t{0} >> (64 - end % 64);
+        count += static_cast<std::uint64_t>(std::popcount(bits));
+    }
+    return count;
+}
+
+} // namespace
+
+SushiChip::SushiChip(const compiler::ChipConfig &cfg) : cfg_(cfg)
+{
+    sushi_assert(cfg.n >= 1);
+}
+
+PulseVector
+SushiChip::stepLayer(const compiler::CompiledLayer &layer,
+                     const snn::BinaryLayer &blayer,
+                     const PulseVector &act)
+{
+    const std::size_t in_dim = blayer.inDim();
+    const std::size_t out_dim = blayer.outDim();
+    sushi_assert(act.size() == in_dim);
+
+    // Activation bitset over scheduled positions, plus the (rare)
+    // multi-pulse entries from upstream wrap artefacts.
+    const std::size_t words = (in_dim + 63) / 64;
+    std::vector<std::uint64_t> act_bits(words, 0);
+    std::vector<std::pair<std::size_t, int>> extras; // (pos, extra)
+    std::uint64_t active_inputs = 0;
+    for (std::size_t k = 0; k < in_dim; ++k) {
+        const auto idx = static_cast<std::size_t>(
+            layer.schedule.order[k]);
+        if (act[idx] > 0) {
+            act_bits[k / 64] |= std::uint64_t{1} << (k % 64);
+            ++active_inputs;
+            if (act[idx] > 1)
+                extras.emplace_back(k, act[idx] - 1);
+        }
+    }
+
+    PulseVector out(out_dim, 0);
+    for (std::size_t o = 0; o < out_dim; ++o) {
+        if (layer.disabled[o])
+            continue;
+        // A fresh counter per neuron-step is behaviourally identical
+        // to the time-multiplexed physical NPE (rst + write).
+        npe::Npe npe(cfg_.sc_per_npe);
+        npe.rst();
+        npe.write(layer.preload[o]);
+        npe.setPolarity(npe::Polarity::Excitatory);
+        std::uint64_t spikes = npe.addPulses(
+            static_cast<std::uint64_t>(layer.bias_pulses[o]));
+
+        for (const compiler::Block &bucket : layer.schedule.buckets) {
+            // Inhibitory pass first within every bucket (Sec. 5.1).
+            std::uint64_t neg = popcountRange(
+                act_bits, layer.neg_masks[o], bucket.begin,
+                bucket.end);
+            std::uint64_t pos = popcountRange(
+                act_bits, layer.pos_masks[o], bucket.begin,
+                bucket.end);
+            for (const auto &[k, extra] : extras) {
+                if (static_cast<int>(k) >= bucket.begin &&
+                    static_cast<int>(k) < bucket.end) {
+                    const std::uint64_t bit = std::uint64_t{1}
+                                              << (k % 64);
+                    if (layer.neg_masks[o][k / 64] & bit)
+                        neg += static_cast<std::uint64_t>(extra);
+                    else
+                        pos += static_cast<std::uint64_t>(extra);
+                }
+            }
+            if (neg) {
+                npe.setPolarity(npe::Polarity::Inhibitory);
+                const std::uint64_t borrows = npe.addPulses(neg);
+                stats_.underflow_spikes += borrows;
+                spikes += borrows;
+            }
+            if (pos) {
+                npe.setPolarity(npe::Polarity::Excitatory);
+                spikes += npe.addPulses(pos);
+            }
+            stats_.synaptic_ops += neg + pos;
+            stats_.input_pulses += neg + pos;
+        }
+        if (spikes > 1)
+            ++stats_.multi_fires;
+        out[o] = static_cast<std::uint16_t>(spikes);
+    }
+
+    // Reload + timing accounting for this layer-step.
+    stats_.reload_events +=
+        static_cast<std::uint64_t>(layer.switch_reloads);
+    fabric::MeshConfig mesh = fabric::scalingMeshConfig(cfg_.n);
+    const double pulse_ps = fabric::pulseTimePs(mesh);
+    // Synapses process in parallel across the mesh: the serialised
+    // work per step is the per-output-group pulse traffic.
+    const double serial_pulses =
+        static_cast<double>(active_inputs) *
+        static_cast<double>(layer.slices.numOutBlocks());
+    // Weight reloading is parallel per synapse (Sec. 4.2.2): the
+    // serialised cost is one configuration batch per block
+    // transition whose crosspoints actually change — reordering
+    // makes many transitions configuration-free.
+    const double blocks =
+        static_cast<double>(layer.slices.totalBlocks());
+    const double change_fraction = std::min(
+        1.0, static_cast<double>(layer.switch_reloads) /
+                 (blocks * static_cast<double>(cfg_.n) * cfg_.n));
+    const double reload_ps = blocks * change_fraction * 250.0;
+    stats_.reload_time_ps += reload_ps;
+    stats_.est_time_ps += serial_pulses * pulse_ps + reload_ps;
+    return out;
+}
+
+std::vector<int>
+SushiChip::inferCounts(
+    const compiler::CompiledNetwork &net,
+    const std::vector<std::vector<std::uint8_t>> &frames)
+{
+    sushi_assert(net.net != nullptr);
+    sushi_assert(net.layers.size() == net.net->layers().size());
+    const std::size_t out_dim = net.net->layers().back().outDim();
+    std::vector<int> counts(out_dim, 0);
+    ++stats_.frames;
+    for (const auto &frame : frames) {
+        ++stats_.time_steps;
+        PulseVector act(frame.begin(), frame.end());
+        for (std::size_t l = 0; l < net.layers.size(); ++l) {
+            act = stepLayer(net.layers[l], net.net->layers()[l],
+                            act);
+        }
+        for (std::size_t o = 0; o < out_dim; ++o) {
+            counts[o] += act[o];
+            stats_.output_spikes +=
+                static_cast<std::uint64_t>(act[o]);
+        }
+    }
+    // Dynamic energy: every synaptic op switches the cells along the
+    // synapse->NPE path (~30 JJ flips at ~2e-19 J each).
+    stats_.dynamic_energy_j =
+        static_cast<double>(stats_.synaptic_ops) * 30.0 * 2.0e-19;
+    return counts;
+}
+
+int
+SushiChip::predict(const compiler::CompiledNetwork &net,
+                   const std::vector<std::vector<std::uint8_t>> &frames)
+{
+    const auto counts = inferCounts(net, frames);
+    int best = 0;
+    for (std::size_t c = 1; c < counts.size(); ++c)
+        if (counts[c] > counts[static_cast<std::size_t>(best)])
+            best = static_cast<int>(c);
+    return best;
+}
+
+} // namespace sushi::chip

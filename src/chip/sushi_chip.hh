@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The behavioural SUSHI chip model: executes a compiled SSNN on the
+ * NPE mesh exactly as the hardware would — per time step, per output
+ * group, per bucket, inhibitory pass then excitatory pass — using
+ * the bit-exact NPE counter semantics (including wrap-around borrow
+ * and carry pulses, the physical failure mode bucketing exists to
+ * control).
+ *
+ * The gate-level counterpart for small configurations lives in
+ * chip/gate_sim; tests assert pulse-level agreement between the two,
+ * mirroring the paper's chip-vs-simulation validation (Sec. 6.2).
+ */
+
+#ifndef SUSHI_CHIP_SUSHI_CHIP_HH
+#define SUSHI_CHIP_SUSHI_CHIP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/compile.hh"
+#include "npe/npe.hh"
+
+namespace sushi::chip {
+
+/** Aggregate statistics of one inference run. */
+struct InferenceStats
+{
+    std::uint64_t frames = 0;        ///< images processed
+    std::uint64_t time_steps = 0;    ///< SNN steps executed
+    std::uint64_t input_pulses = 0;  ///< pulses fed to NPEs
+    std::uint64_t synaptic_ops = 0;  ///< pulses through synapses
+    std::uint64_t output_spikes = 0; ///< final-layer output pulses
+    std::uint64_t underflow_spikes = 0; ///< spurious borrow pulses
+    std::uint64_t multi_fires = 0;   ///< neuron-steps with >1 spike
+    std::uint64_t reload_events = 0; ///< cross-structure reloads
+    double est_time_ps = 0.0;        ///< modelled wall time
+    double reload_time_ps = 0.0;     ///< serialised reload time
+    double dynamic_energy_j = 0.0;   ///< switching energy
+
+    void reset() { *this = InferenceStats{}; }
+};
+
+/** Per-step activation pulses flowing between layers. */
+using PulseVector = std::vector<std::uint16_t>;
+
+/** The behavioural chip. */
+class SushiChip
+{
+  public:
+    explicit SushiChip(const compiler::ChipConfig &cfg);
+
+    const compiler::ChipConfig &config() const { return cfg_; }
+
+    /**
+     * Execute one layer for one time step.
+     * @param layer    compiled layer
+     * @param blayer   the binarized weights it was compiled from
+     * @param act      input pulse counts (original index space)
+     * @return output pulse counts per neuron (0, 1, or more — extra
+     *         pulses are physical wrap artefacts, counted in stats)
+     */
+    PulseVector stepLayer(const compiler::CompiledLayer &layer,
+                          const snn::BinaryLayer &blayer,
+                          const PulseVector &act);
+
+    /**
+     * Full rate-coded inference of a compiled network over binary
+     * input frames (one per time step).
+     * @return output pulse counts summed over time steps
+     */
+    std::vector<int>
+    inferCounts(const compiler::CompiledNetwork &net,
+                const std::vector<std::vector<std::uint8_t>> &frames);
+
+    /** Argmax label from inferCounts. */
+    int predict(const compiler::CompiledNetwork &net,
+                const std::vector<std::vector<std::uint8_t>> &frames);
+
+    /** Statistics accumulated since the last reset. */
+    const InferenceStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+  private:
+    compiler::ChipConfig cfg_;
+    InferenceStats stats_;
+};
+
+} // namespace sushi::chip
+
+#endif // SUSHI_CHIP_SUSHI_CHIP_HH

@@ -1,0 +1,116 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+namespace sushi {
+
+namespace {
+
+std::atomic<LogHook> g_hook{nullptr};
+std::atomic<std::size_t> g_warn_count{0};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogHook(LogHook hook)
+{
+    g_hook.store(hook);
+}
+
+std::size_t
+warnCount()
+{
+    return g_warn_count.load();
+}
+
+namespace detail {
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    if (n <= 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+void
+emit(LogLevel level, const std::string &msg, const char *file, int line)
+{
+    LogHook hook = g_hook.load();
+    if (hook && (level == LogLevel::Warn || level == LogLevel::Inform)) {
+        hook(level, msg);
+        return;
+    }
+    if (level == LogLevel::Fatal || level == LogLevel::Panic) {
+        std::fprintf(stderr, "%s: %s (%s:%d)\n",
+                     levelName(level), msg.c_str(), file, line);
+    } else {
+        std::fprintf(stderr, "%s: %s\n", levelName(level), msg.c_str());
+    }
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    emit(LogLevel::Panic, msg, file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    emit(LogLevel::Fatal, msg, file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    g_warn_count.fetch_add(1);
+    emit(LogLevel::Warn, msg, file, line);
+}
+
+void
+informImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    emit(LogLevel::Inform, msg, file, line);
+}
+
+} // namespace detail
+} // namespace sushi

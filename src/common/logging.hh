@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Logging and error-reporting primitives for the SUSHI library.
+ *
+ * Follows the gem5 convention:
+ *  - panic()  : an internal invariant was violated (a library bug);
+ *               aborts so a debugger/core dump can capture state.
+ *  - fatal()  : the *user* asked for something impossible (bad config,
+ *               out-of-range parameter); exits with an error code.
+ *  - warn()   : something is suspicious but simulation can continue.
+ *  - inform() : status messages with no connotation of misbehaviour.
+ */
+
+#ifndef SUSHI_COMMON_LOGGING_HH
+#define SUSHI_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sushi {
+
+/** Severity levels understood by the log sink. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+/** Emit one log record to the active sink. */
+void emit(LogLevel level, const std::string &msg,
+          const char *file, int line);
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...);
+void warnImpl(const char *file, int line, const char *fmt, ...);
+void informImpl(const char *file, int line, const char *fmt, ...);
+
+} // namespace detail
+
+/**
+ * Install a callback that receives every warn/inform record (used by
+ * tests to assert that warnings fire). Pass nullptr to restore the
+ * default stderr sink. Fatal/panic always also print to stderr.
+ */
+using LogHook = void (*)(LogLevel, const std::string &);
+void setLogHook(LogHook hook);
+
+/** Count of warnings emitted since process start (for tests). */
+std::size_t warnCount();
+
+/**
+ * Abort with a message: internal invariant violated.
+ * Usage: sushi_panic("bad state %d", s);
+ */
+#define sushi_panic(...) \
+    ::sushi::detail::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Exit with a message: user-caused error (bad configuration). */
+#define sushi_fatal(...) \
+    ::sushi::detail::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Non-fatal suspicious-condition report. */
+#define sushi_warn(...) \
+    ::sushi::detail::warnImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Status message. */
+#define sushi_inform(...) \
+    ::sushi::detail::informImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert an invariant; panics (not UB) when violated. */
+#define sushi_assert(cond, ...)                                          \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::sushi::detail::panicImpl(__FILE__, __LINE__,               \
+                                       "assertion failed: " #cond);      \
+        }                                                                \
+    } while (0)
+
+} // namespace sushi
+
+#endif // SUSHI_COMMON_LOGGING_HH

@@ -1,0 +1,43 @@
+#include "common/parallel.hh"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace sushi {
+
+unsigned
+parallelWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+parallelFor(std::size_t n,
+            const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(parallelWorkers(),
+                                                    n));
+    if (workers <= 1 || n < 256) {
+        fn(0, n);
+        return;
+    }
+    const std::size_t chunk = (n + workers - 1) / workers;
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        const std::size_t begin = w * chunk;
+        const std::size_t end = std::min(n, begin + chunk);
+        if (begin >= end)
+            break;
+        threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+    }
+    for (auto &t : threads)
+        t.join();
+}
+
+} // namespace sushi

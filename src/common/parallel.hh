@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Minimal data-parallel helper for CPU-bound loops (SNN training).
+ */
+
+#ifndef SUSHI_COMMON_PARALLEL_HH
+#define SUSHI_COMMON_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace sushi {
+
+/**
+ * Run fn(begin, end) over [0, n) split across hardware threads.
+ * Chunks are contiguous; fn must be safe to run concurrently on
+ * disjoint ranges. Runs inline when n is small.
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t, std::size_t)> &fn);
+
+/** Number of worker threads parallelFor will use. */
+unsigned parallelWorkers();
+
+} // namespace sushi
+
+#endif // SUSHI_COMMON_PARALLEL_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A small xoshiro256** implementation is used instead of <random>
+ * engines so that streams are bit-identical across platforms and
+ * standard-library versions: every experiment in the repository is
+ * seeded and reproducible.
+ */
+
+#ifndef SUSHI_COMMON_RNG_HH
+#define SUSHI_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace sushi {
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x5f0e1c2b3a495867ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal variate (Box-Muller). */
+    double gaussian();
+
+    /** Gaussian with given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Bernoulli trial with probability p of true. */
+    bool chance(double p);
+
+    /** Derive an independent child stream (for per-worker RNGs). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    bool have_spare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace sushi
+
+#endif // SUSHI_COMMON_RNG_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Simulation time representation.
+ *
+ * SFQ pulses are ~1 ps wide and the SIMIT-Nb03 constraint table
+ * (paper Table 1) is specified to 10 fs precision (e.g. 8.53 ps), so
+ * the simulator counts time in integer femtoseconds. Integer ticks
+ * make event ordering exact and reproducible.
+ */
+
+#ifndef SUSHI_COMMON_TIME_HH
+#define SUSHI_COMMON_TIME_HH
+
+#include <cstdint>
+
+namespace sushi {
+
+/** Simulation tick: one femtosecond. */
+using Tick = std::int64_t;
+
+/** Ticks per picosecond. */
+constexpr Tick kTicksPerPs = 1000;
+
+/** Ticks per nanosecond. */
+constexpr Tick kTicksPerNs = 1000 * kTicksPerPs;
+
+/** Convert picoseconds (possibly fractional) to ticks. */
+constexpr Tick
+psToTicks(double ps)
+{
+    // Round to nearest tick; constraint values like 8.53 ps are exact.
+    return static_cast<Tick>(ps * static_cast<double>(kTicksPerPs) +
+                             (ps >= 0 ? 0.5 : -0.5));
+}
+
+/** Convert ticks back to picoseconds. */
+constexpr double
+ticksToPs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerPs);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-15;
+}
+
+/** A time value that means "never". */
+constexpr Tick kTickNever = INT64_MAX;
+
+} // namespace sushi
+
+#endif // SUSHI_COMMON_TIME_HH

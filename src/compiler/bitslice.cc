@@ -1,0 +1,14 @@
+#include "compiler/bitslice.hh"
+
+namespace sushi::compiler {
+
+LayerSlices
+sliceLayer(int in_dim, int out_dim, int width)
+{
+    sushi_assert(in_dim >= 1);
+    sushi_assert(out_dim >= 1);
+    sushi_assert(width >= 1);
+    return LayerSlices{in_dim, out_dim, width};
+}
+
+} // namespace sushi::compiler

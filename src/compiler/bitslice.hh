@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Bit-slice SSNN layer slicing, paper Sec. 5.3 / Fig. 15.
+ *
+ * A layer larger than the on-chip mesh is decomposed into blocks:
+ * the input dimension is sliced to the mesh width (each slice is one
+ * batch of row inputs) and the output dimension is sliced into
+ * groups of output NPEs. The state-preserving SCs carry the partial
+ * sums between input slices, so no extra storage or control is
+ * needed between the recoded slices.
+ */
+
+#ifndef SUSHI_COMPILER_BITSLICE_HH
+#define SUSHI_COMPILER_BITSLICE_HH
+
+#include "common/logging.hh"
+
+namespace sushi::compiler {
+
+/** A half-open index range [begin, end). */
+struct Block
+{
+    int begin;
+    int end;
+
+    int size() const { return end - begin; }
+};
+
+/** Slicing of one layer onto an N-wide mesh. */
+struct LayerSlices
+{
+    int in_dim;
+    int out_dim;
+    int width; ///< mesh dimension N
+
+    /** Number of input slices, ceil(in_dim / width). */
+    int
+    numInBlocks() const
+    {
+        return (in_dim + width - 1) / width;
+    }
+
+    /** Number of output groups, ceil(out_dim / width). */
+    int
+    numOutBlocks() const
+    {
+        return (out_dim + width - 1) / width;
+    }
+
+    /** The k-th input slice. */
+    Block
+    inBlock(int k) const
+    {
+        sushi_assert(k >= 0 && k < numInBlocks());
+        const int b = k * width;
+        return Block{b, b + width > in_dim ? in_dim : b + width};
+    }
+
+    /** The k-th output group. */
+    Block
+    outBlock(int k) const
+    {
+        sushi_assert(k >= 0 && k < numOutBlocks());
+        const int b = k * width;
+        return Block{b, b + width > out_dim ? out_dim : b + width};
+    }
+
+    /** Total chip passes = input slices x output groups. */
+    long
+    totalBlocks() const
+    {
+        return static_cast<long>(numInBlocks()) * numOutBlocks();
+    }
+};
+
+/** Slice a layer of the given dimensions onto an N-wide mesh. */
+LayerSlices sliceLayer(int in_dim, int out_dim, int width);
+
+} // namespace sushi::compiler
+
+#endif // SUSHI_COMPILER_BITSLICE_HH

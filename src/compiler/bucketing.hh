@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Synapse bucketing and reordering, paper Sec. 5.1 / Sec. 4.2.2.
+ *
+ * Two problems are solved at compile time, acting once on the
+ * trained synapses:
+ *
+ * 1. *State-range control (bucketing).* The NPE counter wraps: a
+ *    net-inhibitory excursion below the pre-loaded value emits a
+ *    spurious borrow spike ("overflow of the lower number of
+ *    states"). Traversing all inhibitory synapses first bounds the
+ *    membrane minimum but maximises the dip; splitting the inputs
+ *    into buckets and alternating an inhibitory pass and an
+ *    excitatory pass per bucket keeps the running value within the
+ *    state budget while still making firing spikes appear last
+ *    within each bucket.
+ *
+ * 2. *Weight-reload minimisation (reordering).* Between adjacent
+ *    input slices the same cross structure is reused by a different
+ *    synapse; if both synapses share polarity (and strength) the
+ *    NDRO configuration needs no reload. Sorting inputs by their
+ *    sign pattern across columns and dealing them row-major across
+ *    slices makes adjacent slices share configurations.
+ */
+
+#ifndef SUSHI_COMPILER_BUCKETING_HH
+#define SUSHI_COMPILER_BUCKETING_HH
+
+#include <vector>
+
+#include "compiler/bitslice.hh"
+#include "snn/binarize.hh"
+
+namespace sushi::compiler {
+
+/** Bucketing/reordering knobs. */
+struct BucketingConfig
+{
+    /** SCs per NPE: the state budget is 2^state_bits. */
+    int state_bits = 10;
+    /** Alternate inhibitory/excitatory passes per bucket. When
+     *  false, one inhibitory pass over the whole layer runs first
+     *  (the un-bucketed Sec. 5.1 baseline). */
+    bool bucketing = true;
+    /** Inputs per bucket (rounded up to whole slices at run time). */
+    int bucket_size = 64;
+    /** Sort inputs to minimise cross-structure reloads. */
+    bool reorder = true;
+    /** Mesh width the reordered inputs will be dealt across (the
+     *  crosspoint at row r is reused by the inputs at positions
+     *  b*mesh_width + r of the schedule for successive slices b). */
+    int mesh_width = 16;
+};
+
+/** The per-layer traversal schedule. */
+struct LayerSchedule
+{
+    /** Permutation: order[k] is the original input index processed
+     *  at position k. */
+    std::vector<int> order;
+    /** Bucket ranges over positions (cover [0, in_dim)). */
+    std::vector<Block> buckets;
+};
+
+/** Build the schedule for one binarized layer. */
+LayerSchedule scheduleLayer(const snn::BinaryLayer &layer,
+                            const BucketingConfig &cfg);
+
+/** Worst-case (all inputs active) state-range analysis. */
+struct StateRangeReport
+{
+    /** States needed with the schedule: max over neurons of
+     *  threshold + deepest inhibitory dip. */
+    int required_states;
+    /** States needed when all inhibitory synapses run first. */
+    int required_states_unbucketed;
+    /** The chip's budget, 2^state_bits. */
+    int state_budget;
+
+    bool fits() const { return required_states <= state_budget; }
+    bool
+    fitsUnbucketed() const
+    {
+        return required_states_unbucketed <= state_budget;
+    }
+};
+
+/** Analyse the state range a schedule demands of the NPEs. */
+StateRangeReport analyzeStateRange(const snn::BinaryLayer &layer,
+                                   const LayerSchedule &schedule,
+                                   const BucketingConfig &cfg);
+
+/**
+ * Count cross-structure reload events across adjacent input slices:
+ * a crosspoint reused by a synapse of different polarity needs its
+ * NDRO configuration rewritten (Sec. 4.2.2).
+ */
+long countReloads(const snn::BinaryLayer &layer,
+                  const LayerSchedule &schedule, int mesh_width);
+
+} // namespace sushi::compiler
+
+#endif // SUSHI_COMPILER_BUCKETING_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The SSNN-to-chip compiler: turns a binarized network into the
+ * per-layer execution plan of Fig. 12 (slices, schedules, preloads,
+ * reload counts) consumed by the SUSHI chip model.
+ */
+
+#ifndef SUSHI_COMPILER_COMPILE_HH
+#define SUSHI_COMPILER_COMPILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/bitslice.hh"
+#include "compiler/bucketing.hh"
+#include "snn/binarize.hh"
+
+namespace sushi::compiler {
+
+/** The target chip geometry. */
+struct ChipConfig
+{
+    /** Mesh dimension: N x N crosspoints, 2N NPEs. */
+    int n = 16;
+    /** SCs per NPE. */
+    int sc_per_npe = 10;
+    /** Bucketing/reordering configuration. */
+    BucketingConfig bucketing;
+};
+
+/** One compiled layer. */
+struct CompiledLayer
+{
+    LayerSlices slices;
+    LayerSchedule schedule;
+    StateRangeReport range;
+    long switch_reloads; ///< cross-structure reload events per step
+
+    /**
+     * Per-output-neuron counter preload: 2^K - theta', where theta'
+     * is the effective positive threshold after bias pulses.
+     */
+    std::vector<std::uint64_t> preload;
+    /** Excitatory bias pulses delivered at step start (handles
+     *  thresholds <= 0, which must always be able to fire). */
+    std::vector<int> bias_pulses;
+    /** Neurons whose thresholds exceed the state budget: they can
+     *  never fire and are skipped (counted for diagnostics). */
+    std::vector<std::uint8_t> disabled;
+
+    /**
+     * Fast membrane kernels: bitmask of negative / positive synapses
+     * per neuron over the *scheduled* input order, 64 inputs per
+     * word.
+     */
+    std::vector<std::vector<std::uint64_t>> neg_masks;
+    std::vector<std::vector<std::uint64_t>> pos_masks;
+};
+
+/** A fully compiled network. */
+struct CompiledNetwork
+{
+    ChipConfig chip;
+    const snn::BinarySnn *net = nullptr;
+    std::vector<CompiledLayer> layers;
+
+    /** Total cross-structure reload events per time step. */
+    long totalReloads() const;
+
+    /** Number of disabled (untrainable-threshold) neurons. */
+    long disabledNeurons() const;
+};
+
+/** Compile a binarized network for a chip. */
+CompiledNetwork compileNetwork(const snn::BinarySnn &net,
+                               const ChipConfig &chip);
+
+} // namespace sushi::compiler
+
+#endif // SUSHI_COMPILER_COMPILE_HH

@@ -1,0 +1,104 @@
+#include "compiler/conv_lowering.hh"
+
+#include "common/logging.hh"
+
+namespace sushi::compiler {
+
+LoweredConv
+lowerConv(const BinaryConvSpec &spec)
+{
+    sushi_assert(spec.in_h >= 1 && spec.in_w >= 1);
+    sushi_assert(!spec.kernels.empty());
+    sushi_assert(spec.stride >= 1);
+    const int ks = spec.kernelSide();
+    sushi_assert(ks >= 1 && ks <= spec.in_h && ks <= spec.in_w);
+    sushi_assert(spec.thresholds.size() == spec.kernels.size());
+    for (const auto &kern : spec.kernels) {
+        sushi_assert(static_cast<int>(kern.size()) == ks);
+        for (const auto &row : kern)
+            sushi_assert(static_cast<int>(row.size()) == ks);
+    }
+
+    const std::size_t in_dim =
+        static_cast<std::size_t>(spec.in_h) * spec.in_w;
+    const int oh = spec.outH();
+    const int ow = spec.outW();
+
+    LoweredConv out;
+    for (std::size_t k = 0; k < spec.kernels.size(); ++k) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                std::vector<std::int8_t> row(in_dim, 1);
+                std::vector<std::uint8_t> mask(in_dim, 0);
+                for (int ky = 0; ky < ks; ++ky) {
+                    for (int kx = 0; kx < ks; ++kx) {
+                        const int iy = oy * spec.stride + ky;
+                        const int ix = ox * spec.stride + kx;
+                        const std::size_t idx =
+                            static_cast<std::size_t>(iy) *
+                                spec.in_w +
+                            static_cast<std::size_t>(ix);
+                        row[idx] =
+                            spec.kernels[k]
+                                        [static_cast<std::size_t>(
+                                            ky)]
+                                        [static_cast<std::size_t>(
+                                            kx)];
+                        mask[idx] = 1;
+                    }
+                }
+                out.layer.weights.push_back(std::move(row));
+                out.layer.thresholds.push_back(
+                    spec.thresholds[k]);
+                out.active.push_back(std::move(mask));
+            }
+        }
+    }
+    return out;
+}
+
+int
+convMembrane(const BinaryConvSpec &spec,
+             const std::vector<std::uint8_t> &frame, int k, int oy,
+             int ox)
+{
+    sushi_assert(frame.size() ==
+                 static_cast<std::size_t>(spec.in_h) * spec.in_w);
+    const int ks = spec.kernelSide();
+    int m = 0;
+    for (int ky = 0; ky < ks; ++ky) {
+        for (int kx = 0; kx < ks; ++kx) {
+            const int iy = oy * spec.stride + ky;
+            const int ix = ox * spec.stride + kx;
+            if (frame[static_cast<std::size_t>(iy) * spec.in_w +
+                      static_cast<std::size_t>(ix)]) {
+                m += spec.kernels[static_cast<std::size_t>(k)]
+                                 [static_cast<std::size_t>(ky)]
+                                 [static_cast<std::size_t>(kx)];
+            }
+        }
+    }
+    return m;
+}
+
+std::vector<std::uint8_t>
+loweredConvStep(const LoweredConv &conv,
+                const std::vector<std::uint8_t> &frame)
+{
+    const std::size_t out_dim = conv.layer.outDim();
+    sushi_assert(frame.size() == conv.layer.inDim());
+    std::vector<std::uint8_t> spikes(out_dim, 0);
+    for (std::size_t o = 0; o < out_dim; ++o) {
+        int m = 0;
+        const auto &row = conv.layer.weights[o];
+        const auto &mask = conv.active[o];
+        for (std::size_t i = 0; i < frame.size(); ++i)
+            if (frame[i] && mask[i])
+                m += row[i];
+        spikes[o] =
+            m >= conv.layer.thresholds[o] ? 1 : 0;
+    }
+    return spikes;
+}
+
+} // namespace sushi::compiler

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Convolutional-layer lowering — an extension beyond the paper's
+ * fabricated workload.
+ *
+ * The paper's background (Sec. 2.2) notes SNN topologies include
+ * convolutional layers, and its future work aims at "more functional
+ * superconducting neuromorphic processing units". SUSHI's mesh +
+ * bit-slice method can already execute any linear layer, so a binary
+ * convolution lowers to a (sparse, weight-tied) fully-connected
+ * BinaryLayer: one output neuron per (kernel, window) position whose
+ * row holds the kernel signs at the window and zeros elsewhere —
+ * realised on chip as switched-off synapses (strength 0).
+ *
+ * Because BinaryLayer stores dense {-1,+1} rows, the lowering keeps
+ * an explicit active-synapse mask: off-window positions are encoded
+ * as "+1 with the switch off", which the compiler's strength
+ * configuration handles naturally (strength 0 disables a crosspoint,
+ * Sec. 4.2.1).
+ */
+
+#ifndef SUSHI_COMPILER_CONV_LOWERING_HH
+#define SUSHI_COMPILER_CONV_LOWERING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "snn/binarize.hh"
+
+namespace sushi::compiler {
+
+/** A binary 2-D convolution specification. */
+struct BinaryConvSpec
+{
+    int in_h = 0;
+    int in_w = 0;
+    /** kernels[k][ky][kx] in {-1, +1}. */
+    std::vector<std::vector<std::vector<std::int8_t>>> kernels;
+    int stride = 1;
+    /** Integer firing threshold per kernel. */
+    std::vector<int> thresholds;
+
+    int kernelSide() const
+    {
+        return kernels.empty()
+                   ? 0
+                   : static_cast<int>(kernels[0].size());
+    }
+    int outH() const
+    {
+        return (in_h - kernelSide()) / stride + 1;
+    }
+    int outW() const
+    {
+        return (in_w - kernelSide()) / stride + 1;
+    }
+    std::size_t outDim() const
+    {
+        return kernels.size() *
+               static_cast<std::size_t>(outH() * outW());
+    }
+};
+
+/** A lowered convolution: the dense layer plus its synapse mask. */
+struct LoweredConv
+{
+    snn::BinaryLayer layer;
+    /** active[o][i]: true where the synapse carries a kernel tap
+     *  (strength 1); false = switched off (strength 0). */
+    std::vector<std::vector<std::uint8_t>> active;
+};
+
+/** Lower a binary convolution to a (masked) fully-connected layer. */
+LoweredConv lowerConv(const BinaryConvSpec &spec);
+
+/**
+ * Direct reference: membrane of kernel @p k at output position
+ * (@p oy, @p ox) on a binary frame, for testing the lowering.
+ */
+int convMembrane(const BinaryConvSpec &spec,
+                 const std::vector<std::uint8_t> &frame, int k,
+                 int oy, int ox);
+
+/**
+ * Stateless conv step on a binary frame using the *lowered* layer
+ * with its mask applied (the chip semantics: masked synapses deliver
+ * no pulses).
+ */
+std::vector<std::uint8_t>
+loweredConvStep(const LoweredConv &conv,
+                const std::vector<std::uint8_t> &frame);
+
+} // namespace sushi::compiler
+
+#endif // SUSHI_COMPILER_CONV_LOWERING_HH

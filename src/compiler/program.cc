@@ -1,0 +1,134 @@
+#include "compiler/program.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sushi::compiler {
+
+const char *
+channelName(Channel ch)
+{
+    switch (ch) {
+      case Channel::Input:       return "input";
+      case Channel::InRst:       return "in.rst";
+      case Channel::InWrite:     return "in.write";
+      case Channel::InSet0:      return "in.set0";
+      case Channel::InSet1:      return "in.set1";
+      case Channel::OutRst:      return "out.rst";
+      case Channel::OutWrite:    return "out.write";
+      case Channel::OutSet0:     return "out.set0";
+      case Channel::OutSet1:     return "out.set1";
+      case Channel::SynRst:      return "syn.rst";
+      case Channel::SynStrength: return "syn.strength";
+    }
+    return "?";
+}
+
+long
+PulseProgram::totalPulses() const
+{
+    long total = 0;
+    for (const auto &op : ops) {
+        switch (op.channel) {
+          case Channel::SynRst:
+            // Clear pulses for the switch and every tap NDRO.
+            total += 1 + std::max(0, op.c);
+            break;
+          case Channel::SynStrength:
+            total += std::max(0, op.c); // switch + c-1 taps
+            break;
+          default:
+            total += 1;
+        }
+    }
+    return total;
+}
+
+std::vector<PulseOp>
+PulseProgram::opsInWindow(Tick from, Tick to) const
+{
+    std::vector<PulseOp> out;
+    for (const auto &op : ops)
+        if (op.at >= from && op.at < to)
+            out.push_back(op);
+    return out;
+}
+
+Tick
+PulseProgram::endTime() const
+{
+    return ops.empty() ? 0 : ops.back().at;
+}
+
+std::string
+PulseProgram::dump() const
+{
+    std::ostringstream os;
+    for (const auto &op : ops) {
+        os << ticksToPs(op.at) << "ps " << channelName(op.channel)
+           << " a=" << op.a << " b=" << op.b;
+        if (op.channel == Channel::SynStrength)
+            os << " strength=" << op.c;
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+PulseProgram::validate() const
+{
+    // Sorted by time.
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+        if (ops[i].at < ops[i - 1].at)
+            return "ops not sorted at index " + std::to_string(i);
+    }
+
+    // Sec. 5.2 ordering per NPE: a write must follow a rst with no
+    // intervening input-affecting pulse; an input must follow a set.
+    enum class NpeState { Fresh, Reset, Armed };
+    std::map<std::pair<bool, int>, NpeState> state; // (is_out, idx)
+    auto key = [](bool is_out, int idx) {
+        return std::make_pair(is_out, idx);
+    };
+    for (const auto &op : ops) {
+        switch (op.channel) {
+          case Channel::InRst:
+            state[key(false, op.a)] = NpeState::Reset;
+            break;
+          case Channel::OutRst:
+            state[key(true, op.a)] = NpeState::Reset;
+            break;
+          case Channel::InWrite:
+            if (state[key(false, op.a)] != NpeState::Reset)
+                return "write to input NPE " +
+                       std::to_string(op.a) + " without rst";
+            break;
+          case Channel::OutWrite:
+            if (state[key(true, op.a)] != NpeState::Reset)
+                return "write to output NPE " +
+                       std::to_string(op.a) + " without rst";
+            break;
+          case Channel::InSet0:
+          case Channel::InSet1:
+            state[key(false, op.a)] = NpeState::Armed;
+            break;
+          case Channel::OutSet0:
+          case Channel::OutSet1:
+            state[key(true, op.a)] = NpeState::Armed;
+            break;
+          case Channel::Input:
+            if (state[key(false, op.a)] != NpeState::Armed)
+                return "input into NPE " + std::to_string(op.a) +
+                       " before set";
+            break;
+          default:
+            break;
+        }
+    }
+    return {};
+}
+
+} // namespace sushi::compiler

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The pulse-program representation: the off-chip encoding phase's
+ * output (paper Fig. 12(c)-(f)).
+ *
+ * A PulseProgram is the complete, timed list of pulses the pulse
+ * input device plays into the chip: weight-configuration streams
+ * (strength NDRO rst/din per synapse, Fig. 12(e)), neuron control
+ * streams (rst / write / set0 / set1 per NPE, honouring the Sec. 5.2
+ * asynchronous ordering), and the encoded input spike streams
+ * (Fig. 12(f)). Programs are checked against the Table-1 constraints
+ * at build time by the encoder and can be applied to a gate-level
+ * mesh or inspected/serialised.
+ */
+
+#ifndef SUSHI_COMPILER_PROGRAM_HH
+#define SUSHI_COMPILER_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hh"
+
+namespace sushi::compiler {
+
+/** Which chip channel a pulse is driven into. */
+enum class Channel : std::uint8_t
+{
+    Input,      ///< external input pulse into input NPE `a`
+    InRst,      ///< input NPE `a` rst
+    InWrite,    ///< input NPE `a`, SC `b` write
+    InSet0,     ///< input NPE `a` set0
+    InSet1,     ///< input NPE `a` set1
+    OutRst,     ///< output NPE `a` rst
+    OutWrite,   ///< output NPE `a`, SC `b` write
+    OutSet0,    ///< output NPE `a` set0
+    OutSet1,    ///< output NPE `a` set1
+    SynRst,     ///< synapse (a, b): clear switch + taps
+    SynStrength ///< synapse (a, b): arm switch and `c` - 1 taps
+};
+
+/** One timed pulse (or small pulse batch for synapse channels). */
+struct PulseOp
+{
+    Tick at;
+    Channel channel;
+    int a = 0; ///< NPE index / synapse row
+    int b = 0; ///< SC index / synapse column
+    int c = 0; ///< strength operand (SynStrength only)
+};
+
+/** Human-readable channel name. */
+const char *channelName(Channel ch);
+
+/** A complete timed pulse program. */
+struct PulseProgram
+{
+    std::vector<PulseOp> ops;
+    /** Time-step window boundaries (size = steps + 1). */
+    std::vector<Tick> step_bounds;
+
+    /** Total pulses, expanding strength batches. */
+    long totalPulses() const;
+
+    /** Ops within [from, to), in order. */
+    std::vector<PulseOp> opsInWindow(Tick from, Tick to) const;
+
+    /** End time of the program (after the last op). */
+    Tick endTime() const;
+
+    /** One-line-per-op text dump (debugging / golden files). */
+    std::string dump() const;
+
+    /**
+     * Validate well-formedness: ops sorted by time, every write
+     * preceded by a rst on the same NPE since the previous input,
+     * every input preceded by a set on its NPE (the Sec. 5.2
+     * ordering rules).
+     * @return empty string if valid, else the first problem.
+     */
+    std::string validate() const;
+};
+
+} // namespace sushi::compiler
+
+#endif // SUSHI_COMPILER_PROGRAM_HH

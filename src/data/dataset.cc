@@ -1,0 +1,162 @@
+#include "data/dataset.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sushi::data {
+
+Canvas::Canvas() : pix_(static_cast<std::size_t>(kImageDim), 0.0f) {}
+
+namespace {
+
+float &
+pixelAt(std::vector<float> &pix, int x, int y)
+{
+    return pix[static_cast<std::size_t>(y) * kImageSide +
+               static_cast<std::size_t>(x)];
+}
+
+void
+splat(std::vector<float> &pix, float cx, float cy, float radius,
+      float intensity)
+{
+    const int x0 = std::max(0, static_cast<int>(cx - radius - 1));
+    const int x1 =
+        std::min(kImageSide - 1, static_cast<int>(cx + radius + 1));
+    const int y0 = std::max(0, static_cast<int>(cy - radius - 1));
+    const int y1 =
+        std::min(kImageSide - 1, static_cast<int>(cy + radius + 1));
+    for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x <= x1; ++x) {
+            const float dx = static_cast<float>(x) - cx;
+            const float dy = static_cast<float>(y) - cy;
+            const float d = std::sqrt(dx * dx + dy * dy);
+            // Soft brush: full intensity inside, linear falloff at
+            // the rim for a crude anti-aliasing.
+            const float v =
+                intensity *
+                std::clamp(radius + 0.5f - d, 0.0f, 1.0f);
+            float &p = pixelAt(pix, x, y);
+            p = std::max(p, v);
+        }
+    }
+}
+
+} // namespace
+
+void
+Canvas::stroke(Point a, Point b, float thickness, float intensity)
+{
+    const float dx = b.x - a.x;
+    const float dy = b.y - a.y;
+    const float len = std::sqrt(dx * dx + dy * dy);
+    const int steps = std::max(1, static_cast<int>(len * 2.0f));
+    for (int s = 0; s <= steps; ++s) {
+        const float u = static_cast<float>(s) /
+                        static_cast<float>(steps);
+        splat(pix_, a.x + u * dx, a.y + u * dy, thickness * 0.5f,
+              intensity);
+    }
+}
+
+void
+Canvas::fillConvex(const std::vector<Point> &poly, float intensity)
+{
+    sushi_assert(poly.size() >= 3);
+    for (int y = 0; y < kImageSide; ++y) {
+        for (int x = 0; x < kImageSide; ++x) {
+            // Point-in-convex-polygon by consistent cross-product
+            // sign.
+            bool inside = true;
+            bool has_pos = false, has_neg = false;
+            for (std::size_t i = 0; i < poly.size(); ++i) {
+                const Point &p0 = poly[i];
+                const Point &p1 = poly[(i + 1) % poly.size()];
+                const float cross =
+                    (p1.x - p0.x) * (static_cast<float>(y) - p0.y) -
+                    (p1.y - p0.y) * (static_cast<float>(x) - p0.x);
+                has_pos |= cross > 0;
+                has_neg |= cross < 0;
+                if (has_pos && has_neg) {
+                    inside = false;
+                    break;
+                }
+            }
+            if (inside) {
+                float &p = pixelAt(pix_, x, y);
+                p = std::max(p, intensity);
+            }
+        }
+    }
+}
+
+void
+Canvas::addNoise(Rng &rng, float stddev)
+{
+    for (auto &p : pix_) {
+        p += static_cast<float>(rng.gaussian(0.0, stddev));
+        p = std::clamp(p, 0.0f, 1.0f);
+    }
+}
+
+void
+Canvas::jitter(Rng &rng, float max_rotate_rad, float max_translate,
+               float max_scale_delta)
+{
+    const float angle = static_cast<float>(
+        rng.uniform(-max_rotate_rad, max_rotate_rad));
+    const float tx = static_cast<float>(
+        rng.uniform(-max_translate, max_translate));
+    const float ty = static_cast<float>(
+        rng.uniform(-max_translate, max_translate));
+    const float scale = 1.0f + static_cast<float>(rng.uniform(
+                                   -max_scale_delta, max_scale_delta));
+    const float c = std::cos(angle), s = std::sin(angle);
+    const float mid = kImageSide / 2.0f;
+
+    std::vector<float> out(pix_.size(), 0.0f);
+    for (int y = 0; y < kImageSide; ++y) {
+        for (int x = 0; x < kImageSide; ++x) {
+            // Inverse-map the destination pixel into the source.
+            const float rx = (static_cast<float>(x) - mid - tx) /
+                             scale;
+            const float ry = (static_cast<float>(y) - mid - ty) /
+                             scale;
+            const float sx = c * rx + s * ry + mid;
+            const float sy = -s * rx + c * ry + mid;
+            const int ix = static_cast<int>(std::lround(sx));
+            const int iy = static_cast<int>(std::lround(sy));
+            if (ix >= 0 && ix < kImageSide && iy >= 0 &&
+                iy < kImageSide) {
+                out[static_cast<std::size_t>(y) * kImageSide +
+                    static_cast<std::size_t>(x)] =
+                    pixelAt(pix_, ix, iy);
+            }
+        }
+    }
+    pix_ = std::move(out);
+}
+
+std::pair<Dataset, Dataset>
+split(const Dataset &all, std::size_t head)
+{
+    sushi_assert(head <= all.size());
+    Dataset a, b;
+    const std::size_t dim = all.images.cols();
+    a.images = snn::Tensor(head, dim);
+    a.labels.assign(all.labels.begin(),
+                    all.labels.begin() + static_cast<long>(head));
+    b.images = snn::Tensor(all.size() - head, dim);
+    b.labels.assign(all.labels.begin() + static_cast<long>(head),
+                    all.labels.end());
+    for (std::size_t i = 0; i < head; ++i)
+        std::copy_n(all.images.row(i), dim, a.images.row(i));
+    for (std::size_t i = head; i < all.size(); ++i)
+        std::copy_n(all.images.row(i), dim,
+                    b.images.row(i - head));
+    return {std::move(a), std::move(b)};
+}
+
+} // namespace sushi::data

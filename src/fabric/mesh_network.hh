@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The mesh on-chip network of NPEs, paper Sec. 4.2.2 / Fig. 11(c).
+ *
+ * An N x N mesh is a bipartite crossbar: N input NPEs drive N row
+ * lines; N output NPEs hang off N column lines; each of the N^2
+ * crosspoints carries a configurable weight structure behind an NDRO
+ * switch, so arbitrary connections (and per-pair weights) can be
+ * programmed. Per Sec. 6.3, an N x N network holds 2N neurons and
+ * N^2 synapses.
+ *
+ * Crossings between row and column transmission lines cost twice the
+ * width of the original line (Sec. 4.2.2); the builder accounts that
+ * as per-crosspoint wiring overhead.
+ */
+
+#ifndef SUSHI_FABRIC_MESH_NETWORK_HH
+#define SUSHI_FABRIC_MESH_NETWORK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "fabric/weight_structure.hh"
+#include "npe/npe.hh"
+#include "sfq/netlist.hh"
+
+namespace sushi::fabric {
+
+/**
+ * The calibrated maximum weight strength for an N x N mesh. Larger
+ * networks use smaller pulse-gain structures: the per-neuron pulse
+ * influx is bounded by the NPE's state budget (2^K states across N
+ * synapses), and the staggered delay wiring of a high-gain structure
+ * is quadratic in the gain. Calibrated against Table 2 / Table 4.
+ */
+int wMaxForN(int n);
+
+/** Geometry and wiring parameters of a mesh build. */
+struct MeshConfig
+{
+    /** Network size: N x N crosspoints, 2N NPEs. */
+    int n = 2;
+    /** SCs per NPE (2^k neuron states). */
+    int sc_per_npe = 10;
+    /** Max weight strength; 0 selects wMaxForN(n). */
+    int w_max = 0;
+    /** JTL stages per SC-SC serial link. */
+    int link_stages = 1;
+    /** JTL stages per row-distribution hop. */
+    int row_stages = 3;
+    /** JTL stages per column-merge hop. */
+    int col_stages = 3;
+    /** Wiring JJs charged per line crossing at a crosspoint. */
+    int crossing_jjs = 4;
+
+    /** Effective w_max after the auto rule. */
+    int effectiveWMax() const { return w_max ? w_max : wMaxForN(n); }
+
+    /** Neurons in the network (2N). */
+    int numNpes() const { return 2 * n; }
+
+    /** Synapses in the network (N^2). */
+    long numSynapses() const { return static_cast<long>(n) * n; }
+};
+
+/**
+ * Gate-level mesh: full cell netlist, usable both for resource
+ * accounting (any N) and for event-driven simulation (small N).
+ */
+class MeshGate
+{
+  public:
+    MeshGate(sfq::Netlist &net, const MeshConfig &cfg);
+
+    const MeshConfig &config() const { return cfg_; }
+
+    /** Input-side NPE @p i (drives row i). */
+    npe::NpeGate &inputNpe(int i) { return *in_npes_[checkN(i)]; }
+
+    /** Output-side NPE @p j (fed by column j). */
+    npe::NpeGate &outputNpe(int j) { return *out_npes_[checkN(j)]; }
+
+    /** Weight structure at crosspoint (row @p i, column @p j). */
+    WeightStructureGate &synapse(int i, int j)
+    {
+        return *synapses_[checkN(i)][checkN(j)];
+    }
+
+    /** Output driver (SFQ/DC) observing output NPE @p j's spikes. */
+    sfq::SfqDc &outputDriver(int j) { return *drivers_[checkN(j)]; }
+
+    /** Inject an external input pulse into input NPE @p i. */
+    void injectInput(int i, Tick when);
+
+    /**
+     * Program all crosspoint strengths ([i][j], 0..w_max). Weight
+     * reloading is parallel per synapse (Sec. 4.2.2), so the elapsed
+     * time is the *maximum* over synapses, not the sum.
+     * @return the time after which inference pulses may start.
+     */
+    Tick configureWeights(const std::vector<std::vector<int>> &strengths,
+                          Tick start, Tick spacing);
+
+  private:
+    std::size_t
+    checkN(int i) const
+    {
+        sushi_assert(i >= 0 && i < cfg_.n);
+        return static_cast<std::size_t>(i);
+    }
+
+    MeshConfig cfg_;
+    std::vector<std::unique_ptr<npe::NpeGate>> in_npes_;
+    std::vector<std::unique_ptr<npe::NpeGate>> out_npes_;
+    std::vector<std::vector<std::unique_ptr<WeightStructureGate>>>
+        synapses_;
+    std::vector<sfq::SfqDc *> drivers_;
+};
+
+} // namespace sushi::fabric
+
+#endif // SUSHI_FABRIC_MESH_NETWORK_HH

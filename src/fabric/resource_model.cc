@@ -1,0 +1,65 @@
+#include "fabric/resource_model.hh"
+
+#include "common/logging.hh"
+#include "sfq/simulator.hh"
+
+namespace sushi::fabric {
+
+MeshConfig
+scalingMeshConfig(int n)
+{
+    MeshConfig cfg;
+    cfg.n = n;
+    cfg.w_max = 0; // auto: wMaxForN
+    // Wiring hops lengthen with the die: calibrated affine growth.
+    cfg.row_stages = 2 + n / 4;
+    cfg.col_stages = 2 + n / 4;
+    cfg.crossing_jjs = 4;
+    return cfg;
+}
+
+sfq::ResourceTally
+meshResources(const MeshConfig &cfg)
+{
+    sfq::Simulator sim;
+    sfq::Netlist net(sim);
+    MeshGate mesh(net, cfg);
+    return net.resources();
+}
+
+double
+designAreaMm2(long total_jjs, int n)
+{
+    // Density fit: mm^2 per JJ = a0 + a1 * n (Table 2 / Table 4
+    // anchors give 0.982e-3 at n=4 and 1.0377e-3 at n=16).
+    const double a0 = 0.9634e-3;
+    const double a1 = 0.00464e-3;
+    return static_cast<double>(total_jjs) * (a0 + a1 * n);
+}
+
+DesignPoint
+designPoint(int n)
+{
+    const MeshConfig cfg = scalingMeshConfig(n);
+    const sfq::ResourceTally r = meshResources(cfg);
+    DesignPoint p;
+    p.npes = cfg.numNpes();
+    p.n = n;
+    p.total_jjs = r.totalJjs();
+    p.logic_jjs = r.logic_jjs;
+    p.wiring_jjs = r.wiring_jjs;
+    p.area_mm2 = designAreaMm2(r.totalJjs(), n);
+    p.wiring_fraction = r.wiringFraction();
+    return p;
+}
+
+std::vector<DesignPoint>
+fig13Sweep()
+{
+    std::vector<DesignPoint> points;
+    for (int n : {1, 2, 4, 8, 16})
+        points.push_back(designPoint(n));
+    return points;
+}
+
+} // namespace sushi::fabric

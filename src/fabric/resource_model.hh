@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Resource (JJ / area) model of SUSHI designs, paper Sec. 4.3.
+ *
+ * Resources are counted by *building the actual gate-level netlist*
+ * of the design and tallying its cells — not by closed-form guesses —
+ * so the numbers stay consistent with the simulated design by
+ * construction. The wiring-stage parameters and the layout-density
+ * function are the calibrated constants (documented below and in
+ * DESIGN.md Sec. 4.3), fit against the paper's aggregate anchors:
+ *
+ *   Table 2: 4x4 mesh (8 NPEs)  -> 45,542 JJs, 44.73 mm^2,
+ *            68.13 % wiring / 31.87 % logic
+ *   Table 4: 16x16 mesh (32 NPEs) -> 99,982 JJs, 103.75 mm^2
+ *   Fig. 13: JJ and area growth from 2 to 32 NPEs
+ */
+
+#ifndef SUSHI_FABRIC_RESOURCE_MODEL_HH
+#define SUSHI_FABRIC_RESOURCE_MODEL_HH
+
+#include <vector>
+
+#include "fabric/mesh_network.hh"
+#include "sfq/netlist.hh"
+
+namespace sushi::fabric {
+
+/** One row of the Fig. 13 scaling study. */
+struct DesignPoint
+{
+    int npes;          ///< 2N neurons
+    int n;             ///< N x N mesh
+    long total_jjs;
+    long logic_jjs;
+    long wiring_jjs;
+    double area_mm2;
+    double wiring_fraction;
+};
+
+/**
+ * Mesh configuration used for the scaling studies at network size
+ * @p n (the calibrated defaults plus the auto w_max rule).
+ */
+MeshConfig scalingMeshConfig(int n);
+
+/** Build the mesh netlist for @p cfg and tally its resources. */
+sfq::ResourceTally meshResources(const MeshConfig &cfg);
+
+/**
+ * Chip area for a design of @p total_jjs JJs at network size @p n.
+ * Layout density decreases slightly with scale (longer lines, more
+ * crossings spread the floorplan): calibrated affine density fit to
+ * the Table 2 and Table 4 area anchors.
+ */
+double designAreaMm2(long total_jjs, int n);
+
+/** Full design point (resources + area) for a mesh of size @p n. */
+DesignPoint designPoint(int n);
+
+/**
+ * The Fig. 13 sweep: design points for 2, 4, 8, 16, 32 NPEs
+ * (network sizes 1, 2, 4, 8, 16).
+ */
+std::vector<DesignPoint> fig13Sweep();
+
+/** Paper anchor values, for benches to print alongside. */
+namespace paper {
+constexpr long kTable2TotalJjs = 45542;
+constexpr long kTable2WiringJjs = 31026;
+constexpr long kTable2LogicJjs = 14516;
+constexpr double kTable2AreaMm2 = 44.73;
+constexpr long kPeakJjs = 99982;
+constexpr double kPeakAreaMm2 = 103.75;
+} // namespace paper
+
+} // namespace sushi::fabric
+
+#endif // SUSHI_FABRIC_RESOURCE_MODEL_HH

@@ -1,0 +1,61 @@
+#include "fabric/sync_baseline.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "fabric/resource_model.hh"
+#include "sfq/cell_params.hh"
+
+namespace sushi::fabric {
+
+SyncDesign
+synchronousCounterpart(long logic_jjs, long clocked_cells,
+                       long data_wiring_jjs)
+{
+    sushi_assert(logic_jjs >= 0);
+    sushi_assert(clocked_cells >= 0);
+    using sfq::CellKind;
+    const long spl = sfq::cellParams(CellKind::SPL).jjs;
+    const long jtl = sfq::cellParams(CellKind::JTL).jjs;
+
+    SyncDesign d;
+    d.logic_jjs = logic_jjs;
+    d.data_wiring_jjs = data_wiring_jjs;
+    // Clock tree: one splitter per clocked cell (fan-out 1).
+    d.clock_tree_jjs = clocked_cells > 0
+                           ? (clocked_cells - 1) * spl
+                           : 0;
+    // Clock delivery: each cell's clock line averages ~6 JTL stages
+    // from its tree leaf (typical RSFQ clock-follow routing).
+    d.clock_line_jjs = clocked_cells * 6 * jtl;
+    // Skew balancing: pulses are aligned "by extending the length of
+    // transmission lines" — shallow branches are padded to the tree
+    // depth. On average half the tree depth of padding per cell.
+    const double depth =
+        clocked_cells > 1 ? std::ceil(std::log2(clocked_cells))
+                          : 0.0;
+    d.balancing_jjs = static_cast<long>(
+        clocked_cells * (depth * 0.5) * 3.0 * jtl);
+    return d;
+}
+
+SyncDesign
+synchronousMesh(int n)
+{
+    const MeshConfig cfg = scalingMeshConfig(n);
+    const sfq::ResourceTally r = meshResources(cfg);
+    // Count the cells that would need clocking in a synchronous
+    // re-implementation: every storage/logic cell (NDRO, TFF, DFF,
+    // CB) — splitters and JTLs stay unclocked.
+    long clocked = 0;
+    using sfq::CellKind;
+    for (CellKind k : {CellKind::NDRO, CellKind::TFFL, CellKind::TFFR,
+                       CellKind::DFF, CellKind::CB, CellKind::CB3}) {
+        clocked +=
+            r.cells_by_kind[static_cast<std::size_t>(k)];
+    }
+    return synchronousCounterpart(r.logic_jjs, clocked,
+                                  r.wiring_jjs);
+}
+
+} // namespace sushi::fabric

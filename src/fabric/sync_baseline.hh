@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Synchronous-timing baseline model (paper Sec. 3A / Sec. 4.1).
+ *
+ * Conventional RSFQ digital designs are synchronous: every clocked
+ * cell needs its own clocking line, and because pulses must arrive
+ * aligned, lines are *lengthened* (extra JTLs) to balance skew. The
+ * paper's design experience: "the wiring overhead for synchronous
+ * timing-based superconducting structures typically accounts for
+ * about 80 % of the total design". SUSHI's contribution is removing
+ * that clock network entirely; this model quantifies the comparison
+ * by constructing the hypothetical synchronous implementation of the
+ * same logic content and counting its clock-network JJs.
+ */
+
+#ifndef SUSHI_FABRIC_SYNC_BASELINE_HH
+#define SUSHI_FABRIC_SYNC_BASELINE_HH
+
+namespace sushi::fabric {
+
+/** Resource estimate of a synchronous implementation. */
+struct SyncDesign
+{
+    long logic_jjs;        ///< the functional cells (same as async)
+    long data_wiring_jjs;  ///< data-path interconnect
+    long clock_tree_jjs;   ///< clock splitter tree
+    long clock_line_jjs;   ///< per-cell clock JTL lines
+    long balancing_jjs;    ///< skew-balancing extensions
+
+    long
+    totalJjs() const
+    {
+        return logic_jjs + data_wiring_jjs + clock_tree_jjs +
+               clock_line_jjs + balancing_jjs;
+    }
+
+    long
+    wiringJjs() const
+    {
+        return data_wiring_jjs + clock_tree_jjs + clock_line_jjs +
+               balancing_jjs;
+    }
+
+    double
+    wiringFraction() const
+    {
+        return static_cast<double>(wiringJjs()) /
+               static_cast<double>(totalJjs());
+    }
+};
+
+/**
+ * Build the synchronous counterpart of a design with the given logic
+ * content.
+ * @param logic_jjs        functional-cell JJs of the design
+ * @param clocked_cells    number of cells that would need a clock
+ * @param data_wiring_jjs  the design's data-path wiring JJs
+ */
+SyncDesign synchronousCounterpart(long logic_jjs, long clocked_cells,
+                                  long data_wiring_jjs);
+
+/**
+ * The synchronous counterpart of the SUSHI N x N mesh: same logic
+ * and data wiring, plus the clock network its cells would need.
+ */
+SyncDesign synchronousMesh(int n);
+
+} // namespace sushi::fabric
+
+#endif // SUSHI_FABRIC_SYNC_BASELINE_HH

@@ -1,0 +1,88 @@
+#include "fabric/timing_model.hh"
+
+#include <cmath>
+
+#include "sfq/cell_params.hh"
+
+namespace sushi::fabric {
+
+namespace {
+
+double
+delayPs(sfq::CellKind kind)
+{
+    return ticksToPs(sfq::cellParams(kind).delay);
+}
+
+/**
+ * Transmission-line delay coefficients (ps): an affine function of
+ * the network dimension, calibrated against the Sec. 6.3 anchors
+ * (transmission share ~6 % at 1x1; 1,355 GSOPS peak at 16x16).
+ */
+constexpr double kTransBasePs = 6.69;
+constexpr double kTransPerNPs = 5.71;
+
+/** Cost of one weight-reload pulse batch at a synapse, ps. */
+constexpr double kReloadBatchPs = 250.0;
+
+/** Encoder pulse spacing cost per inference pulse, ps. */
+constexpr double kPulseSpacingPs = 49.9;
+
+} // namespace
+
+double
+synapseLogicDelayPs(const MeshConfig &cfg)
+{
+    using sfq::CellKind;
+    const int w = cfg.effectiveWMax();
+    // Series switch NDRO.
+    double d = delayPs(CellKind::NDRO);
+    // Weight structure split + merge chain (one SPL and one CB per
+    // tap along the main line).
+    d += (w - 1) * (delayPs(CellKind::SPL) + delayPs(CellKind::CB));
+    // Column merge-tree depth.
+    if (cfg.n > 1)
+        d += std::ceil(std::log2(cfg.n)) * delayPs(CellKind::CB);
+    // Destination SC entry: input merge, splitter, flip, armed
+    // readout (Fig. 8(b) path to the first possible out pulse).
+    d += delayPs(CellKind::CB3) + 2 * delayPs(CellKind::SPL) +
+         delayPs(CellKind::TFFL) + delayPs(CellKind::NDRO);
+    return d;
+}
+
+double
+transmissionDelayPs(int n)
+{
+    return kTransBasePs + kTransPerNPs * n;
+}
+
+double
+pulseTimePs(const MeshConfig &cfg)
+{
+    return synapseLogicDelayPs(cfg) + transmissionDelayPs(cfg.n);
+}
+
+double
+transmissionShare(const MeshConfig &cfg)
+{
+    return transmissionDelayPs(cfg.n) / pulseTimePs(cfg);
+}
+
+double
+peakGsops(const MeshConfig &cfg)
+{
+    // All N^2 synapses process pulses concurrently; each completes
+    // one synaptic operation per pulseTime.
+    const double ops_per_ps = cfg.numSynapses() / pulseTimePs(cfg);
+    return ops_per_ps * 1e3; // ops/ps -> Gops/s
+}
+
+double
+reloadTimeShare(long reload_events, long pulses_per_step)
+{
+    const double reload = reload_events * kReloadBatchPs;
+    const double infer = pulses_per_step * kPulseSpacingPs;
+    return reload + infer > 0 ? reload / (reload + infer) : 0.0;
+}
+
+} // namespace sushi::fabric

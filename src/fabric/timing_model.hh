@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Timing and throughput model of SUSHI, paper Sec. 6.3.
+ *
+ * Per-synaptic-operation time decomposes into a logic term (the cell
+ * delays along the synapse -> NPE critical path, derived from the
+ * library) and a transmission term that grows with the network
+ * dimension (longer lines in bigger dies). The paper reports the
+ * transmission share at ~6 % for the 1x1 design and ~53 % for the
+ * 16x16 design; the peak throughput of the 16x16 mesh (256 synapses
+ * operating in parallel) is 1,355 GSOPS.
+ */
+
+#ifndef SUSHI_FABRIC_TIMING_MODEL_HH
+#define SUSHI_FABRIC_TIMING_MODEL_HH
+
+#include "common/time.hh"
+#include "fabric/mesh_network.hh"
+
+namespace sushi::fabric {
+
+/**
+ * Cell-delay sum along the synaptic critical path: series switch
+ * NDRO, the weight structure's split/merge chain, the column merge
+ * depth and one SC hop of the destination NPE. Independent of die
+ * size (that part is transmissionDelayPs).
+ */
+double synapseLogicDelayPs(const MeshConfig &cfg);
+
+/**
+ * Transmission-line delay per pulse for an N x N mesh: line length
+ * scales with the die dimension. Calibrated so the transmission
+ * share matches Sec. 6.3 (~6 % at 1x1, ~53 % at 16x16).
+ */
+double transmissionDelayPs(int n);
+
+/** Total per-pulse processing time, logic + transmission. */
+double pulseTimePs(const MeshConfig &cfg);
+
+/** Fraction of pulseTimePs spent on transmission (Sec. 6.3). */
+double transmissionShare(const MeshConfig &cfg);
+
+/**
+ * Peak synaptic throughput of an N x N mesh in GSOPS: all N^2
+ * synapses processing back-to-back pulses.
+ */
+double peakGsops(const MeshConfig &cfg);
+
+/**
+ * Average share of inference wall-time spent on weight reloading
+ * under the bucketed schedule (Sec. 4.2.2 reports ~20 % on average).
+ * @param reload_events   weight reload pulse batches per time step
+ * @param pulses_per_step input pulses processed per time step
+ */
+double reloadTimeShare(long reload_events, long pulses_per_step);
+
+} // namespace sushi::fabric
+
+#endif // SUSHI_FABRIC_TIMING_MODEL_HH

@@ -1,0 +1,83 @@
+#include "fabric/tree_network.hh"
+
+#include "common/logging.hh"
+#include "fabric/weight_structure.hh"
+
+namespace sushi::fabric {
+
+TreeGate::TreeGate(sfq::Netlist &net, const TreeConfig &cfg) : cfg_(cfg)
+{
+    sushi_assert(cfg.leaves >= 1);
+    sushi_assert(cfg.leaf_gain >= 1);
+
+    npe::NpeGate::Options leaf_opts;
+    leaf_opts.link_stages = cfg.link_stages;
+    leaf_opts.external_out = true;
+
+    npe::NpeGate::Options root_opts;
+    root_opts.link_stages = cfg.link_stages;
+    root_opts.external_in = true;
+    root_opts.external_out = true;
+
+    for (int i = 0; i < cfg.leaves; ++i) {
+        leaf_npes_.push_back(std::make_unique<npe::NpeGate>(
+            net, "leaf" + std::to_string(i), cfg.sc_per_npe,
+            leaf_opts));
+    }
+    root_npe_ = std::make_unique<npe::NpeGate>(net, "root",
+                                               cfg.sc_per_npe,
+                                               root_opts);
+
+    // Each leaf output passes a fixed gain chain (one SPL+CB loop per
+    // doubling, Fig. 10(a)) then joins the CB reduction tree.
+    std::vector<std::pair<sfq::Component *, int>> srcs;
+    for (int i = 0; i < cfg.leaves; ++i) {
+        sfq::Component *src = nullptr;
+        int src_port = 0;
+        int gain = 1;
+        int loop = 0;
+        sfq::Jtl &pad =
+            net.makeJtl("leaf" + std::to_string(i) + ".pad");
+        leaf_npes_[static_cast<std::size_t>(i)]->connectOut(
+            pad, 0, cfg.hop_stages);
+        src = &pad;
+        while (gain * 2 <= cfg.leaf_gain) {
+            const std::string base = "leaf" + std::to_string(i) +
+                                     ".gain" + std::to_string(loop);
+            sfq::Spl &spl = net.makeSpl(base + ".spl");
+            sfq::Cb &cb = net.makeCb(base + ".cb");
+            net.connectWire(*src, src_port, spl, 0);
+            net.connectWire(spl, 0, cb, 0);
+            // The loop branch re-converges after a staggered delay
+            // (Fig. 10(a)); stagger grows with the loop index so the
+            // doubled pulse bursts stay clear of the CB constraints.
+            net.connectWire(spl, 1, cb, 1,
+                            kTapDelayStages * (loop + 1));
+            src = &cb;
+            src_port = 0;
+            gain *= 2;
+            ++loop;
+        }
+        srcs.emplace_back(src, src_port);
+    }
+    net.mergeTree("tree", srcs, root_npe_->inPort(),
+                  root_npe_->inChan(), cfg.hop_stages);
+
+    driver_ = &net.makeSfqDc("drv");
+    root_npe_->connectOut(*driver_, 0, cfg.hop_stages);
+}
+
+npe::NpeGate &
+TreeGate::inputNpe(int i)
+{
+    sushi_assert(i >= 0 && i < cfg_.leaves);
+    return *leaf_npes_[static_cast<std::size_t>(i)];
+}
+
+void
+TreeGate::injectInput(int i, Tick when)
+{
+    inputNpe(i).injectIn(when);
+}
+
+} // namespace sushi::fabric

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The tree on-chip network, paper Sec. 4.2.2 / Fig. 11(a).
+ *
+ * The tree network merges N input NPEs onto one output NPE through a
+ * CB reduction tree, with fixed pulse-gain stages providing "simple
+ * distinctions of normalized weights" (an input at tree level d can
+ * be given gain 2^g by non-configurable splitter loops). It cannot
+ * express arbitrary connections, but it maximises SPL/CB utilisation
+ * and avoids line crossings, so its resource footprint is far below
+ * the mesh — the trade-off quantified in bench_table2_resources.
+ */
+
+#ifndef SUSHI_FABRIC_TREE_NETWORK_HH
+#define SUSHI_FABRIC_TREE_NETWORK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "npe/npe.hh"
+#include "sfq/netlist.hh"
+
+namespace sushi::fabric {
+
+/** Geometry of a tree network build. */
+struct TreeConfig
+{
+    /** Number of input NPEs (leaves). */
+    int leaves = 4;
+    /** SCs per NPE. */
+    int sc_per_npe = 10;
+    /** Fixed pulse gain applied at every leaf (>= 1, power of two
+     *  gains realised by cascaded SPL/CB loops). */
+    int leaf_gain = 1;
+    /** JTL stages per tree hop. */
+    int hop_stages = 2;
+    /** JTL stages per SC-SC serial link. */
+    int link_stages = 1;
+};
+
+/** Gate-level tree network. */
+class TreeGate
+{
+  public:
+    TreeGate(sfq::Netlist &net, const TreeConfig &cfg);
+
+    const TreeConfig &config() const { return cfg_; }
+
+    /** Leaf (input) NPE @p i. */
+    npe::NpeGate &inputNpe(int i);
+
+    /** The root (output) NPE. */
+    npe::NpeGate &outputNpe() { return *root_npe_; }
+
+    /** Output driver observing the root NPE's spikes. */
+    sfq::SfqDc &outputDriver() { return *driver_; }
+
+    /** Inject an external input pulse into leaf @p i. */
+    void injectInput(int i, Tick when);
+
+  private:
+    TreeConfig cfg_;
+    std::vector<std::unique_ptr<npe::NpeGate>> leaf_npes_;
+    std::unique_ptr<npe::NpeGate> root_npe_;
+    sfq::SfqDc *driver_;
+};
+
+} // namespace sushi::fabric
+
+#endif // SUSHI_FABRIC_TREE_NETWORK_HH

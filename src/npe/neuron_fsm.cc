@@ -1,0 +1,111 @@
+#include "npe/neuron_fsm.hh"
+
+#include "common/logging.hh"
+
+namespace sushi::npe {
+
+NeuronFsm::NeuronFsm(int threshold, int rising, int falling)
+    : threshold_(threshold), rising_(rising), falling_(falling)
+{
+    sushi_assert(threshold >= 1);
+    sushi_assert(rising >= 1);
+    sushi_assert(falling >= 0);
+}
+
+bool
+NeuronFsm::stimulate(Stimulus s)
+{
+    switch (phase_) {
+      case NeuronPhase::BelowThreshold:
+        if (s == Stimulus::Spike) {
+            // delta(b_i, spike) = b_{i+1}; saturate at b_T (the
+            // action potential launches on the next time stimulus).
+            if (index_ < threshold_)
+                ++index_;
+        } else {
+            if (index_ >= threshold_) {
+                // delta(b_T, time) = r0: threshold reached, start
+                // the rising phase.
+                phase_ = NeuronPhase::Rising;
+                index_ = 0;
+                if (rising_ == 1) {
+                    // Degenerate geometry: r0 is already r_{R-1}.
+                    // Handled on the next time stimulus.
+                }
+            } else if (index_ > 0) {
+                // delta(b_i, time) = b_{i-1}: failed initiation
+                // decays toward rest; delta(b0, time) = b0.
+                --index_;
+            }
+        }
+        return false;
+
+      case NeuronPhase::Rising:
+        if (s == Stimulus::Spike)
+            return false; // refractory: input spikes are ignored
+        if (index_ < rising_) {
+            ++index_;
+            if (index_ == rising_) {
+                // delta(r_{R-1}, time) = r_R, send a spike.
+                ++spikes_;
+                return true;
+            }
+            return false;
+        }
+        // delta(r_R, time) = f0.
+        phase_ = NeuronPhase::Falling;
+        index_ = 0;
+        return false;
+
+      case NeuronPhase::Falling:
+        if (s == Stimulus::Spike)
+            return false; // refractory
+        if (index_ < falling_) {
+            ++index_;
+        } else {
+            // delta(f_F, time) = b0: back to rest.
+            phase_ = NeuronPhase::BelowThreshold;
+            index_ = 0;
+        }
+        return false;
+    }
+    sushi_panic("unreachable neuron phase");
+}
+
+int
+NeuronFsm::linearState() const
+{
+    switch (phase_) {
+      case NeuronPhase::BelowThreshold:
+        return index_;
+      case NeuronPhase::Rising:
+        return threshold_ + 1 + index_;
+      case NeuronPhase::Falling:
+        return threshold_ + rising_ + 2 + index_;
+    }
+    sushi_panic("unreachable neuron phase");
+}
+
+int
+NeuronFsm::numStates() const
+{
+    return neuronStateBudget(threshold_, rising_, falling_);
+}
+
+std::string
+NeuronFsm::stateName() const
+{
+    const char prefix = phase_ == NeuronPhase::BelowThreshold ? 'b'
+                        : phase_ == NeuronPhase::Rising       ? 'r'
+                                                              : 'f';
+    return prefix + std::to_string(index_);
+}
+
+int
+neuronStateBudget(int threshold, int rising, int falling)
+{
+    // b0..b_T, r0..r_R, f0..f_F.
+    return (threshold + 1) + (rising + 1) + (falling + 1);
+}
+
+} // namespace sushi::npe

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The multi-phase biological neuron model of paper Fig. 6/7.
+ *
+ * The neuron is a state machine over three phases:
+ *   below-threshold  b0 .. b_T   (resting state b0)
+ *   rising           r0 .. r_R
+ *   falling/undershoot f0 .. f_F
+ *
+ * Spike stimuli climb the b-states; time stimuli decay them (failed
+ * initiations). Reaching b_T starts the action potential: the rising
+ * phase advances on time stimuli, the neuron *sends a spike* on the
+ * r_{R-1} -> r_R transition, then traverses the falling/undershoot
+ * phase back to rest. This is the state-transition function of
+ * Fig. 7, verbatim.
+ *
+ * The FSM demonstrates the generality of the multi-state NPE
+ * (Sec. 4.1.2): state index maps to an NPE counter value, spike
+ * stimuli to excitatory pulses, time-stimulus decay to inhibitory
+ * pulses. SSNN inference itself uses the simpler stateless neuron
+ * (Sec. 5.1).
+ */
+
+#ifndef SUSHI_NPE_NEURON_FSM_HH
+#define SUSHI_NPE_NEURON_FSM_HH
+
+#include <string>
+
+namespace sushi::npe {
+
+/** The two stimulus kinds of Fig. 6/7. */
+enum class Stimulus
+{
+    Spike, ///< an input spike arrived
+    Time,  ///< one time quantum elapsed
+};
+
+/** Phase of the membrane trajectory. */
+enum class NeuronPhase
+{
+    BelowThreshold,
+    Rising,
+    Falling,
+};
+
+/** The Fig. 6/7 neuron state machine. */
+class NeuronFsm
+{
+  public:
+    /**
+     * @param threshold number of b-states above rest (T); the action
+     *                  potential starts at b_T
+     * @param rising    number of rising states R
+     * @param falling   number of falling/undershoot states F
+     */
+    NeuronFsm(int threshold, int rising, int falling);
+
+    /**
+     * Apply one stimulus per the Fig. 7 transition function.
+     * @return true if the neuron sent a spike on this transition
+     *         (the r_{R-1} -> r_R edge).
+     */
+    bool stimulate(Stimulus s);
+
+    /** Current phase. */
+    NeuronPhase phase() const { return phase_; }
+
+    /** Index within the current phase (the subscript in Fig. 6(b)). */
+    int index() const { return index_; }
+
+    /** True if at the resting state b0. */
+    bool resting() const
+    {
+        return phase_ == NeuronPhase::BelowThreshold && index_ == 0;
+    }
+
+    /**
+     * Linearised state number: b_i -> i, r_j -> T+1+j,
+     * f_k -> T+R+2+k. This is the NPE counter value that represents
+     * the state (Sec. 4.1.2).
+     */
+    int linearState() const;
+
+    /** Total number of distinct states, T+1 + R+1 + F+1. */
+    int numStates() const;
+
+    /** Spikes sent since construction. */
+    long spikesSent() const { return spikes_; }
+
+    /** Short name of the current state, e.g. "b3", "r0", "f7". */
+    std::string stateName() const;
+
+    int threshold() const { return threshold_; }
+    int rising() const { return rising_; }
+    int falling() const { return falling_; }
+
+  private:
+    int threshold_;
+    int rising_;
+    int falling_;
+    NeuronPhase phase_ = NeuronPhase::BelowThreshold;
+    int index_ = 0;
+    long spikes_ = 0;
+};
+
+/**
+ * The paper's quantitative claim (Sec. 4.1.2): ~500 states suffice to
+ * model a neuron usable directly for SNN inference. Returns the state
+ * count of a neuron with the given geometry so benches/tests can
+ * check it against the NPE budget (10 SCs = 1024 states).
+ */
+int neuronStateBudget(int threshold, int rising, int falling);
+
+} // namespace sushi::npe
+
+#endif // SUSHI_NPE_NEURON_FSM_HH

@@ -1,0 +1,97 @@
+#include "npe/neuron_mapper.hh"
+
+#include "common/logging.hh"
+
+namespace sushi::npe {
+
+NeuronMapper::NeuronMapper(int threshold, int rising, int falling,
+                           int num_sc)
+    : threshold_(threshold), rising_(rising), falling_(falling),
+      num_states_(neuronStateBudget(threshold, rising, falling)),
+      npe_(num_sc),
+      fire_state_(threshold + 1 + rising)
+{
+    sushi_assert(npe_.numStates() >=
+                 static_cast<std::uint64_t>(num_states_));
+    // Pre-load so that the increment *into* r_R overflows the final
+    // SC: P + fire_state = 2^K.
+    npe_.rst();
+    npe_.write(npe_.numStates() -
+               static_cast<std::uint64_t>(fire_state_));
+}
+
+std::uint64_t
+NeuronMapper::counterFor(int s) const
+{
+    const std::uint64_t p =
+        npe_.numStates() - static_cast<std::uint64_t>(fire_state_);
+    if (!wrapped_)
+        return p + static_cast<std::uint64_t>(s);
+    return static_cast<std::uint64_t>(s - fire_state_);
+}
+
+int
+NeuronMapper::linearState() const
+{
+    const std::uint64_t p =
+        npe_.numStates() - static_cast<std::uint64_t>(fire_state_);
+    if (!wrapped_)
+        return static_cast<int>(npe_.value() - p);
+    return static_cast<int>(npe_.value()) + fire_state_;
+}
+
+bool
+NeuronMapper::stimulate(Stimulus stim)
+{
+    const int s = linearState();
+    bool fired = false;
+
+    auto up = [&] {
+        npe_.setPolarity(Polarity::Excitatory);
+        return npe_.in();
+    };
+    auto down = [&] {
+        npe_.setPolarity(Polarity::Inhibitory);
+        npe_.in();
+    };
+
+    if (s <= threshold_) {
+        // Below-threshold phase.
+        if (stim == Stimulus::Spike) {
+            if (s < threshold_)
+                up(); // delta(b_i, spike) = b_{i+1}
+        } else {
+            if (s == threshold_) {
+                up(); // delta(b_T, time) = r0
+            } else if (s > 0) {
+                down(); // failed-initiation decay
+            }
+        }
+    } else if (s < fire_state_) {
+        // Rising phase; spikes are refractory-ignored.
+        if (stim == Stimulus::Time) {
+            fired = up();
+            if (fired) {
+                // The overflow re-based the counter at r_R.
+                wrapped_ = true;
+                ++spikes_;
+            }
+        }
+    } else if (s < num_states_ - 1) {
+        // r_R and the falling phase walk forward on time.
+        if (stim == Stimulus::Time)
+            up();
+    } else {
+        // f_F -> b0: the refractory walk ends; re-base the counter
+        // with the rst -> write batch the chip performs between
+        // input batches anyway (Sec. 5.2).
+        if (stim == Stimulus::Time) {
+            wrapped_ = false; // back to pre-fire representation
+            npe_.rst();
+            npe_.write(counterFor(0)); // P: the resting state b0
+        }
+    }
+    return fired;
+}
+
+} // namespace sushi::npe

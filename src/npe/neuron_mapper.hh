@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Mapping the Fig. 6/7 multi-phase neuron onto an NPE (Sec. 4.1.2).
+ *
+ * "Using the multi-state neuromorphic processing unit, we can
+ * represent the states of the neuron model ... We employ the state
+ * series that are triggered by the time stimulus to represent the
+ * different phases of the neuron model." The mapper keeps an NPE
+ * counter equal to the neuron's linearised state and realises every
+ * Fig. 7 transition with counter pulses:
+ *
+ *   - spike stimulus in the below-threshold phase: +1 (excitatory)
+ *   - time-stimulus decay: -1 (inhibitory)
+ *   - phase progression on time stimuli: +1
+ *   - the spike is *emitted by the hardware* on the r_{R-1} -> r_R
+ *     transition: the counter is pre-loaded so that exactly that
+ *     state increment overflows the final SC
+ *   - the wrap after firing re-bases the counter; the mapper
+ *     re-писes it during the refractory walk (a rst/write batch,
+ *     which the real chip performs between batches anyway)
+ *
+ * The mapper is exercised against the reference NeuronFsm in
+ * tests/test_neuron_mapper.cc: same spikes, same state trajectory.
+ */
+
+#ifndef SUSHI_NPE_NEURON_MAPPER_HH
+#define SUSHI_NPE_NEURON_MAPPER_HH
+
+#include "npe/neuron_fsm.hh"
+#include "npe/npe.hh"
+
+namespace sushi::npe {
+
+/** Runs a Fig. 6/7 neuron on an NPE counter. */
+class NeuronMapper
+{
+  public:
+    /**
+     * @param threshold,rising,falling the neuron geometry
+     * @param num_sc NPE chain length; 2^num_sc must cover the
+     *        neuron's state count
+     */
+    NeuronMapper(int threshold, int rising, int falling, int num_sc);
+
+    /**
+     * Apply a stimulus; drives the NPE pulses that realise the
+     * Fig. 7 transition.
+     * @return true if the NPE emitted the spike (the counter
+     *         overflow on the r_{R-1} -> r_R edge).
+     */
+    bool stimulate(Stimulus s);
+
+    /** The neuron's linear state decoded from the NPE counter. */
+    int linearState() const;
+
+    /** The NPE being driven. */
+    const Npe &npe() const { return npe_; }
+
+    /** Spikes the NPE has emitted. */
+    long spikesEmitted() const { return spikes_; }
+
+    int threshold() const { return threshold_; }
+    int rising() const { return rising_; }
+    int falling() const { return falling_; }
+
+  private:
+    /** Counter value representing linear state @p s (pre-fire). */
+    std::uint64_t counterFor(int s) const;
+
+    int threshold_;
+    int rising_;
+    int falling_;
+    int num_states_;
+    Npe npe_;
+    long spikes_ = 0;
+    /** Linear state of the fire transition (entering r_R). */
+    int fire_state_;
+    /** True once the counter has wrapped (post-fire re-base). */
+    bool wrapped_ = false;
+};
+
+} // namespace sushi::npe
+
+#endif // SUSHI_NPE_NEURON_MAPPER_HH

@@ -1,0 +1,46 @@
+#include "perf/baselines.hh"
+
+#include "fabric/resource_model.hh"
+#include "fabric/timing_model.hh"
+#include "perf/power_model.hh"
+
+namespace sushi::perf {
+
+const Platform &
+trueNorth()
+{
+    // Merolla et al. 2014 / Cassidy et al. 2014; values as quoted in
+    // the paper's Table 4.
+    static const Platform p{
+        "TrueNorth", "SNN",  "SRAM", "CMOS, 28 nm", "Async",
+        430.0,       145.0,  58.0,   400.0,
+    };
+    return p;
+}
+
+const Platform &
+tianjic()
+{
+    // Pei et al. 2019; values as quoted in the paper's Table 4
+    // (GSOPS not reported; efficiency 649 GSOPS/W at 950 mW).
+    static const Platform p{
+        "Tianjic", "Hybrid", "SRAM", "CMOS, 28 nm", "300 MHz",
+        14.44,     950.0,    0.0,    649.0,
+    };
+    return p;
+}
+
+Platform
+sushiPlatform()
+{
+    const fabric::DesignPoint d = fabric::designPoint(16);
+    const fabric::MeshConfig cfg = fabric::scalingMeshConfig(16);
+    const double gsops = fabric::peakGsops(cfg);
+    const double power = totalPowerMw(d.total_jjs, gsops);
+    return Platform{
+        "SUSHI", "SSNN", "-", "RSFQ, 2 um", "Async",
+        d.area_mm2, power, gsops, gsops / (power * 1e-3),
+    };
+}
+
+} // namespace sushi::perf

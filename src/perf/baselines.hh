@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Published baseline datapoints used in the paper's Table 4 and
+ * Figs. 19/21: TrueNorth [Merolla et al., Science 2014; Cassidy et
+ * al., SC 2014] and Tianjic [Pei et al., Nature 2019]. The paper
+ * compares against these published numbers (not re-measured
+ * silicon); we carry the same values.
+ */
+
+#ifndef SUSHI_PERF_BASELINES_HH
+#define SUSHI_PERF_BASELINES_HH
+
+#include <string>
+
+namespace sushi::perf {
+
+/** One comparison platform (a row of Table 4). */
+struct Platform
+{
+    std::string name;
+    std::string model;      ///< "SNN", "Hybrid", "SSNN"
+    std::string memory;     ///< on-chip memory technology
+    std::string technology; ///< process
+    std::string clock;      ///< "Async" or MHz
+    double area_mm2;
+    double power_mw;        ///< representative power
+    double gsops;           ///< peak GSOPS (0 = not reported)
+    double gsops_per_w;     ///< peak power efficiency
+};
+
+/** TrueNorth's published row. */
+const Platform &trueNorth();
+
+/** Tianjic's published row. */
+const Platform &tianjic();
+
+/** SUSHI's row computed from this repository's models. */
+Platform sushiPlatform();
+
+} // namespace sushi::perf
+
+#endif // SUSHI_PERF_BASELINES_HH

@@ -1,0 +1,67 @@
+#include "perf/power_model.hh"
+
+#include "common/logging.hh"
+#include "fabric/resource_model.hh"
+#include "fabric/timing_model.hh"
+#include "sfq/cell_params.hh"
+
+namespace sushi::perf {
+
+double
+staticPowerMw(long total_jjs)
+{
+    return sfq::biasPowerPerJj() * static_cast<double>(total_jjs) *
+           1e3;
+}
+
+double
+dynamicPowerMw(double gsops)
+{
+    // ~30 JJ switching events of ~2e-19 J per synaptic operation.
+    const double joules_per_op = 30.0 * 2.0e-19;
+    return gsops * 1e9 * joules_per_op * 1e3;
+}
+
+double
+totalPowerMw(long total_jjs, double gsops)
+{
+    return staticPowerMw(total_jjs) + dynamicPowerMw(gsops);
+}
+
+std::vector<ScalingPoint>
+scalingSweep()
+{
+    std::vector<ScalingPoint> points;
+    for (const fabric::DesignPoint &d : fabric::fig13Sweep()) {
+        const fabric::MeshConfig cfg =
+            fabric::scalingMeshConfig(d.n);
+        ScalingPoint p;
+        p.npes = d.npes;
+        p.n = d.n;
+        p.total_jjs = d.total_jjs;
+        p.gsops = fabric::peakGsops(cfg);
+        p.power_mw = totalPowerMw(d.total_jjs, p.gsops);
+        p.gsops_per_w = p.gsops / (p.power_mw * 1e-3);
+        p.transmission_share = fabric::transmissionShare(cfg);
+        points.push_back(p);
+    }
+    return points;
+}
+
+double
+framesPerSecond(double gsops, double sops_per_frame)
+{
+    sushi_assert(sops_per_frame > 0.0);
+    return gsops * 1e9 / sops_per_frame;
+}
+
+double
+sopsPerFrame(int hidden, int t_steps, double input_rate,
+             double hidden_rate)
+{
+    const double layer1 = 784.0 * hidden * input_rate;
+    const double layer2 = hidden * 10.0 * hidden_rate;
+    return (layer1 + layer2) * t_steps;
+}
+
+} // namespace sushi::perf

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Power and efficiency model of SUSHI designs (paper Figs. 20/21,
+ * Table 4).
+ *
+ * RSFQ power is dominated by the static bias current through every
+ * JJ; the dynamic (switching) term is orders of magnitude smaller.
+ * The bias power per JJ is calibrated so the 16x16 design draws the
+ * paper's 41.87 mW (Table 4). Cooling cost is excluded, as in the
+ * paper ("we evaluate the power of SUSHI without considering the
+ * cooling costs").
+ */
+
+#ifndef SUSHI_PERF_POWER_MODEL_HH
+#define SUSHI_PERF_POWER_MODEL_HH
+
+#include <vector>
+
+namespace sushi::perf {
+
+/** Static bias power of a design with @p total_jjs junctions, mW. */
+double staticPowerMw(long total_jjs);
+
+/**
+ * Dynamic switching power at @p gsops synaptic throughput, mW
+ * (~30 JJ flips of ~2e-19 J per synaptic op).
+ */
+double dynamicPowerMw(double gsops);
+
+/** Total power of a design, mW. */
+double totalPowerMw(long total_jjs, double gsops);
+
+/** One row of the Fig. 19/20/21 sweeps. */
+struct ScalingPoint
+{
+    int npes;
+    int n;
+    long total_jjs;
+    double gsops;              ///< Fig. 19
+    double power_mw;           ///< Fig. 20
+    double gsops_per_w;        ///< Fig. 21
+    double transmission_share; ///< Sec. 6.3 analysis
+};
+
+/** The full 2..32-NPE sweep driving Figs. 19-21. */
+std::vector<ScalingPoint> scalingSweep();
+
+/**
+ * Frames per second on the verification network (INPUT784-FC800-IF-
+ * FC10-IF, T time steps) at the given sustained throughput.
+ * The paper reports up to 2.61e5 FPS (Sec. 6.3).
+ * @param gsops        sustained synaptic throughput
+ * @param sops_per_frame synaptic operations one frame costs
+ */
+double framesPerSecond(double gsops, double sops_per_frame);
+
+/**
+ * Synaptic operations per frame for a 784-H-10 SSNN with T steps at
+ * the given average spike rates (input rate for layer 1, hidden rate
+ * for layer 2).
+ */
+double sopsPerFrame(int hidden, int t_steps, double input_rate,
+                    double hidden_rate);
+
+} // namespace sushi::perf
+
+#endif // SUSHI_PERF_POWER_MODEL_HH

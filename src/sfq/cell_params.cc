@@ -1,0 +1,89 @@
+#include "sfq/cell_params.hh"
+
+#include "common/logging.hh"
+
+namespace sushi::sfq {
+
+namespace {
+
+/**
+ * Calibrated library table.
+ *
+ * JJ counts: typical RSFQ cell compositions (Brock, "RSFQ technology:
+ * circuits and systems", 2001; SIMIT-Nb03 cell descriptions).
+ * Delays: consistent with the Table-1 minimum input intervals (a cell
+ * must finish its internal flux relaxation before the next pulse).
+ * Area: the SIMIT Nb03 2 um process averages ~0.98e-3 mm^2 per JJ over
+ * the assembled SUSHI mesh (Table 2: 44.73 mm^2 / 45,542 JJ), so cell
+ * areas are jjs * ~980 um^2.
+ * Switching energy: ~2e-19 J per JJ flip (paper Sec. 1: ~1e-19 J per
+ * state flip; a cell operation flips a couple of JJs).
+ */
+constexpr double kAreaPerJjUm2 = 982.0;
+constexpr double kEswPerJj = 2.0e-19;
+
+CellParams
+make(double delay_ps, int jjs)
+{
+    return CellParams{psToTicks(delay_ps), jjs,
+                      jjs * kAreaPerJjUm2, jjs * kEswPerJj};
+}
+
+const CellParams kTable[] = {
+    /* JTL   */ make(3.5, 2),
+    /* SPL   */ make(5.1, 3),
+    /* SPL3  */ make(5.6, 5),
+    /* CB    */ make(5.3, 5),
+    /* CB3   */ make(5.9, 8),
+    /* DFF   */ make(6.2, 6),
+    /* NDRO  */ make(7.3, 11),
+    /* TFFL  */ make(7.7, 8),
+    /* TFFR  */ make(7.7, 8),
+    /* DCSFQ */ make(5.0, 6),
+    /* SFQDC */ make(10.0, 13),
+};
+
+const char *kNames[] = {
+    "JTL", "SPL", "SPL3", "CB", "CB3", "DFF",
+    "NDRO", "TFFL", "TFFR", "DCSFQ", "SFQDC",
+};
+
+static_assert(sizeof(kTable) / sizeof(kTable[0]) ==
+              static_cast<std::size_t>(CellKind::kNumKinds));
+static_assert(sizeof(kNames) / sizeof(kNames[0]) ==
+              static_cast<std::size_t>(CellKind::kNumKinds));
+
+} // namespace
+
+const CellParams &
+cellParams(CellKind kind)
+{
+    auto idx = static_cast<std::size_t>(kind);
+    sushi_assert(idx < static_cast<std::size_t>(CellKind::kNumKinds));
+    return kTable[idx];
+}
+
+const char *
+cellKindName(CellKind kind)
+{
+    auto idx = static_cast<std::size_t>(kind);
+    sushi_assert(idx < static_cast<std::size_t>(CellKind::kNumKinds));
+    return kNames[idx];
+}
+
+double
+biasPowerPerJj()
+{
+    // Fit: 41.87 mW total for the 99,982-JJ 16x16 design (Table 4).
+    return 41.87e-3 / 99982.0;
+}
+
+double
+wiringAreaPerJj()
+{
+    // JTL tracks pay an extra ~7 % over logic cells for track spacing
+    // and crossings; fit against Table 2's area split.
+    return kAreaPerJjUm2 * 1.07;
+}
+
+} // namespace sushi::sfq

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-cell physical parameters of the RSFQ standard-cell library.
+ *
+ * The paper builds on the SIMIT-Nb03 standard-cell library [Gao et al.,
+ * IEEE TAS 2021] but reports only aggregate resource numbers (Table 2,
+ * Fig. 13, Table 4). The per-cell values here are *calibrated*: JJ
+ * counts follow typical published RSFQ cell sizes, and the remaining
+ * free constants (JTL pitch, bias power per JJ, wiring growth) are fit
+ * so that the assembled designs reproduce the paper's aggregates:
+ *
+ *   - 4x4 mesh of 8 NPEs  -> 45,542 JJs, 44.73 mm^2, 68.13 % wiring
+ *   - 16x16 mesh, 32 NPEs -> 99,982 JJs, 103.75 mm^2, 41.87 mW
+ *
+ * See fabric/resource_model.cc for the fit itself.
+ */
+
+#ifndef SUSHI_SFQ_CELL_PARAMS_HH
+#define SUSHI_SFQ_CELL_PARAMS_HH
+
+#include <string>
+
+#include "common/time.hh"
+
+namespace sushi::sfq {
+
+/** Every RSFQ cell type used in the SUSHI design. */
+enum class CellKind
+{
+    JTL,    ///< Josephson transmission line stage (wiring)
+    SPL,    ///< 1-to-2 splitter
+    SPL3,   ///< 1-to-3 splitter
+    CB,     ///< 2-to-1 confluence buffer
+    CB3,    ///< 3-to-1 confluence buffer
+    DFF,    ///< destructive-readout D flip-flop
+    NDRO,   ///< non-destructive readout cell
+    TFFL,   ///< toggle FF, pulses on 0->1 flip
+    TFFR,   ///< toggle FF, pulses on 1->0 flip
+    DCSFQ,  ///< DC-to-SFQ input converter
+    SFQDC,  ///< SFQ-to-DC output driver
+    kNumKinds
+};
+
+/** Physical/timing parameters of one cell type. */
+struct CellParams
+{
+    /** Input-to-output propagation delay. */
+    Tick delay;
+    /** Josephson junction count. */
+    int jjs;
+    /** Layout area in square micrometres. */
+    double area_um2;
+    /** Energy dissipated per switching event, joules. */
+    double switch_energy_j;
+};
+
+/** Parameters for @p kind from the calibrated library table. */
+const CellParams &cellParams(CellKind kind);
+
+/** Human-readable cell-type name ("NDRO", "SPL", ...). */
+const char *cellKindName(CellKind kind);
+
+/** Static bias power drawn per JJ, watts (calibrated to Table 4). */
+double biasPowerPerJj();
+
+/** Area occupied per wiring (JTL) JJ including track spacing, um^2. */
+double wiringAreaPerJj();
+
+} // namespace sushi::sfq
+
+#endif // SUSHI_SFQ_CELL_PARAMS_HH

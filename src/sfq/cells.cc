@@ -1,0 +1,198 @@
+#include "sfq/cells.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace sushi::sfq {
+
+Cell::Cell(Simulator &sim, std::string name, CellKind kind,
+           int num_inputs, int num_outputs)
+    : Component(sim, std::move(name), num_inputs, num_outputs),
+      kind_(kind), checker_(kind, num_inputs)
+{
+}
+
+void
+Cell::arrive(int port)
+{
+    std::string violation = checker_.arrive(port, sim_.now());
+    if (!violation.empty())
+        sim_.reportViolation(name() + ": " + violation);
+    sim_.addSwitchEnergy(params().switch_energy_j);
+}
+
+Jtl::Jtl(Simulator &sim, std::string name)
+    : Cell(sim, std::move(name), CellKind::JTL, 1, 1)
+{
+}
+
+void
+Jtl::receive(int port)
+{
+    arrive(port);
+    send(0, params().delay);
+}
+
+Spl::Spl(Simulator &sim, std::string name)
+    : Cell(sim, std::move(name), CellKind::SPL, 1, 2)
+{
+}
+
+void
+Spl::receive(int port)
+{
+    arrive(port);
+    send(0, params().delay);
+    send(1, params().delay);
+}
+
+Spl3::Spl3(Simulator &sim, std::string name)
+    : Cell(sim, std::move(name), CellKind::SPL3, 1, 3)
+{
+}
+
+void
+Spl3::receive(int port)
+{
+    arrive(port);
+    send(0, params().delay);
+    send(1, params().delay);
+    send(2, params().delay);
+}
+
+Cb::Cb(Simulator &sim, std::string name)
+    : Cell(sim, std::move(name), CellKind::CB, 2, 1)
+{
+}
+
+void
+Cb::receive(int port)
+{
+    arrive(port);
+    send(0, params().delay);
+}
+
+Cb3::Cb3(Simulator &sim, std::string name)
+    : Cell(sim, std::move(name), CellKind::CB3, 3, 1)
+{
+}
+
+void
+Cb3::receive(int port)
+{
+    arrive(port);
+    send(0, params().delay);
+}
+
+Dff::Dff(Simulator &sim, std::string name)
+    : Cell(sim, std::move(name), CellKind::DFF, 2, 1)
+{
+}
+
+void
+Dff::receive(int port)
+{
+    arrive(port);
+    if (port == chan::kDffDin) {
+        if (stored_) {
+            // A second din before a clk would push a second flux
+            // quantum into the storage loop — a design error.
+            sim_.reportViolation(name() + ": din while already storing");
+        }
+        stored_ = true;
+    } else {
+        // clk: destructive read. No stored flux means logic 0 — no
+        // output pulse.
+        if (stored_) {
+            stored_ = false;
+            send(0, params().delay);
+        }
+    }
+}
+
+Ndro::Ndro(Simulator &sim, std::string name)
+    : Cell(sim, std::move(name), CellKind::NDRO, 3, 1)
+{
+}
+
+void
+Ndro::receive(int port)
+{
+    arrive(port);
+    switch (port) {
+      case chan::kNdroDin:
+        state_ = true;
+        break;
+      case chan::kNdroRst:
+        state_ = false;
+        break;
+      case chan::kNdroClk:
+        if (state_)
+            send(0, params().delay);
+        break;
+      default:
+        sushi_panic("NDRO %s: bad port %d", name().c_str(), port);
+    }
+}
+
+Tffl::Tffl(Simulator &sim, std::string name)
+    : Cell(sim, std::move(name), CellKind::TFFL, 1, 1)
+{
+}
+
+void
+Tffl::receive(int port)
+{
+    arrive(port);
+    state_ = !state_;
+    if (state_) // pulses on the 0 -> 1 flip
+        send(0, params().delay);
+}
+
+Tffr::Tffr(Simulator &sim, std::string name)
+    : Cell(sim, std::move(name), CellKind::TFFR, 1, 1)
+{
+}
+
+void
+Tffr::receive(int port)
+{
+    arrive(port);
+    state_ = !state_;
+    if (!state_) // pulses on the 1 -> 0 flip
+        send(0, params().delay);
+}
+
+DcSfq::DcSfq(Simulator &sim, std::string name)
+    : Cell(sim, std::move(name), CellKind::DCSFQ, 1, 1)
+{
+}
+
+void
+DcSfq::receive(int port)
+{
+    arrive(port);
+    send(0, params().delay);
+}
+
+void
+DcSfq::edge(Tick when)
+{
+    inject(0, when);
+}
+
+SfqDc::SfqDc(Simulator &sim, std::string name)
+    : Cell(sim, std::move(name), CellKind::SFQDC, 1, 0)
+{
+}
+
+void
+SfqDc::receive(int port)
+{
+    arrive(port);
+    level_ = !level_;
+    toggles_.push_back(sim_.now());
+}
+
+} // namespace sushi::sfq

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The RSFQ standard-cell library (paper Sec. 2.1.2, Fig. 3).
+ *
+ * Every cell checks its Table-1 input-timing constraints on each
+ * arrival and accounts its switching energy to the simulator. Output
+ * fan-out is one everywhere (enforced by Component::connect).
+ */
+
+#ifndef SUSHI_SFQ_CELLS_HH
+#define SUSHI_SFQ_CELLS_HH
+
+#include <string>
+#include <vector>
+
+#include "sfq/cell_params.hh"
+#include "sfq/component.hh"
+#include "sfq/constraints.hh"
+
+namespace sushi::sfq {
+
+/** Common base of all library cells. */
+class Cell : public Component
+{
+  public:
+    Cell(Simulator &sim, std::string name, CellKind kind,
+         int num_inputs, int num_outputs);
+
+    /** The library cell type. */
+    CellKind kind() const { return kind_; }
+
+    /** Convenience: this cell's parameter record. */
+    const CellParams &params() const { return cellParams(kind_); }
+
+  protected:
+    /**
+     * Record an input arrival: checks timing constraints (reporting
+     * any violation to the simulator) and accounts switching energy.
+     * Call at the top of every receive().
+     */
+    void arrive(int port);
+
+  private:
+    CellKind kind_;
+    ConstraintChecker checker_;
+};
+
+/** Josephson transmission line stage: pure unit-delay repeater. */
+class Jtl : public Cell
+{
+  public:
+    Jtl(Simulator &sim, std::string name);
+    void receive(int port) override;
+};
+
+/** 1-to-2 splitter. Ports: in 0 -> out 0 (A), out 1 (B). */
+class Spl : public Cell
+{
+  public:
+    Spl(Simulator &sim, std::string name);
+    void receive(int port) override;
+};
+
+/** 1-to-3 splitter. */
+class Spl3 : public Cell
+{
+  public:
+    Spl3(Simulator &sim, std::string name);
+    void receive(int port) override;
+};
+
+/** 2-to-1 confluence buffer. Inputs 0 (dinA), 1 (dinB) -> out 0. */
+class Cb : public Cell
+{
+  public:
+    Cb(Simulator &sim, std::string name);
+    void receive(int port) override;
+};
+
+/** 3-to-1 confluence buffer. */
+class Cb3 : public Cell
+{
+  public:
+    Cb3(Simulator &sim, std::string name);
+    void receive(int port) override;
+};
+
+/**
+ * D flip-flop: destructive-readout storage (Fig. 3(a)(e)).
+ * Inputs: 0 din, 1 clk. Output 0: dout.
+ * A pulse appears on dout only when both din and clk have arrived;
+ * clk releases (destroys) the stored flux.
+ */
+class Dff : public Cell
+{
+  public:
+    Dff(Simulator &sim, std::string name);
+    void receive(int port) override;
+
+    /** True if a flux quantum is currently stored. */
+    bool stored() const { return stored_; }
+
+  private:
+    bool stored_ = false;
+};
+
+/**
+ * Non-destructive readout cell (Fig. 3(b)(f)).
+ * Inputs: 0 din (set), 1 rst (reset), 2 clk (read).
+ * Output 0: dout — a pulse per clk while the cell holds a 1.
+ * Also usable as a configurable switch (paper Sec. 4.1.1): din arms
+ * it, clk pulses pass through while armed.
+ */
+class Ndro : public Cell
+{
+  public:
+    Ndro(Simulator &sim, std::string name);
+    void receive(int port) override;
+
+    /** Current stored state. */
+    bool state() const { return state_; }
+
+  private:
+    bool state_ = false;
+};
+
+/**
+ * Toggle flip-flop, L variant: emits a pulse on the 0 -> 1 internal
+ * flip (paper Sec. 2.1.2 E). Input 0: clk. Output 0: dout.
+ */
+class Tffl : public Cell
+{
+  public:
+    Tffl(Simulator &sim, std::string name);
+    void receive(int port) override;
+
+    bool state() const { return state_; }
+
+    /** Force the internal state (used when initialising a design). */
+    void setState(bool s) { state_ = s; }
+
+  private:
+    bool state_ = false;
+};
+
+/** Toggle flip-flop, R variant: emits a pulse on the 1 -> 0 flip. */
+class Tffr : public Cell
+{
+  public:
+    Tffr(Simulator &sim, std::string name);
+    void receive(int port) override;
+
+    bool state() const { return state_; }
+    void setState(bool s) { state_ = s; }
+
+  private:
+    bool state_ = false;
+};
+
+/**
+ * DC-to-SFQ converter: the chip input interface. Each call of
+ * edge() (a level transition on the room-temperature side) produces
+ * one SFQ pulse (Fig. 14 "input" -> "real input").
+ */
+class DcSfq : public Cell
+{
+  public:
+    DcSfq(Simulator &sim, std::string name);
+    void receive(int port) override;
+
+    /** Drive a level edge at absolute time @p when. */
+    void edge(Tick when);
+};
+
+/**
+ * SFQ-to-DC converter: the chip output driver. Every incoming SFQ
+ * pulse toggles an output voltage level, which is what an
+ * oscilloscope sees (Fig. 14 "output" -> "real output", Fig. 16).
+ */
+class SfqDc : public Cell
+{
+  public:
+    SfqDc(Simulator &sim, std::string name);
+    void receive(int port) override;
+
+    /** Current output level. */
+    bool level() const { return level_; }
+
+    /** Times of all level toggles so far. */
+    const std::vector<Tick> &toggles() const { return toggles_; }
+
+    /** Number of pulses received (= number of toggles). */
+    std::size_t pulseCount() const { return toggles_.size(); }
+
+  private:
+    bool level_ = false;
+    std::vector<Tick> toggles_;
+};
+
+} // namespace sushi::sfq
+
+#endif // SUSHI_SFQ_CELLS_HH

@@ -1,0 +1,100 @@
+#include "sfq/component.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace sushi::sfq {
+
+Component::Component(Simulator &sim, std::string name,
+                     int num_inputs, int num_outputs)
+    : sim_(sim), name_(std::move(name)),
+      num_inputs_(num_inputs), num_outputs_(num_outputs),
+      outs_(static_cast<std::size_t>(num_outputs))
+{
+    sushi_assert(num_inputs >= 0 && num_outputs >= 0);
+}
+
+void
+Component::connect(int out_port, Component &dst, int dst_port,
+                   Tick wire_delay)
+{
+    sushi_assert(out_port >= 0 && out_port < num_outputs_);
+    sushi_assert(dst_port >= 0 && dst_port < dst.numInputs());
+    Conn &c = outs_[static_cast<std::size_t>(out_port)];
+    if (c.dst != nullptr) {
+        sushi_fatal("%s output %d already driven; RSFQ fan-out is 1 — "
+                    "insert an SPL", name_.c_str(), out_port);
+    }
+    c.dst = &dst;
+    c.dst_port = dst_port;
+    c.wire_delay = wire_delay;
+}
+
+bool
+Component::outputConnected(int out_port) const
+{
+    sushi_assert(out_port >= 0 && out_port < num_outputs_);
+    return outs_[static_cast<std::size_t>(out_port)].dst != nullptr;
+}
+
+void
+Component::inject(int port, Tick when)
+{
+    sushi_assert(port >= 0 && port < num_inputs_);
+    sim_.schedule(when, [this, port] { receive(port); });
+}
+
+void
+Component::send(int out_port, Tick delay)
+{
+    sushi_assert(out_port >= 0 && out_port < num_outputs_);
+    const Conn &c = outs_[static_cast<std::size_t>(out_port)];
+    if (c.dst == nullptr)
+        return;
+    Component *dst = c.dst;
+    int dst_port = c.dst_port;
+    if (sim_.pulseDropped())
+        return; // injected fault: the SFQ pulse is lost in flight
+    sim_.countPulse();
+    sim_.scheduleIn(delay + c.wire_delay,
+                    [dst, dst_port] { dst->receive(dst_port); });
+}
+
+PulseSink::PulseSink(Simulator &sim, std::string name)
+    : Component(sim, std::move(name), 1, 0)
+{
+}
+
+void
+PulseSink::receive(int port)
+{
+    sushi_assert(port == 0);
+    times_.push_back(sim_.now());
+}
+
+PulseSource::PulseSource(Simulator &sim, std::string name)
+    : Component(sim, std::move(name), 0, 1)
+{
+}
+
+void
+PulseSource::receive(int)
+{
+    sushi_panic("PulseSource has no inputs");
+}
+
+void
+PulseSource::pulseAt(Tick when)
+{
+    sim_.schedule(when, [this] { send(0, 0); });
+}
+
+void
+PulseSource::pulseTrain(const std::vector<Tick> &times)
+{
+    for (Tick t : times)
+        pulseAt(t);
+}
+
+} // namespace sushi::sfq

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Base class for RSFQ circuit components and pulse plumbing.
+ *
+ * An RSFQ design is a directed graph of components; SFQ pulses travel
+ * along point-to-point connections. RSFQ cells have a fan-out of one
+ * (paper Sec. 2.1.2), so connecting an output that is already driven
+ * is rejected — a splitter (SPL) must be inserted instead, exactly as
+ * in a real design.
+ */
+
+#ifndef SUSHI_SFQ_COMPONENT_HH
+#define SUSHI_SFQ_COMPONENT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/time.hh"
+#include "sfq/simulator.hh"
+
+namespace sushi::sfq {
+
+/** A node in the circuit graph that can receive and emit pulses. */
+class Component
+{
+  public:
+    /**
+     * @param sim        owning simulator
+     * @param name       instance name (for diagnostics)
+     * @param num_inputs number of input ports
+     * @param num_outputs number of output ports
+     */
+    Component(Simulator &sim, std::string name,
+              int num_inputs, int num_outputs);
+
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    /** Deliver a pulse arriving on input @p port at time now(). */
+    virtual void receive(int port) = 0;
+
+    /** Instance name. */
+    const std::string &name() const { return name_; }
+
+    /** Number of input / output ports. */
+    int numInputs() const { return num_inputs_; }
+    int numOutputs() const { return num_outputs_; }
+
+    /**
+     * Connect output @p out_port to @p dst input @p dst_port.
+     * @param wire_delay extra propagation delay of the interconnect
+     *        (e.g. a chain of JTL stages), added to the cell delay.
+     *
+     * Fatal if the output is already connected (fan-out must be 1).
+     */
+    void connect(int out_port, Component &dst, int dst_port,
+                 Tick wire_delay = 0);
+
+    /** True if output @p out_port has a destination. */
+    bool outputConnected(int out_port) const;
+
+    /**
+     * Inject a pulse into input @p port at absolute time @p when.
+     * Used by stimulus generators and netlist primary inputs.
+     */
+    void inject(int port, Tick when);
+
+  protected:
+    /**
+     * Emit a pulse from output @p out_port after @p delay from now.
+     * Silently drops the pulse if the output is unconnected (a
+     * dangling output is legal, e.g. an unused NPE readout).
+     */
+    void send(int out_port, Tick delay);
+
+    Simulator &sim_;
+
+  private:
+    struct Conn
+    {
+        Component *dst = nullptr;
+        int dst_port = 0;
+        Tick wire_delay = 0;
+    };
+
+    std::string name_;
+    int num_inputs_;
+    int num_outputs_;
+    std::vector<Conn> outs_;
+};
+
+/**
+ * Records every pulse arriving at its single input; used as a circuit
+ * primary output / probe.
+ */
+class PulseSink : public Component
+{
+  public:
+    PulseSink(Simulator &sim, std::string name);
+
+    void receive(int port) override;
+
+    /** Arrival times of all recorded pulses, in order. */
+    const std::vector<Tick> &pulsesSeen() const { return times_; }
+
+    /** Number of pulses recorded. */
+    std::size_t count() const { return times_.size(); }
+
+    /** Forget all recorded pulses. */
+    void clear() { times_.clear(); }
+
+  private:
+    std::vector<Tick> times_;
+};
+
+/**
+ * Drives a pre-programmed pulse train into its single output; used as
+ * a circuit primary input.
+ */
+class PulseSource : public Component
+{
+  public:
+    PulseSource(Simulator &sim, std::string name);
+
+    void receive(int port) override;
+
+    /** Schedule an output pulse at absolute time @p when. */
+    void pulseAt(Tick when);
+
+    /** Schedule pulses at each time in @p times. */
+    void pulseTrain(const std::vector<Tick> &times);
+};
+
+} // namespace sushi::sfq
+
+#endif // SUSHI_SFQ_COMPONENT_HH

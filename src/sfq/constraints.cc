@@ -1,0 +1,162 @@
+#include "sfq/constraints.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sushi::sfq {
+
+namespace {
+
+using namespace chan;
+
+ConstraintRule
+rule(int a, int b, double ps, const char *label)
+{
+    return ConstraintRule{a, b, psToTicks(ps), label};
+}
+
+/** Paper Table 1, expanded to explicit per-channel-pair rules. */
+const std::vector<ConstraintRule> kCbRules = {
+    // dinA/B-dinA/B 19.9: same-channel re-arm interval.
+    rule(kCbDinA, kCbDinA, 19.9, "dinA-dinA"),
+    rule(kCbDinB, kCbDinB, 19.9, "dinB-dinB"),
+    // dinA/B-dinB/A 5.7: cross-channel interval.
+    rule(kCbDinA, kCbDinB, 5.7, "dinA-dinB"),
+    rule(kCbDinB, kCbDinA, 5.7, "dinB-dinA"),
+};
+
+const std::vector<ConstraintRule> kCb3Rules = {
+    rule(kCbDinA, kCbDinA, 19.9, "dinA-dinA"),
+    rule(kCbDinB, kCbDinB, 19.9, "dinB-dinB"),
+    rule(kCbDinC, kCbDinC, 19.9, "dinC-dinC"),
+    rule(kCbDinA, kCbDinB, 5.7, "dinA-dinB"),
+    rule(kCbDinB, kCbDinA, 5.7, "dinB-dinA"),
+    rule(kCbDinA, kCbDinC, 5.7, "dinA-dinC"),
+    rule(kCbDinC, kCbDinA, 5.7, "dinC-dinA"),
+    rule(kCbDinB, kCbDinC, 5.7, "dinB-dinC"),
+    rule(kCbDinC, kCbDinB, 5.7, "dinC-dinB"),
+};
+
+const std::vector<ConstraintRule> kSplRules = {
+    rule(kDin, kDin, 19.9, "din-din"),
+};
+
+const std::vector<ConstraintRule> kJtlRules = {
+    rule(kDin, kDin, 19.9, "din-din"),
+};
+
+const std::vector<ConstraintRule> kDffRules = {
+    rule(kDffDin, kDffDin, 19.9, "din-din"),
+    rule(kDffDin, kDffClk, 8.53, "din-clk"),
+    rule(kDffClk, kDffClk, 19.9, "clk-clk"),
+};
+
+const std::vector<ConstraintRule> kNdroRules = {
+    // din/rst-rst/din 39.9: set and reset must be separated both ways.
+    rule(kNdroDin, kNdroRst, 39.9, "din-rst"),
+    rule(kNdroRst, kNdroDin, 39.9, "rst-din"),
+    rule(kNdroClk, kNdroClk, 39.9, "clk-clk"),
+    rule(kNdroDin, kNdroClk, 14.81, "din-clk"),
+    rule(kNdroRst, kNdroClk, 16.61, "rst-clk"),
+};
+
+const std::vector<ConstraintRule> kTffRules = {
+    rule(kTffClk, kTffClk, 39.9, "clk-clk"),
+};
+
+const std::vector<ConstraintRule> kNoRules = {};
+
+} // namespace
+
+const std::vector<ConstraintRule> &
+constraintRules(CellKind kind)
+{
+    switch (kind) {
+      case CellKind::CB:    return kCbRules;
+      case CellKind::CB3:   return kCb3Rules;
+      case CellKind::SPL:
+      case CellKind::SPL3:  return kSplRules;
+      case CellKind::JTL:   return kJtlRules;
+      case CellKind::DFF:   return kDffRules;
+      case CellKind::NDRO:  return kNdroRules;
+      case CellKind::TFFL:
+      case CellKind::TFFR:  return kTffRules;
+      default:              return kNoRules;
+    }
+}
+
+Tick
+maxConstraint(CellKind kind)
+{
+    Tick best = 0;
+    for (const auto &r : constraintRules(kind))
+        best = std::max(best, r.min_interval);
+    return best;
+}
+
+Tick
+safePulseSpacing(double margin)
+{
+    Tick best = 0;
+    for (int k = 0; k < static_cast<int>(CellKind::kNumKinds); ++k)
+        best = std::max(best, maxConstraint(static_cast<CellKind>(k)));
+    return static_cast<Tick>(static_cast<double>(best) * margin);
+}
+
+ConstraintChecker::ConstraintChecker(CellKind kind, int num_channels)
+    : kind_(kind),
+      last_(static_cast<std::size_t>(num_channels), kTickNever)
+{
+}
+
+std::string
+ConstraintChecker::arrive(int channel, Tick now)
+{
+    sushi_assert(channel >= 0 &&
+                 channel < static_cast<int>(last_.size()));
+    std::string violated;
+    for (const auto &r : constraintRules(kind_)) {
+        if (r.chan_b != channel)
+            continue;
+        const Tick prev = last_[static_cast<std::size_t>(r.chan_a)];
+        if (prev == kTickNever)
+            continue;
+        if (now - prev < r.min_interval) {
+            violated = std::string(cellKindName(kind_)) + " " +
+                       r.label + ": interval " +
+                       std::to_string(ticksToPs(now - prev)) +
+                       " ps < " +
+                       std::to_string(ticksToPs(r.min_interval)) +
+                       " ps";
+            break;
+        }
+    }
+    last_[static_cast<std::size_t>(channel)] = now;
+    return violated;
+}
+
+void
+ConstraintChecker::reset()
+{
+    std::fill(last_.begin(), last_.end(), kTickNever);
+}
+
+std::vector<ConstraintTableRow>
+constraintTable()
+{
+    std::vector<ConstraintTableRow> rows;
+    const CellKind kinds[] = {
+        CellKind::CB, CellKind::SPL, CellKind::NDRO,
+        CellKind::DFF, CellKind::TFFL, CellKind::JTL,
+    };
+    for (CellKind k : kinds) {
+        for (const auto &r : constraintRules(k)) {
+            rows.push_back(ConstraintTableRow{
+                cellKindName(k), r.label, ticksToPs(r.min_interval)});
+        }
+    }
+    return rows;
+}
+
+} // namespace sushi::sfq

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * RSFQ cell input-timing constraints (paper Table 1).
+ *
+ * Each rule says: an input on channel B must lag the most recent input
+ * on channel A by at least a minimum interval, otherwise the cell's
+ * internal flux has not relaxed and behaviour is undefined. The values
+ * are the paper's Table 1 (in ps); the paper notes it uses "larger
+ * interval constraints to ensure the correct operation of the cells",
+ * which the pulse encoder honours via a safety margin.
+ */
+
+#ifndef SUSHI_SFQ_CONSTRAINTS_HH
+#define SUSHI_SFQ_CONSTRAINTS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/time.hh"
+#include "sfq/cell_params.hh"
+
+namespace sushi::sfq {
+
+/** "Channel @p chan_b must lag channel @p chan_a by @p min_interval." */
+struct ConstraintRule
+{
+    int chan_a;
+    int chan_b;
+    Tick min_interval;
+    const char *label; ///< e.g. "din-clk"
+};
+
+/**
+ * Canonical input-channel indices per cell type. These match the port
+ * numbering of the cell classes in sfq/cells.hh.
+ */
+namespace chan {
+// CB / CB3
+constexpr int kCbDinA = 0;
+constexpr int kCbDinB = 1;
+constexpr int kCbDinC = 2;
+// SPL / JTL
+constexpr int kDin = 0;
+// DFF
+constexpr int kDffDin = 0;
+constexpr int kDffClk = 1;
+// NDRO
+constexpr int kNdroDin = 0;
+constexpr int kNdroRst = 1;
+constexpr int kNdroClk = 2;
+// TFF
+constexpr int kTffClk = 0;
+} // namespace chan
+
+/** Constraint rules for the given cell type (may be empty). */
+const std::vector<ConstraintRule> &constraintRules(CellKind kind);
+
+/**
+ * The single largest minimum interval across all rules of @p kind;
+ * 0 if the cell has no rules. Used by encoders that need one safe
+ * per-cell spacing value.
+ */
+Tick maxConstraint(CellKind kind);
+
+/**
+ * Global safe pulse spacing: the largest constraint in the whole
+ * library times @p margin. The SUSHI pulse encoder spaces same-path
+ * pulses by this much (Sec. 4.2.1: "we regulate the pulse interval
+ * during input creation based on the cell constraints").
+ */
+Tick safePulseSpacing(double margin = 1.25);
+
+/**
+ * Tracks last-arrival times on each input channel of one cell
+ * instance and checks the rules on every arrival.
+ */
+class ConstraintChecker
+{
+  public:
+    ConstraintChecker(CellKind kind, int num_channels);
+
+    /**
+     * Record an arrival on @p channel at @p now.
+     * @return a non-empty description of the violated rule if any
+     *         rule fired, empty string otherwise.
+     */
+    std::string arrive(int channel, Tick now);
+
+    /** Forget all arrival history (e.g. after a reset). */
+    void reset();
+
+  private:
+    CellKind kind_;
+    std::vector<Tick> last_;
+};
+
+/** One row of the printable Table-1 reproduction. */
+struct ConstraintTableRow
+{
+    std::string cell;
+    std::string rule;
+    double min_ps;
+};
+
+/** All rules of all cells, for bench_table1_constraints. */
+std::vector<ConstraintTableRow> constraintTable();
+
+} // namespace sushi::sfq
+
+#endif // SUSHI_SFQ_CONSTRAINTS_HH

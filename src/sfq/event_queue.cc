@@ -1,0 +1,41 @@
+#include "sfq/event_queue.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace sushi::sfq {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    sushi_assert(when >= 0);
+    heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    return heap_.empty() ? kTickNever : heap_.top().when;
+}
+
+Tick
+EventQueue::runOne()
+{
+    sushi_assert(!heap_.empty());
+    // priority_queue::top() is const; the callback must be moved out
+    // before pop, so copy the small header and move the callback.
+    Event ev = std::move(const_cast<Event &>(heap_.top()));
+    heap_.pop();
+    ++executed_;
+    ev.cb();
+    return ev.when;
+}
+
+void
+EventQueue::clear()
+{
+    heap_ = {};
+}
+
+} // namespace sushi::sfq

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Discrete-event queue for the RSFQ simulator.
+ *
+ * Events at equal ticks are delivered in insertion order (a stable
+ * sequence number breaks ties), which keeps gate-level simulations
+ * deterministic regardless of heap internals.
+ */
+
+#ifndef SUSHI_SFQ_EVENT_QUEUE_HH
+#define SUSHI_SFQ_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hh"
+
+namespace sushi::sfq {
+
+/** A time-ordered queue of callbacks. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule a callback at absolute tick @p when. */
+    void schedule(Tick when, Callback cb);
+
+    /** True if no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Tick of the earliest pending event; kTickNever if empty. */
+    Tick nextTick() const;
+
+    /**
+     * Pop and run the earliest event.
+     * @return the tick the event ran at.
+     */
+    Tick runOne();
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+    /** Drop all pending events. */
+    void clear();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace sushi::sfq
+
+#endif // SUSHI_SFQ_EVENT_QUEUE_HH

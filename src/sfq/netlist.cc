@@ -1,0 +1,225 @@
+#include "sfq/netlist.hh"
+
+#include "common/logging.hh"
+
+namespace sushi::sfq {
+
+ResourceTally &
+ResourceTally::operator+=(const ResourceTally &other)
+{
+    logic_jjs += other.logic_jjs;
+    wiring_jjs += other.wiring_jjs;
+    logic_area_um2 += other.logic_area_um2;
+    wiring_area_um2 += other.wiring_area_um2;
+    for (std::size_t i = 0; i < cells_by_kind.size(); ++i)
+        cells_by_kind[i] += other.cells_by_kind[i];
+    return *this;
+}
+
+template <typename T>
+T &
+Netlist::addCell(const std::string &name, CellKind kind)
+{
+    auto cell = std::make_unique<T>(sim_, name);
+    T &ref = *cell;
+    cells_.push_back(std::move(cell));
+    accountCell(kind, /*wiring=*/kind == CellKind::JTL);
+    return ref;
+}
+
+void
+Netlist::accountCell(CellKind kind, bool wiring)
+{
+    const CellParams &p = cellParams(kind);
+    ++tally_.cells_by_kind[static_cast<std::size_t>(kind)];
+    if (wiring) {
+        tally_.wiring_jjs += p.jjs;
+        tally_.wiring_area_um2 += p.jjs * wiringAreaPerJj();
+    } else {
+        tally_.logic_jjs += p.jjs;
+        tally_.logic_area_um2 += p.area_um2;
+    }
+}
+
+Jtl &
+Netlist::makeJtl(const std::string &name)
+{
+    return addCell<Jtl>(name, CellKind::JTL);
+}
+
+Spl &
+Netlist::makeSpl(const std::string &name)
+{
+    return addCell<Spl>(name, CellKind::SPL);
+}
+
+Spl3 &
+Netlist::makeSpl3(const std::string &name)
+{
+    return addCell<Spl3>(name, CellKind::SPL3);
+}
+
+Cb &
+Netlist::makeCb(const std::string &name)
+{
+    return addCell<Cb>(name, CellKind::CB);
+}
+
+Cb3 &
+Netlist::makeCb3(const std::string &name)
+{
+    return addCell<Cb3>(name, CellKind::CB3);
+}
+
+Dff &
+Netlist::makeDff(const std::string &name)
+{
+    return addCell<Dff>(name, CellKind::DFF);
+}
+
+Ndro &
+Netlist::makeNdro(const std::string &name)
+{
+    return addCell<Ndro>(name, CellKind::NDRO);
+}
+
+Tffl &
+Netlist::makeTffl(const std::string &name)
+{
+    return addCell<Tffl>(name, CellKind::TFFL);
+}
+
+Tffr &
+Netlist::makeTffr(const std::string &name)
+{
+    return addCell<Tffr>(name, CellKind::TFFR);
+}
+
+DcSfq &
+Netlist::makeDcSfq(const std::string &name)
+{
+    return addCell<DcSfq>(name, CellKind::DCSFQ);
+}
+
+SfqDc &
+Netlist::makeSfqDc(const std::string &name)
+{
+    return addCell<SfqDc>(name, CellKind::SFQDC);
+}
+
+PulseSource &
+Netlist::makeSource(const std::string &name)
+{
+    auto cell = std::make_unique<PulseSource>(sim_, name);
+    PulseSource &ref = *cell;
+    cells_.push_back(std::move(cell));
+    return ref; // IO pads carry no on-chip resources
+}
+
+PulseSink &
+Netlist::makeSink(const std::string &name)
+{
+    auto cell = std::make_unique<PulseSink>(sim_, name);
+    PulseSink &ref = *cell;
+    cells_.push_back(std::move(cell));
+    return ref;
+}
+
+void
+Netlist::connectWire(Component &src, int out_port,
+                     Component &dst, int in_port, int jtl_stages)
+{
+    sushi_assert(jtl_stages >= 0);
+    const CellParams &jtl = cellParams(CellKind::JTL);
+    const Tick delay = jtl_stages * jtl.delay;
+    src.connect(out_port, dst, in_port, delay);
+    tally_.wiring_jjs += static_cast<long>(jtl_stages) * jtl.jjs;
+    tally_.wiring_area_um2 +=
+        static_cast<double>(jtl_stages) * jtl.jjs * wiringAreaPerJj();
+    tally_.cells_by_kind[static_cast<std::size_t>(CellKind::JTL)] +=
+        jtl_stages;
+}
+
+void
+Netlist::makeJtlChain(const std::string &name, Component &src,
+                      int out_port, Component &dst, int in_port,
+                      int stages)
+{
+    sushi_assert(stages >= 1);
+    Component *prev = &src;
+    int prev_port = out_port;
+    for (int i = 0; i < stages; ++i) {
+        Jtl &j = makeJtl(name + ".jtl" + std::to_string(i));
+        // The chain's JTLs are wiring, but makeJtl accounted them as
+        // wiring already via the kind check.
+        prev->connect(prev_port, j, 0, 0);
+        prev = &j;
+        prev_port = 0;
+    }
+    prev->connect(prev_port, dst, in_port, 0);
+}
+
+void
+Netlist::fanout(const std::string &name, Component &src, int out_port,
+                const std::vector<std::pair<Component *, int>> &dsts,
+                int jtl_per_hop)
+{
+    sushi_assert(!dsts.empty());
+    if (dsts.size() == 1) {
+        connectWire(src, out_port, *dsts[0].first, dsts[0].second,
+                    jtl_per_hop);
+        return;
+    }
+    // Binary splitter tree: split the destination list in half and
+    // recurse; each split point is one SPL.
+    Spl &spl = makeSpl(name + ".spl");
+    connectWire(src, out_port, spl, 0, jtl_per_hop);
+    const std::size_t mid = dsts.size() / 2;
+    std::vector<std::pair<Component *, int>> lo(dsts.begin(),
+                                                dsts.begin() + mid);
+    std::vector<std::pair<Component *, int>> hi(dsts.begin() + mid,
+                                                dsts.end());
+    fanout(name + ".l", spl, 0, lo, jtl_per_hop);
+    fanout(name + ".r", spl, 1, hi, jtl_per_hop);
+}
+
+void
+Netlist::mergeTree(const std::string &name,
+                   const std::vector<std::pair<Component *, int>> &srcs,
+                   Component &dst, int dst_port, int jtl_per_hop)
+{
+    sushi_assert(!srcs.empty());
+    if (srcs.size() == 1) {
+        connectWire(*srcs[0].first, srcs[0].second, dst, dst_port,
+                    jtl_per_hop);
+        return;
+    }
+    Cb &cb = makeCb(name + ".cb");
+    const std::size_t mid = srcs.size() / 2;
+    std::vector<std::pair<Component *, int>> lo(srcs.begin(),
+                                                srcs.begin() + mid);
+    std::vector<std::pair<Component *, int>> hi(srcs.begin() + mid,
+                                                srcs.end());
+    mergeTree(name + ".l", lo, cb, 0, jtl_per_hop);
+    mergeTree(name + ".r", hi, cb, 1, jtl_per_hop);
+    connectWire(cb, 0, dst, dst_port, jtl_per_hop);
+}
+
+void
+Netlist::addWiringOverhead(int jjs)
+{
+    sushi_assert(jjs >= 0);
+    tally_.wiring_jjs += jjs;
+    tally_.wiring_area_um2 += jjs * wiringAreaPerJj();
+}
+
+void
+Netlist::addLogicOverhead(int jjs)
+{
+    sushi_assert(jjs >= 0);
+    tally_.logic_jjs += jjs;
+    tally_.logic_area_um2 += jjs * cellParams(CellKind::JTL).area_um2 /
+                             cellParams(CellKind::JTL).jjs * 1.0;
+}
+
+} // namespace sushi::sfq

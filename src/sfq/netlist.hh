@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Netlist builder with resource accounting.
+ *
+ * A Netlist owns every cell of a gate-level design, hands out typed
+ * factory methods, and keeps a running tally of Josephson junctions
+ * and area, split into *logic* (functional cells) and *wiring* (JTL
+ * interconnect) — the split the paper reports in Table 2.
+ *
+ * Interconnect is modelled as JTL chains: connectWire() accounts the
+ * requested number of JTL stages (JJs, area, delay) without paying
+ * the event-processing cost of simulating each stage individually.
+ * makeJtlChain() builds real stage-by-stage chains when cell-accurate
+ * wire behaviour is wanted (tests, waveform studies).
+ */
+
+#ifndef SUSHI_SFQ_NETLIST_HH
+#define SUSHI_SFQ_NETLIST_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sfq/cells.hh"
+#include "sfq/simulator.hh"
+
+namespace sushi::sfq {
+
+/** JJ / area tally of a design, split by purpose. */
+struct ResourceTally
+{
+    long logic_jjs = 0;
+    long wiring_jjs = 0;
+    double logic_area_um2 = 0.0;
+    double wiring_area_um2 = 0.0;
+    std::array<long, static_cast<std::size_t>(CellKind::kNumKinds)>
+        cells_by_kind{};
+
+    long totalJjs() const { return logic_jjs + wiring_jjs; }
+    double totalAreaUm2() const
+    {
+        return logic_area_um2 + wiring_area_um2;
+    }
+    double totalAreaMm2() const { return totalAreaUm2() * 1e-6; }
+    double wiringFraction() const
+    {
+        const long t = totalJjs();
+        return t ? static_cast<double>(wiring_jjs) /
+                       static_cast<double>(t)
+                 : 0.0;
+    }
+
+    ResourceTally &operator+=(const ResourceTally &other);
+};
+
+/** Owns the cells of one gate-level design. */
+class Netlist
+{
+  public:
+    explicit Netlist(Simulator &sim) : sim_(sim) {}
+
+    Netlist(const Netlist &) = delete;
+    Netlist &operator=(const Netlist &) = delete;
+
+    /// @name Cell factories (each registers resources as logic).
+    /// @{
+    Jtl &makeJtl(const std::string &name);
+    Spl &makeSpl(const std::string &name);
+    Spl3 &makeSpl3(const std::string &name);
+    Cb &makeCb(const std::string &name);
+    Cb3 &makeCb3(const std::string &name);
+    Dff &makeDff(const std::string &name);
+    Ndro &makeNdro(const std::string &name);
+    Tffl &makeTffl(const std::string &name);
+    Tffr &makeTffr(const std::string &name);
+    DcSfq &makeDcSfq(const std::string &name);
+    SfqDc &makeSfqDc(const std::string &name);
+    PulseSource &makeSource(const std::string &name);
+    PulseSink &makeSink(const std::string &name);
+    /// @}
+
+    /**
+     * Connect @p src output @p out_port to @p dst input @p in_port
+     * through @p jtl_stages of interconnect. The stages are accounted
+     * as wiring JJs and contribute their propagation delay, but are
+     * not instantiated as separate components.
+     */
+    void connectWire(Component &src, int out_port,
+                     Component &dst, int in_port, int jtl_stages = 0);
+
+    /**
+     * Build an explicit chain of @p stages JTL cells between two
+     * ports (each stage is a simulated component). Accounted as
+     * wiring.
+     */
+    void makeJtlChain(const std::string &name, Component &src,
+                      int out_port, Component &dst, int in_port,
+                      int stages);
+
+    /**
+     * Build a splitter tree distributing @p src output @p out_port to
+     * every (component, port) in @p dsts. RSFQ fan-out is one, so a
+     * fan-out of N costs N-1 SPL cells (accounted as logic) plus
+     * @p jtl_per_hop wiring stages on every tree edge.
+     */
+    void fanout(const std::string &name, Component &src, int out_port,
+                const std::vector<std::pair<Component *, int>> &dsts,
+                int jtl_per_hop = 0);
+
+    /**
+     * Build a confluence-buffer merge tree combining every source in
+     * @p srcs onto @p dst input @p dst_port. A merge of N sources
+     * costs N-1 CB cells (logic) plus @p jtl_per_hop wiring stages
+     * per tree edge. Sources must keep their pulses spaced per
+     * Table 1; the SUSHI encoder guarantees that.
+     */
+    void mergeTree(const std::string &name,
+                   const std::vector<std::pair<Component *, int>> &srcs,
+                   Component &dst, int dst_port, int jtl_per_hop = 0);
+
+    /** Account extra wiring JJs that are not on any modelled path
+     *  (e.g. track crossings: a crossing costs twice the width of the
+     *  original transmission line, Sec. 4.2.2). */
+    void addWiringOverhead(int jjs);
+
+    /** Account extra logic JJs for structures carried by the design
+     *  but not behaviourally modelled (e.g. the per-synapse weight
+     *  configuration addressing cells). */
+    void addLogicOverhead(int jjs);
+
+    /** Resource tally of everything built so far. */
+    const ResourceTally &resources() const { return tally_; }
+
+    /** Owning simulator. */
+    Simulator &sim() { return sim_; }
+
+    /** Number of owned components. */
+    std::size_t numComponents() const { return cells_.size(); }
+
+  private:
+    template <typename T>
+    T &addCell(const std::string &name, CellKind kind);
+
+    void accountCell(CellKind kind, bool wiring);
+
+    Simulator &sim_;
+    std::vector<std::unique_ptr<Component>> cells_;
+    ResourceTally tally_;
+};
+
+} // namespace sushi::sfq
+
+#endif // SUSHI_SFQ_NETLIST_HH

@@ -1,0 +1,106 @@
+#include "sfq/shift_register.hh"
+
+#include "common/logging.hh"
+
+namespace sushi::sfq {
+
+ShiftRegister::ShiftRegister(int depth)
+    : depth_(depth),
+      bits_(static_cast<std::size_t>(depth), false)
+{
+    sushi_assert(depth >= 1);
+}
+
+bool
+ShiftRegister::clock(bool din)
+{
+    ++clocks_;
+    const bool out = bits_.front();
+    bits_.pop_front();
+    bits_.push_back(din);
+    return out;
+}
+
+std::vector<bool>
+ShiftRegister::contents() const
+{
+    return std::vector<bool>(bits_.begin(), bits_.end());
+}
+
+int
+ShiftRegister::accessLatency(int index) const
+{
+    sushi_assert(index >= 0 && index < depth_);
+    return index + 1;
+}
+
+ShiftRegisterGate::ShiftRegisterGate(Netlist &net,
+                                     const std::string &name,
+                                     int depth)
+    : depth_(depth)
+{
+    sushi_assert(depth >= 1);
+    for (int i = 0; i < depth; ++i)
+        dffs_.push_back(&net.makeDff(name + ".dff" +
+                                     std::to_string(i)));
+
+    din_ = &net.makeSource(name + ".din");
+    clk_ = &net.makeSource(name + ".clk");
+    out_ = &net.makeSink(name + ".out");
+
+    // Data path: tail DFF's dout feeds the next DFF's din; the head
+    // DFF's dout is the memory output. The tail takes external din.
+    net.connectWire(*din_, 0, *dffs_.back(), chan::kDffDin, 1);
+    for (int i = depth - 1; i >= 1; --i) {
+        net.connectWire(*dffs_[static_cast<std::size_t>(i)], 0,
+                        *dffs_[static_cast<std::size_t>(i - 1)],
+                        chan::kDffDin, 1);
+    }
+    net.connectWire(*dffs_[0], 0, *out_, 0, 1);
+
+    // Clock distribution: a splitter tree to every DFF. Stage counts
+    // grow toward the head so the head releases *before* upstream
+    // data arrives (counter-flow clocking, the standard RSFQ
+    // shift-register discipline).
+    std::vector<std::pair<Component *, int>> dsts;
+    for (int i = 0; i < depth; ++i)
+        dsts.emplace_back(dffs_[static_cast<std::size_t>(i)],
+                          chan::kDffClk);
+    net.fanout(name + ".clk_tree", *clk_, 0, dsts, 1);
+}
+
+void
+ShiftRegisterGate::injectData(Tick when)
+{
+    din_->pulseAt(when);
+}
+
+void
+ShiftRegisterGate::injectClock(Tick when)
+{
+    clk_->pulseAt(when);
+}
+
+std::vector<bool>
+ShiftRegisterGate::contents() const
+{
+    std::vector<bool> out;
+    out.reserve(dffs_.size());
+    for (const Dff *d : dffs_)
+        out.push_back(d->stored());
+    return out;
+}
+
+double
+shiftRegisterUtilisation(int depth, double sequential,
+                         double compute_clocks)
+{
+    sushi_assert(depth >= 1);
+    sushi_assert(sequential >= 0.0 && sequential <= 1.0);
+    const double random_cost = static_cast<double>(depth) / 2.0;
+    const double avg_access =
+        sequential * 1.0 + (1.0 - sequential) * random_cost;
+    return compute_clocks / (compute_clocks + avg_access);
+}
+
+} // namespace sushi::sfq

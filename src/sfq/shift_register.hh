@@ -1,0 +1,110 @@
+/**
+ * @file
+ * DFF shift-register memory — the conventional RSFQ on-chip storage
+ * (paper Sec. 3B).
+ *
+ * "Shift registers made up of multiple DFFs in series are the most
+ * commonly used on-chip memory, leveraging the gate-level pipeline
+ * characteristics of DFF cells. However, shift registers are only
+ * suitable for sequential access, and achieving efficient random
+ * access is challenging." This module builds that memory — both
+ * behaviourally and as a gate-level DFF chain — so the memory-wall
+ * motivation (e.g. SuperNPU reaching only 16 % of peak because of
+ * it) can be quantified against SUSHI's storage-free design in
+ * bench_memory_wall.
+ */
+
+#ifndef SUSHI_SFQ_SHIFT_REGISTER_HH
+#define SUSHI_SFQ_SHIFT_REGISTER_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sfq/netlist.hh"
+
+namespace sushi::sfq {
+
+/** Behavioural shift-register memory of fixed depth. */
+class ShiftRegister
+{
+  public:
+    explicit ShiftRegister(int depth);
+
+    int depth() const { return depth_; }
+
+    /**
+     * One clock: shifts the register; the head bit leaves (and is
+     * returned), @p din enters at the tail.
+     */
+    bool clock(bool din);
+
+    /** Current contents, head (next out) first. */
+    std::vector<bool> contents() const;
+
+    /**
+     * Clocks needed to bring position @p index (0 = head) to the
+     * output: the sequential-access cost model. Random access to a
+     * uniformly distributed position averages depth/2 clocks.
+     */
+    int accessLatency(int index) const;
+
+    /** Total clocks applied. */
+    long clocks() const { return clocks_; }
+
+  private:
+    int depth_;
+    std::deque<bool> bits_;
+    long clocks_ = 0;
+};
+
+/**
+ * Gate-level shift register: a chain of DFF cells with a clock
+ * splitter tree, exactly the Sec. 3B structure.
+ */
+class ShiftRegisterGate
+{
+  public:
+    ShiftRegisterGate(Netlist &net, const std::string &name,
+                      int depth);
+
+    int depth() const { return depth_; }
+
+    /** Feed a data pulse (a stored 1) into the tail at @p when. */
+    void injectData(Tick when);
+
+    /** Clock the whole chain at @p when. */
+    void injectClock(Tick when);
+
+    /** Pulses that have left the head so far. */
+    PulseSink &outSink() { return *out_; }
+
+    /** Stored bits, head first (from the DFF internal states). */
+    std::vector<bool> contents() const;
+
+  private:
+    int depth_;
+    std::vector<Dff *> dffs_;
+    PulseSource *din_;
+    PulseSource *clk_;
+    PulseSink *out_;
+};
+
+/**
+ * Memory-wall model: effective utilisation of a compute engine that
+ * must fetch each operand from a shift register.
+ * @param depth         register depth
+ * @param sequential    fraction of accesses that are sequential
+ *                      (next element already at the head)
+ * @param compute_clocks compute cycles available per access
+ *
+ * Sequential accesses cost 1 clock; random ones average depth / 2.
+ * Utilisation = compute / (compute + average access cost).
+ */
+double shiftRegisterUtilisation(int depth, double sequential,
+                                double compute_clocks);
+
+} // namespace sushi::sfq
+
+#endif // SUSHI_SFQ_SHIFT_REGISTER_HH

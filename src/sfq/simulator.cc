@@ -1,0 +1,74 @@
+#include "sfq/simulator.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace sushi::sfq {
+
+void
+Simulator::schedule(Tick when, EventQueue::Callback cb)
+{
+    if (when < now_) {
+        sushi_panic("scheduling into the past: t=%lld now=%lld",
+                    static_cast<long long>(when),
+                    static_cast<long long>(now_));
+    }
+    queue_.schedule(when, std::move(cb));
+}
+
+void
+Simulator::scheduleIn(Tick delta, EventQueue::Callback cb)
+{
+    schedule(now_ + delta, std::move(cb));
+}
+
+Tick
+Simulator::run(Tick until)
+{
+    while (!queue_.empty() && queue_.nextTick() <= until) {
+        // Advance time *before* executing so that callbacks observe
+        // the correct now() and relative scheduling is exact.
+        now_ = queue_.nextTick();
+        queue_.runOne();
+    }
+    return now_;
+}
+
+void
+Simulator::setPulseDropRate(double rate, std::uint64_t seed)
+{
+    sushi_assert(rate >= 0.0 && rate <= 1.0);
+    drop_rate_ = rate;
+    fault_rng_ = Rng(seed);
+}
+
+bool
+Simulator::pulseDropped()
+{
+    if (drop_rate_ <= 0.0)
+        return false;
+    if (!fault_rng_.chance(drop_rate_))
+        return false;
+    ++dropped_;
+    stats_.inc("sim.dropped_pulses");
+    return true;
+}
+
+void
+Simulator::reportViolation(const std::string &what)
+{
+    ++violations_;
+    stats_.inc("sim.constraint_violations");
+    switch (policy_) {
+      case ViolationPolicy::Ignore:
+        break;
+      case ViolationPolicy::Warn:
+        sushi_warn("timing constraint violated: %s", what.c_str());
+        break;
+      case ViolationPolicy::Fatal:
+        sushi_fatal("timing constraint violated: %s", what.c_str());
+    }
+}
+
+} // namespace sushi::sfq

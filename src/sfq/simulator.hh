@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Top-level discrete-event RSFQ simulator.
+ *
+ * Owns the event queue, the global clockless time, aggregate energy
+ * accounting, and the timing-constraint violation policy. Components
+ * (cells) register themselves and exchange SFQ pulses as events.
+ */
+
+#ifndef SUSHI_SFQ_SIMULATOR_HH
+#define SUSHI_SFQ_SIMULATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/time.hh"
+#include "sfq/event_queue.hh"
+
+namespace sushi::sfq {
+
+/** How Table-1 timing-constraint violations are handled. */
+enum class ViolationPolicy
+{
+    Ignore, ///< count only
+    Warn,   ///< count and warn()
+    Fatal,  ///< abort the simulation (user design error)
+};
+
+/** The RSFQ circuit simulator. */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulation time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb at absolute tick @p when (>= now). */
+    void schedule(Tick when, EventQueue::Callback cb);
+
+    /** Schedule @p cb at now() + @p delta. */
+    void scheduleIn(Tick delta, EventQueue::Callback cb);
+
+    /**
+     * Run until the queue drains or the next event is past @p until.
+     * @return the tick of the last executed event (now()).
+     */
+    Tick run(Tick until = kTickNever);
+
+    /** True if no events remain. */
+    bool idle() const { return queue_.empty(); }
+
+    /** Record one timing-constraint violation. */
+    void reportViolation(const std::string &what);
+
+    /** Number of constraint violations observed so far. */
+    std::uint64_t violations() const { return violations_; }
+
+    /** Set the violation handling policy (default Warn). */
+    void setViolationPolicy(ViolationPolicy p) { policy_ = p; }
+    ViolationPolicy violationPolicy() const { return policy_; }
+
+    /** Accumulate switching energy (joules). */
+    void addSwitchEnergy(double joules) { switch_energy_j_ += joules; }
+
+    /** Total dynamic (switching) energy dissipated so far, joules. */
+    double switchEnergy() const { return switch_energy_j_; }
+
+    /** Count a pulse delivery (for throughput stats). */
+    void countPulse() { ++pulses_; }
+
+    /**
+     * Fault injection: drop each cell-to-cell pulse with probability
+     * @p rate (deterministic in @p seed). Models marginal junctions
+     * or flux trapping — the failure modes chip verification
+     * (Sec. 6.2) exists to catch. 0 disables (the default).
+     */
+    void setPulseDropRate(double rate, std::uint64_t seed = 1);
+
+    /** True if fault injection says this delivery is lost. */
+    bool pulseDropped();
+
+    /** Pulses lost to injected faults so far. */
+    std::uint64_t droppedPulses() const { return dropped_; }
+
+    /** Total pulses delivered between cells. */
+    std::uint64_t pulses() const { return pulses_; }
+
+    /** Events executed so far. */
+    std::uint64_t eventsExecuted() const { return queue_.executed(); }
+
+    /** Mutable stats registry shared by all components. */
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    EventQueue queue_;
+    Tick now_ = 0;
+    double drop_rate_ = 0.0;
+    Rng fault_rng_{1};
+    std::uint64_t dropped_ = 0;
+    std::uint64_t violations_ = 0;
+    std::uint64_t pulses_ = 0;
+    double switch_energy_j_ = 0.0;
+    ViolationPolicy policy_ = ViolationPolicy::Warn;
+    StatSet stats_;
+};
+
+} // namespace sushi::sfq
+
+#endif // SUSHI_SFQ_SIMULATOR_HH

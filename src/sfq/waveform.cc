@@ -1,0 +1,106 @@
+#include "sfq/waveform.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sushi::sfq {
+
+LevelWave
+pulsesToLevels(const PulseTrace &pulses)
+{
+    LevelWave wave;
+    wave.reserve(pulses.size());
+    bool level = false;
+    for (Tick t : pulses) {
+        level = !level;
+        wave.push_back(LevelStep{t, level});
+    }
+    return wave;
+}
+
+PulseTrace
+levelsToPulses(const LevelWave &wave)
+{
+    PulseTrace pulses;
+    pulses.reserve(wave.size());
+    bool level = false;
+    for (const LevelStep &s : wave) {
+        if (s.high != level) {
+            pulses.push_back(s.at);
+            level = s.high;
+        }
+        // A step that does not change the level carries no pulse
+        // (oscilloscope re-sample of an unchanged line).
+    }
+    return pulses;
+}
+
+std::string
+compareTraces(const PulseTrace &a, const PulseTrace &b, Tick tolerance)
+{
+    if (a.size() != b.size()) {
+        std::ostringstream os;
+        os << "pulse count mismatch: " << a.size() << " vs "
+           << b.size();
+        return os.str();
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const Tick d = std::llabs(a[i] - b[i]);
+        if (d > tolerance) {
+            std::ostringstream os;
+            os << "pulse " << i << " skew " << ticksToPs(d)
+               << " ps exceeds tolerance " << ticksToPs(tolerance)
+               << " ps";
+            return os.str();
+        }
+    }
+    return {};
+}
+
+std::string
+asciiWaveform(const std::vector<std::string> &names,
+              const std::vector<PulseTrace> &traces,
+              Tick bucket, int max_cols)
+{
+    sushi_assert(names.size() == traces.size());
+    sushi_assert(bucket > 0);
+
+    Tick horizon = 0;
+    for (const auto &tr : traces)
+        if (!tr.empty())
+            horizon = std::max(horizon, tr.back());
+    int cols = static_cast<int>(horizon / bucket) + 1;
+    cols = std::min(cols, max_cols);
+
+    std::size_t name_w = 0;
+    for (const auto &n : names)
+        name_w = std::max(name_w, n.size());
+
+    std::ostringstream os;
+    for (std::size_t s = 0; s < traces.size(); ++s) {
+        os << names[s];
+        os << std::string(name_w - names[s].size() + 1, ' ');
+        std::string row(static_cast<std::size_t>(cols), '_');
+        for (Tick t : traces[s]) {
+            const Tick c = t / bucket;
+            if (c < cols)
+                row[static_cast<std::size_t>(c)] = '|';
+        }
+        os << row << "\n";
+    }
+    return os.str();
+}
+
+std::size_t
+pulsesInWindow(const PulseTrace &trace, Tick from, Tick to)
+{
+    auto lo = std::lower_bound(trace.begin(), trace.end(), from);
+    auto hi = std::lower_bound(trace.begin(), trace.end(), to);
+    return static_cast<std::size_t>(hi - lo);
+}
+
+} // namespace sushi::sfq

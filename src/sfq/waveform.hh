@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Pulse traces, pulse-level conversion and waveform comparison.
+ *
+ * The paper validates the fabricated chip by comparing oscilloscope
+ * waveforms against simulation waveforms (Fig. 16), using pulse-level
+ * conversion (Fig. 14): chip inputs are short high-level windows that
+ * each launch one SFQ pulse, and every chip output pulse inverts a
+ * sampled level. This module reproduces those conversions and the
+ * equivalence check.
+ */
+
+#ifndef SUSHI_SFQ_WAVEFORM_HH
+#define SUSHI_SFQ_WAVEFORM_HH
+
+#include <string>
+#include <vector>
+
+#include "common/time.hh"
+
+namespace sushi::sfq {
+
+/** A pulse trace: ordered arrival times of SFQ pulses on one net. */
+using PulseTrace = std::vector<Tick>;
+
+/** One segment of a level waveform: level value from t until next. */
+struct LevelStep
+{
+    Tick at;    ///< time the level switched to @c high
+    bool high;  ///< the new level
+};
+
+/** A DC level waveform, as an oscilloscope records it. */
+using LevelWave = std::vector<LevelStep>;
+
+/**
+ * Pulse-level conversion, output direction (Fig. 14): every pulse
+ * inverts the sampled level, starting from low.
+ */
+LevelWave pulsesToLevels(const PulseTrace &pulses);
+
+/**
+ * Pulse-level conversion, recovery direction: each level toggle in
+ * the oscilloscope record corresponds to one output pulse. This is
+ * how the chip's "real output" is decoded back to a pulse sequence
+ * (Fig. 16(b) -> (c)).
+ */
+PulseTrace levelsToPulses(const LevelWave &wave);
+
+/**
+ * Compare two traces for pulse-level equivalence: same pulse count,
+ * and each pair of corresponding pulses within @p tolerance ticks.
+ * Timing jitter between a behavioural and a gate-level model (or a
+ * chip and a simulation) is expected; the *sequence* must match.
+ *
+ * @return empty string if equivalent, else a description of the
+ *         first mismatch.
+ */
+std::string compareTraces(const PulseTrace &a, const PulseTrace &b,
+                          Tick tolerance);
+
+/**
+ * Render traces as a compact ASCII waveform (one row per signal,
+ * one column per time bucket; '|' marks a pulse). Used by the
+ * waveform demo and Fig. 16 bench.
+ */
+std::string asciiWaveform(const std::vector<std::string> &names,
+                          const std::vector<PulseTrace> &traces,
+                          Tick bucket, int max_cols = 96);
+
+/**
+ * Count pulses in a trace within the half-open window
+ * [@p from, @p to).
+ */
+std::size_t pulsesInWindow(const PulseTrace &trace, Tick from, Tick to);
+
+} // namespace sushi::sfq
+
+#endif // SUSHI_SFQ_WAVEFORM_HH

@@ -1,0 +1,168 @@
+#include "snn/binarize.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sushi::snn {
+
+long
+BinaryLayer::positiveSynapses() const
+{
+    long n = 0;
+    for (const auto &row : weights)
+        for (std::int8_t w : row)
+            n += w > 0 ? 1 : 0;
+    return n;
+}
+
+long
+BinaryLayer::negativeSynapses() const
+{
+    long n = 0;
+    for (const auto &row : weights)
+        for (std::int8_t w : row)
+            n += w < 0 ? 1 : 0;
+    return n;
+}
+
+BinaryLayer
+binarizeLayer(const Tensor &w, const std::vector<float> &b,
+              float threshold)
+{
+    sushi_assert(b.size() == w.rows());
+    BinaryLayer layer;
+    layer.weights.resize(w.rows());
+    layer.thresholds.resize(w.rows());
+    for (std::size_t o = 0; o < w.rows(); ++o) {
+        const float *row = w.row(o);
+        double alpha = 0.0;
+        for (std::size_t i = 0; i < w.cols(); ++i)
+            alpha += std::fabs(row[i]);
+        alpha /= static_cast<double>(w.cols());
+        if (alpha <= 0.0)
+            alpha = 1.0; // degenerate all-zero row
+
+        auto &bw = layer.weights[o];
+        bw.resize(w.cols());
+        for (std::size_t i = 0; i < w.cols(); ++i)
+            bw[i] = row[i] >= 0.0f ? 1 : -1;
+
+        // Fire iff alpha * (B . x) + bias >= threshold.
+        layer.thresholds[o] = static_cast<int>(std::ceil(
+            (static_cast<double>(threshold) - b[o]) / alpha));
+    }
+    return layer;
+}
+
+Tensor
+binaryEffectiveWeights(const Tensor &w)
+{
+    Tensor eff(w.rows(), w.cols());
+    for (std::size_t o = 0; o < w.rows(); ++o) {
+        const float *row = w.row(o);
+        double alpha = 0.0;
+        for (std::size_t i = 0; i < w.cols(); ++i)
+            alpha += std::fabs(row[i]);
+        alpha /= static_cast<double>(w.cols());
+        if (alpha <= 0.0)
+            alpha = 1.0;
+        float *erow = eff.row(o);
+        for (std::size_t i = 0; i < w.cols(); ++i)
+            erow[i] = row[i] >= 0.0f
+                          ? static_cast<float>(alpha)
+                          : -static_cast<float>(alpha);
+    }
+    return eff;
+}
+
+SnnMlp
+toEffectiveBinary(const SnnMlp &net)
+{
+    SnnMlp out = net;
+    out.w1 = binaryEffectiveWeights(net.w1);
+    out.w2 = binaryEffectiveWeights(net.w2);
+    return out;
+}
+
+BinarySnn
+BinarySnn::fromFloat(const SnnMlp &net)
+{
+    BinarySnn out;
+    out.t_steps_ = net.config().t_steps;
+    out.layers_.push_back(
+        binarizeLayer(net.w1, net.b1, net.config().threshold));
+    out.layers_.push_back(
+        binarizeLayer(net.w2, net.b2, net.config().threshold));
+    return out;
+}
+
+BinarySnn
+BinarySnn::fromLayers(std::vector<BinaryLayer> layers, int t_steps)
+{
+    sushi_assert(!layers.empty());
+    sushi_assert(t_steps >= 1);
+    BinarySnn out;
+    out.layers_ = std::move(layers);
+    out.t_steps_ = t_steps;
+    return out;
+}
+
+int
+BinarySnn::membrane(const BinaryLayer &layer, std::size_t neuron,
+                    const std::vector<std::uint8_t> &frame)
+{
+    sushi_assert(neuron < layer.outDim());
+    sushi_assert(frame.size() == layer.inDim());
+    const auto &row = layer.weights[neuron];
+    int m = 0;
+    for (std::size_t i = 0; i < frame.size(); ++i)
+        if (frame[i])
+            m += row[i];
+    return m;
+}
+
+std::vector<std::uint8_t>
+BinarySnn::stepForward(const std::vector<std::uint8_t> &frame) const
+{
+    std::vector<std::uint8_t> act = frame;
+    for (const BinaryLayer &layer : layers_) {
+        sushi_assert(act.size() == layer.inDim());
+        std::vector<std::uint8_t> next(layer.outDim(), 0);
+        for (std::size_t o = 0; o < layer.outDim(); ++o) {
+            // Stateless neuron: membrane starts from zero each step.
+            const int m = membrane(layer, o, act);
+            next[o] = m >= layer.thresholds[o] ? 1 : 0;
+        }
+        act = std::move(next);
+    }
+    return act;
+}
+
+std::vector<int>
+BinarySnn::forwardCounts(
+    const std::vector<std::vector<std::uint8_t>> &frames) const
+{
+    sushi_assert(!layers_.empty());
+    std::vector<int> counts(layers_.back().outDim(), 0);
+    for (const auto &frame : frames) {
+        const auto spikes = stepForward(frame);
+        for (std::size_t o = 0; o < spikes.size(); ++o)
+            counts[o] += spikes[o];
+    }
+    return counts;
+}
+
+int
+BinarySnn::predict(
+    const std::vector<std::vector<std::uint8_t>> &frames) const
+{
+    const auto counts = forwardCounts(frames);
+    int best = 0;
+    for (std::size_t c = 1; c < counts.size(); ++c)
+        if (counts[c] > counts[static_cast<std::size_t>(best)])
+            best = static_cast<int>(c);
+    return best;
+}
+
+} // namespace sushi::snn

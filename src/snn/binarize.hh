@@ -1,0 +1,117 @@
+/**
+ * @file
+ * XNOR-Net binarization and the stateless SSNN model, paper Sec. 5.1.
+ *
+ * SSNN maps the trained float SNN onto {-1, +1} weights: each
+ * neuron's row is binarized by sign, the row's scaling factor
+ * alpha = mean(|w|) is folded into the firing threshold together
+ * with the bias ("we normalize the weights to scaling parameters and
+ * process them during thresholding"), and the neuron becomes
+ * *stateless* — the membrane is reset to zero at the end of every
+ * time step, eliminating the potential-residual storage that
+ * superconducting circuits cannot afford.
+ *
+ * A binary neuron therefore fires at step t iff
+ *     sum_i B_i * x_i[t]  >=  ceil((theta - bias) / alpha)
+ * with B integer in {-1, +1} and x binary — exactly the quantity the
+ * NPE ripple counter accumulates in pulses.
+ */
+
+#ifndef SUSHI_SNN_BINARIZE_HH
+#define SUSHI_SNN_BINARIZE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "snn/network.hh"
+
+namespace sushi::snn {
+
+/** One binarized fully-connected layer. */
+struct BinaryLayer
+{
+    /** weights[o][i] in {-1, +1}. */
+    std::vector<std::vector<std::int8_t>> weights;
+    /** Integer firing threshold per output neuron (may be <= 0:
+     *  such a neuron fires every step, or > in_dim: never fires). */
+    std::vector<int> thresholds;
+
+    std::size_t outDim() const { return weights.size(); }
+    std::size_t inDim() const
+    {
+        return weights.empty() ? 0 : weights[0].size();
+    }
+
+    /** Total positive / negative synapse counts (for bucketing). */
+    long positiveSynapses() const;
+    long negativeSynapses() const;
+};
+
+/** The binarized stateless SSNN. */
+class BinarySnn
+{
+  public:
+    /** Binarize a trained float network. */
+    static BinarySnn fromFloat(const SnnMlp &net);
+
+    /** Assemble directly from layers (tests, hand-built networks). */
+    static BinarySnn fromLayers(std::vector<BinaryLayer> layers,
+                                int t_steps);
+
+    const std::vector<BinaryLayer> &layers() const { return layers_; }
+    int tSteps() const { return t_steps_; }
+
+    /**
+     * Stateless forward over one binary input frame: returns the
+     * spike vector of the final layer for this time step.
+     */
+    std::vector<std::uint8_t>
+    stepForward(const std::vector<std::uint8_t> &frame) const;
+
+    /**
+     * Full rate-coded inference: runs every time step statelessly
+     * and returns summed output spike counts.
+     */
+    std::vector<int>
+    forwardCounts(const std::vector<std::vector<std::uint8_t>> &frames)
+        const;
+
+    /** Argmax prediction from forwardCounts. */
+    int predict(const std::vector<std::vector<std::uint8_t>> &frames)
+        const;
+
+    /**
+     * Integer membrane at a single layer for one frame (the exact
+     * value the NPE counter reaches); used by tests and the compiler
+     * to bound state ranges.
+     */
+    static int membrane(const BinaryLayer &layer, std::size_t neuron,
+                        const std::vector<std::uint8_t> &frame);
+
+  private:
+    std::vector<BinaryLayer> layers_;
+    int t_steps_ = 0;
+};
+
+/** Binarize one float layer (sign weights, folded thresholds). */
+BinaryLayer binarizeLayer(const Tensor &w, const std::vector<float> &b,
+                          float threshold);
+
+/**
+ * XNOR-Net effective weights: each row becomes
+ * alpha * sign(w) with alpha = mean(|row|). These are the (floating
+ * point) weights the binarization-aware trainer runs forward with,
+ * and the weights the SpikingJelly-reference column of Table 3 uses.
+ */
+Tensor binaryEffectiveWeights(const Tensor &w);
+
+/**
+ * A copy of @p net whose weights are replaced by their XNOR-Net
+ * effective values — the float *reference* model of Table 3
+ * (stateful IF, float arithmetic).
+ */
+SnnMlp toEffectiveBinary(const SnnMlp &net);
+
+} // namespace sushi::snn
+
+#endif // SUSHI_SNN_BINARIZE_HH

@@ -1,0 +1,41 @@
+#include "snn/encoder.hh"
+
+#include "common/logging.hh"
+
+namespace sushi::snn {
+
+PoissonEncoder::PoissonEncoder(std::uint64_t seed) : rng_(seed) {}
+
+Tensor
+PoissonEncoder::encode(const std::vector<float> &pixels, int t_steps)
+{
+    sushi_assert(t_steps >= 1);
+    Tensor out(static_cast<std::size_t>(t_steps), pixels.size());
+    for (int t = 0; t < t_steps; ++t) {
+        float *row = out.row(static_cast<std::size_t>(t));
+        for (std::size_t i = 0; i < pixels.size(); ++i)
+            row[i] = rng_.chance(pixels[i]) ? 1.0f : 0.0f;
+    }
+    return out;
+}
+
+std::vector<Tensor>
+PoissonEncoder::encodeBatch(const Tensor &images, int t_steps)
+{
+    sushi_assert(t_steps >= 1);
+    std::vector<Tensor> frames;
+    frames.reserve(static_cast<std::size_t>(t_steps));
+    for (int t = 0; t < t_steps; ++t)
+        frames.emplace_back(images.rows(), images.cols());
+    for (std::size_t b = 0; b < images.rows(); ++b) {
+        const float *img = images.row(b);
+        for (int t = 0; t < t_steps; ++t) {
+            float *row = frames[static_cast<std::size_t>(t)].row(b);
+            for (std::size_t i = 0; i < images.cols(); ++i)
+                row[i] = rng_.chance(img[i]) ? 1.0f : 0.0f;
+        }
+    }
+    return frames;
+}
+
+} // namespace sushi::snn

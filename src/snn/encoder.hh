@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Poisson spike encoder (paper Sec. 6: "the input data is generated
+ * using the Poisson encoder").
+ *
+ * Each pixel intensity p in [0, 1] emits a spike at each time step
+ * with probability p, independently across steps — rate coding. The
+ * encoder is seeded, so every experiment sees the same spike trains.
+ */
+
+#ifndef SUSHI_SNN_ENCODER_HH
+#define SUSHI_SNN_ENCODER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "snn/tensor.hh"
+
+namespace sushi::snn {
+
+/** Poisson (Bernoulli-per-step) rate encoder. */
+class PoissonEncoder
+{
+  public:
+    explicit PoissonEncoder(std::uint64_t seed = 1);
+
+    /**
+     * Encode one image into T binary spike frames.
+     * @param pixels intensities in [0, 1]
+     * @param t_steps number of time steps
+     * @return [t_steps x pixels.size()] matrix of 0/1 floats
+     */
+    Tensor encode(const std::vector<float> &pixels, int t_steps);
+
+    /**
+     * Encode a batch: out[t] is a [batch x dim] 0/1 matrix.
+     * @param images batch of images as rows of a tensor
+     */
+    std::vector<Tensor> encodeBatch(const Tensor &images, int t_steps);
+
+  private:
+    Rng rng_;
+};
+
+} // namespace sushi::snn
+
+#endif // SUSHI_SNN_ENCODER_HH

@@ -1,0 +1,100 @@
+#include "snn/model_io.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sushi::snn {
+
+void
+saveBinarySnn(const BinarySnn &net, std::ostream &os)
+{
+    os << "sushi-ssnn v1\n";
+    os << "t_steps " << net.tSteps() << "\n";
+    os << "layers " << net.layers().size() << "\n";
+    for (const BinaryLayer &layer : net.layers()) {
+        os << "layer " << layer.inDim() << " " << layer.outDim()
+           << "\n";
+        os << "thresholds";
+        for (int t : layer.thresholds)
+            os << " " << t;
+        os << "\n";
+        for (const auto &row : layer.weights) {
+            os << "row ";
+            for (std::int8_t w : row)
+                os << (w > 0 ? '+' : '-');
+            os << "\n";
+        }
+    }
+}
+
+BinarySnn
+loadBinarySnn(std::istream &is)
+{
+    std::string magic, version;
+    is >> magic >> version;
+    if (magic != "sushi-ssnn" || version != "v1")
+        sushi_fatal("not a sushi-ssnn v1 model");
+
+    std::string key;
+    int t_steps = 0;
+    std::size_t num_layers = 0;
+    is >> key >> t_steps;
+    if (key != "t_steps" || t_steps < 1)
+        sushi_fatal("bad t_steps record");
+    is >> key >> num_layers;
+    if (key != "layers" || num_layers == 0)
+        sushi_fatal("bad layers record");
+
+    std::vector<BinaryLayer> layers;
+    for (std::size_t l = 0; l < num_layers; ++l) {
+        std::size_t in_dim = 0, out_dim = 0;
+        is >> key >> in_dim >> out_dim;
+        if (key != "layer" || in_dim == 0 || out_dim == 0)
+            sushi_fatal("bad layer header in layer %zu", l);
+        BinaryLayer layer;
+        layer.thresholds.resize(out_dim);
+        is >> key;
+        if (key != "thresholds")
+            sushi_fatal("missing thresholds in layer %zu", l);
+        for (auto &t : layer.thresholds)
+            is >> t;
+        layer.weights.resize(out_dim);
+        for (std::size_t o = 0; o < out_dim; ++o) {
+            std::string signs;
+            is >> key >> signs;
+            if (key != "row" || signs.size() != in_dim)
+                sushi_fatal("bad weight row %zu in layer %zu", o, l);
+            auto &row = layer.weights[o];
+            row.reserve(in_dim);
+            for (char c : signs) {
+                if (c != '+' && c != '-')
+                    sushi_fatal("bad sign '%c' in layer %zu", c, l);
+                row.push_back(c == '+' ? 1 : -1);
+            }
+        }
+        layers.push_back(std::move(layer));
+    }
+    if (!is)
+        sushi_fatal("truncated sushi-ssnn model");
+    return BinarySnn::fromLayers(std::move(layers), t_steps);
+}
+
+std::string
+binarySnnToString(const BinarySnn &net)
+{
+    std::ostringstream os;
+    saveBinarySnn(net, os);
+    return os.str();
+}
+
+BinarySnn
+binarySnnFromString(const std::string &text)
+{
+    std::istringstream is(text);
+    return loadBinarySnn(is);
+}
+
+} // namespace sushi::snn

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Text serialization of binarized SSNN models.
+ *
+ * A trained, binarized network is the artifact the off-chip encoding
+ * phase consumes (Fig. 12(a)); persisting it lets examples and
+ * benches train once and reuse, and gives deployments a stable
+ * interchange format. The format is line-oriented and human-
+ * readable:
+ *
+ *   sushi-ssnn v1
+ *   t_steps <T>
+ *   layers <L>
+ *   layer <in_dim> <out_dim>
+ *   thresholds <t0> <t1> ...
+ *   row +--+... (one sign-string row per output neuron)
+ */
+
+#ifndef SUSHI_SNN_MODEL_IO_HH
+#define SUSHI_SNN_MODEL_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "snn/binarize.hh"
+
+namespace sushi::snn {
+
+/** Serialize a binarized network to a stream. */
+void saveBinarySnn(const BinarySnn &net, std::ostream &os);
+
+/**
+ * Parse a binarized network from a stream.
+ * Calls fatal() on malformed input (user data error).
+ */
+BinarySnn loadBinarySnn(std::istream &is);
+
+/** Convenience: serialize to / parse from a string. */
+std::string binarySnnToString(const BinarySnn &net);
+BinarySnn binarySnnFromString(const std::string &text);
+
+} // namespace sushi::snn
+
+#endif // SUSHI_SNN_MODEL_IO_HH

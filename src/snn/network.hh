@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The floating-point reference SNN (the SpikingJelly stand-in).
+ *
+ * Architecture of paper Sec. 6: INPUT 28*28 - Flatten - FC(H) - IF -
+ * FC(10) - IF, integrate-and-fire neurons with threshold 1.0, hard
+ * reset to 0 (paper Eqs. (1)-(3)), simulated for T time steps with
+ * rate-coded outputs. Table 3's "SpikingJelly" column is produced by
+ * this model; the "SUSHI" column by its binarized, stateless,
+ * bit-sliced derivative running on the chip model.
+ */
+
+#ifndef SUSHI_SNN_NETWORK_HH
+#define SUSHI_SNN_NETWORK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "snn/tensor.hh"
+
+namespace sushi::snn {
+
+/** Network geometry and neuron parameters. */
+struct SnnConfig
+{
+    std::size_t input = 28 * 28;
+    std::size_t hidden = 800;
+    std::size_t output = 10;
+    int t_steps = 5;
+    float threshold = 1.0f;
+    /** Arctan surrogate sharpness (SpikingJelly default 2.0). */
+    float surrogate_alpha = 2.0f;
+    /**
+     * Stateless neurons (paper Sec. 5.1): the membrane potential is
+     * reset to zero at the end of every time step, so no residual is
+     * carried — the superconducting-circuit-friendly model. When
+     * false, the standard stateful IF of Eqs. (1)-(3) is used (the
+     * SpikingJelly reference behaviour).
+     */
+    bool stateless = false;
+};
+
+/** Per-step activations recorded for BPTT. */
+struct ForwardTrace
+{
+    std::vector<Tensor> x;      ///< input frames [T][B x in]
+    std::vector<Tensor> v1_pre; ///< hidden membrane before firing
+    std::vector<Tensor> s1;     ///< hidden spikes
+    std::vector<Tensor> v2_pre; ///< output membrane before firing
+    std::vector<Tensor> s2;     ///< output spikes
+    Tensor counts;              ///< summed output spikes [B x out]
+};
+
+/** Two-layer fully-connected IF spiking network. */
+class SnnMlp
+{
+  public:
+    SnnMlp(const SnnConfig &cfg, std::uint64_t seed);
+
+    const SnnConfig &config() const { return cfg_; }
+
+    /// @name Parameters (exposed for the trainer and binarizer).
+    /// @{
+    Tensor w1;               ///< [hidden x input]
+    std::vector<float> b1;   ///< [hidden]
+    Tensor w2;               ///< [output x hidden]
+    std::vector<float> b2;   ///< [output]
+    /// @}
+
+    /**
+     * Run the network over pre-encoded spike frames.
+     * @param frames frames[t] is a [B x input] 0/1 matrix
+     * @param trace  if non-null, filled with per-step activations
+     * @return output spike counts [B x output]
+     */
+    Tensor forward(const std::vector<Tensor> &frames,
+                   ForwardTrace *trace = nullptr) const;
+
+    /**
+     * Forward pass with explicit weight tensors (used by the
+     * binarization-aware trainer, which substitutes the XNOR-Net
+     * effective weights alpha * sign(w) while keeping the float
+     * shadow weights in w1/w2).
+     */
+    Tensor forwardWith(const Tensor &eff_w1, const Tensor &eff_w2,
+                       const std::vector<Tensor> &frames,
+                       ForwardTrace *trace = nullptr) const;
+
+    /** Argmax-of-counts prediction per batch row. */
+    std::vector<int> predict(const std::vector<Tensor> &frames) const;
+
+  private:
+    SnnConfig cfg_;
+};
+
+/** Arctan surrogate-gradient derivative at @p v (centred at 0). */
+float surrogateGrad(float v, float alpha);
+
+} // namespace sushi::snn
+
+#endif // SUSHI_SNN_NETWORK_HH

@@ -1,0 +1,139 @@
+#include "snn/tensor.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+
+namespace sushi::snn {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+{
+}
+
+void
+Tensor::zero()
+{
+    std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+void
+Tensor::heInit(Rng &rng, std::size_t fan_in)
+{
+    const double std = std::sqrt(2.0 / static_cast<double>(fan_in));
+    for (auto &v : data_)
+        v = static_cast<float>(rng.gaussian(0.0, std));
+}
+
+void
+Tensor::axpy(float alpha, const Tensor &other)
+{
+    sushi_assert(rows_ == other.rows_ && cols_ == other.cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += alpha * other.data_[i];
+}
+
+double
+Tensor::normSq() const
+{
+    double s = 0.0;
+    for (float v : data_)
+        s += static_cast<double>(v) * v;
+    return s;
+}
+
+void
+linearForward(const Tensor &x, const Tensor &w,
+              const std::vector<float> &bias, Tensor &out)
+{
+    const std::size_t batch = x.rows();
+    const std::size_t in_dim = x.cols();
+    const std::size_t out_dim = w.rows();
+    sushi_assert(w.cols() == in_dim);
+    sushi_assert(bias.size() == out_dim);
+    sushi_assert(out.rows() == batch && out.cols() == out_dim);
+
+    if (batch >= 256) {
+        // Large batches: parallelise over rows.
+        parallelFor(batch, [&](std::size_t b0, std::size_t b1) {
+            for (std::size_t b = b0; b < b1; ++b) {
+                const float *xb = x.row(b);
+                float *ob = out.row(b);
+                for (std::size_t o = 0; o < out_dim; ++o) {
+                    const float *wo = w.row(o);
+                    float acc = bias[o];
+                    for (std::size_t i = 0; i < in_dim; ++i)
+                        acc += wo[i] * xb[i];
+                    ob[o] = acc;
+                }
+            }
+        });
+        return;
+    }
+    // Training-size batches: parallelise over output neurons, which
+    // is the wide dimension (e.g. 800 hidden units at batch 64).
+    parallelFor(out_dim, [&](std::size_t o0, std::size_t o1) {
+        for (std::size_t o = o0; o < o1; ++o) {
+            const float *wo = w.row(o);
+            for (std::size_t b = 0; b < batch; ++b) {
+                const float *xb = x.row(b);
+                float acc = bias[o];
+                for (std::size_t i = 0; i < in_dim; ++i)
+                    acc += wo[i] * xb[i];
+                out.at(b, o) = acc;
+            }
+        }
+    });
+}
+
+void
+linearBackward(const Tensor &x, const Tensor &w, const Tensor &dout,
+               Tensor &dw, std::vector<float> &db, Tensor &dx)
+{
+    const std::size_t batch = x.rows();
+    const std::size_t in_dim = x.cols();
+    const std::size_t out_dim = w.rows();
+    sushi_assert(dout.rows() == batch && dout.cols() == out_dim);
+    sushi_assert(dw.rows() == out_dim && dw.cols() == in_dim);
+    sushi_assert(db.size() == out_dim);
+    sushi_assert(dx.rows() == batch && dx.cols() == in_dim);
+
+    // dx = dout * W : parallel over batch.
+    parallelFor(batch, [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t b = b0; b < b1; ++b) {
+            const float *dob = dout.row(b);
+            float *dxb = dx.row(b);
+            std::fill(dxb, dxb + in_dim, 0.0f);
+            for (std::size_t o = 0; o < out_dim; ++o) {
+                const float g = dob[o];
+                if (g == 0.0f)
+                    continue;
+                const float *wo = w.row(o);
+                for (std::size_t i = 0; i < in_dim; ++i)
+                    dxb[i] += g * wo[i];
+            }
+        }
+    });
+
+    // dW += dout^T * x and db += colsum(dout): parallel over outputs
+    // so accumulation rows are disjoint.
+    parallelFor(out_dim, [&](std::size_t o0, std::size_t o1) {
+        for (std::size_t o = o0; o < o1; ++o) {
+            float *dwo = dw.row(o);
+            float dbo = 0.0f;
+            for (std::size_t b = 0; b < batch; ++b) {
+                const float g = dout.at(b, o);
+                if (g == 0.0f)
+                    continue;
+                dbo += g;
+                const float *xb = x.row(b);
+                for (std::size_t i = 0; i < in_dim; ++i)
+                    dwo[i] += g * xb[i];
+            }
+            db[o] += dbo;
+        }
+    });
+}
+
+} // namespace sushi::snn

@@ -1,0 +1,231 @@
+#include "snn/train.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "snn/binarize.hh"
+
+namespace sushi::snn {
+
+Adam::Adam(std::size_t size, float lr, float beta1, float beta2,
+           float eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+      m_(size, 0.0f), v_(size, 0.0f)
+{
+}
+
+void
+Adam::step(float *params, const float *grads, std::size_t size)
+{
+    sushi_assert(size == m_.size());
+    ++t_;
+    const float bc1 =
+        1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 =
+        1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (std::size_t i = 0; i < size; ++i) {
+        const float g = grads[i];
+        m_[i] = beta1_ * m_[i] + (1.0f - beta1_) * g;
+        v_[i] = beta2_ * v_[i] + (1.0f - beta2_) * g * g;
+        const float mhat = m_[i] / bc1;
+        const float vhat = v_[i] / bc2;
+        params[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+}
+
+Trainer::Trainer(SnnMlp &net, const TrainConfig &cfg)
+    : net_(net), cfg_(cfg),
+      opt_w1_(net.w1.size(), cfg.lr),
+      opt_b1_(net.b1.size(), cfg.lr),
+      opt_w2_(net.w2.size(), cfg.lr),
+      opt_b2_(net.b2.size(), cfg.lr)
+{
+}
+
+std::pair<double, std::size_t>
+Trainer::step(const std::vector<Tensor> &frames,
+              const std::vector<int> &labels)
+{
+    const SnnConfig &cfg = net_.config();
+    const std::size_t batch = frames[0].rows();
+    const int t_steps = cfg.t_steps;
+    const float theta = cfg.threshold;
+    sushi_assert(labels.size() == batch);
+
+    // Binarization-aware forward: run with the XNOR-Net effective
+    // weights; gradients flow to the float shadow weights (STE).
+    Tensor eff_w1, eff_w2;
+    if (cfg_.binary_aware) {
+        eff_w1 = binaryEffectiveWeights(net_.w1);
+        eff_w2 = binaryEffectiveWeights(net_.w2);
+    }
+    const Tensor &fw1 = cfg_.binary_aware ? eff_w1 : net_.w1;
+    const Tensor &fw2 = cfg_.binary_aware ? eff_w2 : net_.w2;
+
+    ForwardTrace trace;
+    const Tensor counts = net_.forwardWith(fw1, fw2, frames, &trace);
+
+    // Rate-coded MSE loss: L = mean((counts/T - onehot)^2).
+    const double denom =
+        static_cast<double>(batch) * static_cast<double>(cfg.output);
+    double loss = 0.0;
+    std::size_t correct = 0;
+    Tensor dcounts(batch, cfg.output); // dL/dcounts
+    for (std::size_t b = 0; b < batch; ++b) {
+        const float *row = counts.row(b);
+        int best = 0;
+        for (std::size_t c = 0; c < cfg.output; ++c) {
+            const float rate =
+                row[c] / static_cast<float>(t_steps);
+            const float target =
+                labels[b] == static_cast<int>(c) ? 1.0f : 0.0f;
+            const float err = rate - target;
+            loss += static_cast<double>(err) * err;
+            dcounts.at(b, c) =
+                2.0f * err /
+                static_cast<float>(denom * t_steps);
+            if (row[c] > row[static_cast<std::size_t>(best)])
+                best = static_cast<int>(c);
+        }
+        correct += best == labels[b] ? 1 : 0;
+    }
+    loss /= denom;
+
+    // BPTT with detached reset: walk time backwards, carrying the
+    // membrane gradient gv through v_pre[t] = v_after[t-1] + h[t],
+    // v_after = v_pre * (1 - s) (s detached in the reset term).
+    Tensor gw1(cfg.hidden, cfg.input), gw2(cfg.output, cfg.hidden);
+    std::vector<float> gb1(cfg.hidden, 0.0f), gb2(cfg.output, 0.0f);
+    Tensor gv1(batch, cfg.hidden), gv2(batch, cfg.output);
+    Tensor dv2(batch, cfg.output), dv1(batch, cfg.hidden);
+    Tensor ds1(batch, cfg.hidden);
+
+    for (int t = t_steps - 1; t >= 0; --t) {
+        const auto ti = static_cast<std::size_t>(t);
+        const Tensor &v2p = trace.v2_pre[ti];
+        const Tensor &s2 = trace.s2[ti];
+        // dL/dv2_pre = dL/ds2 * surrogate + gv2 * (1 - s2).
+        for (std::size_t i = 0; i < dv2.size(); ++i) {
+            const float sg = surrogateGrad(
+                v2p.data()[i] - theta, cfg.surrogate_alpha);
+            dv2.data()[i] =
+                dcounts.data()[i] * sg +
+                gv2.data()[i] * (1.0f - s2.data()[i]);
+        }
+        if (cfg.stateless)
+            gv2.zero(); // no membrane carry between steps
+        else
+            gv2 = dv2; // carried to t-1 through the charge equation
+
+        // Through the output linear layer into hidden spikes (the
+        // effective weights are what the forward pass used).
+        linearBackward(trace.s1[ti], fw2, dv2, gw2, gb2, ds1);
+
+        const Tensor &v1p = trace.v1_pre[ti];
+        const Tensor &s1 = trace.s1[ti];
+        for (std::size_t i = 0; i < dv1.size(); ++i) {
+            const float sg = surrogateGrad(
+                v1p.data()[i] - theta, cfg.surrogate_alpha);
+            dv1.data()[i] =
+                ds1.data()[i] * sg +
+                gv1.data()[i] * (1.0f - s1.data()[i]);
+        }
+        if (cfg.stateless)
+            gv1.zero();
+        else
+            gv1 = dv1;
+
+        // Into the first linear layer (input gradient discarded).
+        Tensor dx(batch, cfg.input);
+        linearBackward(trace.x[ti], fw1, dv1, gw1, gb1, dx);
+    }
+
+    opt_w1_.step(net_.w1.data(), gw1.data(), gw1.size());
+    opt_b1_.step(net_.b1.data(), gb1.data(), gb1.size());
+    opt_w2_.step(net_.w2.data(), gw2.data(), gw2.size());
+    opt_b2_.step(net_.b2.data(), gb2.data(), gb2.size());
+
+    return {loss, correct};
+}
+
+TrainStats
+Trainer::fit(const Tensor &images, const std::vector<int> &labels)
+{
+    sushi_assert(images.rows() == labels.size());
+    const std::size_t n = images.rows();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    Rng shuffle_rng(cfg_.shuffle_seed);
+    PoissonEncoder encoder(cfg_.encoder_seed);
+
+    TrainStats stats;
+    for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+        // Fisher-Yates shuffle.
+        for (std::size_t i = n - 1; i > 0; --i) {
+            const std::size_t j = shuffle_rng.below(i + 1);
+            std::swap(order[i], order[j]);
+        }
+        double epoch_loss = 0.0;
+        std::size_t epoch_correct = 0, batches = 0;
+        for (std::size_t start = 0; start < n;
+             start += cfg_.batch) {
+            const std::size_t end =
+                std::min(n, start + cfg_.batch);
+            const std::size_t bsz = end - start;
+            Tensor batch_images(bsz, images.cols());
+            std::vector<int> batch_labels(bsz);
+            for (std::size_t b = 0; b < bsz; ++b) {
+                const std::size_t src = order[start + b];
+                std::copy_n(images.row(src), images.cols(),
+                            batch_images.row(b));
+                batch_labels[b] = labels[src];
+            }
+            auto frames = encoder.encodeBatch(
+                batch_images, net_.config().t_steps);
+            auto [loss, correct] = step(frames, batch_labels);
+            epoch_loss += loss;
+            epoch_correct += correct;
+            ++batches;
+        }
+        stats.epoch_loss.push_back(epoch_loss /
+                                   static_cast<double>(batches));
+        stats.epoch_train_acc.push_back(
+            static_cast<double>(epoch_correct) /
+            static_cast<double>(n));
+        if (cfg_.verbose) {
+            sushi_inform("epoch %d: loss %.5f acc %.4f", epoch,
+                         stats.epoch_loss.back(),
+                         stats.epoch_train_acc.back());
+        }
+    }
+    return stats;
+}
+
+double
+evaluate(const SnnMlp &net, const Tensor &images,
+         const std::vector<int> &labels, std::uint64_t encoder_seed)
+{
+    sushi_assert(images.rows() == labels.size());
+    PoissonEncoder encoder(encoder_seed);
+    const std::size_t n = images.rows();
+    const std::size_t batch = 256;
+    std::size_t correct = 0;
+    for (std::size_t start = 0; start < n; start += batch) {
+        const std::size_t end = std::min(n, start + batch);
+        const std::size_t bsz = end - start;
+        Tensor batch_images(bsz, images.cols());
+        for (std::size_t b = 0; b < bsz; ++b)
+            std::copy_n(images.row(start + b), images.cols(),
+                        batch_images.row(b));
+        auto frames =
+            encoder.encodeBatch(batch_images, net.config().t_steps);
+        auto preds = net.predict(frames);
+        for (std::size_t b = 0; b < bsz; ++b)
+            correct += preds[b] == labels[start + b] ? 1 : 0;
+    }
+    return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+} // namespace sushi::snn

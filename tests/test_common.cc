@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the common substrate: time units, RNG, stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/time.hh"
+
+namespace sushi {
+namespace {
+
+TEST(Time, PsRoundTrip)
+{
+    EXPECT_EQ(psToTicks(1.0), 1000);
+    EXPECT_EQ(psToTicks(19.9), 19900);
+    EXPECT_EQ(psToTicks(8.53), 8530);
+    EXPECT_DOUBLE_EQ(ticksToPs(psToTicks(5.7)), 5.7);
+}
+
+TEST(Time, Seconds)
+{
+    EXPECT_DOUBLE_EQ(ticksToSeconds(kTicksPerNs), 1e-9);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(psToTicks(1.0)), 1e-12);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowBounds)
+{
+    Rng r(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.below(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all residues hit
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(5);
+    bool lo_seen = false, hi_seen = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        lo_seen |= (v == -3);
+        hi_seen |= (v == 3);
+    }
+    EXPECT_TRUE(lo_seen);
+    EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(13);
+    double sum = 0, sq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double g = r.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIndependent)
+{
+    Rng a(99);
+    Rng child = a.fork();
+    // Child stream differs from the parent's continuation.
+    EXPECT_NE(child.next(), a.next());
+}
+
+TEST(Stats, Counters)
+{
+    StatSet s;
+    EXPECT_EQ(s.counter("x"), 0u);
+    s.inc("x");
+    s.inc("x", 4);
+    EXPECT_EQ(s.counter("x"), 5u);
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_FALSE(s.has("y"));
+}
+
+TEST(Stats, Scalars)
+{
+    StatSet s;
+    s.set("p", 3.25);
+    EXPECT_DOUBLE_EQ(s.scalar("p"), 3.25);
+    s.set("p", -1.0);
+    EXPECT_DOUBLE_EQ(s.scalar("p"), -1.0);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    StatSet s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.sample("d", v);
+    const Distribution &d = s.dist("d");
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 4.0);
+    EXPECT_NEAR(d.stddev(), 1.11803, 1e-4);
+}
+
+TEST(Stats, DistributionMerge)
+{
+    Distribution a, b;
+    a.sample(1.0);
+    a.sample(2.0);
+    b.sample(10.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.max(), 10.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+}
+
+TEST(Stats, Clear)
+{
+    StatSet s;
+    s.inc("a");
+    s.set("b", 1);
+    s.sample("c", 1);
+    s.clear();
+    EXPECT_FALSE(s.has("a"));
+    EXPECT_FALSE(s.has("b"));
+    EXPECT_FALSE(s.has("c"));
+}
+
+} // namespace
+} // namespace sushi

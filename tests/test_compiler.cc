@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the SSNN compiler: slicing, bucketing/reordering,
+ * state-range analysis and network compilation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hh"
+#include "compiler/compile.hh"
+
+namespace sushi::compiler {
+namespace {
+
+snn::BinaryLayer
+randomLayer(int in_dim, int out_dim, double neg_fraction,
+            int theta_lo, int theta_hi, std::uint64_t seed)
+{
+    Rng rng(seed);
+    snn::BinaryLayer layer;
+    layer.weights.resize(static_cast<std::size_t>(out_dim));
+    layer.thresholds.resize(static_cast<std::size_t>(out_dim));
+    for (int o = 0; o < out_dim; ++o) {
+        auto &row = layer.weights[static_cast<std::size_t>(o)];
+        row.resize(static_cast<std::size_t>(in_dim));
+        for (int i = 0; i < in_dim; ++i)
+            row[static_cast<std::size_t>(i)] =
+                rng.chance(neg_fraction) ? -1 : 1;
+        layer.thresholds[static_cast<std::size_t>(o)] =
+            static_cast<int>(rng.range(theta_lo, theta_hi));
+    }
+    return layer;
+}
+
+TEST(BitSlice, ExactFit)
+{
+    LayerSlices s = sliceLayer(16, 16, 16);
+    EXPECT_EQ(s.numInBlocks(), 1);
+    EXPECT_EQ(s.numOutBlocks(), 1);
+    EXPECT_EQ(s.inBlock(0).size(), 16);
+}
+
+TEST(BitSlice, RaggedTail)
+{
+    LayerSlices s = sliceLayer(784, 800, 16);
+    EXPECT_EQ(s.numInBlocks(), 49);
+    EXPECT_EQ(s.numOutBlocks(), 50);
+    EXPECT_EQ(s.inBlock(48).size(), 784 - 48 * 16);
+    EXPECT_EQ(s.totalBlocks(), 49L * 50L);
+}
+
+TEST(BitSlice, BlocksCoverEverything)
+{
+    LayerSlices s = sliceLayer(100, 30, 7);
+    int covered = 0;
+    for (int k = 0; k < s.numInBlocks(); ++k)
+        covered += s.inBlock(k).size();
+    EXPECT_EQ(covered, 100);
+    covered = 0;
+    for (int k = 0; k < s.numOutBlocks(); ++k)
+        covered += s.outBlock(k).size();
+    EXPECT_EQ(covered, 30);
+}
+
+TEST(Bucketing, OrderIsPermutation)
+{
+    auto layer = randomLayer(97, 8, 0.4, 1, 5, 3);
+    BucketingConfig cfg;
+    auto sched = scheduleLayer(layer, cfg);
+    std::vector<int> sorted = sched.order;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 97; ++i)
+        EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Bucketing, BucketsCoverInputs)
+{
+    auto layer = randomLayer(130, 4, 0.5, 1, 3, 5);
+    BucketingConfig cfg;
+    cfg.bucket_size = 32;
+    auto sched = scheduleLayer(layer, cfg);
+    int covered = 0;
+    int prev_end = 0;
+    for (const Block &b : sched.buckets) {
+        EXPECT_EQ(b.begin, prev_end);
+        covered += b.size();
+        prev_end = b.end;
+    }
+    EXPECT_EQ(covered, 130);
+}
+
+TEST(Bucketing, DisabledYieldsSingleBucket)
+{
+    auto layer = randomLayer(64, 4, 0.5, 1, 3, 7);
+    BucketingConfig cfg;
+    cfg.bucketing = false;
+    auto sched = scheduleLayer(layer, cfg);
+    ASSERT_EQ(sched.buckets.size(), 1u);
+    EXPECT_EQ(sched.buckets[0].size(), 64);
+}
+
+TEST(Bucketing, BucketingShrinksStateRange)
+{
+    // Sec. 5.1: bucketing "controls the range of states of the
+    // neuron". A heavily inhibitory layer needs far fewer states
+    // with alternating passes.
+    auto layer = randomLayer(512, 8, 0.5, 1, 8, 11);
+    BucketingConfig cfg;
+    cfg.bucket_size = 32;
+    auto sched = scheduleLayer(layer, cfg);
+    auto report = analyzeStateRange(layer, sched, cfg);
+    EXPECT_LT(report.required_states,
+              report.required_states_unbucketed / 3);
+    EXPECT_GT(report.required_states_unbucketed, 256);
+}
+
+TEST(Bucketing, UnbucketedRangeMatchesInhibitoryCount)
+{
+    snn::BinaryLayer layer;
+    layer.weights = {{-1, -1, -1, 1, 1}};
+    layer.thresholds = {2};
+    BucketingConfig cfg;
+    cfg.bucketing = false;
+    auto sched = scheduleLayer(layer, cfg);
+    auto report = analyzeStateRange(layer, sched, cfg);
+    // theta (2) + all three inhibitory synapses.
+    EXPECT_EQ(report.required_states_unbucketed, 5);
+    EXPECT_EQ(report.required_states, 5);
+}
+
+TEST(Bucketing, StateBudgetFromBits)
+{
+    auto layer = randomLayer(16, 2, 0.5, 1, 2, 13);
+    BucketingConfig cfg;
+    cfg.state_bits = 7;
+    auto sched = scheduleLayer(layer, cfg);
+    auto report = analyzeStateRange(layer, sched, cfg);
+    EXPECT_EQ(report.state_budget, 128);
+}
+
+TEST(Bucketing, ReorderReducesReloads)
+{
+    // Sec. 4.2.2: reordering lets adjacent slices share crosspoint
+    // configurations. Trained layers have correlated signs per
+    // input; model that with inputs whose polarity is uniform
+    // across columns but pseudo-shuffled across inputs.
+    snn::BinaryLayer layer;
+    const int in_dim = 256, out_dim = 16;
+    layer.weights.resize(out_dim);
+    layer.thresholds.assign(out_dim, 3);
+    for (int o = 0; o < out_dim; ++o) {
+        auto &row = layer.weights[static_cast<std::size_t>(o)];
+        row.resize(in_dim);
+        for (int i = 0; i < in_dim; ++i) {
+            const bool neg =
+                ((static_cast<unsigned>(i) * 2654435761u) >> 16) & 1;
+            row[static_cast<std::size_t>(i)] = neg ? -1 : 1;
+        }
+    }
+    BucketingConfig plain;
+    plain.reorder = false;
+    plain.mesh_width = 16;
+    BucketingConfig sorted;
+    sorted.reorder = true;
+    sorted.mesh_width = 16;
+    const long plain_reloads =
+        countReloads(layer, scheduleLayer(layer, plain), 16);
+    const long sorted_reloads =
+        countReloads(layer, scheduleLayer(layer, sorted), 16);
+    // Sorting groups equal-polarity inputs into contiguous runs per
+    // crosspoint: at most two transitions per (row, column) plus the
+    // initial configuration, far below the random baseline.
+    EXPECT_LT(sorted_reloads, plain_reloads / 2);
+}
+
+TEST(Bucketing, ReloadsCountFirstConfiguration)
+{
+    // A single slice still needs its one-time configuration.
+    auto layer = randomLayer(8, 4, 0.5, 1, 2, 19);
+    BucketingConfig cfg;
+    auto sched = scheduleLayer(layer, cfg);
+    EXPECT_EQ(countReloads(layer, sched, 8), 4 * 8L);
+}
+
+TEST(Compile, PreloadsEncodeThresholds)
+{
+    snn::BinaryLayer layer;
+    layer.weights = {{1, 1, 1}, {1, -1, 1}};
+    layer.thresholds = {2, 1};
+    snn::BinarySnn net; // assemble via fromFloat path is heavier;
+    // compile a hand-built network through the public API instead.
+    // BinarySnn has no public constructor for layers, so test the
+    // layer-level invariants through compileNetwork on a trained
+    // net below; here check the slicing piece only.
+    ChipConfig chip;
+    chip.n = 4;
+    auto slices = sliceLayer(3, 2, chip.n);
+    EXPECT_EQ(slices.numInBlocks(), 1);
+}
+
+TEST(Compile, FullNetworkCompiles)
+{
+    snn::SnnConfig cfg;
+    cfg.input = 36;
+    cfg.hidden = 12;
+    cfg.output = 4;
+    cfg.t_steps = 3;
+    cfg.stateless = true;
+    snn::SnnMlp mlp(cfg, 21);
+    auto bin = snn::BinarySnn::fromFloat(mlp);
+
+    ChipConfig chip;
+    chip.n = 8;
+    chip.sc_per_npe = 10;
+    auto compiled = compileNetwork(bin, chip);
+    ASSERT_EQ(compiled.layers.size(), 2u);
+
+    const auto &l0 = compiled.layers[0];
+    EXPECT_EQ(l0.slices.numInBlocks(), 5); // ceil(36/8)
+    EXPECT_EQ(l0.slices.numOutBlocks(), 2); // ceil(12/8)
+    EXPECT_EQ(l0.preload.size(), 12u);
+    const std::uint64_t budget = 1u << 10;
+    for (std::size_t o = 0; o < 12; ++o) {
+        if (compiled.layers[0].disabled[o])
+            continue;
+        const int theta = bin.layers()[0].thresholds[o];
+        const int eff = theta + l0.bias_pulses[o];
+        EXPECT_GE(eff, 1);
+        EXPECT_EQ(l0.preload[o],
+                  budget - static_cast<std::uint64_t>(eff));
+    }
+    EXPECT_GT(compiled.totalReloads(), 0);
+}
+
+TEST(Compile, MasksPartitionInputs)
+{
+    snn::SnnConfig cfg;
+    cfg.input = 70;
+    cfg.hidden = 9;
+    cfg.output = 3;
+    cfg.stateless = true;
+    snn::SnnMlp mlp(cfg, 23);
+    auto bin = snn::BinarySnn::fromFloat(mlp);
+    ChipConfig chip;
+    chip.n = 4;
+    auto compiled = compileNetwork(bin, chip);
+    const auto &l0 = compiled.layers[0];
+    for (std::size_t o = 0; o < 9; ++o) {
+        // Every input position is in exactly one of the two masks.
+        for (std::size_t w = 0; w < l0.neg_masks[o].size(); ++w) {
+            EXPECT_EQ(l0.neg_masks[o][w] & l0.pos_masks[o][w], 0u);
+        }
+        std::uint64_t bits = 0;
+        for (std::size_t w = 0; w < l0.neg_masks[o].size(); ++w) {
+            bits += static_cast<std::uint64_t>(
+                std::popcount(l0.neg_masks[o][w]) +
+                std::popcount(l0.pos_masks[o][w]));
+        }
+        EXPECT_EQ(bits, 70u);
+    }
+}
+
+} // namespace
+} // namespace sushi::compiler

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the Table-1 timing-constraint machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/time.hh"
+#include "sfq/cells.hh"
+#include "sfq/constraints.hh"
+#include "sfq/netlist.hh"
+#include "sfq/simulator.hh"
+
+namespace sushi::sfq {
+namespace {
+
+TEST(Constraints, TableMatchesPaperValues)
+{
+    // Paper Table 1, spot checks of every row.
+    auto find = [](CellKind k, const std::string &label) -> double {
+        for (const auto &r : constraintRules(k))
+            if (label == r.label)
+                return ticksToPs(r.min_interval);
+        return -1.0;
+    };
+    EXPECT_DOUBLE_EQ(find(CellKind::CB, "dinA-dinA"), 19.9);
+    EXPECT_DOUBLE_EQ(find(CellKind::CB, "dinA-dinB"), 5.7);
+    EXPECT_DOUBLE_EQ(find(CellKind::SPL, "din-din"), 19.9);
+    EXPECT_DOUBLE_EQ(find(CellKind::NDRO, "din-rst"), 39.9);
+    EXPECT_DOUBLE_EQ(find(CellKind::NDRO, "rst-din"), 39.9);
+    EXPECT_DOUBLE_EQ(find(CellKind::NDRO, "clk-clk"), 39.9);
+    EXPECT_DOUBLE_EQ(find(CellKind::NDRO, "din-clk"), 14.81);
+    EXPECT_DOUBLE_EQ(find(CellKind::NDRO, "rst-clk"), 16.61);
+    EXPECT_DOUBLE_EQ(find(CellKind::DFF, "din-din"), 19.9);
+    EXPECT_DOUBLE_EQ(find(CellKind::DFF, "din-clk"), 8.53);
+    EXPECT_DOUBLE_EQ(find(CellKind::DFF, "clk-clk"), 19.9);
+    EXPECT_DOUBLE_EQ(find(CellKind::TFFL, "clk-clk"), 39.9);
+    EXPECT_DOUBLE_EQ(find(CellKind::JTL, "din-din"), 19.9);
+}
+
+TEST(Constraints, MaxConstraintPerCell)
+{
+    EXPECT_EQ(maxConstraint(CellKind::NDRO), psToTicks(39.9));
+    EXPECT_EQ(maxConstraint(CellKind::DFF), psToTicks(19.9));
+    EXPECT_EQ(maxConstraint(CellKind::DCSFQ), 0);
+}
+
+TEST(Constraints, SafeSpacingCoversLibrary)
+{
+    const Tick spacing = safePulseSpacing();
+    EXPECT_GE(spacing, psToTicks(39.9));
+    for (int k = 0; k < static_cast<int>(CellKind::kNumKinds); ++k)
+        EXPECT_GE(spacing, maxConstraint(static_cast<CellKind>(k)));
+}
+
+TEST(Constraints, CheckerFlagsTooClose)
+{
+    ConstraintChecker c(CellKind::SPL, 1);
+    EXPECT_TRUE(c.arrive(0, 0).empty());
+    // 10 ps < 19.9 ps din-din: violation.
+    EXPECT_FALSE(c.arrive(0, psToTicks(10.0)).empty());
+}
+
+TEST(Constraints, CheckerAcceptsExactInterval)
+{
+    ConstraintChecker c(CellKind::SPL, 1);
+    EXPECT_TRUE(c.arrive(0, 0).empty());
+    EXPECT_TRUE(c.arrive(0, psToTicks(19.9)).empty());
+}
+
+TEST(Constraints, CheckerCrossChannel)
+{
+    ConstraintChecker c(CellKind::NDRO, 3);
+    EXPECT_TRUE(c.arrive(chan::kNdroDin, 0).empty());
+    // clk 10 ps after din violates din-clk 14.81 ps.
+    EXPECT_FALSE(c.arrive(chan::kNdroClk, psToTicks(10.0)).empty());
+    // next clk 50 ps later is fine (clk-clk 39.9).
+    EXPECT_TRUE(c.arrive(chan::kNdroClk, psToTicks(60.0)).empty());
+}
+
+TEST(Constraints, CheckerResetForgetsHistory)
+{
+    ConstraintChecker c(CellKind::SPL, 1);
+    EXPECT_TRUE(c.arrive(0, 0).empty());
+    c.reset();
+    EXPECT_TRUE(c.arrive(0, psToTicks(1.0)).empty());
+}
+
+TEST(Constraints, SimulatorCountsCellViolations)
+{
+    Simulator sim;
+    sim.setViolationPolicy(ViolationPolicy::Ignore);
+    Netlist net(sim);
+    Spl &spl = net.makeSpl("spl");
+    PulseSink &a = net.makeSink("a");
+    PulseSink &b = net.makeSink("b");
+    spl.connect(0, a, 0);
+    spl.connect(1, b, 0);
+    spl.inject(0, 0);
+    spl.inject(0, psToTicks(5.0)); // violates din-din 19.9
+    sim.run();
+    EXPECT_EQ(sim.violations(), 1u);
+}
+
+TEST(Constraints, NoViolationAtSafeSpacing)
+{
+    Simulator sim;
+    sim.setViolationPolicy(ViolationPolicy::Ignore);
+    Netlist net(sim);
+    Ndro &n = net.makeNdro("n");
+    PulseSink &s = net.makeSink("s");
+    n.connect(0, s, 0);
+    const Tick gap = safePulseSpacing();
+    n.inject(chan::kNdroDin, 0);
+    n.inject(chan::kNdroClk, gap);
+    n.inject(chan::kNdroClk, 2 * gap);
+    n.inject(chan::kNdroRst, 3 * gap);
+    sim.run();
+    EXPECT_EQ(sim.violations(), 0u);
+    EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(Constraints, PrintableTableComplete)
+{
+    auto rows = constraintTable();
+    // CB 4 rules + SPL 1 + NDRO 5 + DFF 3 + TFF 1 + JTL 1 = 15 rows.
+    EXPECT_EQ(rows.size(), 15u);
+    for (const auto &r : rows) {
+        EXPECT_FALSE(r.cell.empty());
+        EXPECT_GT(r.min_ps, 0.0);
+    }
+}
+
+class ViolationParamTest
+    : public ::testing::TestWithParam<std::pair<double, bool>>
+{
+};
+
+TEST_P(ViolationParamTest, DffDinClkBoundary)
+{
+    // Property sweep around the 8.53 ps din->clk constraint.
+    auto [gap_ps, ok] = GetParam();
+    ConstraintChecker c(CellKind::DFF, 2);
+    EXPECT_TRUE(c.arrive(chan::kDffDin, 0).empty());
+    std::string v = c.arrive(chan::kDffClk, psToTicks(gap_ps));
+    EXPECT_EQ(v.empty(), ok) << "gap " << gap_ps << ": " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, ViolationParamTest,
+    ::testing::Values(std::make_pair(1.0, false),
+                      std::make_pair(8.52, false),
+                      std::make_pair(8.53, true),
+                      std::make_pair(8.54, true),
+                      std::make_pair(100.0, true)));
+
+} // namespace
+} // namespace sushi::sfq

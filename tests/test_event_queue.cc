@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel and simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sfq/event_queue.hh"
+#include "sfq/simulator.hh"
+
+namespace sushi::sfq {
+namespace {
+
+TEST(EventQueue, OrdersByTime)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableAtEqualTicks)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.runOne();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTick)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextTick(), kTickNever);
+    q.schedule(42, [] {});
+    EXPECT_EQ(q.nextTick(), 42);
+}
+
+TEST(EventQueue, ExecutedCount)
+{
+    EventQueue q;
+    q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    q.runOne();
+    EXPECT_EQ(q.executed(), 1u);
+    q.runOne();
+    EXPECT_EQ(q.executed(), 2u);
+}
+
+TEST(EventQueue, EventsCanSchedule)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        q.schedule(2, [&] { ++fired; });
+    });
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, TimeAdvances)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0);
+    Tick seen = -1;
+    sim.schedule(100, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, 100);
+    EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, RunUntilStopsEarly)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(10, [&] { ++fired; });
+    sim.schedule(1000, [&] { ++fired; });
+    sim.run(500);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(sim.idle());
+    sim.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, ScheduleInRelative)
+{
+    Simulator sim;
+    Tick at = -1;
+    sim.schedule(50, [&] {
+        sim.scheduleIn(25, [&] { at = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(at, 75);
+}
+
+TEST(Simulator, ViolationPolicyIgnoreCounts)
+{
+    Simulator sim;
+    sim.setViolationPolicy(ViolationPolicy::Ignore);
+    sim.reportViolation("test");
+    sim.reportViolation("test2");
+    EXPECT_EQ(sim.violations(), 2u);
+    EXPECT_EQ(sim.stats().counter("sim.constraint_violations"), 2u);
+}
+
+TEST(Simulator, EnergyAccumulates)
+{
+    Simulator sim;
+    sim.addSwitchEnergy(1e-19);
+    sim.addSwitchEnergy(2e-19);
+    EXPECT_DOUBLE_EQ(sim.switchEnergy(), 3e-19);
+}
+
+} // namespace
+} // namespace sushi::sfq

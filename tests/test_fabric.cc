@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Tests for weight structures, the mesh/tree networks and the
+ * resource/timing models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fabric/mesh_network.hh"
+#include "fabric/resource_model.hh"
+#include "fabric/timing_model.hh"
+#include "fabric/tree_network.hh"
+#include "fabric/weight_structure.hh"
+#include "sfq/constraints.hh"
+#include "sfq/simulator.hh"
+
+namespace sushi::fabric {
+namespace {
+
+TEST(WeightStructureBehavioural, DefaultStrengthOne)
+{
+    WeightStructure ws(8);
+    EXPECT_EQ(ws.strength(), 1);
+    EXPECT_EQ(ws.process(), 1);
+}
+
+TEST(WeightStructureBehavioural, ConfigurableGain)
+{
+    WeightStructure ws(8);
+    ws.configure(5);
+    EXPECT_EQ(ws.process(), 5);
+    ws.configure(0); // synapse off
+    EXPECT_EQ(ws.process(), 0);
+}
+
+TEST(WeightStructureBehavioural, ReloadCountsChangesOnly)
+{
+    WeightStructure ws(8);
+    ws.configure(3);
+    ws.configure(3); // no change, no reload
+    ws.configure(4);
+    EXPECT_EQ(ws.reloads(), 2);
+}
+
+/** Param: (w_max, strength) gate-level gain sweep. */
+class WsGateTest
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(WsGateTest, GateGainMatchesStrength)
+{
+    auto [w_max, strength] = GetParam();
+    sfq::Simulator sim;
+    sim.setViolationPolicy(sfq::ViolationPolicy::Fatal);
+    sfq::Netlist net(sim);
+    WeightStructureGate ws(net, "ws", w_max);
+    sfq::PulseSink &sink = net.makeSink("out");
+    ws.connectOut(sink, 0);
+
+    const Tick gap = sfq::safePulseSpacing();
+    Tick t = ws.configure(strength, gap, gap);
+    EXPECT_EQ(sim.violations(), 0u);
+    sim.run();
+    EXPECT_EQ(ws.strength(), strength);
+
+    // One input pulse -> `strength` output pulses.
+    ws.inPort().inject(ws.inChan(), t + gap);
+    sim.run();
+    EXPECT_EQ(sink.count(), static_cast<std::size_t>(strength));
+    EXPECT_EQ(sim.violations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gains, WsGateTest,
+    ::testing::Values(std::make_pair(1, 0), std::make_pair(1, 1),
+                      std::make_pair(3, 0), std::make_pair(3, 1),
+                      std::make_pair(3, 2), std::make_pair(3, 3),
+                      std::make_pair(5, 4), std::make_pair(5, 5),
+                      std::make_pair(4, 2), std::make_pair(8, 8),
+                      std::make_pair(12, 7), std::make_pair(16, 16),
+                      std::make_pair(16, 1)));
+
+TEST(WsGate, ReconfigurationChangesGain)
+{
+    sfq::Simulator sim;
+    sim.setViolationPolicy(sfq::ViolationPolicy::Fatal);
+    sfq::Netlist net(sim);
+    WeightStructureGate ws(net, "ws", 4);
+    sfq::PulseSink &sink = net.makeSink("out");
+    ws.connectOut(sink, 0);
+    const Tick gap = sfq::safePulseSpacing();
+
+    Tick t = ws.configure(3, gap, gap);
+    ws.inPort().inject(ws.inChan(), t + gap);
+    sim.run();
+    EXPECT_EQ(sink.count(), 3u);
+
+    sink.clear();
+    t = ws.configure(1, sim.now() + gap, gap);
+    ws.inPort().inject(ws.inChan(), t + gap);
+    sim.run();
+    EXPECT_EQ(sink.count(), 1u);
+    EXPECT_EQ(sim.violations(), 0u);
+}
+
+TEST(WsGate, MultiplePulsesEachAmplified)
+{
+    sfq::Simulator sim;
+    sim.setViolationPolicy(sfq::ViolationPolicy::Fatal);
+    sfq::Netlist net(sim);
+    WeightStructureGate ws(net, "ws", 3);
+    sfq::PulseSink &sink = net.makeSink("out");
+    ws.connectOut(sink, 0);
+    const Tick gap = 4 * sfq::safePulseSpacing();
+
+    Tick t = ws.configure(2, gap, sfq::safePulseSpacing());
+    for (int i = 0; i < 5; ++i)
+        ws.inPort().inject(ws.inChan(), t + (i + 1) * gap);
+    sim.run();
+    EXPECT_EQ(sink.count(), 10u);
+    EXPECT_EQ(sim.violations(), 0u);
+}
+
+TEST(WeightStructureResources, FreeFunctionsMatchBuilder)
+{
+    for (int w : {1, 2, 4, 8, 16}) {
+        sfq::Simulator sim;
+        sfq::Netlist net(sim);
+        WeightStructureGate ws(net, "ws", w);
+        EXPECT_EQ(net.resources().logic_jjs, weightStructureLogicJjs(w))
+            << "w=" << w;
+        EXPECT_EQ(net.resources().wiring_jjs,
+                  weightStructureWiringJjs(w))
+            << "w=" << w;
+    }
+}
+
+TEST(WeightStructureResources, WiringQuadraticInGain)
+{
+    // The staggered tap delays make wiring grow faster than linearly.
+    const long w4 = weightStructureWiringJjs(4);
+    const long w8 = weightStructureWiringJjs(8);
+    const long w16 = weightStructureWiringJjs(16);
+    EXPECT_GT(w8, 2 * w4);
+    EXPECT_GT(w16, 2 * w8);
+}
+
+TEST(MeshConfigTest, WMaxShrinksWithScale)
+{
+    EXPECT_EQ(wMaxForN(1), 16);
+    EXPECT_EQ(wMaxForN(4), 16);
+    EXPECT_EQ(wMaxForN(8), 8);
+    EXPECT_EQ(wMaxForN(16), 4);
+    EXPECT_EQ(wMaxForN(64), 3); // floor
+}
+
+TEST(MeshConfigTest, Geometry)
+{
+    MeshConfig cfg;
+    cfg.n = 4;
+    EXPECT_EQ(cfg.numNpes(), 8);
+    EXPECT_EQ(cfg.numSynapses(), 16);
+}
+
+/** End-to-end gate-level mesh: 2x2, programmed weights, pulses in. */
+TEST(MeshGateTest, RoutesWeightedPulses)
+{
+    sfq::Simulator sim;
+    sim.setViolationPolicy(sfq::ViolationPolicy::Ignore);
+    sfq::Netlist net(sim);
+    MeshConfig cfg;
+    cfg.n = 2;
+    cfg.sc_per_npe = 4;
+    cfg.w_max = 3;
+    MeshGate mesh(net, cfg);
+
+    const Tick gap = sfq::safePulseSpacing();
+    // Weights: input 0 -> outputs with strengths {2, 1};
+    //          input 1 -> outputs with strengths {0, 3}.
+    Tick t = mesh.configureWeights({{2, 1}, {0, 3}}, gap, gap);
+
+    // Arm everything excitatory; make the input NPEs fire on every
+    // external pulse (threshold 1: preload 2^4 - 1 = 15) and let the
+    // output NPEs just count (no spikes).
+    for (int i = 0; i < 2; ++i) {
+        auto &in_npe = mesh.inputNpe(i);
+        in_npe.injectRst(t + gap);
+        for (int b = 0; b < 4; ++b)
+            in_npe.injectWrite(b, t + (2 + b) * gap);
+        in_npe.injectSet1(t + 7 * gap);
+        mesh.outputNpe(i).injectRst(t + gap);
+        mesh.outputNpe(i).injectSet1(t + 7 * gap);
+    }
+    sim.run();
+
+    // One external pulse into input NPE 0: it fires once; the spike
+    // fans across row 0 and lands weighted on both output NPEs.
+    Tick start = sim.now() + 4 * gap;
+    mesh.injectInput(0, start);
+    sim.run();
+    EXPECT_EQ(mesh.outputNpe(0).value(), 2u);
+    EXPECT_EQ(mesh.outputNpe(1).value(), 1u);
+
+    // NOTE: input NPE 0 wrapped to 0 when it fired, so re-arm its
+    // threshold before the next pulse.
+    auto &in0 = mesh.inputNpe(0);
+    Tick t2 = sim.now() + gap;
+    in0.injectRst(t2);
+    for (int b = 0; b < 4; ++b)
+        in0.injectWrite(b, t2 + (1 + b) * gap);
+    in0.injectSet1(t2 + 6 * gap);
+    auto &in1 = mesh.inputNpe(1);
+    in1.injectRst(t2);
+    for (int b = 0; b < 4; ++b)
+        in1.injectWrite(b, t2 + (1 + b) * gap);
+    in1.injectSet1(t2 + 6 * gap);
+    sim.run();
+
+    // Pulse into input NPE 1: synapse (1,0) is off (strength 0),
+    // synapse (1,1) has strength 3.
+    mesh.injectInput(1, sim.now() + 4 * gap);
+    sim.run();
+    EXPECT_EQ(mesh.outputNpe(0).value(), 2u); // unchanged
+    EXPECT_EQ(mesh.outputNpe(1).value(), 1u + 3u);
+}
+
+TEST(MeshGateTest, OutputDriverTogglesPerSpike)
+{
+    sfq::Simulator sim;
+    sim.setViolationPolicy(sfq::ViolationPolicy::Ignore);
+    sfq::Netlist net(sim);
+    MeshConfig cfg;
+    cfg.n = 1;
+    cfg.sc_per_npe = 2; // 4 states
+    cfg.w_max = 1;
+    MeshGate mesh(net, cfg);
+
+    const Tick gap = sfq::safePulseSpacing();
+    Tick t = mesh.configureWeights({{1}}, gap, gap);
+    // Input NPE: fire on every pulse (preload 3). Output NPE: spike
+    // every 4th pulse (threshold 4, preload 0).
+    auto &in0 = mesh.inputNpe(0);
+    in0.injectRst(t + gap);
+    in0.injectWrite(0, t + 2 * gap);
+    in0.injectWrite(1, t + 3 * gap);
+    in0.injectSet1(t + 4 * gap);
+    mesh.outputNpe(0).injectRst(t + gap);
+    mesh.outputNpe(0).injectSet1(t + 4 * gap);
+    sim.run();
+
+    // 4 external pulses -> 4 input spikes -> output NPE wraps once.
+    // Re-arm the input threshold after each fire (it wraps to 0).
+    for (int p = 0; p < 4; ++p) {
+        Tick s = sim.now() + 2 * gap;
+        mesh.injectInput(0, s);
+        sim.run();
+        Tick r = sim.now() + gap;
+        in0.injectRst(r);
+        in0.injectWrite(0, r + gap);
+        in0.injectWrite(1, r + 2 * gap);
+        in0.injectSet1(r + 3 * gap);
+        sim.run();
+    }
+    EXPECT_EQ(mesh.outputDriver(0).pulseCount(), 1u);
+    EXPECT_TRUE(mesh.outputDriver(0).level());
+}
+
+TEST(TreeGateTest, MergesLeavesOntoRoot)
+{
+    sfq::Simulator sim;
+    sim.setViolationPolicy(sfq::ViolationPolicy::Ignore);
+    sfq::Netlist net(sim);
+    TreeConfig cfg;
+    cfg.leaves = 4;
+    cfg.sc_per_npe = 3;
+    TreeGate tree(net, cfg);
+
+    const Tick gap = sfq::safePulseSpacing();
+    Tick t = gap;
+    for (int i = 0; i < 4; ++i) {
+        auto &leaf = tree.inputNpe(i);
+        leaf.injectRst(t);
+        for (int b = 0; b < 3; ++b)
+            leaf.injectWrite(b, t + (1 + b) * gap);
+        leaf.injectSet1(t + 5 * gap);
+    }
+    tree.outputNpe().injectRst(t);
+    tree.outputNpe().injectSet1(t + 5 * gap);
+    sim.run();
+
+    // One pulse into each leaf: each fires once; the root counts 4.
+    for (int i = 0; i < 4; ++i) {
+        tree.injectInput(i, sim.now() + 2 * gap);
+        sim.run();
+    }
+    EXPECT_EQ(tree.outputNpe().value(), 4u);
+}
+
+TEST(TreeVsMesh, TreeIsCheaper)
+{
+    // Fig. 11 trade-off: for the same number of inputs, the tree
+    // fabric costs far fewer JJs than the all-to-all mesh.
+    sfq::Simulator sim;
+    sfq::Netlist tree_net(sim), mesh_net(sim);
+    TreeConfig tcfg;
+    tcfg.leaves = 8;
+    TreeGate tree(tree_net, tcfg);
+    MeshConfig mcfg = scalingMeshConfig(8);
+    MeshGate mesh(mesh_net, mcfg);
+    EXPECT_LT(tree_net.resources().totalJjs(),
+              mesh_net.resources().totalJjs() / 2);
+}
+
+TEST(ResourceModel, Table2Anchors)
+{
+    const DesignPoint p = designPoint(4);
+    // Within 1 % of the paper's Table 2.
+    EXPECT_NEAR(static_cast<double>(p.total_jjs),
+                static_cast<double>(paper::kTable2TotalJjs),
+                0.01 * paper::kTable2TotalJjs);
+    EXPECT_NEAR(static_cast<double>(p.logic_jjs),
+                static_cast<double>(paper::kTable2LogicJjs),
+                0.01 * paper::kTable2LogicJjs);
+    EXPECT_NEAR(static_cast<double>(p.wiring_jjs),
+                static_cast<double>(paper::kTable2WiringJjs),
+                0.01 * paper::kTable2WiringJjs);
+    EXPECT_NEAR(p.area_mm2, paper::kTable2AreaMm2,
+                0.01 * paper::kTable2AreaMm2);
+    EXPECT_NEAR(p.wiring_fraction, 0.6813, 0.01);
+}
+
+TEST(ResourceModel, PeakDesignAnchors)
+{
+    const DesignPoint p = designPoint(16);
+    EXPECT_EQ(p.npes, 32);
+    EXPECT_NEAR(static_cast<double>(p.total_jjs),
+                static_cast<double>(paper::kPeakJjs),
+                0.01 * paper::kPeakJjs);
+    EXPECT_NEAR(p.area_mm2, paper::kPeakAreaMm2,
+                0.01 * paper::kPeakAreaMm2);
+}
+
+TEST(ResourceModel, SweepMonotone)
+{
+    auto sweep = fig13Sweep();
+    ASSERT_EQ(sweep.size(), 5u);
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        EXPECT_GT(sweep[i].total_jjs, sweep[i - 1].total_jjs);
+        EXPECT_GT(sweep[i].area_mm2, sweep[i - 1].area_mm2);
+        EXPECT_GT(sweep[i].npes, sweep[i - 1].npes);
+    }
+}
+
+TEST(TimingModel, TransmissionShareAnchors)
+{
+    // Sec. 6.3: ~6 % at 1x1, ~53 % at 16x16.
+    EXPECT_NEAR(transmissionShare(scalingMeshConfig(1)), 0.06, 0.015);
+    EXPECT_NEAR(transmissionShare(scalingMeshConfig(16)), 0.53, 0.03);
+}
+
+TEST(TimingModel, TransmissionShareMonotone)
+{
+    double prev = 0.0;
+    for (int n : {1, 2, 4, 8, 16}) {
+        const double share = transmissionShare(scalingMeshConfig(n));
+        EXPECT_GT(share, prev);
+        prev = share;
+    }
+}
+
+TEST(TimingModel, PeakGsopsAnchor)
+{
+    // Table 4: 1,355 GSOPS at the 16x16 design.
+    EXPECT_NEAR(peakGsops(scalingMeshConfig(16)), 1355.0, 14.0);
+}
+
+TEST(TimingModel, GsopsGrowsWithScale)
+{
+    double prev = 0.0;
+    for (int n : {1, 2, 4, 8, 16}) {
+        const double g = peakGsops(scalingMeshConfig(n));
+        EXPECT_GT(g, prev);
+        prev = g;
+    }
+}
+
+TEST(TimingModel, ReloadShareBounds)
+{
+    EXPECT_DOUBLE_EQ(reloadTimeShare(0, 100), 0.0);
+    EXPECT_GT(reloadTimeShare(10, 100), 0.0);
+    EXPECT_LT(reloadTimeShare(10, 100), 1.0);
+    // More reloads -> larger share.
+    EXPECT_GT(reloadTimeShare(50, 100), reloadTimeShare(10, 100));
+}
+
+} // namespace
+} // namespace sushi::fabric

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * End-to-end integration test: the complete Fig. 12 workflow —
+ * synthetic data, binarization-aware training, XNOR binarization,
+ * bit-slice compilation, behavioural-chip inference, and the
+ * oscilloscope-style decode — wired together exactly as the examples
+ * and benches use it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chip/sushi_chip.hh"
+#include "data/synth_digits.hh"
+#include "snn/model_io.hh"
+#include "snn/train.hh"
+
+namespace sushi {
+namespace {
+
+TEST(Integration, TrainCompileInferOnChip)
+{
+    // Small but real: 3,000 training digits, 96 hidden units.
+    auto all = data::synthDigits(3200, 21);
+    auto [test, train] = data::split(all, 200);
+
+    snn::SnnConfig cfg;
+    cfg.hidden = 96;
+    cfg.t_steps = 5;
+    cfg.stateless = true;
+    snn::SnnMlp mlp(cfg, 4);
+    snn::TrainConfig tc;
+    tc.epochs = 2;
+    auto stats = snn::Trainer(mlp, tc).fit(train.images,
+                                           train.labels);
+    EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+
+    auto bin = snn::BinarySnn::fromFloat(mlp);
+
+    // Round-trip the model through the serialization format, as a
+    // deployment would.
+    auto restored =
+        snn::binarySnnFromString(snn::binarySnnToString(bin));
+
+    compiler::ChipConfig chip_cfg;
+    chip_cfg.n = 16;
+    chip_cfg.sc_per_npe = 10;
+    auto compiled = compiler::compileNetwork(restored, chip_cfg);
+    chip::SushiChip chip(chip_cfg);
+
+    snn::PoissonEncoder enc(99);
+    std::size_t hits = 0, sw_agree = 0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        std::vector<float> pix(test.images.row(i),
+                               test.images.row(i) + 784);
+        snn::Tensor fr = enc.encode(pix, cfg.t_steps);
+        std::vector<std::vector<std::uint8_t>> frames;
+        for (int t = 0; t < cfg.t_steps; ++t) {
+            std::vector<std::uint8_t> f(784);
+            for (std::size_t d = 0; d < 784; ++d)
+                f[d] = fr.at(static_cast<std::size_t>(t), d) > 0.5f;
+            frames.push_back(std::move(f));
+        }
+        const int hw = chip.predict(compiled, frames);
+        const int sw = restored.predict(frames);
+        hits += hw == test.labels[i] ? 1 : 0;
+        sw_agree += hw == sw ? 1 : 0;
+    }
+    const double acc =
+        static_cast<double>(hits) / static_cast<double>(test.size());
+    // Far above the 10 % chance level even at this small budget.
+    EXPECT_GT(acc, 0.7);
+    // The chip must agree with the software binary model at the
+    // ample 10-SC state budget.
+    EXPECT_EQ(sw_agree, test.size());
+    EXPECT_EQ(chip.stats().underflow_spikes, 0u);
+    EXPECT_GT(chip.stats().synaptic_ops, 0u);
+}
+
+TEST(Integration, ChipStatsFeedPerfModels)
+{
+    // The measured chip activity plugs into the SOPS metric the
+    // paper benchmarks with: sops = ops / time.
+    auto all = data::synthDigits(60, 31);
+    snn::SnnConfig cfg;
+    cfg.hidden = 32;
+    cfg.t_steps = 5;
+    cfg.stateless = true;
+    snn::SnnMlp mlp(cfg, 6);
+    auto bin = snn::BinarySnn::fromFloat(mlp);
+    compiler::ChipConfig chip_cfg;
+    chip_cfg.n = 16;
+    auto compiled = compiler::compileNetwork(bin, chip_cfg);
+    chip::SushiChip chip(chip_cfg);
+
+    snn::PoissonEncoder enc(99);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        std::vector<float> pix(all.images.row(i),
+                               all.images.row(i) + 784);
+        snn::Tensor fr = enc.encode(pix, cfg.t_steps);
+        std::vector<std::vector<std::uint8_t>> frames;
+        for (int t = 0; t < cfg.t_steps; ++t) {
+            std::vector<std::uint8_t> f(784);
+            for (std::size_t d = 0; d < 784; ++d)
+                f[d] = fr.at(static_cast<std::size_t>(t), d) > 0.5f;
+            frames.push_back(std::move(f));
+        }
+        chip.inferCounts(compiled, frames);
+    }
+    const auto &st = chip.stats();
+    EXPECT_EQ(st.frames, all.size());
+    EXPECT_GT(st.est_time_ps, 0.0);
+    const double sops = static_cast<double>(st.synaptic_ops) /
+                        (st.est_time_ps * 1e-12);
+    // Sustained throughput is positive and below the 16x16 peak.
+    EXPECT_GT(sops, 0.0);
+    EXPECT_LT(sops, 1.4e12);
+    // Reload time is a minority share but nonzero (Sec. 4.2.2).
+    EXPECT_GT(st.reload_time_ps, 0.0);
+    EXPECT_LT(st.reload_time_ps, st.est_time_ps);
+}
+
+} // namespace
+} // namespace sushi

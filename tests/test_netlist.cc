@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the netlist builder and resource accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sfq/netlist.hh"
+#include "sfq/simulator.hh"
+
+namespace sushi::sfq {
+namespace {
+
+class NetlistTest : public ::testing::Test
+{
+  protected:
+    NetlistTest() : net(sim) {}
+
+    Simulator sim;
+    Netlist net;
+};
+
+TEST_F(NetlistTest, LogicCellsAccounted)
+{
+    net.makeNdro("n");
+    net.makeTffl("t");
+    const ResourceTally &r = net.resources();
+    EXPECT_EQ(r.logic_jjs, cellParams(CellKind::NDRO).jjs +
+                               cellParams(CellKind::TFFL).jjs);
+    EXPECT_EQ(r.wiring_jjs, 0);
+    EXPECT_GT(r.logic_area_um2, 0.0);
+}
+
+TEST_F(NetlistTest, JtlCountsAsWiring)
+{
+    net.makeJtl("j");
+    const ResourceTally &r = net.resources();
+    EXPECT_EQ(r.logic_jjs, 0);
+    EXPECT_EQ(r.wiring_jjs, cellParams(CellKind::JTL).jjs);
+}
+
+TEST_F(NetlistTest, ConnectWireAccountsStages)
+{
+    Spl &spl = net.makeSpl("spl");
+    PulseSink &sink = net.makeSink("s");
+    const long before = net.resources().wiring_jjs;
+    net.connectWire(spl, 0, sink, 0, 10);
+    EXPECT_EQ(net.resources().wiring_jjs - before,
+              10 * cellParams(CellKind::JTL).jjs);
+}
+
+TEST_F(NetlistTest, ConnectWireAddsDelay)
+{
+    Jtl &j = net.makeJtl("j");
+    PulseSink &sink = net.makeSink("s");
+    net.connectWire(j, 0, sink, 0, 4);
+    j.inject(0, 0);
+    sim.run();
+    ASSERT_EQ(sink.count(), 1u);
+    EXPECT_EQ(sink.pulsesSeen()[0],
+              cellParams(CellKind::JTL).delay * 5); // cell + 4 stages
+}
+
+TEST_F(NetlistTest, JtlChainEquivalentToWireDelay)
+{
+    // An explicit JTL chain and an accounted wire of the same length
+    // must deliver the pulse at the same time.
+    Netlist net2(sim);
+    Jtl &a1 = net.makeJtl("a1");
+    PulseSink &s1 = net.makeSink("s1");
+    net.makeJtlChain("chain", a1, 0, s1, 0, 6);
+
+    Jtl &a2 = net2.makeJtl("a2");
+    PulseSink &s2 = net2.makeSink("s2");
+    net2.connectWire(a2, 0, s2, 0, 6);
+
+    a1.inject(0, 0);
+    a2.inject(0, 0);
+    sim.run();
+    ASSERT_EQ(s1.count(), 1u);
+    ASSERT_EQ(s2.count(), 1u);
+    EXPECT_EQ(s1.pulsesSeen()[0], s2.pulsesSeen()[0]);
+}
+
+TEST_F(NetlistTest, JtlChainAccountsSameAsWire)
+{
+    Simulator sim2;
+    Netlist chain_net(sim2), wire_net(sim2);
+    Jtl &a = chain_net.makeJtl("a");
+    PulseSink &sa = chain_net.makeSink("sa");
+    chain_net.makeJtlChain("c", a, 0, sa, 0, 8);
+
+    Jtl &b = wire_net.makeJtl("b");
+    PulseSink &sb = wire_net.makeSink("sb");
+    wire_net.connectWire(b, 0, sb, 0, 8);
+
+    EXPECT_EQ(chain_net.resources().wiring_jjs,
+              wire_net.resources().wiring_jjs);
+}
+
+TEST_F(NetlistTest, WiringOverheadAdds)
+{
+    const long before = net.resources().wiring_jjs;
+    net.addWiringOverhead(100);
+    EXPECT_EQ(net.resources().wiring_jjs - before, 100);
+}
+
+TEST_F(NetlistTest, WiringFraction)
+{
+    net.makeNdro("n"); // 11 logic JJs
+    net.addWiringOverhead(11);
+    EXPECT_DOUBLE_EQ(net.resources().wiringFraction(), 0.5);
+}
+
+TEST_F(NetlistTest, TallyAddition)
+{
+    ResourceTally a, b;
+    a.logic_jjs = 10;
+    a.wiring_jjs = 5;
+    b.logic_jjs = 1;
+    b.wiring_jjs = 2;
+    b.cells_by_kind[0] = 3;
+    a += b;
+    EXPECT_EQ(a.logic_jjs, 11);
+    EXPECT_EQ(a.wiring_jjs, 7);
+    EXPECT_EQ(a.totalJjs(), 18);
+    EXPECT_EQ(a.cells_by_kind[0], 3);
+}
+
+TEST_F(NetlistTest, AreaConversion)
+{
+    ResourceTally t;
+    t.logic_area_um2 = 2.5e6;
+    t.wiring_area_um2 = 0.5e6;
+    EXPECT_DOUBLE_EQ(t.totalAreaMm2(), 3.0);
+}
+
+TEST_F(NetlistTest, CellsByKindCounts)
+{
+    net.makeSpl("s1");
+    net.makeSpl("s2");
+    net.makeCb("c");
+    const auto &by_kind = net.resources().cells_by_kind;
+    EXPECT_EQ(by_kind[static_cast<std::size_t>(CellKind::SPL)], 2);
+    EXPECT_EQ(by_kind[static_cast<std::size_t>(CellKind::CB)], 1);
+}
+
+} // namespace
+} // namespace sushi::sfq

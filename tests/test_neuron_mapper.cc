@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Property tests: the NPE-backed neuron mapper tracks the reference
+ * Fig. 6/7 state machine exactly — same states, same spikes — over
+ * random stimulus streams and across neuron geometries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "npe/neuron_mapper.hh"
+
+namespace sushi::npe {
+namespace {
+
+TEST(NeuronMapper, TracksActionPotential)
+{
+    NeuronFsm ref(3, 2, 2);
+    NeuronMapper npe_neuron(3, 2, 2, 5);
+
+    auto step = [&](Stimulus s) {
+        const bool a = ref.stimulate(s);
+        const bool b = npe_neuron.stimulate(s);
+        EXPECT_EQ(a, b);
+        EXPECT_EQ(npe_neuron.linearState(), ref.linearState());
+    };
+    for (int i = 0; i < 3; ++i)
+        step(Stimulus::Spike);
+    for (int i = 0; i < 9; ++i)
+        step(Stimulus::Time);
+    EXPECT_EQ(npe_neuron.spikesEmitted(), 1);
+    EXPECT_EQ(ref.spikesSent(), 1);
+    // Back at rest, ready for another round.
+    EXPECT_EQ(npe_neuron.linearState(), 0);
+}
+
+TEST(NeuronMapper, SpikeEmittedByCounterOverflow)
+{
+    NeuronMapper m(2, 1, 1, 4);
+    m.stimulate(Stimulus::Spike);
+    m.stimulate(Stimulus::Spike); // b2 = threshold
+    m.stimulate(Stimulus::Time);  // -> r0
+    EXPECT_EQ(m.npe().spikesEmitted(), 0u);
+    EXPECT_TRUE(m.stimulate(Stimulus::Time)); // r0 -> r1: fire
+    EXPECT_EQ(m.npe().spikesEmitted(), 1u);
+}
+
+/** Geometry sweep parameter: (threshold, rising, falling, sc). */
+using Geometry = std::tuple<int, int, int, int>;
+
+class MapperSweep : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(MapperSweep, RandomStimuliMatchReference)
+{
+    auto [threshold, rising, falling, sc] = GetParam();
+    NeuronFsm ref(threshold, rising, falling);
+    NeuronMapper mapper(threshold, rising, falling, sc);
+    Rng rng(static_cast<std::uint64_t>(threshold * 7919 + rising));
+
+    for (int i = 0; i < 400; ++i) {
+        const Stimulus s =
+            rng.chance(0.4) ? Stimulus::Spike : Stimulus::Time;
+        const bool a = ref.stimulate(s);
+        const bool b = mapper.stimulate(s);
+        ASSERT_EQ(a, b) << "step " << i;
+        ASSERT_EQ(mapper.linearState(), ref.linearState())
+            << "step " << i;
+    }
+    EXPECT_EQ(mapper.spikesEmitted(), ref.spikesSent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, MapperSweep,
+    ::testing::Values(Geometry{1, 1, 0, 3}, Geometry{2, 1, 1, 4},
+                      Geometry{3, 2, 2, 5}, Geometry{5, 3, 4, 5},
+                      Geometry{10, 4, 4, 6}, Geometry{30, 10, 10, 7},
+                      Geometry{255, 128, 112, 10}));
+
+TEST(NeuronMapper, PaperScaleNeuronFitsTenScs)
+{
+    // Sec. 4.1.2: ~500 states suffice; the (255,128,112) neuron has
+    // 498 states and runs on a 10-SC NPE.
+    NeuronMapper m(255, 128, 112, 10);
+    NeuronFsm ref(255, 128, 112);
+    EXPECT_EQ(ref.numStates(), 498);
+    // Climb to threshold and fire once.
+    for (int i = 0; i < 255; ++i) {
+        ref.stimulate(Stimulus::Spike);
+        m.stimulate(Stimulus::Spike);
+    }
+    long fired = 0;
+    for (int i = 0; i < 400; ++i) {
+        ref.stimulate(Stimulus::Time);
+        fired += m.stimulate(Stimulus::Time) ? 1 : 0;
+    }
+    EXPECT_EQ(fired, ref.spikesSent());
+    EXPECT_EQ(m.linearState(), ref.linearState());
+}
+
+} // namespace
+} // namespace sushi::npe

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the pulse-program IR and the encoder (Fig. 12(c)-(f)):
+ * well-formedness, Sec. 5.2 ordering validation, and open-loop
+ * program execution matching the behavioural chip at gate level.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/gate_sim.hh"
+#include "chip/sushi_chip.hh"
+#include "common/rng.hh"
+#include "compiler/pulse_encoder.hh"
+
+namespace sushi::compiler {
+namespace {
+
+snn::BinarySnn
+handNet(std::vector<std::vector<std::int8_t>> weights,
+        std::vector<int> thresholds, int t_steps)
+{
+    snn::BinaryLayer layer;
+    layer.weights = std::move(weights);
+    layer.thresholds = std::move(thresholds);
+    return snn::BinarySnn::fromLayers({layer}, t_steps);
+}
+
+TEST(PulseProgram, ChannelNames)
+{
+    EXPECT_STREQ(channelName(Channel::Input), "input");
+    EXPECT_STREQ(channelName(Channel::SynStrength), "syn.strength");
+}
+
+TEST(PulseProgram, ValidateDetectsUnsorted)
+{
+    PulseProgram prog;
+    prog.ops.push_back(PulseOp{100, Channel::OutRst, 0});
+    prog.ops.push_back(PulseOp{50, Channel::OutRst, 0});
+    EXPECT_NE(prog.validate().find("not sorted"), std::string::npos);
+}
+
+TEST(PulseProgram, ValidateDetectsWriteWithoutRst)
+{
+    PulseProgram prog;
+    prog.ops.push_back(PulseOp{10, Channel::OutWrite, 0, 1});
+    EXPECT_NE(prog.validate().find("without rst"),
+              std::string::npos);
+}
+
+TEST(PulseProgram, ValidateDetectsInputBeforeSet)
+{
+    PulseProgram prog;
+    prog.ops.push_back(PulseOp{10, Channel::InRst, 0});
+    prog.ops.push_back(PulseOp{20, Channel::Input, 0});
+    EXPECT_NE(prog.validate().find("before set"), std::string::npos);
+}
+
+TEST(PulseProgram, WindowQueries)
+{
+    PulseProgram prog;
+    prog.ops.push_back(PulseOp{10, Channel::OutRst, 0});
+    prog.ops.push_back(PulseOp{20, Channel::OutSet1, 0});
+    prog.ops.push_back(PulseOp{30, Channel::InSet1, 0});
+    EXPECT_EQ(prog.opsInWindow(15, 30).size(), 1u);
+    EXPECT_EQ(prog.endTime(), 30);
+}
+
+TEST(PulseEncoder, ProgramIsValid)
+{
+    auto net = handNet({{1, -1}, {1, 1}}, {1, 2}, 3);
+    ChipConfig cfg;
+    cfg.n = 2;
+    cfg.sc_per_npe = 4;
+    auto compiled = compileNetwork(net, cfg);
+    std::vector<std::vector<std::uint8_t>> frames = {
+        {1, 0}, {1, 1}, {0, 1}};
+    PulseProgram prog = encodeLayerProgram(compiled, frames);
+    EXPECT_EQ(prog.validate(), "");
+    EXPECT_EQ(prog.step_bounds.size(), 4u);
+    EXPECT_GT(prog.totalPulses(), 0);
+    // Dump contains the weight and input streams.
+    const std::string text = prog.dump();
+    EXPECT_NE(text.find("syn.strength"), std::string::npos);
+    EXPECT_NE(text.find("input"), std::string::npos);
+}
+
+TEST(PulseEncoder, OpsRespectSafeSpacing)
+{
+    auto net = handNet({{1}}, {1}, 2);
+    ChipConfig cfg;
+    cfg.n = 1;
+    cfg.sc_per_npe = 3;
+    auto compiled = compileNetwork(net, cfg);
+    PulseProgram prog =
+        encodeLayerProgram(compiled, {{1}, {1}});
+    const Tick gap = sfq::safePulseSpacing();
+    for (std::size_t i = 1; i < prog.ops.size(); ++i)
+        EXPECT_GE(prog.ops[i].at - prog.ops[i - 1].at, gap);
+}
+
+/** Open-loop program execution == behavioural chip, 1x1 and 2x2. */
+class ProgramCosim : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ProgramCosim, MatchesBehaviouralChip)
+{
+    const int n = GetParam();
+    Rng rng(2024 + static_cast<std::uint64_t>(n));
+    // Random binary single-layer net sized to the mesh.
+    std::vector<std::vector<std::int8_t>> weights(
+        static_cast<std::size_t>(n));
+    std::vector<int> thresholds(static_cast<std::size_t>(n));
+    for (int o = 0; o < n; ++o) {
+        for (int i = 0; i < n; ++i)
+            weights[static_cast<std::size_t>(o)].push_back(
+                rng.chance(0.4) ? -1 : 1);
+        thresholds[static_cast<std::size_t>(o)] =
+            1 + static_cast<int>(rng.below(2));
+    }
+    auto net = handNet(weights, thresholds, 4);
+
+    ChipConfig cfg;
+    cfg.n = n;
+    cfg.sc_per_npe = 5;
+    auto compiled = compileNetwork(net, cfg);
+
+    std::vector<std::vector<std::uint8_t>> frames;
+    for (int t = 0; t < 4; ++t) {
+        std::vector<std::uint8_t> f(static_cast<std::size_t>(n));
+        for (auto &v : f)
+            v = rng.chance(0.6) ? 1 : 0;
+        frames.push_back(std::move(f));
+    }
+
+    // Behavioural reference.
+    chip::SushiChip behavioural(cfg);
+    std::vector<std::vector<int>> behav_steps;
+    for (const auto &f : frames) {
+        chip::PulseVector act(f.begin(), f.end());
+        auto out = behavioural.stepLayer(compiled.layers[0],
+                                         net.layers()[0], act);
+        behav_steps.push_back(
+            std::vector<int>(out.begin(), out.end()));
+    }
+
+    // Encoded program applied open-loop at gate level.
+    PulseProgram prog = encodeLayerProgram(compiled, frames);
+    ASSERT_EQ(prog.validate(), "");
+    sfq::Simulator sim;
+    // Encoded programs honour every Table-1 constraint: run with the
+    // Fatal policy so any violation aborts the test.
+    sim.setViolationPolicy(sfq::ViolationPolicy::Fatal);
+    sfq::Netlist netlist(sim);
+    chip::GateChip gate(netlist, cfg);
+    auto gate_steps = gate.runProgram(compiled, prog);
+    EXPECT_EQ(sim.violations(), 0u);
+
+    ASSERT_EQ(gate_steps.size(), behav_steps.size());
+    for (std::size_t s = 0; s < gate_steps.size(); ++s)
+        EXPECT_EQ(gate_steps[s], behav_steps[s])
+            << "n=" << n << " step " << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(MeshSizes, ProgramCosim,
+                         ::testing::Values(1, 2, 3));
+
+} // namespace
+} // namespace sushi::compiler

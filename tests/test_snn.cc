@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Tests for the SNN framework: tensors, encoder, IF dynamics,
+ * training, and XNOR binarization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "snn/binarize.hh"
+#include "snn/encoder.hh"
+#include "snn/network.hh"
+#include "snn/train.hh"
+
+namespace sushi::snn {
+namespace {
+
+TEST(TensorTest, ShapeAndZero)
+{
+    Tensor t(3, 4);
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 4u);
+    EXPECT_EQ(t.size(), 12u);
+    t.at(1, 2) = 5.0f;
+    EXPECT_FLOAT_EQ(t.at(1, 2), 5.0f);
+    t.zero();
+    EXPECT_FLOAT_EQ(t.at(1, 2), 0.0f);
+}
+
+TEST(TensorTest, HeInitMoments)
+{
+    Rng rng(5);
+    Tensor t(100, 400);
+    t.heInit(rng, 400);
+    double sum = 0, sq = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        sum += t.data()[i];
+        sq += static_cast<double>(t.data()[i]) * t.data()[i];
+    }
+    const double n = static_cast<double>(t.size());
+    EXPECT_NEAR(sum / n, 0.0, 0.005);
+    EXPECT_NEAR(sq / n, 2.0 / 400.0, 0.0005);
+}
+
+TEST(TensorTest, LinearForwardMatchesManual)
+{
+    Tensor x(2, 3), w(2, 3);
+    std::vector<float> bias = {0.5f, -1.0f};
+    float xv[] = {1, 2, 3, 0, 1, 0};
+    float wv[] = {1, 0, -1, 2, 2, 2};
+    std::copy_n(xv, 6, x.data());
+    std::copy_n(wv, 6, w.data());
+    Tensor out(2, 2);
+    linearForward(x, w, bias, out);
+    EXPECT_FLOAT_EQ(out.at(0, 0), 1 - 3 + 0.5f);
+    EXPECT_FLOAT_EQ(out.at(0, 1), 2 + 4 + 6 - 1.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0), 0 + 0.5f);
+    EXPECT_FLOAT_EQ(out.at(1, 1), 2 - 1.0f);
+}
+
+TEST(TensorTest, LinearBackwardGradCheck)
+{
+    // Finite-difference check of dW on a tiny layer.
+    Rng rng(9);
+    const std::size_t B = 3, I = 4, O = 2;
+    Tensor x(B, I), w(O, I), dout(B, O);
+    std::vector<float> bias(O, 0.0f);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+    for (std::size_t i = 0; i < dout.size(); ++i)
+        dout.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+
+    Tensor dw(O, I), dx(B, I);
+    std::vector<float> db(O, 0.0f);
+    linearBackward(x, w, dout, dw, db, dx);
+
+    // L = sum(out * dout): dL/dw analytically equals dw above.
+    auto loss = [&](const Tensor &wt) {
+        Tensor out(B, O);
+        linearForward(x, wt, bias, out);
+        double l = 0;
+        for (std::size_t i = 0; i < out.size(); ++i)
+            l += static_cast<double>(out.data()[i]) *
+                 dout.data()[i];
+        return l;
+    };
+    const float eps = 1e-3f;
+    for (std::size_t k = 0; k < w.size(); k += 3) {
+        Tensor wp = w;
+        wp.data()[k] += eps;
+        Tensor wm = w;
+        wm.data()[k] -= eps;
+        const double fd = (loss(wp) - loss(wm)) / (2 * eps);
+        EXPECT_NEAR(fd, dw.data()[k], 1e-2) << "k=" << k;
+    }
+}
+
+TEST(Encoder, RateMatchesIntensity)
+{
+    PoissonEncoder enc(3);
+    std::vector<float> pixels = {0.0f, 0.25f, 1.0f};
+    const int t = 4000;
+    Tensor frames = enc.encode(pixels, t);
+    double counts[3] = {0, 0, 0};
+    for (int s = 0; s < t; ++s)
+        for (int i = 0; i < 3; ++i)
+            counts[i] += frames.at(static_cast<std::size_t>(s),
+                                   static_cast<std::size_t>(i));
+    EXPECT_DOUBLE_EQ(counts[0], 0.0);
+    EXPECT_NEAR(counts[1] / t, 0.25, 0.03);
+    EXPECT_DOUBLE_EQ(counts[2], static_cast<double>(t));
+}
+
+TEST(Encoder, Deterministic)
+{
+    std::vector<float> pixels(50, 0.5f);
+    PoissonEncoder a(7), b(7);
+    Tensor fa = a.encode(pixels, 10);
+    Tensor fb = b.encode(pixels, 10);
+    for (std::size_t i = 0; i < fa.size(); ++i)
+        EXPECT_EQ(fa.data()[i], fb.data()[i]);
+}
+
+TEST(IfDynamics, StatefulAccumulatesAcrossSteps)
+{
+    SnnConfig cfg;
+    cfg.input = 1;
+    cfg.hidden = 1;
+    cfg.output = 1;
+    cfg.t_steps = 3;
+    cfg.stateless = false;
+    SnnMlp net(cfg, 1);
+    // Hidden weight 0.5: needs two input spikes to reach theta=1.
+    net.w1.at(0, 0) = 0.5f;
+    net.b1[0] = 0.0f;
+    net.w2.at(0, 0) = 1.0f;
+    net.b2[0] = 0.0f;
+
+    std::vector<Tensor> frames(3, Tensor(1, 1));
+    for (auto &f : frames)
+        f.at(0, 0) = 1.0f;
+    Tensor counts = net.forward(frames);
+    // Hidden membrane: 0.5, 1.0 (fire, reset), 0.5 — one hidden
+    // spike, which drives one output spike (weight 1 = theta).
+    EXPECT_FLOAT_EQ(counts.at(0, 0), 1.0f);
+}
+
+TEST(IfDynamics, StatelessNeverAccumulates)
+{
+    SnnConfig cfg;
+    cfg.input = 1;
+    cfg.hidden = 1;
+    cfg.output = 1;
+    cfg.t_steps = 4;
+    cfg.stateless = true;
+    SnnMlp net(cfg, 1);
+    net.w1.at(0, 0) = 0.5f; // below threshold every step
+    net.b1[0] = 0.0f;
+    net.w2.at(0, 0) = 1.0f;
+    net.b2[0] = 0.0f;
+    std::vector<Tensor> frames(4, Tensor(1, 1));
+    for (auto &f : frames)
+        f.at(0, 0) = 1.0f;
+    Tensor counts = net.forward(frames);
+    EXPECT_FLOAT_EQ(counts.at(0, 0), 0.0f);
+}
+
+TEST(Surrogate, PeaksAtThreshold)
+{
+    const float at0 = surrogateGrad(0.0f, 2.0f);
+    EXPECT_GT(at0, surrogateGrad(1.0f, 2.0f));
+    EXPECT_GT(at0, surrogateGrad(-1.0f, 2.0f));
+    EXPECT_FLOAT_EQ(surrogateGrad(0.5f, 2.0f),
+                    surrogateGrad(-0.5f, 2.0f));
+}
+
+TEST(Training, LossDecreasesOnToyTask)
+{
+    // Two obvious classes: left-half-on vs right-half-on images.
+    const std::size_t n = 200, dim = 16;
+    Tensor images(n, dim);
+    std::vector<int> labels(n);
+    Rng rng(17);
+    for (std::size_t i = 0; i < n; ++i) {
+        const int cls = static_cast<int>(rng.below(2));
+        labels[i] = cls;
+        for (std::size_t d = 0; d < dim; ++d) {
+            const bool on = cls == 0 ? d < dim / 2 : d >= dim / 2;
+            images.at(i, d) = on ? 0.9f : 0.05f;
+        }
+    }
+    SnnConfig cfg;
+    cfg.input = dim;
+    cfg.hidden = 16;
+    cfg.output = 2;
+    cfg.t_steps = 4;
+    cfg.stateless = true;
+    SnnMlp net(cfg, 2);
+    TrainConfig tc;
+    tc.epochs = 15;
+    tc.batch = 20;
+    // Plain float training: the binary-aware path is covered by
+    // Binarize.BinaryAwareTrainingIsConsistent.
+    tc.binary_aware = false;
+    Trainer trainer(net, tc);
+    auto stats = trainer.fit(images, labels);
+    EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+    EXPECT_GT(stats.epoch_train_acc.back(), 0.85);
+    EXPECT_GT(evaluate(net, images, labels), 0.85);
+}
+
+TEST(Binarize, SignsAndThresholds)
+{
+    Tensor w(2, 4);
+    float wv[] = {0.5f, -0.5f, 0.25f, -0.25f, // alpha = 0.375
+                  1.0f, 1.0f, 1.0f, 1.0f};    // alpha = 1
+    std::copy_n(wv, 8, w.data());
+    std::vector<float> b = {0.0f, 0.5f};
+    BinaryLayer layer = binarizeLayer(w, b, 1.0f);
+    EXPECT_EQ(layer.weights[0],
+              (std::vector<std::int8_t>{1, -1, 1, -1}));
+    EXPECT_EQ(layer.weights[1],
+              (std::vector<std::int8_t>{1, 1, 1, 1}));
+    // ceil((1 - 0) / 0.375) = 3; ceil((1 - 0.5) / 1) = 1.
+    EXPECT_EQ(layer.thresholds[0], 3);
+    EXPECT_EQ(layer.thresholds[1], 1);
+}
+
+TEST(Binarize, SynapsePolarityCounts)
+{
+    BinaryLayer layer;
+    layer.weights = {{1, -1, 1}, {-1, -1, 1}};
+    layer.thresholds = {1, 1};
+    EXPECT_EQ(layer.positiveSynapses(), 3);
+    EXPECT_EQ(layer.negativeSynapses(), 3);
+}
+
+TEST(Binarize, EffectiveWeightsPreserveSignAndScale)
+{
+    Rng rng(23);
+    Tensor w(3, 8);
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w.data()[i] = static_cast<float>(rng.uniform(-2, 2));
+    Tensor eff = binaryEffectiveWeights(w);
+    for (std::size_t o = 0; o < 3; ++o) {
+        double alpha = 0;
+        for (std::size_t i = 0; i < 8; ++i)
+            alpha += std::fabs(w.at(o, i));
+        alpha /= 8.0;
+        for (std::size_t i = 0; i < 8; ++i) {
+            EXPECT_NEAR(std::fabs(eff.at(o, i)), alpha, 1e-5);
+            EXPECT_EQ(eff.at(o, i) > 0, w.at(o, i) >= 0.0f);
+        }
+    }
+}
+
+TEST(Binarize, StatelessStepMatchesMembraneRule)
+{
+    BinaryLayer layer;
+    layer.weights = {{1, -1, 1}, {-1, -1, -1}};
+    layer.thresholds = {1, 0};
+    auto net = BinarySnn::fromLayers({layer}, 1);
+    // Frame {1,0,1}: neuron 0 membrane 2 >= 1 -> fire;
+    // neuron 1 membrane -2 < 0 -> silent.
+    auto out = net.stepForward({1, 0, 1});
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(out[1], 0);
+    // Frame {0,0,0}: membranes 0 -> neuron 1 (theta 0) fires.
+    out = net.stepForward({0, 0, 0});
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(out[1], 1);
+}
+
+TEST(Binarize, CountsAccumulateOverSteps)
+{
+    BinaryLayer layer;
+    layer.weights = {{1, 1}};
+    layer.thresholds = {2};
+    auto net = BinarySnn::fromLayers({layer}, 3);
+    std::vector<std::vector<std::uint8_t>> frames = {
+        {1, 1}, {1, 0}, {1, 1}};
+    auto counts = net.forwardCounts(frames);
+    EXPECT_EQ(counts[0], 2); // fires at steps 0 and 2
+    EXPECT_EQ(net.predict(frames), 0);
+}
+
+TEST(Binarize, BinaryAwareTrainingIsConsistent)
+{
+    // After binarization-aware stateless training, the binarized
+    // network must agree exactly with the effective-binary float
+    // model (same inequality over integers).
+    const std::size_t n = 120, dim = 16;
+    Tensor images(n, dim);
+    std::vector<int> labels(n);
+    Rng rng(29);
+    for (std::size_t i = 0; i < n; ++i) {
+        const int cls = static_cast<int>(rng.below(2));
+        labels[i] = cls;
+        for (std::size_t d = 0; d < dim; ++d)
+            images.at(i, d) =
+                ((cls == 0) == (d < dim / 2)) ? 0.9f : 0.1f;
+    }
+    SnnConfig cfg;
+    cfg.input = dim;
+    cfg.hidden = 8;
+    cfg.output = 2;
+    cfg.t_steps = 4;
+    cfg.stateless = true;
+    SnnMlp net(cfg, 31);
+    TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch = 20;
+    Trainer(net, tc).fit(images, labels);
+
+    SnnMlp eff = toEffectiveBinary(net);
+    auto bin = BinarySnn::fromFloat(net);
+    PoissonEncoder enc(55);
+    for (std::size_t i = 0; i < 30; ++i) {
+        std::vector<float> pix(images.row(i), images.row(i) + dim);
+        Tensor fr = enc.encode(pix, cfg.t_steps);
+        std::vector<Tensor> frames;
+        std::vector<std::vector<std::uint8_t>> bframes;
+        for (int t = 0; t < cfg.t_steps; ++t) {
+            Tensor one(1, dim);
+            std::vector<std::uint8_t> bf(dim);
+            for (std::size_t d = 0; d < dim; ++d) {
+                one.at(0, d) =
+                    fr.at(static_cast<std::size_t>(t), d);
+                bf[d] = one.at(0, d) > 0.5f;
+            }
+            frames.push_back(one);
+            bframes.push_back(bf);
+        }
+        EXPECT_EQ(bin.predict(bframes), eff.predict(frames)[0])
+            << "sample " << i;
+    }
+}
+
+} // namespace
+} // namespace sushi::snn

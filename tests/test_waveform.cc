@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for pulse-level conversion and waveform comparison (Fig. 14).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/time.hh"
+#include "sfq/waveform.hh"
+
+namespace sushi::sfq {
+namespace {
+
+TEST(Waveform, PulsesToLevelsAlternate)
+{
+    PulseTrace pulses{100, 200, 300};
+    LevelWave wave = pulsesToLevels(pulses);
+    ASSERT_EQ(wave.size(), 3u);
+    EXPECT_TRUE(wave[0].high);
+    EXPECT_FALSE(wave[1].high);
+    EXPECT_TRUE(wave[2].high);
+    EXPECT_EQ(wave[0].at, 100);
+}
+
+TEST(Waveform, RoundTripPulsesLevelsPulses)
+{
+    PulseTrace pulses{10, 55, 300, 301, 999};
+    EXPECT_EQ(levelsToPulses(pulsesToLevels(pulses)), pulses);
+}
+
+TEST(Waveform, LevelsToPulsesIgnoresRedundantSteps)
+{
+    LevelWave wave{{10, true}, {20, true}, {30, false}};
+    PulseTrace pulses = levelsToPulses(wave);
+    ASSERT_EQ(pulses.size(), 2u);
+    EXPECT_EQ(pulses[0], 10);
+    EXPECT_EQ(pulses[1], 30);
+}
+
+TEST(Waveform, EmptyTraceRoundTrip)
+{
+    EXPECT_TRUE(pulsesToLevels({}).empty());
+    EXPECT_TRUE(levelsToPulses({}).empty());
+}
+
+TEST(Waveform, CompareEqualTraces)
+{
+    PulseTrace a{1, 2, 3};
+    EXPECT_TRUE(compareTraces(a, a, 0).empty());
+}
+
+TEST(Waveform, CompareWithinTolerance)
+{
+    PulseTrace a{1000, 2000};
+    PulseTrace b{1050, 1990};
+    EXPECT_TRUE(compareTraces(a, b, 100).empty());
+    EXPECT_FALSE(compareTraces(a, b, 10).empty());
+}
+
+TEST(Waveform, CompareCountMismatch)
+{
+    PulseTrace a{1, 2, 3};
+    PulseTrace b{1, 2};
+    std::string err = compareTraces(a, b, 1000);
+    EXPECT_NE(err.find("count"), std::string::npos);
+}
+
+TEST(Waveform, AsciiContainsPulseMarks)
+{
+    PulseTrace t{0, psToTicks(100.0)};
+    std::string art =
+        asciiWaveform({"sig"}, {t}, psToTicks(10.0));
+    EXPECT_NE(art.find("sig"), std::string::npos);
+    EXPECT_NE(art.find('|'), std::string::npos);
+}
+
+TEST(Waveform, AsciiRowPerSignal)
+{
+    std::string art = asciiWaveform({"a", "b"}, {{0}, {0}}, 1000);
+    EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+}
+
+TEST(Waveform, PulsesInWindow)
+{
+    PulseTrace t{10, 20, 30, 40};
+    EXPECT_EQ(pulsesInWindow(t, 0, 100), 4u);
+    EXPECT_EQ(pulsesInWindow(t, 15, 35), 2u);
+    EXPECT_EQ(pulsesInWindow(t, 20, 21), 1u);
+    EXPECT_EQ(pulsesInWindow(t, 41, 100), 0u);
+}
+
+} // namespace
+} // namespace sushi::sfq
