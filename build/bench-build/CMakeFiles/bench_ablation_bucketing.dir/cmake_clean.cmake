@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_bucketing"
+  "../bench/bench_ablation_bucketing.pdb"
+  "CMakeFiles/bench_ablation_bucketing.dir/bench_ablation_bucketing.cc.o"
+  "CMakeFiles/bench_ablation_bucketing.dir/bench_ablation_bucketing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bucketing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_reordering"
+  "../bench/bench_ablation_reordering.pdb"
+  "CMakeFiles/bench_ablation_reordering.dir/bench_ablation_reordering.cc.o"
+  "CMakeFiles/bench_ablation_reordering.dir/bench_ablation_reordering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

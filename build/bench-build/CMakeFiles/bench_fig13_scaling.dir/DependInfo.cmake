@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_scaling.cc" "bench-build/CMakeFiles/bench_fig13_scaling.dir/bench_fig13_scaling.cc.o" "gcc" "bench-build/CMakeFiles/bench_fig13_scaling.dir/bench_fig13_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/sushi_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/npe/CMakeFiles/sushi_npe.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfq/CMakeFiles/sushi_sfq.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sushi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

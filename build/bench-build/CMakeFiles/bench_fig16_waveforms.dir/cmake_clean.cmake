@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_waveforms"
+  "../bench/bench_fig16_waveforms.pdb"
+  "CMakeFiles/bench_fig16_waveforms.dir/bench_fig16_waveforms.cc.o"
+  "CMakeFiles/bench_fig16_waveforms.dir/bench_fig16_waveforms.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

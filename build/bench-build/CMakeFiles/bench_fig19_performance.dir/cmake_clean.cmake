@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_performance"
+  "../bench/bench_fig19_performance.pdb"
+  "CMakeFiles/bench_fig19_performance.dir/bench_fig19_performance.cc.o"
+  "CMakeFiles/bench_fig19_performance.dir/bench_fig19_performance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_memory_wall"
+  "../bench/bench_memory_wall.pdb"
+  "CMakeFiles/bench_memory_wall.dir/bench_memory_wall.cc.o"
+  "CMakeFiles/bench_memory_wall.dir/bench_memory_wall.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_wall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

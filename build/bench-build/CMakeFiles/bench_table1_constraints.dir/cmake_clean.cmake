@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_constraints"
+  "../bench/bench_table1_constraints.pdb"
+  "CMakeFiles/bench_table1_constraints.dir/bench_table1_constraints.cc.o"
+  "CMakeFiles/bench_table1_constraints.dir/bench_table1_constraints.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

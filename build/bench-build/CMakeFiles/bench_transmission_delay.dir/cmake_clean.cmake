@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_transmission_delay"
+  "../bench/bench_transmission_delay.pdb"
+  "CMakeFiles/bench_transmission_delay.dir/bench_transmission_delay.cc.o"
+  "CMakeFiles/bench_transmission_delay.dir/bench_transmission_delay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transmission_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/chip_datasheet"
+  "../examples/chip_datasheet.pdb"
+  "CMakeFiles/chip_datasheet.dir/chip_datasheet.cpp.o"
+  "CMakeFiles/chip_datasheet.dir/chip_datasheet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_datasheet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

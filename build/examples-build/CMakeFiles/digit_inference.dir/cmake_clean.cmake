@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/digit_inference"
+  "../examples/digit_inference.pdb"
+  "CMakeFiles/digit_inference.dir/digit_inference.cpp.o"
+  "CMakeFiles/digit_inference.dir/digit_inference.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digit_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

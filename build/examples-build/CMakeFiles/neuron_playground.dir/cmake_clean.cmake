@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/neuron_playground"
+  "../examples/neuron_playground.pdb"
+  "CMakeFiles/neuron_playground.dir/neuron_playground.cpp.o"
+  "CMakeFiles/neuron_playground.dir/neuron_playground.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuron_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sushi_chip.dir/gate_sim.cc.o"
+  "CMakeFiles/sushi_chip.dir/gate_sim.cc.o.d"
+  "CMakeFiles/sushi_chip.dir/sampler.cc.o"
+  "CMakeFiles/sushi_chip.dir/sampler.cc.o.d"
+  "CMakeFiles/sushi_chip.dir/sushi_chip.cc.o"
+  "CMakeFiles/sushi_chip.dir/sushi_chip.cc.o.d"
+  "libsushi_chip.a"
+  "libsushi_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sushi_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sushi_common.dir/logging.cc.o"
+  "CMakeFiles/sushi_common.dir/logging.cc.o.d"
+  "CMakeFiles/sushi_common.dir/parallel.cc.o"
+  "CMakeFiles/sushi_common.dir/parallel.cc.o.d"
+  "CMakeFiles/sushi_common.dir/rng.cc.o"
+  "CMakeFiles/sushi_common.dir/rng.cc.o.d"
+  "CMakeFiles/sushi_common.dir/stats.cc.o"
+  "CMakeFiles/sushi_common.dir/stats.cc.o.d"
+  "libsushi_common.a"
+  "libsushi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sushi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/bitslice.cc" "src/compiler/CMakeFiles/sushi_compiler.dir/bitslice.cc.o" "gcc" "src/compiler/CMakeFiles/sushi_compiler.dir/bitslice.cc.o.d"
+  "/root/repo/src/compiler/bucketing.cc" "src/compiler/CMakeFiles/sushi_compiler.dir/bucketing.cc.o" "gcc" "src/compiler/CMakeFiles/sushi_compiler.dir/bucketing.cc.o.d"
+  "/root/repo/src/compiler/compile.cc" "src/compiler/CMakeFiles/sushi_compiler.dir/compile.cc.o" "gcc" "src/compiler/CMakeFiles/sushi_compiler.dir/compile.cc.o.d"
+  "/root/repo/src/compiler/conv_lowering.cc" "src/compiler/CMakeFiles/sushi_compiler.dir/conv_lowering.cc.o" "gcc" "src/compiler/CMakeFiles/sushi_compiler.dir/conv_lowering.cc.o.d"
+  "/root/repo/src/compiler/program.cc" "src/compiler/CMakeFiles/sushi_compiler.dir/program.cc.o" "gcc" "src/compiler/CMakeFiles/sushi_compiler.dir/program.cc.o.d"
+  "/root/repo/src/compiler/pulse_encoder.cc" "src/compiler/CMakeFiles/sushi_compiler.dir/pulse_encoder.cc.o" "gcc" "src/compiler/CMakeFiles/sushi_compiler.dir/pulse_encoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/snn/CMakeFiles/sushi_snn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sushi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

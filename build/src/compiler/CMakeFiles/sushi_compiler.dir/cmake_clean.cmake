@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sushi_compiler.dir/bitslice.cc.o"
+  "CMakeFiles/sushi_compiler.dir/bitslice.cc.o.d"
+  "CMakeFiles/sushi_compiler.dir/bucketing.cc.o"
+  "CMakeFiles/sushi_compiler.dir/bucketing.cc.o.d"
+  "CMakeFiles/sushi_compiler.dir/compile.cc.o"
+  "CMakeFiles/sushi_compiler.dir/compile.cc.o.d"
+  "CMakeFiles/sushi_compiler.dir/conv_lowering.cc.o"
+  "CMakeFiles/sushi_compiler.dir/conv_lowering.cc.o.d"
+  "CMakeFiles/sushi_compiler.dir/program.cc.o"
+  "CMakeFiles/sushi_compiler.dir/program.cc.o.d"
+  "CMakeFiles/sushi_compiler.dir/pulse_encoder.cc.o"
+  "CMakeFiles/sushi_compiler.dir/pulse_encoder.cc.o.d"
+  "libsushi_compiler.a"
+  "libsushi_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sushi_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/sushi_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/sushi_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/synth_digits.cc" "src/data/CMakeFiles/sushi_data.dir/synth_digits.cc.o" "gcc" "src/data/CMakeFiles/sushi_data.dir/synth_digits.cc.o.d"
+  "/root/repo/src/data/synth_fashion.cc" "src/data/CMakeFiles/sushi_data.dir/synth_fashion.cc.o" "gcc" "src/data/CMakeFiles/sushi_data.dir/synth_fashion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/snn/CMakeFiles/sushi_snn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sushi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sushi_data.dir/dataset.cc.o"
+  "CMakeFiles/sushi_data.dir/dataset.cc.o.d"
+  "CMakeFiles/sushi_data.dir/synth_digits.cc.o"
+  "CMakeFiles/sushi_data.dir/synth_digits.cc.o.d"
+  "CMakeFiles/sushi_data.dir/synth_fashion.cc.o"
+  "CMakeFiles/sushi_data.dir/synth_fashion.cc.o.d"
+  "libsushi_data.a"
+  "libsushi_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sushi_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

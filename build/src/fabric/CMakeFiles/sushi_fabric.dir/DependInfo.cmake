@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/mesh_network.cc" "src/fabric/CMakeFiles/sushi_fabric.dir/mesh_network.cc.o" "gcc" "src/fabric/CMakeFiles/sushi_fabric.dir/mesh_network.cc.o.d"
+  "/root/repo/src/fabric/resource_model.cc" "src/fabric/CMakeFiles/sushi_fabric.dir/resource_model.cc.o" "gcc" "src/fabric/CMakeFiles/sushi_fabric.dir/resource_model.cc.o.d"
+  "/root/repo/src/fabric/sync_baseline.cc" "src/fabric/CMakeFiles/sushi_fabric.dir/sync_baseline.cc.o" "gcc" "src/fabric/CMakeFiles/sushi_fabric.dir/sync_baseline.cc.o.d"
+  "/root/repo/src/fabric/timing_model.cc" "src/fabric/CMakeFiles/sushi_fabric.dir/timing_model.cc.o" "gcc" "src/fabric/CMakeFiles/sushi_fabric.dir/timing_model.cc.o.d"
+  "/root/repo/src/fabric/tree_network.cc" "src/fabric/CMakeFiles/sushi_fabric.dir/tree_network.cc.o" "gcc" "src/fabric/CMakeFiles/sushi_fabric.dir/tree_network.cc.o.d"
+  "/root/repo/src/fabric/weight_structure.cc" "src/fabric/CMakeFiles/sushi_fabric.dir/weight_structure.cc.o" "gcc" "src/fabric/CMakeFiles/sushi_fabric.dir/weight_structure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/npe/CMakeFiles/sushi_npe.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfq/CMakeFiles/sushi_sfq.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sushi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sushi_fabric.dir/mesh_network.cc.o"
+  "CMakeFiles/sushi_fabric.dir/mesh_network.cc.o.d"
+  "CMakeFiles/sushi_fabric.dir/resource_model.cc.o"
+  "CMakeFiles/sushi_fabric.dir/resource_model.cc.o.d"
+  "CMakeFiles/sushi_fabric.dir/sync_baseline.cc.o"
+  "CMakeFiles/sushi_fabric.dir/sync_baseline.cc.o.d"
+  "CMakeFiles/sushi_fabric.dir/timing_model.cc.o"
+  "CMakeFiles/sushi_fabric.dir/timing_model.cc.o.d"
+  "CMakeFiles/sushi_fabric.dir/tree_network.cc.o"
+  "CMakeFiles/sushi_fabric.dir/tree_network.cc.o.d"
+  "CMakeFiles/sushi_fabric.dir/weight_structure.cc.o"
+  "CMakeFiles/sushi_fabric.dir/weight_structure.cc.o.d"
+  "libsushi_fabric.a"
+  "libsushi_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sushi_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

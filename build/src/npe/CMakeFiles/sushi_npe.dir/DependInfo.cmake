@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npe/neuron_fsm.cc" "src/npe/CMakeFiles/sushi_npe.dir/neuron_fsm.cc.o" "gcc" "src/npe/CMakeFiles/sushi_npe.dir/neuron_fsm.cc.o.d"
+  "/root/repo/src/npe/neuron_mapper.cc" "src/npe/CMakeFiles/sushi_npe.dir/neuron_mapper.cc.o" "gcc" "src/npe/CMakeFiles/sushi_npe.dir/neuron_mapper.cc.o.d"
+  "/root/repo/src/npe/npe.cc" "src/npe/CMakeFiles/sushi_npe.dir/npe.cc.o" "gcc" "src/npe/CMakeFiles/sushi_npe.dir/npe.cc.o.d"
+  "/root/repo/src/npe/state_controller.cc" "src/npe/CMakeFiles/sushi_npe.dir/state_controller.cc.o" "gcc" "src/npe/CMakeFiles/sushi_npe.dir/state_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sfq/CMakeFiles/sushi_sfq.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sushi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

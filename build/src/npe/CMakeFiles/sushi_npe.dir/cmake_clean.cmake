@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sushi_npe.dir/neuron_fsm.cc.o"
+  "CMakeFiles/sushi_npe.dir/neuron_fsm.cc.o.d"
+  "CMakeFiles/sushi_npe.dir/neuron_mapper.cc.o"
+  "CMakeFiles/sushi_npe.dir/neuron_mapper.cc.o.d"
+  "CMakeFiles/sushi_npe.dir/npe.cc.o"
+  "CMakeFiles/sushi_npe.dir/npe.cc.o.d"
+  "CMakeFiles/sushi_npe.dir/state_controller.cc.o"
+  "CMakeFiles/sushi_npe.dir/state_controller.cc.o.d"
+  "libsushi_npe.a"
+  "libsushi_npe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sushi_npe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sushi_perf.dir/baselines.cc.o"
+  "CMakeFiles/sushi_perf.dir/baselines.cc.o.d"
+  "CMakeFiles/sushi_perf.dir/power_model.cc.o"
+  "CMakeFiles/sushi_perf.dir/power_model.cc.o.d"
+  "libsushi_perf.a"
+  "libsushi_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sushi_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

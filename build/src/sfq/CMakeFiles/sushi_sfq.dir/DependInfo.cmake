@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfq/cell_params.cc" "src/sfq/CMakeFiles/sushi_sfq.dir/cell_params.cc.o" "gcc" "src/sfq/CMakeFiles/sushi_sfq.dir/cell_params.cc.o.d"
+  "/root/repo/src/sfq/cells.cc" "src/sfq/CMakeFiles/sushi_sfq.dir/cells.cc.o" "gcc" "src/sfq/CMakeFiles/sushi_sfq.dir/cells.cc.o.d"
+  "/root/repo/src/sfq/component.cc" "src/sfq/CMakeFiles/sushi_sfq.dir/component.cc.o" "gcc" "src/sfq/CMakeFiles/sushi_sfq.dir/component.cc.o.d"
+  "/root/repo/src/sfq/constraints.cc" "src/sfq/CMakeFiles/sushi_sfq.dir/constraints.cc.o" "gcc" "src/sfq/CMakeFiles/sushi_sfq.dir/constraints.cc.o.d"
+  "/root/repo/src/sfq/event_queue.cc" "src/sfq/CMakeFiles/sushi_sfq.dir/event_queue.cc.o" "gcc" "src/sfq/CMakeFiles/sushi_sfq.dir/event_queue.cc.o.d"
+  "/root/repo/src/sfq/netlist.cc" "src/sfq/CMakeFiles/sushi_sfq.dir/netlist.cc.o" "gcc" "src/sfq/CMakeFiles/sushi_sfq.dir/netlist.cc.o.d"
+  "/root/repo/src/sfq/shift_register.cc" "src/sfq/CMakeFiles/sushi_sfq.dir/shift_register.cc.o" "gcc" "src/sfq/CMakeFiles/sushi_sfq.dir/shift_register.cc.o.d"
+  "/root/repo/src/sfq/simulator.cc" "src/sfq/CMakeFiles/sushi_sfq.dir/simulator.cc.o" "gcc" "src/sfq/CMakeFiles/sushi_sfq.dir/simulator.cc.o.d"
+  "/root/repo/src/sfq/waveform.cc" "src/sfq/CMakeFiles/sushi_sfq.dir/waveform.cc.o" "gcc" "src/sfq/CMakeFiles/sushi_sfq.dir/waveform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sushi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sushi_sfq.dir/cell_params.cc.o"
+  "CMakeFiles/sushi_sfq.dir/cell_params.cc.o.d"
+  "CMakeFiles/sushi_sfq.dir/cells.cc.o"
+  "CMakeFiles/sushi_sfq.dir/cells.cc.o.d"
+  "CMakeFiles/sushi_sfq.dir/component.cc.o"
+  "CMakeFiles/sushi_sfq.dir/component.cc.o.d"
+  "CMakeFiles/sushi_sfq.dir/constraints.cc.o"
+  "CMakeFiles/sushi_sfq.dir/constraints.cc.o.d"
+  "CMakeFiles/sushi_sfq.dir/event_queue.cc.o"
+  "CMakeFiles/sushi_sfq.dir/event_queue.cc.o.d"
+  "CMakeFiles/sushi_sfq.dir/netlist.cc.o"
+  "CMakeFiles/sushi_sfq.dir/netlist.cc.o.d"
+  "CMakeFiles/sushi_sfq.dir/shift_register.cc.o"
+  "CMakeFiles/sushi_sfq.dir/shift_register.cc.o.d"
+  "CMakeFiles/sushi_sfq.dir/simulator.cc.o"
+  "CMakeFiles/sushi_sfq.dir/simulator.cc.o.d"
+  "CMakeFiles/sushi_sfq.dir/waveform.cc.o"
+  "CMakeFiles/sushi_sfq.dir/waveform.cc.o.d"
+  "libsushi_sfq.a"
+  "libsushi_sfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sushi_sfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

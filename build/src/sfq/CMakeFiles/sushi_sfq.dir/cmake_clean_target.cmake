@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsushi_sfq.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for sushi_sfq.
+# This may be replaced when dependencies are built.

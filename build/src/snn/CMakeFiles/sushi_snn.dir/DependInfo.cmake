@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snn/binarize.cc" "src/snn/CMakeFiles/sushi_snn.dir/binarize.cc.o" "gcc" "src/snn/CMakeFiles/sushi_snn.dir/binarize.cc.o.d"
+  "/root/repo/src/snn/encoder.cc" "src/snn/CMakeFiles/sushi_snn.dir/encoder.cc.o" "gcc" "src/snn/CMakeFiles/sushi_snn.dir/encoder.cc.o.d"
+  "/root/repo/src/snn/model_io.cc" "src/snn/CMakeFiles/sushi_snn.dir/model_io.cc.o" "gcc" "src/snn/CMakeFiles/sushi_snn.dir/model_io.cc.o.d"
+  "/root/repo/src/snn/network.cc" "src/snn/CMakeFiles/sushi_snn.dir/network.cc.o" "gcc" "src/snn/CMakeFiles/sushi_snn.dir/network.cc.o.d"
+  "/root/repo/src/snn/tensor.cc" "src/snn/CMakeFiles/sushi_snn.dir/tensor.cc.o" "gcc" "src/snn/CMakeFiles/sushi_snn.dir/tensor.cc.o.d"
+  "/root/repo/src/snn/train.cc" "src/snn/CMakeFiles/sushi_snn.dir/train.cc.o" "gcc" "src/snn/CMakeFiles/sushi_snn.dir/train.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sushi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sushi_snn.dir/binarize.cc.o"
+  "CMakeFiles/sushi_snn.dir/binarize.cc.o.d"
+  "CMakeFiles/sushi_snn.dir/encoder.cc.o"
+  "CMakeFiles/sushi_snn.dir/encoder.cc.o.d"
+  "CMakeFiles/sushi_snn.dir/model_io.cc.o"
+  "CMakeFiles/sushi_snn.dir/model_io.cc.o.d"
+  "CMakeFiles/sushi_snn.dir/network.cc.o"
+  "CMakeFiles/sushi_snn.dir/network.cc.o.d"
+  "CMakeFiles/sushi_snn.dir/tensor.cc.o"
+  "CMakeFiles/sushi_snn.dir/tensor.cc.o.d"
+  "CMakeFiles/sushi_snn.dir/train.cc.o"
+  "CMakeFiles/sushi_snn.dir/train.cc.o.d"
+  "libsushi_snn.a"
+  "libsushi_snn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sushi_snn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sushi_snn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cells.dir/test_cells.cc.o"
+  "CMakeFiles/test_cells.dir/test_cells.cc.o.d"
+  "test_cells"
+  "test_cells.pdb"
+  "test_cells[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

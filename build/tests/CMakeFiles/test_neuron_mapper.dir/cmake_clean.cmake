@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neuron_mapper.dir/test_neuron_mapper.cc.o"
+  "CMakeFiles/test_neuron_mapper.dir/test_neuron_mapper.cc.o.d"
+  "test_neuron_mapper"
+  "test_neuron_mapper.pdb"
+  "test_neuron_mapper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neuron_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npe.dir/test_npe.cc.o"
+  "CMakeFiles/test_npe.dir/test_npe.cc.o.d"
+  "test_npe"
+  "test_npe.pdb"
+  "test_npe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/test_properties.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/test_properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chip/CMakeFiles/sushi_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/sushi_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/snn/CMakeFiles/sushi_snn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/sushi_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/npe/CMakeFiles/sushi_npe.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfq/CMakeFiles/sushi_sfq.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sushi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pulse_program.dir/test_pulse_program.cc.o"
+  "CMakeFiles/test_pulse_program.dir/test_pulse_program.cc.o.d"
+  "test_pulse_program"
+  "test_pulse_program.pdb"
+  "test_pulse_program[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pulse_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

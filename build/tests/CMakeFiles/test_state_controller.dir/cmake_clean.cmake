@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_controller.dir/test_state_controller.cc.o"
+  "CMakeFiles/test_state_controller.dir/test_state_controller.cc.o.d"
+  "test_state_controller"
+  "test_state_controller.pdb"
+  "test_state_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
