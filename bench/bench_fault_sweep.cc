@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Accuracy-vs-fault-rate curves, in the style of the paper's chip
+ * verification section (Sec. 6.2): the fabricated part is validated
+ * by waveform equivalence against simulation exactly because RSFQ
+ * cells fail through flux trapping, marginal junctions, and timing
+ * margins. This bench quantifies how fast pulse-exact equivalence is
+ * lost as each injected failure mode intensifies, running a
+ * multi-threaded Monte-Carlo campaign (perf/fault_campaign) and
+ * writing the byte-deterministic JSON curve.
+ *
+ * Environment:
+ *   SUSHI_JSON_OUT  output path (default fault_sweep.bench.json)
+ *   SUSHI_FULL=1    more seeds and rates (slower)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "perf/fault_campaign.hh"
+
+#include "bench_util.hh"
+
+using namespace sushi;
+
+int
+main()
+{
+    perf::FaultCampaignConfig cfg;
+    cfg.kinds = {
+        sfq::FaultKind::PulseDrop,
+        sfq::FaultKind::SpuriousPulse,
+        sfq::FaultKind::TimingJitter,
+    };
+    cfg.rates = {0.0, 1e-4, 1e-3, 1e-2, 1e-1};
+    cfg.seeds = benchutil::envFlag("SUSHI_FULL") ? 64 : 16;
+    cfg.campaign_seed = 1;
+    cfg.num_sc = 5;
+    cfg.pulses = 64;
+
+    std::printf("=== Sec. 6.2: Monte-Carlo fault campaign ===\n");
+    std::printf("%zu kinds x %zu rates x %d seeds, gate-level "
+                "%d-SC NPE, %d pulses/trial\n",
+                cfg.kinds.size(), cfg.rates.size(), cfg.seeds,
+                cfg.num_sc, cfg.pulses);
+
+    const auto result = perf::runFaultCampaign(cfg);
+
+    std::printf("%-15s %10s %9s %10s %10s %10s %10s\n", "kind",
+                "rate", "accuracy", "cnt-err", "violations",
+                "dropped", "inserted");
+    const std::size_t n_rates = cfg.rates.size();
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+        const auto &p = result.points[i];
+        if (i % n_rates == 0)
+            std::printf("---\n");
+        std::printf("%-15s %10.2g %8.1f%% %10.2f %10.2f %10.2f "
+                    "%10.2f\n",
+                    sfq::faultKindName(p.kind), p.rate,
+                    100.0 * p.accuracy, p.mean_count_err,
+                    p.mean_violations, p.mean_dropped,
+                    p.mean_inserted);
+    }
+
+    const bool monotone = perf::accuracyMonotone(result);
+    std::printf("accuracy degradation monotone in rate: %s\n",
+                monotone ? "yes" : "NO");
+
+    const char *env_path = std::getenv("SUSHI_JSON_OUT");
+    const std::string path =
+        env_path != nullptr && env_path[0] != '\0'
+            ? env_path
+            : "fault_sweep.bench.json";
+    if (!perf::writeCampaignJson(result, path)) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("JSON curve written to %s\n", path.c_str());
+    return monotone ? 0 : 1;
+}

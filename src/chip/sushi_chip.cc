@@ -36,9 +36,27 @@ popcountRange(const std::vector<std::uint64_t> &act,
 
 } // namespace
 
-SushiChip::SushiChip(const compiler::ChipConfig &cfg) : cfg_(cfg)
+SushiChip::SushiChip(const compiler::ChipConfig &cfg)
+    : cfg_(cfg),
+      failed_npes_(static_cast<std::size_t>(cfg.n), 0),
+      remap_(compiler::planNpeRemap(cfg.n, failed_npes_))
 {
     sushi_assert(cfg.n >= 1);
+}
+
+void
+SushiChip::markNpeFailed(int slot)
+{
+    sushi_assert(slot >= 0 && slot < cfg_.n);
+    failed_npes_[static_cast<std::size_t>(slot)] = 1;
+    remap_ = compiler::planNpeRemap(cfg_.n, failed_npes_);
+}
+
+void
+SushiChip::clearFailedNpes()
+{
+    std::fill(failed_npes_.begin(), failed_npes_.end(), 0);
+    remap_ = compiler::planNpeRemap(cfg_.n, failed_npes_);
 }
 
 PulseVector
@@ -68,9 +86,17 @@ SushiChip::stepLayer(const compiler::CompiledLayer &layer,
     }
 
     PulseVector out(out_dim, 0);
+    const bool degraded = remap_.failed > 0;
     for (std::size_t o = 0; o < out_dim; ++o) {
         if (layer.disabled[o])
             continue;
+        // Degraded mode: the neuron's home slot is o mod N; if that
+        // NPE failed, a healthy host NPE serves it in an extra pass.
+        // The counter arithmetic is slot-independent, so results stay
+        // bit-identical — only time/reload accounting changes.
+        if (degraded &&
+            failed_npes_[o % static_cast<std::size_t>(cfg_.n)])
+            ++stats_.remapped_neurons;
         // A fresh counter per neuron-step is behaviourally identical
         // to the time-multiplexed physical NPE (rst + write).
         npe::Npe npe(cfg_.sc_per_npe);
@@ -136,9 +162,29 @@ SushiChip::stepLayer(const compiler::CompiledLayer &layer,
     const double change_fraction = std::min(
         1.0, static_cast<double>(layer.switch_reloads) /
                  (blocks * static_cast<double>(cfg_.n) * cfg_.n));
-    const double reload_ps = blocks * change_fraction * 250.0;
+    double reload_ps = blocks * change_fraction * 250.0;
+    double degraded_pulses = 0.0;
+    if (degraded) {
+        // Each output group runs extra_passes more times to serve the
+        // remapped neurons: the input slice is re-streamed and the
+        // crosspoints are reconfigured to the remapped weights (and
+        // back), one configuration batch per extra pass per block.
+        const auto extra_group_passes =
+            static_cast<std::uint64_t>(layer.slices.numOutBlocks()) *
+            static_cast<std::uint64_t>(remap_.extra_passes);
+        stats_.degraded_passes += extra_group_passes;
+        stats_.failed_npes =
+            static_cast<std::uint64_t>(remap_.failed);
+        degraded_pulses =
+            static_cast<double>(active_inputs) *
+            static_cast<double>(extra_group_passes);
+        reload_ps += blocks *
+                     static_cast<double>(remap_.extra_passes) * 250.0;
+        stats_.reload_events += extra_group_passes;
+    }
     stats_.reload_time_ps += reload_ps;
-    stats_.est_time_ps += serial_pulses * pulse_ps + reload_ps;
+    stats_.est_time_ps +=
+        (serial_pulses + degraded_pulses) * pulse_ps + reload_ps;
     return out;
 }
 

@@ -34,11 +34,23 @@ struct InferenceStats
     std::uint64_t underflow_spikes = 0; ///< spurious borrow pulses
     std::uint64_t multi_fires = 0;   ///< neuron-steps with >1 spike
     std::uint64_t reload_events = 0; ///< cross-structure reloads
+
+    /// @name Degraded-mode (failed-NPE) reporting.
+    /// @{
+    std::uint64_t failed_npes = 0;       ///< failed output slots
+    std::uint64_t remapped_neurons = 0;  ///< neuron-steps served by a
+                                         ///< remap host NPE
+    std::uint64_t degraded_passes = 0;   ///< extra group passes run
+    /// @}
+
     double est_time_ps = 0.0;        ///< modelled wall time
     double reload_time_ps = 0.0;     ///< serialised reload time
     double dynamic_energy_j = 0.0;   ///< switching energy
 
     void reset() { *this = InferenceStats{}; }
+
+    /** True if any inference ran with failed NPEs remapped. */
+    bool degraded() const { return remapped_neurons > 0; }
 };
 
 /** Per-step activation pulses flowing between layers. */
@@ -81,9 +93,35 @@ class SushiChip
     const InferenceStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
 
+    /// @name Degraded mode (Sec. 6.2 failure tolerance).
+    /// Marking an output-NPE slot failed remaps its neurons onto the
+    /// healthy slots (compiler::planNpeRemap): inference results are
+    /// bit-identical, but extra serialized passes and configuration
+    /// reloads are charged and reported in InferenceStats.
+    /// @{
+
+    /** Mark output-NPE slot @p slot (0..n-1) as failed. */
+    void markNpeFailed(int slot);
+
+    /** Restore every slot to healthy. */
+    void clearFailedNpes();
+
+    /** Per-slot failure flags (size n). */
+    const std::vector<std::uint8_t> &failedNpes() const
+    {
+        return failed_npes_;
+    }
+
+    /** The active remap plan (identity when nothing failed). */
+    const compiler::NpeRemap &remapPlan() const { return remap_; }
+
+    /// @}
+
   private:
     compiler::ChipConfig cfg_;
     InferenceStats stats_;
+    std::vector<std::uint8_t> failed_npes_;
+    compiler::NpeRemap remap_;
 };
 
 } // namespace sushi::chip

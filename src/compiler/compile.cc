@@ -106,6 +106,40 @@ compileLayer(const snn::BinaryLayer &layer, const ChipConfig &chip)
 
 } // namespace
 
+NpeRemap
+planNpeRemap(int n, const std::vector<std::uint8_t> &failed_slots)
+{
+    sushi_assert(n >= 1);
+    sushi_assert(failed_slots.size() == static_cast<std::size_t>(n));
+    NpeRemap plan;
+    plan.host.resize(static_cast<std::size_t>(n));
+    std::vector<int> healthy;
+    for (int s = 0; s < n; ++s) {
+        if (failed_slots[static_cast<std::size_t>(s)])
+            ++plan.failed;
+        else
+            healthy.push_back(s);
+    }
+    if (healthy.empty())
+        sushi_fatal("all %d output NPE slots failed: the mesh cannot "
+                    "run in degraded mode", n);
+    int next = 0;
+    for (int s = 0; s < n; ++s) {
+        if (!failed_slots[static_cast<std::size_t>(s)]) {
+            plan.host[static_cast<std::size_t>(s)] = s;
+            continue;
+        }
+        // Round-robin the failed slot's neurons over healthy hosts.
+        plan.host[static_cast<std::size_t>(s)] =
+            healthy[static_cast<std::size_t>(next)];
+        next = (next + 1) % static_cast<int>(healthy.size());
+    }
+    plan.extra_passes =
+        (plan.failed + static_cast<int>(healthy.size()) - 1) /
+        static_cast<int>(healthy.size());
+    return plan;
+}
+
 CompiledNetwork
 compileNetwork(const snn::BinarySnn &net, const ChipConfig &chip)
 {

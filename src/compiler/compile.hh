@@ -75,6 +75,36 @@ struct CompiledNetwork
 CompiledNetwork compileNetwork(const snn::BinarySnn &net,
                                const ChipConfig &chip);
 
+/**
+ * Degraded-mode plan for a mesh with failed output-NPE slots.
+ *
+ * Output neurons are assigned round-robin to the N output NPEs of a
+ * group (neuron o sits on slot o mod N). When a slot's NPE has
+ * failed (flux trap, dead junction), its neurons are time-multiplexed
+ * onto the healthy slots in extra serialized passes per output group:
+ * each extra pass re-streams the input slice and needs its own
+ * crosspoint configuration batch (the reload-awareness the chip's
+ * timing model charges for).
+ */
+struct NpeRemap
+{
+    /** Host slot per output slot; host[s] == s for healthy slots. */
+    std::vector<int> host;
+    /** Number of failed output slots. */
+    int failed = 0;
+    /** Extra serialized passes needed per output group,
+     *  ceil(failed / healthy). */
+    int extra_passes = 0;
+};
+
+/**
+ * Plan the remap for an @p n wide mesh given @p failed_slots
+ * (size n, nonzero = failed). Fatal if every slot has failed — a
+ * fully dead mesh cannot be degraded around.
+ */
+NpeRemap planNpeRemap(int n,
+                      const std::vector<std::uint8_t> &failed_slots);
+
 } // namespace sushi::compiler
 
 #endif // SUSHI_COMPILER_COMPILE_HH

@@ -1,0 +1,256 @@
+#include "perf/fault_campaign.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "npe/npe.hh"
+#include "sfq/constraints.hh"
+#include "sfq/netlist.hh"
+#include "sfq/simulator.hh"
+
+namespace sushi::perf {
+
+namespace {
+
+/** splitmix64 step: derives independent trial seeds from the
+ *  campaign seed without an Rng object (thread-free determinism). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+trialSeed(std::uint64_t campaign_seed, std::size_t kind_i,
+          std::size_t rate_i, int seed_i)
+{
+    std::uint64_t s = mix64(campaign_seed);
+    s = mix64(s ^ (static_cast<std::uint64_t>(kind_i) << 48));
+    s = mix64(s ^ (static_cast<std::uint64_t>(rate_i) << 24));
+    s = mix64(s ^ static_cast<std::uint64_t>(seed_i));
+    return s | 1; // never seed with 0
+}
+
+struct Trial
+{
+    std::size_t kind_i;
+    std::size_t rate_i;
+    int seed_i;
+};
+
+struct TrialResult
+{
+    bool exact = false;
+    double count_err = 0.0;
+    double violations = 0.0;
+    double dropped = 0.0;
+    double inserted = 0.0;
+    double recovered = 0.0;
+    double energy_j = 0.0;
+};
+
+TrialResult
+runTrial(const FaultCampaignConfig &cfg, const Trial &t)
+{
+    const sfq::FaultKind kind = cfg.kinds[t.kind_i];
+    const double rate = cfg.rates[t.rate_i];
+
+    sfq::Simulator sim;
+    // Graceful degradation: marginal arrivals are attributed to the
+    // cell and the offending pulse dropped, never an abort.
+    sim.setViolationPolicy(sfq::ViolationPolicy::Recover);
+    sim.faults().reseed(
+        trialSeed(cfg.campaign_seed, t.kind_i, t.rate_i, t.seed_i));
+    if (rate > 0.0) {
+        sfq::FaultSpec spec;
+        spec.kind = kind;
+        if (kind == sfq::FaultKind::TimingJitter)
+            spec.jitter_sigma = rate * cfg.jitter_scale_ticks;
+        else
+            spec.rate = rate;
+        sim.faults().addFault(spec);
+    }
+
+    // Workload: pulses through a gate-level NPE counter, checked
+    // pulse-exactly against the ideal behavioural counter — the same
+    // equivalence the paper's waveform verification establishes.
+    sfq::Netlist net(sim);
+    npe::NpeGate gate(net, "npe", cfg.num_sc);
+    const Tick gap = sfq::safePulseSpacing();
+    gate.injectSet1(gap);
+    for (int i = 0; i < cfg.pulses; ++i)
+        gate.injectIn((i + 2) * gap);
+    sim.run();
+
+    npe::Npe ideal(cfg.num_sc);
+    ideal.setPolarity(npe::Polarity::Excitatory);
+    const std::uint64_t ideal_spikes =
+        ideal.addPulses(static_cast<std::uint64_t>(cfg.pulses));
+
+    TrialResult r;
+    const std::uint64_t got = gate.value();
+    const std::uint64_t want = ideal.value();
+    r.exact = got == want && gate.outSink().count() == ideal_spikes;
+    r.count_err = std::abs(static_cast<double>(got) -
+                           static_cast<double>(want));
+    r.violations = static_cast<double>(sim.violations());
+    r.dropped = static_cast<double>(sim.faults().counters().dropped);
+    r.inserted =
+        static_cast<double>(sim.faults().counters().inserted);
+    r.recovered = static_cast<double>(sim.recoveredPulses());
+    r.energy_j = sim.switchEnergy();
+    return r;
+}
+
+void
+appendJsonDouble(std::string &out, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    out += buf;
+}
+
+} // namespace
+
+FaultCampaignResult
+runFaultCampaign(const FaultCampaignConfig &cfg)
+{
+    sushi_assert(cfg.seeds >= 1);
+    sushi_assert(!cfg.kinds.empty() && !cfg.rates.empty());
+    sushi_assert(cfg.num_sc >= 1 && cfg.pulses >= 1);
+
+    std::vector<Trial> trials;
+    trials.reserve(cfg.kinds.size() * cfg.rates.size() *
+                   static_cast<std::size_t>(cfg.seeds));
+    for (std::size_t k = 0; k < cfg.kinds.size(); ++k)
+        for (std::size_t r = 0; r < cfg.rates.size(); ++r)
+            for (int s = 0; s < cfg.seeds; ++s)
+                trials.push_back(Trial{k, r, s});
+
+    // Fan out across threads; every trial owns its simulator, and
+    // results land at their own index, so the aggregation below is
+    // independent of the thread count.
+    std::vector<TrialResult> results(trials.size());
+    parallelFor(trials.size(),
+                [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i)
+                        results[i] = runTrial(cfg, trials[i]);
+                });
+
+    FaultCampaignResult out;
+    out.cfg = cfg;
+    for (std::size_t k = 0; k < cfg.kinds.size(); ++k) {
+        for (std::size_t r = 0; r < cfg.rates.size(); ++r) {
+            FaultCampaignPoint p{};
+            p.kind = cfg.kinds[k];
+            p.rate = cfg.rates[r];
+            p.trials = cfg.seeds;
+            const std::size_t base =
+                (k * cfg.rates.size() + r) *
+                static_cast<std::size_t>(cfg.seeds);
+            int exact = 0;
+            for (int s = 0; s < cfg.seeds; ++s) {
+                const TrialResult &t =
+                    results[base + static_cast<std::size_t>(s)];
+                exact += t.exact ? 1 : 0;
+                p.mean_count_err += t.count_err;
+                p.mean_violations += t.violations;
+                p.mean_dropped += t.dropped;
+                p.mean_inserted += t.inserted;
+                p.mean_recovered += t.recovered;
+                p.mean_energy_j += t.energy_j;
+            }
+            const double n = cfg.seeds;
+            p.accuracy = exact / n;
+            p.mean_count_err /= n;
+            p.mean_violations /= n;
+            p.mean_dropped /= n;
+            p.mean_inserted /= n;
+            p.mean_recovered /= n;
+            p.mean_energy_j /= n;
+            out.points.push_back(p);
+        }
+    }
+    return out;
+}
+
+bool
+accuracyMonotone(const FaultCampaignResult &result)
+{
+    const std::size_t n_rates = result.cfg.rates.size();
+    for (std::size_t k = 0; k < result.cfg.kinds.size(); ++k) {
+        for (std::size_t r = 1; r < n_rates; ++r) {
+            const auto &prev = result.points[k * n_rates + r - 1];
+            const auto &cur = result.points[k * n_rates + r];
+            if (cur.accuracy > prev.accuracy + 1e-12)
+                return false;
+        }
+    }
+    return true;
+}
+
+std::string
+campaignToJson(const FaultCampaignResult &result)
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"workload\": \"npe_counter\",\n";
+    out += "  \"campaign_seed\": ";
+    out += std::to_string(result.cfg.campaign_seed);
+    out += ",\n  \"seeds\": ";
+    out += std::to_string(result.cfg.seeds);
+    out += ",\n  \"num_sc\": ";
+    out += std::to_string(result.cfg.num_sc);
+    out += ",\n  \"pulses\": ";
+    out += std::to_string(result.cfg.pulses);
+    out += ",\n  \"jitter_scale_ticks\": ";
+    appendJsonDouble(out, result.cfg.jitter_scale_ticks);
+    out += ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+        const FaultCampaignPoint &p = result.points[i];
+        out += "    {\"kind\": \"";
+        out += sfq::faultKindName(p.kind);
+        out += "\", \"rate\": ";
+        appendJsonDouble(out, p.rate);
+        out += ", \"trials\": ";
+        out += std::to_string(p.trials);
+        out += ", \"accuracy\": ";
+        appendJsonDouble(out, p.accuracy);
+        out += ", \"mean_count_err\": ";
+        appendJsonDouble(out, p.mean_count_err);
+        out += ", \"mean_violations\": ";
+        appendJsonDouble(out, p.mean_violations);
+        out += ", \"mean_dropped\": ";
+        appendJsonDouble(out, p.mean_dropped);
+        out += ", \"mean_inserted\": ";
+        appendJsonDouble(out, p.mean_inserted);
+        out += ", \"mean_recovered\": ";
+        appendJsonDouble(out, p.mean_recovered);
+        out += ", \"mean_energy_j\": ";
+        appendJsonDouble(out, p.mean_energy_j);
+        out += i + 1 < result.points.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+bool
+writeCampaignJson(const FaultCampaignResult &result,
+                  const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string json = campaignToJson(result);
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace sushi::perf

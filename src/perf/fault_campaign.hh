@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Monte-Carlo fault-injection campaigns (the quantitative side of the
+ * paper's Sec. 6.2 verification story).
+ *
+ * A campaign sweeps fault kinds and rates over many seeded trials of
+ * a gate-level NPE counting workload, fanning the trials out across
+ * CPU threads, and reports per-(kind, rate) accuracy — the fraction
+ * of trials whose gate-level result is pulse-exact against the ideal
+ * behavioural counter — together with violation, fault, and energy
+ * statistics. The JSON emitter is byte-deterministic in the campaign
+ * seed so curves can be regression-diffed.
+ */
+
+#ifndef SUSHI_PERF_FAULT_CAMPAIGN_HH
+#define SUSHI_PERF_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sfq/fault_model.hh"
+
+namespace sushi::perf {
+
+/** Sweep configuration. */
+struct FaultCampaignConfig
+{
+    /** Fault kinds to sweep (delivery faults make the most sense:
+     *  drop, spurious, jitter). */
+    std::vector<sfq::FaultKind> kinds = {
+        sfq::FaultKind::PulseDrop,
+        sfq::FaultKind::SpuriousPulse,
+        sfq::FaultKind::TimingJitter,
+    };
+
+    /** Fault intensities. For drop/spurious this is the
+     *  per-delivery probability; for jitter the delay stddev is
+     *  rate * jitter_scale_ticks. */
+    std::vector<double> rates = {0.0, 1e-4, 1e-3, 1e-2, 1e-1};
+
+    /** Seeded trials per (kind, rate) point. */
+    int seeds = 8;
+
+    /** Master seed: every trial seed derives from it. */
+    std::uint64_t campaign_seed = 1;
+
+    /** NPE chain length of the gate-level workload. */
+    int num_sc = 5;
+
+    /** Input pulses per trial. */
+    int pulses = 64;
+
+    /** Jitter stddev in ticks at rate == 1 (1000 ticks = 1 ps). */
+    double jitter_scale_ticks = 20000.0;
+};
+
+/** Aggregated result of one (kind, rate) sweep point. */
+struct FaultCampaignPoint
+{
+    sfq::FaultKind kind;
+    double rate;
+    int trials;
+    double accuracy;        ///< fraction of pulse-exact trials
+    double mean_count_err;  ///< mean |counter - ideal|
+    double mean_violations; ///< timing violations per trial
+    double mean_dropped;    ///< lost pulses per trial
+    double mean_inserted;   ///< spurious pulses per trial
+    double mean_recovered;  ///< Recover-policy drops per trial
+    double mean_energy_j;   ///< switching energy per trial
+};
+
+/** A completed campaign. */
+struct FaultCampaignResult
+{
+    FaultCampaignConfig cfg;
+    std::vector<FaultCampaignPoint> points; ///< kind-major order
+};
+
+/**
+ * Run the campaign, fanning trials across hardware threads via
+ * common/parallel. Deterministic in cfg.campaign_seed regardless of
+ * thread count.
+ */
+FaultCampaignResult runFaultCampaign(const FaultCampaignConfig &cfg);
+
+/**
+ * True if, for every kind, accuracy is non-increasing as the rate
+ * grows — the graceful-degradation shape the curves must have.
+ */
+bool accuracyMonotone(const FaultCampaignResult &result);
+
+/** Serialize as JSON (byte-deterministic for equal results). */
+std::string campaignToJson(const FaultCampaignResult &result);
+
+/** Write campaignToJson to @p path. @return false on I/O error. */
+bool writeCampaignJson(const FaultCampaignResult &result,
+                       const std::string &path);
+
+} // namespace sushi::perf
+
+#endif // SUSHI_PERF_FAULT_CAMPAIGN_HH

@@ -13,13 +13,23 @@ Cell::Cell(Simulator &sim, std::string name, CellKind kind,
 {
 }
 
-void
+bool
 Cell::arrive(int port)
 {
+    // A dead cell (shorted/open junction) eats the pulse before any
+    // junction switches: no energy, no constraint bookkeeping.
+    if (sim_.faults().anyCellFaults() &&
+        sim_.faults().suppressArrival(name(), sim_.now()))
+        return false;
     std::string violation = checker_.arrive(port, sim_.now());
-    if (!violation.empty())
-        sim_.reportViolation(name() + ": " + violation);
+    if (!violation.empty() &&
+        sim_.reportViolation(name(), violation)) {
+        // Recover policy: the marginal arrival is attributed to this
+        // cell and the offending pulse is discarded.
+        return false;
+    }
     sim_.addSwitchEnergy(params().switch_energy_j);
+    return true;
 }
 
 Jtl::Jtl(Simulator &sim, std::string name)
@@ -30,7 +40,8 @@ Jtl::Jtl(Simulator &sim, std::string name)
 void
 Jtl::receive(int port)
 {
-    arrive(port);
+    if (!arrive(port))
+        return;
     send(0, params().delay);
 }
 
@@ -42,7 +53,8 @@ Spl::Spl(Simulator &sim, std::string name)
 void
 Spl::receive(int port)
 {
-    arrive(port);
+    if (!arrive(port))
+        return;
     send(0, params().delay);
     send(1, params().delay);
 }
@@ -55,7 +67,8 @@ Spl3::Spl3(Simulator &sim, std::string name)
 void
 Spl3::receive(int port)
 {
-    arrive(port);
+    if (!arrive(port))
+        return;
     send(0, params().delay);
     send(1, params().delay);
     send(2, params().delay);
@@ -69,7 +82,8 @@ Cb::Cb(Simulator &sim, std::string name)
 void
 Cb::receive(int port)
 {
-    arrive(port);
+    if (!arrive(port))
+        return;
     send(0, params().delay);
 }
 
@@ -81,7 +95,8 @@ Cb3::Cb3(Simulator &sim, std::string name)
 void
 Cb3::receive(int port)
 {
-    arrive(port);
+    if (!arrive(port))
+        return;
     send(0, params().delay);
 }
 
@@ -93,12 +108,16 @@ Dff::Dff(Simulator &sim, std::string name)
 void
 Dff::receive(int port)
 {
-    arrive(port);
+    if (!arrive(port))
+        return;
     if (port == chan::kDffDin) {
         if (stored_) {
             // A second din before a clk would push a second flux
-            // quantum into the storage loop — a design error.
-            sim_.reportViolation(name() + ": din while already storing");
+            // quantum into the storage loop — a design error. Under
+            // Recover the surplus din is simply discarded.
+            if (sim_.reportViolation(name(),
+                                     "din while already storing"))
+                return;
         }
         stored_ = true;
     } else {
@@ -119,13 +138,28 @@ Ndro::Ndro(Simulator &sim, std::string name)
 void
 Ndro::receive(int port)
 {
-    arrive(port);
+    if (!arrive(port))
+        return;
+    // Stuck-at faults model flux trapped in (stuck-set) or a dead
+    // (stuck-reset) storage loop: while active, the loop holds its
+    // forced value and writes in the opposing direction are lost.
+    bool s_set = false, s_rst = false;
+    if (sim_.faults().anyCellFaults()) {
+        s_set = sim_.faults().stuckSet(name(), sim_.now());
+        s_rst = sim_.faults().stuckReset(name(), sim_.now());
+    }
+    if (s_set)
+        state_ = true;
+    if (s_rst)
+        state_ = false;
     switch (port) {
       case chan::kNdroDin:
-        state_ = true;
+        if (!s_rst)
+            state_ = true;
         break;
       case chan::kNdroRst:
-        state_ = false;
+        if (!s_set)
+            state_ = false;
         break;
       case chan::kNdroClk:
         if (state_)
@@ -144,7 +178,8 @@ Tffl::Tffl(Simulator &sim, std::string name)
 void
 Tffl::receive(int port)
 {
-    arrive(port);
+    if (!arrive(port))
+        return;
     state_ = !state_;
     if (state_) // pulses on the 0 -> 1 flip
         send(0, params().delay);
@@ -158,7 +193,8 @@ Tffr::Tffr(Simulator &sim, std::string name)
 void
 Tffr::receive(int port)
 {
-    arrive(port);
+    if (!arrive(port))
+        return;
     state_ = !state_;
     if (!state_) // pulses on the 1 -> 0 flip
         send(0, params().delay);
@@ -172,7 +208,8 @@ DcSfq::DcSfq(Simulator &sim, std::string name)
 void
 DcSfq::receive(int port)
 {
-    arrive(port);
+    if (!arrive(port))
+        return;
     send(0, params().delay);
 }
 
@@ -190,7 +227,8 @@ SfqDc::SfqDc(Simulator &sim, std::string name)
 void
 SfqDc::receive(int port)
 {
-    arrive(port);
+    if (!arrive(port))
+        return;
     level_ = !level_;
     toggles_.push_back(sim_.now());
 }

@@ -37,8 +37,12 @@ class Cell : public Component
      * Record an input arrival: checks timing constraints (reporting
      * any violation to the simulator) and accounts switching energy.
      * Call at the top of every receive().
+     * @return false if the pulse must not be processed — the cell is
+     *         dead (FaultKind::DeadCell) or the arrival violated a
+     *         constraint under ViolationPolicy::Recover; the caller
+     *         returns immediately.
      */
-    void arrive(int port);
+    [[nodiscard]] bool arrive(int port);
 
   private:
     CellKind kind_;

@@ -54,8 +54,27 @@ Component::send(int out_port, Tick delay)
         return;
     Component *dst = c.dst;
     int dst_port = c.dst_port;
-    if (sim_.pulseDropped())
-        return; // injected fault: the SFQ pulse is lost in flight
+    FaultModel &faults = sim_.faults();
+    if (faults.anyDeliveryFaults()) {
+        const FaultModel::Delivery fate =
+            faults.onDeliver(name_, sim_.now());
+        if (fate.dropped)
+            return; // injected fault: the pulse is lost in flight
+        Tick total = delay + c.wire_delay + fate.jitter;
+        if (total < 0)
+            total = 0; // jitter cannot deliver into the past
+        sim_.countPulse();
+        sim_.scheduleIn(total,
+                        [dst, dst_port] { dst->receive(dst_port); });
+        // Spurious pulses (punch-through) trail the real delivery.
+        for (int i = 1; i <= fate.inserted; ++i) {
+            sim_.countPulse();
+            sim_.scheduleIn(total + i, [dst, dst_port] {
+                dst->receive(dst_port);
+            });
+        }
+        return;
+    }
     sim_.countPulse();
     sim_.scheduleIn(delay + c.wire_delay,
                     [dst, dst_port] { dst->receive(dst_port); });

@@ -1,0 +1,156 @@
+#include "sfq/fault_model.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace sushi::sfq {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::PulseDrop:
+        return "pulse_drop";
+      case FaultKind::SpuriousPulse:
+        return "spurious_pulse";
+      case FaultKind::TimingJitter:
+        return "timing_jitter";
+      case FaultKind::StuckSet:
+        return "stuck_set";
+      case FaultKind::StuckReset:
+        return "stuck_reset";
+      case FaultKind::DeadCell:
+        return "dead_cell";
+    }
+    sushi_panic("bad FaultKind %d", static_cast<int>(kind));
+}
+
+FaultModel::FaultModel(std::uint64_t seed) : seed_(seed), rng_(seed)
+{
+}
+
+void
+FaultModel::reseed(std::uint64_t seed)
+{
+    seed_ = seed;
+    rng_ = Rng(seed);
+}
+
+void
+FaultModel::addFault(FaultSpec spec)
+{
+    switch (spec.kind) {
+      case FaultKind::PulseDrop:
+      case FaultKind::SpuriousPulse:
+        sushi_assert(spec.rate >= 0.0 && spec.rate <= 1.0);
+        ++delivery_faults_;
+        break;
+      case FaultKind::TimingJitter:
+        sushi_assert(spec.jitter_sigma >= 0.0);
+        ++delivery_faults_;
+        break;
+      case FaultKind::StuckSet:
+      case FaultKind::StuckReset:
+      case FaultKind::DeadCell:
+        ++cell_faults_;
+        break;
+    }
+    specs_.push_back(std::move(spec));
+}
+
+void
+FaultModel::clearFaults()
+{
+    specs_.clear();
+    delivery_faults_ = 0;
+    cell_faults_ = 0;
+}
+
+bool
+FaultModel::matches(const FaultSpec &spec, const std::string &cell,
+                    Tick now)
+{
+    if (now < spec.from || now >= spec.until)
+        return false;
+    if (spec.target.empty())
+        return true;
+    return cell.find(spec.target) != std::string::npos;
+}
+
+FaultModel::Delivery
+FaultModel::onDeliver(const std::string &src, Tick now)
+{
+    Delivery d;
+    for (const FaultSpec &spec : specs_) {
+        switch (spec.kind) {
+          case FaultKind::PulseDrop:
+            // Evaluate matching faults even after a drop decision so
+            // the consumed random stream — and therefore every later
+            // decision — is independent of this delivery's fate.
+            if (matches(spec, src, now) && rng_.chance(spec.rate) &&
+                !d.dropped) {
+                d.dropped = true;
+                ++counters_.dropped;
+            }
+            break;
+          case FaultKind::SpuriousPulse:
+            if (matches(spec, src, now) && rng_.chance(spec.rate) &&
+                !d.dropped) {
+                ++d.inserted;
+                ++counters_.inserted;
+            }
+            break;
+          case FaultKind::TimingJitter:
+            if (matches(spec, src, now) && spec.jitter_sigma > 0.0) {
+                const double shift =
+                    rng_.gaussian(0.0, spec.jitter_sigma);
+                d.jitter += static_cast<Tick>(std::llround(shift));
+            }
+            break;
+          case FaultKind::StuckSet:
+          case FaultKind::StuckReset:
+          case FaultKind::DeadCell:
+            break; // cell faults: not a delivery decision
+        }
+    }
+    if (d.jitter != 0)
+        ++counters_.jittered;
+    return d;
+}
+
+bool
+FaultModel::suppressArrival(const std::string &cell, Tick now)
+{
+    for (const FaultSpec &spec : specs_) {
+        if (spec.kind == FaultKind::DeadCell &&
+            matches(spec, cell, now)) {
+            ++counters_.suppressed;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FaultModel::stuckSet(const std::string &cell, Tick now) const
+{
+    for (const FaultSpec &spec : specs_)
+        if (spec.kind == FaultKind::StuckSet &&
+            matches(spec, cell, now))
+            return true;
+    return false;
+}
+
+bool
+FaultModel::stuckReset(const std::string &cell, Tick now) const
+{
+    for (const FaultSpec &spec : specs_)
+        if (spec.kind == FaultKind::StuckReset &&
+            matches(spec, cell, now))
+            return true;
+    return false;
+}
+
+} // namespace sushi::sfq

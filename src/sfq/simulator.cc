@@ -36,39 +36,64 @@ Simulator::run(Tick until)
 }
 
 void
+Simulator::reset()
+{
+    queue_.clear();
+    now_ = 0;
+    violations_ = 0;
+    recovered_ = 0;
+    pulses_ = 0;
+    switch_energy_j_ = 0.0;
+    violations_by_cell_.clear();
+    faults_.resetCounters();
+    stats_.clear();
+}
+
+void
 Simulator::setPulseDropRate(double rate, std::uint64_t seed)
 {
     sushi_assert(rate >= 0.0 && rate <= 1.0);
-    drop_rate_ = rate;
-    fault_rng_ = Rng(seed);
+    faults_.clearFaults();
+    faults_.reseed(seed);
+    if (rate > 0.0) {
+        FaultSpec drop;
+        drop.kind = FaultKind::PulseDrop;
+        drop.rate = rate;
+        faults_.addFault(std::move(drop));
+    }
 }
 
 bool
 Simulator::pulseDropped()
 {
-    if (drop_rate_ <= 0.0)
+    if (!faults_.anyDeliveryFaults())
         return false;
-    if (!fault_rng_.chance(drop_rate_))
-        return false;
-    ++dropped_;
-    stats_.inc("sim.dropped_pulses");
-    return true;
+    return faults_.onDeliver(std::string{}, now_).dropped;
 }
 
-void
-Simulator::reportViolation(const std::string &what)
+bool
+Simulator::reportViolation(const std::string &cell,
+                           const std::string &what)
 {
     ++violations_;
     stats_.inc("sim.constraint_violations");
+    if (!cell.empty())
+        ++violations_by_cell_[cell];
+    const std::string where = cell.empty() ? what : cell + ": " + what;
     switch (policy_) {
       case ViolationPolicy::Ignore:
         break;
       case ViolationPolicy::Warn:
-        sushi_warn("timing constraint violated: %s", what.c_str());
+        sushi_warn("timing constraint violated: %s", where.c_str());
         break;
+      case ViolationPolicy::Recover:
+        ++recovered_;
+        stats_.inc("sim.recovered_pulses");
+        return true;
       case ViolationPolicy::Fatal:
-        sushi_fatal("timing constraint violated: %s", what.c_str());
+        throw TimingFault(cell, where);
     }
+    return false;
 }
 
 } // namespace sushi::sfq

@@ -3,29 +3,56 @@
  * Top-level discrete-event RSFQ simulator.
  *
  * Owns the event queue, the global clockless time, aggregate energy
- * accounting, and the timing-constraint violation policy. Components
- * (cells) register themselves and exchange SFQ pulses as events.
+ * accounting, the fault-injection model, and the timing-constraint
+ * violation policy. Components (cells) register themselves and
+ * exchange SFQ pulses as events.
  */
 
 #ifndef SUSHI_SFQ_SIMULATOR_HH
 #define SUSHI_SFQ_SIMULATOR_HH
 
 #include <cstdint>
+#include <map>
+#include <stdexcept>
 #include <string>
 
-#include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/time.hh"
 #include "sfq/event_queue.hh"
+#include "sfq/fault_model.hh"
 
 namespace sushi::sfq {
 
 /** How Table-1 timing-constraint violations are handled. */
 enum class ViolationPolicy
 {
-    Ignore, ///< count only
-    Warn,   ///< count and warn()
-    Fatal,  ///< abort the simulation (user design error)
+    Ignore,  ///< count only
+    Warn,    ///< count and warn()
+    Recover, ///< count, attribute to the cell, drop the offending
+             ///< pulse, and continue (graceful degradation)
+    Fatal,   ///< throw TimingFault (user design error)
+};
+
+/**
+ * Thrown when a timing constraint is violated under
+ * ViolationPolicy::Fatal, so callers can catch it and degrade
+ * gracefully (e.g. fall back to a healthy NPE) instead of losing the
+ * whole process to an abort.
+ */
+class TimingFault : public std::runtime_error
+{
+  public:
+    TimingFault(std::string cell, const std::string &what)
+        : std::runtime_error("timing constraint violated: " + what),
+          cell_(std::move(cell))
+    {
+    }
+
+    /** Instance name of the offending cell ("" if unattributed). */
+    const std::string &cell() const { return cell_; }
+
+  private:
+    std::string cell_;
 };
 
 /** The RSFQ circuit simulator. */
@@ -55,11 +82,43 @@ class Simulator
     /** True if no events remain. */
     bool idle() const { return queue_.empty(); }
 
-    /** Record one timing-constraint violation. */
-    void reportViolation(const std::string &what);
+    /**
+     * Rewind the simulator for reuse: drops all pending events and
+     * clears time, energy, pulse, violation, and fault counters plus
+     * the stats registry. The fault *configuration* is kept (reseed
+     * via faults().reseed()); registered components are untouched —
+     * campaign iterations reuse one simulator without realloc churn.
+     */
+    void reset();
+
+    /**
+     * Record one timing-constraint violation attributed to @p cell.
+     * Ignore/Warn count (and log) it; Recover additionally asks the
+     * caller to drop the offending pulse; Fatal throws TimingFault
+     * (it no longer aborts the process).
+     * @return true if the offending pulse must be dropped (Recover).
+     */
+    bool reportViolation(const std::string &cell,
+                         const std::string &what);
+
+    /** Unattributed violation (kept for older call sites). */
+    void reportViolation(const std::string &what)
+    {
+        reportViolation(std::string{}, what);
+    }
 
     /** Number of constraint violations observed so far. */
     std::uint64_t violations() const { return violations_; }
+
+    /** Violations attributed per cell (Recover/any policy). */
+    const std::map<std::string, std::uint64_t> &
+    violationsByCell() const
+    {
+        return violations_by_cell_;
+    }
+
+    /** Pulses dropped by the Recover policy so far. */
+    std::uint64_t recoveredPulses() const { return recovered_; }
 
     /** Set the violation handling policy (default Warn). */
     void setViolationPolicy(ViolationPolicy p) { policy_ = p; }
@@ -74,19 +133,26 @@ class Simulator
     /** Count a pulse delivery (for throughput stats). */
     void countPulse() { ++pulses_; }
 
+    /** The fault-injection model consulted on every delivery. */
+    FaultModel &faults() { return faults_; }
+    const FaultModel &faults() const { return faults_; }
+
     /**
-     * Fault injection: drop each cell-to-cell pulse with probability
-     * @p rate (deterministic in @p seed). Models marginal junctions
-     * or flux trapping — the failure modes chip verification
-     * (Sec. 6.2) exists to catch. 0 disables (the default).
+     * Shim over faults(): clear the configuration, reseed, and (for
+     * @p rate > 0) install a single untargeted PulseDrop fault.
+     * Prefer faults().addFault() for anything richer.
      */
     void setPulseDropRate(double rate, std::uint64_t seed = 1);
 
-    /** True if fault injection says this delivery is lost. */
+    /** True if fault injection says this delivery is lost (shim —
+     *  components consult faults().onDeliver() directly). */
     bool pulseDropped();
 
     /** Pulses lost to injected faults so far. */
-    std::uint64_t droppedPulses() const { return dropped_; }
+    std::uint64_t droppedPulses() const
+    {
+        return faults_.counters().dropped;
+    }
 
     /** Total pulses delivered between cells. */
     std::uint64_t pulses() const { return pulses_; }
@@ -101,13 +167,13 @@ class Simulator
   private:
     EventQueue queue_;
     Tick now_ = 0;
-    double drop_rate_ = 0.0;
-    Rng fault_rng_{1};
-    std::uint64_t dropped_ = 0;
+    FaultModel faults_{1};
     std::uint64_t violations_ = 0;
+    std::uint64_t recovered_ = 0;
     std::uint64_t pulses_ = 0;
     double switch_energy_j_ = 0.0;
     ViolationPolicy policy_ = ViolationPolicy::Warn;
+    std::map<std::string, std::uint64_t> violations_by_cell_;
     StatSet stats_;
 };
 
