@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Batched multi-chip inference throughput: samples/sec vs replica
+ * count on the synth-digits workload, plus the engine's determinism
+ * contract (byte-identical merged stats across thread counts).
+ *
+ * Two throughput figures are recorded per replica count:
+ *  - modelled system throughput: the replicas are physically
+ *    independent chips, so batch latency is the slowest replica's
+ *    modelled chip time (EngineRun::modeledMakespanPs). This is the
+ *    "as fast as the hardware allows" number and scales with the
+ *    replica count regardless of the simulation host.
+ *  - host throughput: wall-clock samples/sec of the simulation
+ *    itself, which scales with the host's core count.
+ *
+ * Environment:
+ *   SUSHI_JSON_OUT  output path (default BENCH_engine.json)
+ *   SUSHI_FULL=1    more samples (slower)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "data/synth_digits.hh"
+#include "engine/inference_engine.hh"
+#include "snn/binarize.hh"
+
+#include "bench_util.hh"
+
+using namespace sushi;
+
+namespace {
+
+void
+appendDouble(std::string &out, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    out += buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t samples_n =
+        benchutil::envFlag("SUSHI_FULL") ? 1024 : 256;
+    const int t_steps = 5;
+
+    // The workload: synth-digits images through a binarized MLP on
+    // the 16x16-mesh chip. Throughput is weight-independent, so the
+    // network is binarized from a fresh (untrained) float model.
+    auto data = data::synthDigits(samples_n, 42);
+    snn::SnnConfig net_cfg;
+    net_cfg.hidden = 96;
+    net_cfg.t_steps = t_steps;
+    net_cfg.stateless = true;
+    snn::SnnMlp mlp(net_cfg, 7);
+    auto bin = snn::BinarySnn::fromFloat(mlp);
+
+    compiler::ChipConfig chip_cfg;
+    chip_cfg.n = 16;
+    chip_cfg.sc_per_npe = 10;
+
+    // Compiled once, shared by every replica of every engine below.
+    auto model = engine::ModelCache::shared().get(bin, chip_cfg);
+    const auto samples =
+        engine::encodeSamples(data.images, t_steps, 99);
+
+    std::printf("=== Batched multi-chip inference throughput ===\n");
+    std::printf("%zu synth-digit samples, %d time steps, %d-wide "
+                "mesh, %u host workers\n",
+                samples.size(), t_steps, chip_cfg.n,
+                parallelWorkers());
+    std::printf("%-9s %14s %16s %14s %16s\n", "replicas",
+                "host smp/s", "host speedup", "chip smp/s",
+                "chip speedup");
+
+    struct Point
+    {
+        int replicas;
+        double host_sps;
+        double chip_sps;
+    };
+    std::vector<Point> points;
+    double host_base = 0.0;
+    double chip_base = 0.0;
+    std::vector<int> prev_counts;
+    bool results_stable = true;
+    for (int replicas : {1, 2, 4, 8}) {
+        engine::EngineConfig ecfg;
+        ecfg.replicas = replicas;
+        engine::InferenceEngine eng(model, ecfg);
+        const auto run = eng.run(samples);
+
+        const double host_sps =
+            static_cast<double>(samples.size()) /
+            (run.wall_seconds > 0 ? run.wall_seconds : 1e-9);
+        const double makespan_s = run.modeledMakespanPs() * 1e-12;
+        const double chip_sps =
+            static_cast<double>(samples.size()) /
+            (makespan_s > 0 ? makespan_s : 1e-30);
+        if (host_base == 0.0) {
+            host_base = host_sps;
+            chip_base = chip_sps;
+        }
+        points.push_back({replicas, host_sps, chip_sps});
+        std::printf("%-9d %14.1f %15.2fx %14.3g %15.2fx\n", replicas,
+                    host_sps, host_sps / host_base, chip_sps,
+                    chip_sps / chip_base);
+
+        // Every replica count must produce identical per-sample
+        // results.
+        std::vector<int> flat;
+        for (const auto &s : run.samples)
+            flat.insert(flat.end(), s.counts.begin(),
+                        s.counts.end());
+        if (prev_counts.empty())
+            prev_counts = std::move(flat);
+        else if (flat != prev_counts)
+            results_stable = false;
+    }
+
+    // Determinism: byte-identical merged stats across thread counts
+    // at a fixed replica count.
+    std::string digest;
+    bool deterministic = true;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        engine::EngineConfig ecfg;
+        ecfg.replicas = 8;
+        ecfg.max_threads = threads;
+        engine::InferenceEngine eng(model, ecfg);
+        const auto run = eng.run(samples);
+        const std::string json = engine::statsJson(run.merged);
+        if (digest.empty())
+            digest = json;
+        else if (json != digest)
+            deterministic = false;
+    }
+    std::printf("merged stats byte-identical across thread counts: "
+                "%s\n",
+                deterministic ? "yes" : "NO");
+    std::printf("per-sample results identical across replica "
+                "counts: %s\n",
+                results_stable ? "yes" : "NO");
+
+    const double chip_speedup_8 = points.back().chip_sps / chip_base;
+    const double host_speedup_8 = points.back().host_sps / host_base;
+    std::printf("8-replica speedup: %.2fx modelled chip throughput, "
+                "%.2fx host wall-clock\n",
+                chip_speedup_8, host_speedup_8);
+
+    std::string json = "{\n  \"workload\": \"synth_digits\",\n";
+    json += "  \"samples\": " + std::to_string(samples_n) + ",\n";
+    json += "  \"t_steps\": " + std::to_string(t_steps) + ",\n";
+    json += "  \"mesh\": " + std::to_string(chip_cfg.n) + ",\n";
+    json += "  \"host_workers\": " +
+            std::to_string(parallelWorkers()) + ",\n";
+    json += "  \"deterministic_across_threads\": ";
+    json += deterministic ? "true" : "false";
+    json += ",\n  \"results_stable_across_replicas\": ";
+    json += results_stable ? "true" : "false";
+    json += ",\n  \"samples_per_sec\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        json += "    {\"replicas\": " + std::to_string(p.replicas);
+        json += ", \"samples_per_sec\": ";
+        appendDouble(json, p.chip_sps);
+        json += ", \"speedup\": ";
+        appendDouble(json, p.chip_sps / chip_base);
+        json += ", \"host_samples_per_sec\": ";
+        appendDouble(json, p.host_sps);
+        json += ", \"host_speedup\": ";
+        appendDouble(json, p.host_sps / host_base);
+        json += i + 1 < points.size() ? "},\n" : "}\n";
+    }
+    json += "  ],\n  \"speedup_at_8_replicas\": ";
+    appendDouble(json, chip_speedup_8);
+    json += ",\n  \"host_speedup_at_8_replicas\": ";
+    appendDouble(json, host_speedup_8);
+    json += ",\n  \"merged_stats\": " + digest + "\n}\n";
+
+    const char *env_path = std::getenv("SUSHI_JSON_OUT");
+    const std::string path =
+        env_path != nullptr && env_path[0] != '\0'
+            ? env_path
+            : "BENCH_engine.json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("JSON written to %s\n", path.c_str());
+
+    const bool ok =
+        deterministic && results_stable && chip_speedup_8 >= 3.0;
+    return ok ? 0 : 1;
+}

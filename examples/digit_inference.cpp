@@ -1,20 +1,21 @@
 /**
  * @file
- * End-to-end SSNN inference: the full Fig. 12 workflow on the
- * synthetic digit task.
+ * End-to-end SSNN inference through the batched multi-chip engine:
+ * the full Fig. 12 workflow on the synthetic digit task, served the
+ * way a production deployment would run it.
  *
  *   train (binarization-aware, stateless)  ->  XNOR binarize  ->
- *   bit-slice compile for a 16x16 chip     ->  run on the chip
- *   model -> decode labels from output pulse streams.
+ *   bit-slice compile ONCE (shared compiled-model cache)  ->
+ *   shard the test set across SushiChip replicas  ->  merge
+ *   deterministic per-sample results and statistics.
  *
  * Run: ./digit_inference
  */
 
-#include <algorithm>
 #include <cstdio>
 
-#include "chip/sushi_chip.hh"
 #include "data/synth_digits.hh"
+#include "engine/inference_engine.hh"
 #include "snn/train.hh"
 
 using namespace sushi;
@@ -39,56 +40,58 @@ main()
     tc.epochs = 2;
     snn::Trainer(mlp, tc).fit(train.images, train.labels);
 
-    // Binarize and compile onto the 16x16-mesh chip.
+    // Binarize and compile onto the 16x16-mesh chip — once, through
+    // the shared cache; every replica runs the same immutable
+    // artifact.
     auto bin = snn::BinarySnn::fromFloat(mlp);
     compiler::ChipConfig chip_cfg;
     chip_cfg.n = 16;
     chip_cfg.sc_per_npe = 10;
-    auto compiled = compiler::compileNetwork(bin, chip_cfg);
+    auto model = engine::ModelCache::shared().get(bin, chip_cfg);
+    const auto &compiled = model->compiled();
     std::printf("compiled: %d input slices x %d output groups "
                 "(layer 0), %ld reload events per step\n",
                 compiled.layers[0].slices.numInBlocks(),
                 compiled.layers[0].slices.numOutBlocks(),
                 compiled.totalReloads());
 
-    // Run the chip on the test set.
-    chip::SushiChip chip(chip_cfg);
-    snn::PoissonEncoder enc(99);
+    // Encode the test set (per-sample deterministic streams) and run
+    // it through a pool of chip replicas.
+    const auto samples =
+        engine::encodeSamples(test.images, cfg.t_steps, 99);
+    engine::EngineConfig ecfg;
+    ecfg.replicas = 4;
+    engine::InferenceEngine eng(model, ecfg);
+    const auto run = eng.run(samples);
+
     std::size_t hits = 0;
-    int shown = 0;
-    for (std::size_t i = 0; i < test.size(); ++i) {
-        std::vector<float> pix(test.images.row(i),
-                               test.images.row(i) + 784);
-        snn::Tensor fr = enc.encode(pix, cfg.t_steps);
-        std::vector<std::vector<std::uint8_t>> frames;
-        for (int t = 0; t < cfg.t_steps; ++t) {
-            std::vector<std::uint8_t> f(784);
-            for (std::size_t d = 0; d < 784; ++d)
-                f[d] = fr.at(static_cast<std::size_t>(t), d) > 0.5f;
-            frames.push_back(std::move(f));
-        }
-        const auto counts = chip.inferCounts(compiled, frames);
-        const int pred = static_cast<int>(
-            std::max_element(counts.begin(), counts.end()) -
-            counts.begin());
-        hits += pred == test.labels[i] ? 1 : 0;
-        if (shown < 3) { // Fig. 16(d)-style readout
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        if (run.samples[i].prediction == test.labels[i])
+            ++hits;
+        if (i < 3) { // Fig. 16(d)-style readout
+            const auto &counts = run.samples[i].counts;
             std::printf("sample %zu (true %d): ", i, test.labels[i]);
             for (std::size_t c = 0; c < counts.size(); ++c)
                 std::printf("%d%s", counts[c],
                             c + 1 < counts.size() ? "," : "");
-            std::printf(" -> predict %d\n", pred);
-            ++shown;
+            std::printf(" -> predict %d\n",
+                        run.samples[i].prediction);
         }
     }
     std::printf("chip accuracy: %.2f%% over %zu samples\n",
                 100.0 * static_cast<double>(hits) /
-                    static_cast<double>(test.size()),
-                test.size());
-    const auto &st = chip.stats();
-    std::printf("chip stats: %.3g synaptic ops, est. %.3g us of "
+                    static_cast<double>(samples.size()),
+                samples.size());
+
+    const auto &st = run.merged;
+    std::printf("merged stats: %.3g synaptic ops, est. %.3g us of "
                 "chip time, %.3g nJ dynamic energy\n",
                 static_cast<double>(st.synaptic_ops),
                 st.est_time_ps * 1e-6, st.dynamic_energy_j * 1e9);
+    std::printf("engine: %d replicas (%d active), %.2f ms host "
+                "wall, modelled batch makespan %.3g us\n",
+                eng.replicas(), run.active_replicas,
+                run.wall_seconds * 1e3,
+                run.modeledMakespanPs() * 1e-6);
     return 0;
 }

@@ -36,6 +36,31 @@ popcountRange(const std::vector<std::uint64_t> &act,
 
 } // namespace
 
+void
+InferenceStats::accumulate(const InferenceStats &other)
+{
+    frames += other.frames;
+    time_steps += other.time_steps;
+    input_pulses += other.input_pulses;
+    synaptic_ops += other.synaptic_ops;
+    output_spikes += other.output_spikes;
+    underflow_spikes += other.underflow_spikes;
+    multi_fires += other.multi_fires;
+    reload_events += other.reload_events;
+    failed_npes = std::max(failed_npes, other.failed_npes);
+    remapped_neurons += other.remapped_neurons;
+    degraded_passes += other.degraded_passes;
+    est_time_ps += other.est_time_ps;
+    reload_time_ps += other.reload_time_ps;
+    dynamic_energy_j += other.dynamic_energy_j;
+}
+
+double
+dynamicEnergyJ(std::uint64_t synaptic_ops)
+{
+    return static_cast<double>(synaptic_ops) * 30.0 * 2.0e-19;
+}
+
 SushiChip::SushiChip(const compiler::ChipConfig &cfg)
     : cfg_(cfg),
       failed_npes_(static_cast<std::size_t>(cfg.n), 0),
@@ -50,6 +75,7 @@ SushiChip::markNpeFailed(int slot)
     sushi_assert(slot >= 0 && slot < cfg_.n);
     failed_npes_[static_cast<std::size_t>(slot)] = 1;
     remap_ = compiler::planNpeRemap(cfg_.n, failed_npes_);
+    stats_.failed_npes = static_cast<std::uint64_t>(remap_.failed);
 }
 
 void
@@ -57,6 +83,22 @@ SushiChip::clearFailedNpes()
 {
     std::fill(failed_npes_.begin(), failed_npes_.end(), 0);
     remap_ = compiler::planNpeRemap(cfg_.n, failed_npes_);
+    // The gauge must not report slots that are healthy again.
+    stats_.failed_npes = 0;
+}
+
+void
+SushiChip::resetStats()
+{
+    stats_.reset();
+    stats_.failed_npes = static_cast<std::uint64_t>(remap_.failed);
+}
+
+void
+SushiChip::reset()
+{
+    clearFailedNpes();
+    stats_.reset();
 }
 
 PulseVector
@@ -211,10 +253,7 @@ SushiChip::inferCounts(
                 static_cast<std::uint64_t>(act[o]);
         }
     }
-    // Dynamic energy: every synaptic op switches the cells along the
-    // synapse->NPE path (~30 JJ flips at ~2e-19 J each).
-    stats_.dynamic_energy_j =
-        static_cast<double>(stats_.synaptic_ops) * 30.0 * 2.0e-19;
+    stats_.dynamic_energy_j = dynamicEnergyJ(stats_.synaptic_ops);
     return counts;
 }
 

@@ -49,9 +49,23 @@ struct InferenceStats
 
     void reset() { *this = InferenceStats{}; }
 
+    /**
+     * Fold another stats record into this one. Counters and time /
+     * energy totals add; failed_npes is a gauge (current failed
+     * slots), so the maximum is kept. Addition order matters for the
+     * floating-point fields: merging per-sample records in sample
+     * order gives byte-identical totals regardless of how the
+     * samples were sharded across replicas or threads.
+     */
+    void accumulate(const InferenceStats &other);
+
     /** True if any inference ran with failed NPEs remapped. */
     bool degraded() const { return remapped_neurons > 0; }
 };
+
+/** Switching-energy model shared by chip and engine: every synaptic
+ *  op flips ~30 JJs along the synapse->NPE path at ~2e-19 J each. */
+double dynamicEnergyJ(std::uint64_t synaptic_ops);
 
 /** Per-step activation pulses flowing between layers. */
 using PulseVector = std::vector<std::uint16_t>;
@@ -91,7 +105,18 @@ class SushiChip
 
     /** Statistics accumulated since the last reset. */
     const InferenceStats &stats() const { return stats_; }
-    void resetStats() { stats_.reset(); }
+
+    /** Clear accumulated statistics; the failed_npes gauge keeps
+     *  tracking the chip's current failure state. */
+    void resetStats();
+
+    /**
+     * Return the chip to its just-constructed state: statistics
+     * cleared and every NPE slot healthy. Replica pools call this
+     * between batches so a reused chip is indistinguishable from a
+     * fresh one.
+     */
+    void reset();
 
     /// @name Degraded mode (Sec. 6.2 failure tolerance).
     /// Marking an output-NPE slot failed remaps its neurons onto the

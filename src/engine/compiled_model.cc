@@ -1,0 +1,137 @@
+#include "engine/compiled_model.hh"
+
+namespace sushi::engine {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void
+fnv(std::uint64_t &h, std::uint64_t v)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (8 * byte)) & 0xff;
+        h *= kFnvPrime;
+    }
+}
+
+} // namespace
+
+std::uint64_t
+CompiledModel::fingerprintOf(const snn::BinarySnn &net,
+                             const compiler::ChipConfig &chip)
+{
+    std::uint64_t h = kFnvOffset;
+    fnv(h, static_cast<std::uint64_t>(net.tSteps()));
+    for (const auto &layer : net.layers()) {
+        fnv(h, layer.outDim());
+        fnv(h, layer.inDim());
+        for (const auto &row : layer.weights) {
+            // Pack the +-1 weights eight-per-byte-pair into words.
+            std::uint64_t word = 0;
+            int bits = 0;
+            for (std::int8_t w : row) {
+                word = (word << 1) | (w > 0 ? 1u : 0u);
+                if (++bits == 64) {
+                    fnv(h, word);
+                    word = 0;
+                    bits = 0;
+                }
+            }
+            if (bits) {
+                fnv(h, word);
+                fnv(h, static_cast<std::uint64_t>(bits));
+            }
+        }
+        for (int theta : layer.thresholds)
+            fnv(h, static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(theta)));
+    }
+    fnv(h, static_cast<std::uint64_t>(chip.n));
+    fnv(h, static_cast<std::uint64_t>(chip.sc_per_npe));
+    fnv(h, chip.bucketing.bucketing ? 1 : 0);
+    fnv(h, chip.bucketing.reorder ? 1 : 0);
+    fnv(h, static_cast<std::uint64_t>(chip.bucketing.bucket_size));
+    fnv(h, static_cast<std::uint64_t>(chip.bucketing.state_bits));
+    fnv(h, static_cast<std::uint64_t>(chip.bucketing.mesh_width));
+    return h;
+}
+
+CompiledModel::CompiledModel(Key, snn::BinarySnn net,
+                             const compiler::ChipConfig &chip)
+    : net_(std::move(net)),
+      compiled_(compiler::compileNetwork(net_, chip)),
+      fingerprint_(fingerprintOf(net_, chip))
+{
+}
+
+std::shared_ptr<const CompiledModel>
+CompiledModel::compile(snn::BinarySnn net,
+                       const compiler::ChipConfig &chip)
+{
+    return std::make_shared<CompiledModel>(Key{}, std::move(net),
+                                           chip);
+}
+
+std::shared_ptr<const CompiledModel>
+ModelCache::get(const snn::BinarySnn &net,
+                const compiler::ChipConfig &chip)
+{
+    const std::uint64_t key = CompiledModel::fingerprintOf(net, chip);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    // Compile outside the lock: misses on distinct models may
+    // proceed concurrently. A racing duplicate compile of the same
+    // model is wasted work, not an error — first insert wins.
+    auto model = CompiledModel::compile(net, chip);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = map_.emplace(key, std::move(model));
+    ++misses_;
+    return it->second;
+}
+
+std::size_t
+ModelCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
+std::uint64_t
+ModelCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+}
+
+std::uint64_t
+ModelCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+}
+
+void
+ModelCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+ModelCache &
+ModelCache::shared()
+{
+    static ModelCache cache;
+    return cache;
+}
+
+} // namespace sushi::engine

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The shared compiled-model artifact and its process-wide cache.
+ *
+ * Compiling a binarized SSNN (bit-slicing, bucketing, scheduling,
+ * preload computation) is pure and deterministic in the network and
+ * chip geometry, so a replica pool must do it exactly once: every
+ * SushiChip replica executes the same immutable CompiledModel. The
+ * artifact owns its BinarySnn — compiler::CompiledNetwork points
+ * back into the network it was compiled from, so the two must live
+ * (and die) together; CompiledModel pins both behind one
+ * shared_ptr and is neither copyable nor movable.
+ */
+
+#ifndef SUSHI_ENGINE_COMPILED_MODEL_HH
+#define SUSHI_ENGINE_COMPILED_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "compiler/compile.hh"
+#include "snn/binarize.hh"
+
+namespace sushi::engine {
+
+/** An immutable, shareable compile artifact. */
+class CompiledModel
+{
+  public:
+    /** Compile @p net for @p chip and wrap the result. */
+    static std::shared_ptr<const CompiledModel>
+    compile(snn::BinarySnn net, const compiler::ChipConfig &chip);
+
+    CompiledModel(const CompiledModel &) = delete;
+    CompiledModel &operator=(const CompiledModel &) = delete;
+
+    const snn::BinarySnn &network() const { return net_; }
+    const compiler::CompiledNetwork &compiled() const
+    {
+        return compiled_;
+    }
+    const compiler::ChipConfig &chip() const
+    {
+        return compiled_.chip;
+    }
+
+    /** Content fingerprint of (network, chip config); the cache key. */
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    /**
+     * Fingerprint without compiling (cache lookups). FNV-1a over the
+     * binarized weights, thresholds, step count and chip geometry.
+     */
+    static std::uint64_t
+    fingerprintOf(const snn::BinarySnn &net,
+                  const compiler::ChipConfig &chip);
+
+  private:
+    struct Key
+    {
+    }; // make_shared needs a public ctor; Key keeps it internal
+
+  public:
+    CompiledModel(Key, snn::BinarySnn net,
+                  const compiler::ChipConfig &chip);
+
+  private:
+    snn::BinarySnn net_;
+    compiler::CompiledNetwork compiled_;
+    std::uint64_t fingerprint_;
+};
+
+/**
+ * Process-wide compile cache, keyed by content fingerprint.
+ * Thread-safe; a hit returns the already-compiled shared artifact.
+ */
+class ModelCache
+{
+  public:
+    /** Return the cached artifact for (net, chip), compiling on a
+     *  miss. */
+    std::shared_ptr<const CompiledModel>
+    get(const snn::BinarySnn &net, const compiler::ChipConfig &chip);
+
+    std::size_t size() const;
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    void clear();
+
+    /** The process-wide instance. */
+    static ModelCache &shared();
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const CompiledModel>>
+        map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace sushi::engine
+
+#endif // SUSHI_ENGINE_COMPILED_MODEL_HH

@@ -1,0 +1,232 @@
+#include "engine/inference_engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "snn/encoder.hh"
+
+namespace sushi::engine {
+
+namespace {
+
+/** splitmix64: per-sample seed derivation (order-independent). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void
+appendJsonDouble(std::string &out, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+} // namespace
+
+double
+EngineRun::modeledMakespanPs() const
+{
+    double makespan = 0.0;
+    for (const auto &st : per_replica)
+        makespan = std::max(makespan, st.est_time_ps);
+    return makespan;
+}
+
+InferenceEngine::InferenceEngine(
+    std::shared_ptr<const CompiledModel> model,
+    const EngineConfig &cfg)
+    : model_(std::move(model)), cfg_(cfg)
+{
+    sushi_assert(model_ != nullptr);
+    int replicas = cfg_.replicas;
+    if (replicas <= 0)
+        replicas = static_cast<int>(parallelWorkers());
+    if (cfg_.shard_block == 0)
+        cfg_.shard_block = 1;
+    cfg_.replicas = replicas;
+    chips_.reserve(static_cast<std::size_t>(replicas));
+    for (int r = 0; r < replicas; ++r)
+        chips_.push_back(
+            std::make_unique<chip::SushiChip>(model_->chip()));
+}
+
+void
+InferenceEngine::markReplicaDegraded(int replica, int slot)
+{
+    sushi_assert(replica >= 0 && replica < replicas());
+    chips_[static_cast<std::size_t>(replica)]->markNpeFailed(slot);
+}
+
+void
+InferenceEngine::healReplica(int replica)
+{
+    sushi_assert(replica >= 0 && replica < replicas());
+    chips_[static_cast<std::size_t>(replica)]->clearFailedNpes();
+}
+
+bool
+InferenceEngine::replicaDegraded(int replica) const
+{
+    sushi_assert(replica >= 0 && replica < replicas());
+    return chips_[static_cast<std::size_t>(replica)]
+               ->remapPlan()
+               .failed > 0;
+}
+
+EngineRun
+InferenceEngine::run(const std::vector<Sample> &samples)
+{
+    const auto wall_start = std::chrono::steady_clock::now();
+    const std::size_t n = samples.size();
+
+    EngineRun out;
+    out.samples.resize(n);
+    out.shard_of.assign(n, -1);
+    out.per_replica.assign(chips_.size(), chip::InferenceStats{});
+
+    // Active replica set: drain degraded replicas when asked to and
+    // at least one healthy replica remains. (A fully degraded pool
+    // still serves — behavioural results are bit-identical, only the
+    // time/reload surcharges differ.)
+    std::vector<int> active;
+    for (int r = 0; r < replicas(); ++r)
+        if (!(cfg_.drain_degraded && replicaDegraded(r)))
+            active.push_back(r);
+    if (active.empty())
+        for (int r = 0; r < replicas(); ++r)
+            active.push_back(r);
+    out.active_replicas = static_cast<int>(active.size());
+    if (n == 0)
+        return out;
+
+    // Shard plan: block round-robin over the active set, a pure
+    // function of (n, active, shard_block).
+    std::vector<std::vector<std::size_t>> shards(chips_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const int owner = active[(i / cfg_.shard_block) %
+                                 active.size()];
+        out.shard_of[i] = owner;
+        shards[static_cast<std::size_t>(owner)].push_back(i);
+    }
+
+    // Every worker drives its own replicas over their shards; stats
+    // are captured per sample (reset before each) so the merge below
+    // is independent of sharding and thread count.
+    std::vector<chip::InferenceStats> per_sample(n);
+    const compiler::CompiledNetwork &net = model_->compiled();
+    parallelFor(
+        active.size(),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t a = begin; a < end; ++a) {
+                const auto r =
+                    static_cast<std::size_t>(active[a]);
+                chip::SushiChip &chip = *chips_[r];
+                for (std::size_t i : shards[r]) {
+                    chip.resetStats();
+                    SampleResult &res = out.samples[i];
+                    res.counts = chip.inferCounts(net, samples[i]);
+                    res.prediction = static_cast<int>(
+                        std::max_element(res.counts.begin(),
+                                         res.counts.end()) -
+                        res.counts.begin());
+                    per_sample[i] = chip.stats();
+                }
+            }
+        },
+        ParallelOptions{/*grain=*/1, cfg_.max_threads});
+
+    // Deterministic merge: sample-index order, independent of the
+    // shard plan and thread count.
+    for (std::size_t i = 0; i < n; ++i) {
+        out.merged.accumulate(per_sample[i]);
+        out.per_replica[static_cast<std::size_t>(out.shard_of[i])]
+            .accumulate(per_sample[i]);
+    }
+    // Energy is a pure function of synaptic work; recompute from the
+    // merged totals so the model matches SushiChip's own accounting.
+    out.merged.dynamic_energy_j =
+        chip::dynamicEnergyJ(out.merged.synaptic_ops);
+    for (auto &st : out.per_replica)
+        st.dynamic_energy_j = chip::dynamicEnergyJ(st.synaptic_ops);
+
+    out.wall_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    return out;
+}
+
+std::vector<Sample>
+encodeSamples(const snn::Tensor &images, int t_steps,
+              std::uint64_t seed)
+{
+    const std::size_t n = images.rows();
+    const std::size_t dim = images.cols();
+    std::vector<Sample> out(n);
+    parallelFor(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            snn::PoissonEncoder enc(mix64(seed ^ mix64(i)));
+            std::vector<float> pixels(images.row(i),
+                                      images.row(i) + dim);
+            const snn::Tensor fr = enc.encode(pixels, t_steps);
+            Sample sample;
+            sample.reserve(static_cast<std::size_t>(t_steps));
+            for (int t = 0; t < t_steps; ++t) {
+                std::vector<std::uint8_t> frame(dim);
+                for (std::size_t d = 0; d < dim; ++d)
+                    frame[d] =
+                        fr.at(static_cast<std::size_t>(t), d) > 0.5f
+                            ? 1
+                            : 0;
+                sample.push_back(std::move(frame));
+            }
+            out[i] = std::move(sample);
+        }
+    });
+    return out;
+}
+
+std::string
+statsJson(const chip::InferenceStats &stats)
+{
+    std::string out = "{";
+    const auto field = [&out](const char *name, std::uint64_t v,
+                              bool first = false) {
+        if (!first)
+            out += ", ";
+        out += "\"";
+        out += name;
+        out += "\": ";
+        out += std::to_string(v);
+    };
+    field("frames", stats.frames, true);
+    field("time_steps", stats.time_steps);
+    field("input_pulses", stats.input_pulses);
+    field("synaptic_ops", stats.synaptic_ops);
+    field("output_spikes", stats.output_spikes);
+    field("underflow_spikes", stats.underflow_spikes);
+    field("multi_fires", stats.multi_fires);
+    field("reload_events", stats.reload_events);
+    field("failed_npes", stats.failed_npes);
+    field("remapped_neurons", stats.remapped_neurons);
+    field("degraded_passes", stats.degraded_passes);
+    out += ", \"est_time_ps\": ";
+    appendJsonDouble(out, stats.est_time_ps);
+    out += ", \"reload_time_ps\": ";
+    appendJsonDouble(out, stats.reload_time_ps);
+    out += ", \"dynamic_energy_j\": ";
+    appendJsonDouble(out, stats.dynamic_energy_j);
+    out += "}";
+    return out;
+}
+
+} // namespace sushi::engine

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Batched multi-chip inference: a pool of SushiChip replicas serving
+ * a sharded dataset.
+ *
+ * The engine models the production deployment the ROADMAP aims at —
+ * many chips behind one dispatcher — while staying bit-faithful to
+ * the single-chip semantics: every sample's result is identical to
+ * running it alone on one chip, and the merged statistics are
+ * byte-identical regardless of worker-thread count.
+ *
+ * Determinism contract:
+ *  - The shard plan is a pure function of (sample count, active
+ *    replica set, shard_block); worker threads only execute it.
+ *  - Each replica resets its statistics before every sample, so a
+ *    sample's stats delta is independent of its position in the
+ *    shard, and the merge (in sample-index order) is byte-identical
+ *    across thread counts AND across replica counts.
+ *  - Degraded replicas (failed NPEs, PR 1's fault model) are drained
+ *    by default: they receive no shard and their work is
+ *    redistributed across healthy replicas. Behavioural results are
+ *    bit-identical either way; draining avoids the degraded-mode
+ *    time and reload surcharges.
+ */
+
+#ifndef SUSHI_ENGINE_INFERENCE_ENGINE_HH
+#define SUSHI_ENGINE_INFERENCE_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chip/sushi_chip.hh"
+#include "engine/compiled_model.hh"
+#include "snn/tensor.hh"
+
+namespace sushi::engine {
+
+/** One inference request: binary input frames, one per time step. */
+using Sample = std::vector<std::vector<std::uint8_t>>;
+
+/** Engine knobs. */
+struct EngineConfig
+{
+    /** Chip replicas in the pool; 0 selects parallelWorkers(). */
+    int replicas = 0;
+
+    /** Samples per round-robin shard block: sample i goes to active
+     *  replica (i / shard_block) mod active_count. */
+    std::size_t shard_block = 8;
+
+    /** Cap on worker threads driving the replicas (0 = pool size).
+     *  Results are byte-identical for every value; used by the
+     *  determinism tests and bench. */
+    unsigned max_threads = 0;
+
+    /** Exclude degraded replicas from the shard plan. */
+    bool drain_degraded = true;
+};
+
+/** Per-sample inference outcome. */
+struct SampleResult
+{
+    std::vector<int> counts; ///< output pulse counts per label
+    int prediction = -1;     ///< argmax label (first on ties)
+};
+
+/** One completed batch. */
+struct EngineRun
+{
+    std::vector<SampleResult> samples;
+
+    /** Deterministic merge of per-sample stats in sample order. */
+    chip::InferenceStats merged;
+
+    /** Per-replica totals (index = replica id; drained replicas stay
+     *  zero). */
+    std::vector<chip::InferenceStats> per_replica;
+
+    /** Replica that served each sample. */
+    std::vector<int> shard_of;
+
+    /** Replicas that actually received work. */
+    int active_replicas = 0;
+
+    /** Host wall-clock seconds spent in run(). */
+    double wall_seconds = 0.0;
+
+    /**
+     * Modelled hardware makespan: the replicas run concurrently as
+     * physical chips, so batch latency is the slowest replica's
+     * modelled chip time.
+     */
+    double modeledMakespanPs() const;
+};
+
+/** The batched multi-chip inference service. */
+class InferenceEngine
+{
+  public:
+    explicit InferenceEngine(
+        std::shared_ptr<const CompiledModel> model,
+        const EngineConfig &cfg = {});
+
+    const EngineConfig &config() const { return cfg_; }
+    const CompiledModel &model() const { return *model_; }
+    int replicas() const { return static_cast<int>(chips_.size()); }
+
+    /** Mark output-NPE @p slot of replica @p replica failed (the
+     *  PR 1 degraded mode). */
+    void markReplicaDegraded(int replica, int slot);
+
+    /** Restore replica @p replica to full health. */
+    void healReplica(int replica);
+
+    /** True if the replica currently has failed NPE slots. */
+    bool replicaDegraded(int replica) const;
+
+    /** Run one batch. Deterministic per the contract above. */
+    EngineRun run(const std::vector<Sample> &samples);
+
+  private:
+    std::shared_ptr<const CompiledModel> model_;
+    EngineConfig cfg_;
+    std::vector<std::unique_ptr<chip::SushiChip>> chips_;
+};
+
+/**
+ * Poisson-encode a batch of images into engine samples. Each sample
+ * is encoded from an independent RNG stream derived from (seed,
+ * sample index), so the encoding of sample i never depends on batch
+ * size or order.
+ */
+std::vector<Sample> encodeSamples(const snn::Tensor &images,
+                                  int t_steps, std::uint64_t seed);
+
+/**
+ * Byte-deterministic JSON rendering of an InferenceStats record
+ * (doubles at full precision): equal stats give equal strings, so
+ * determinism tests compare bytes.
+ */
+std::string statsJson(const chip::InferenceStats &stats);
+
+} // namespace sushi::engine
+
+#endif // SUSHI_ENGINE_INFERENCE_ENGINE_HH

@@ -209,6 +209,70 @@ TEST(BehaviouralChip, StatsAccumulate)
     EXPECT_EQ(chip.stats().frames, 0u);
 }
 
+TEST(BehaviouralChip, ReusableAcrossBatches)
+{
+    // The engine pools chips across batches: after any sequence of
+    // inferences (and a resetStats), a reused chip must be
+    // indistinguishable from a fresh one — both in results and in
+    // the stats it reports for the next batch.
+    auto net = tinyNet(20, 8, 4, 3, 57);
+    compiler::ChipConfig cfg;
+    cfg.n = 8;
+    cfg.sc_per_npe = 10;
+    auto compiled = compiler::compileNetwork(net, cfg);
+
+    SushiChip reused(cfg);
+    for (std::uint64_t seed = 0; seed < 5; ++seed)
+        reused.inferCounts(compiled, randomFrames(20, 3, 0.4, seed));
+    reused.resetStats();
+
+    auto batch_b = randomFrames(20, 3, 0.5, 99);
+    SushiChip fresh(cfg);
+    EXPECT_EQ(reused.inferCounts(compiled, batch_b),
+              fresh.inferCounts(compiled, batch_b));
+    EXPECT_EQ(reused.stats().frames, fresh.stats().frames);
+    EXPECT_EQ(reused.stats().input_pulses,
+              fresh.stats().input_pulses);
+    EXPECT_EQ(reused.stats().synaptic_ops,
+              fresh.stats().synaptic_ops);
+    EXPECT_EQ(reused.stats().est_time_ps, fresh.stats().est_time_ps);
+    EXPECT_EQ(reused.stats().dynamic_energy_j,
+              fresh.stats().dynamic_energy_j);
+}
+
+TEST(BehaviouralChip, FailedNpeGaugeTracksRemapState)
+{
+    // failed_npes is a gauge of the *current* degraded state: it must
+    // appear as soon as a slot is marked failed, survive resetStats()
+    // (the slot is still failed), and clear with clearFailedNpes().
+    auto net = tinyNet(16, 8, 4, 3, 59);
+    compiler::ChipConfig cfg;
+    cfg.n = 4;
+    cfg.sc_per_npe = 10;
+    auto compiled = compiler::compileNetwork(net, cfg);
+
+    SushiChip chip(cfg);
+    chip.markNpeFailed(2);
+    EXPECT_EQ(chip.stats().failed_npes, 1u);
+    chip.resetStats();
+    EXPECT_EQ(chip.stats().failed_npes, 1u); // still degraded
+    chip.inferCounts(compiled, randomFrames(16, 3, 0.5, 5));
+    EXPECT_GT(chip.stats().remapped_neurons, 0u);
+
+    chip.clearFailedNpes();
+    EXPECT_EQ(chip.stats().failed_npes, 0u); // healed immediately
+    chip.resetStats();
+    chip.inferCounts(compiled, randomFrames(16, 3, 0.5, 5));
+    EXPECT_EQ(chip.stats().remapped_neurons, 0u);
+    EXPECT_EQ(chip.stats().failed_npes, 0u);
+
+    // Full reset() = heal + clear stats in one call.
+    chip.markNpeFailed(1);
+    chip.reset();
+    EXPECT_EQ(chip.stats().failed_npes, 0u);
+    EXPECT_EQ(chip.stats().frames, 0u);
+}
+
 TEST(Sampler, SpikesPerStepWindows)
 {
     std::vector<sfq::PulseTrace> traces = {

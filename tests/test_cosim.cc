@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Behavioural/gate co-simulation equivalence harness.
+ *
+ * The behavioural models (npe::Npe, npe::NeuronFsm,
+ * chip::SushiChip::stepLayer) are the fast path used for whole-network
+ * inference and by the batched engine; the gate-level models
+ * (npe::NpeGate, chip::GateChip) are the circuit-true SFQ netlists.
+ * This suite drives both sides with identical pulse programs —
+ * well over 100 randomized cases — and requires spike-for-spike
+ * agreement under ViolationPolicy::Fatal, so any Table-1 timing
+ * violation aborts the test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chip/gate_sim.hh"
+#include "chip/sushi_chip.hh"
+#include "common/rng.hh"
+#include "compiler/pulse_encoder.hh"
+#include "npe/neuron_fsm.hh"
+#include "npe/npe.hh"
+#include "sfq/constraints.hh"
+#include "sfq/simulator.hh"
+
+namespace sushi {
+namespace {
+
+/**
+ * 100 randomized multi-burst counter programs: random chain length,
+ * random preload, polarity flips between bursts, spike counts checked
+ * after every burst (not just at the end).
+ */
+TEST(CosimNpe, RandomMultiBurstPrograms)
+{
+    Rng rng(1234);
+    for (int trial = 0; trial < 100; ++trial) {
+        const int k = 3 + static_cast<int>(rng.below(5)); // K in 3..7
+        sfq::Simulator sim;
+        sim.setViolationPolicy(sfq::ViolationPolicy::Fatal);
+        sfq::Netlist netlist(sim);
+        npe::NpeGate gate(netlist, "npe", k);
+        npe::Npe ref(k);
+
+        const Tick gap = sfq::safePulseSpacing();
+        Tick t = gap;
+
+        gate.injectRst(t);
+        ref.rst();
+        t += gap;
+        const std::uint64_t preload = rng.below(ref.numStates());
+        for (int b = 0; b < k; ++b) {
+            if (preload & (std::uint64_t{1} << b)) {
+                gate.injectWrite(b, t);
+                t += gap;
+            }
+        }
+        ref.write(preload);
+
+        std::uint64_t ref_spikes = 0;
+        const int bursts = 2 + static_cast<int>(rng.below(3));
+        for (int burst = 0; burst < bursts; ++burst) {
+            // Each burst re-arms the polarity — this is exactly how
+            // the chip switches between excitatory and inhibitory
+            // weight groups mid-accumulation (Sec. 4.2.1).
+            if (rng.chance(0.5)) {
+                gate.injectSet1(t);
+                ref.setPolarity(npe::Polarity::Excitatory);
+            } else {
+                gate.injectSet0(t);
+                ref.setPolarity(npe::Polarity::Inhibitory);
+            }
+            t += gap;
+            const int pulses = static_cast<int>(rng.below(26));
+            for (int i = 0; i < pulses; ++i) {
+                gate.injectIn(t);
+                ref_spikes += ref.in() ? 1 : 0;
+                t += gap;
+            }
+            // Spike-for-spike agreement at every burst boundary.
+            // Draining advances simulator time past the injection
+            // cursor (ripple/propagation delays), so resume injecting
+            // after now().
+            sim.run();
+            t = std::max(t, sim.now() + gap);
+            ASSERT_EQ(gate.outSink().count(), ref_spikes)
+                << "trial " << trial << " burst " << burst;
+        }
+        EXPECT_EQ(gate.value(), ref.value()) << "trial " << trial;
+        EXPECT_EQ(gate.states(), ref.states()) << "trial " << trial;
+        EXPECT_EQ(sim.violations(), 0u) << "trial " << trial;
+    }
+}
+
+/**
+ * The rst channel reads the counter out destructively on both sides:
+ * one read pulse per set bit, then a cleared chain.
+ */
+TEST(CosimNpe, RandomReadoutPrograms)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int k = 4;
+        sfq::Simulator sim;
+        sim.setViolationPolicy(sfq::ViolationPolicy::Fatal);
+        sfq::Netlist netlist(sim);
+        npe::NpeGate gate(netlist, "npe", k);
+        npe::Npe ref(k);
+
+        const Tick gap = sfq::safePulseSpacing();
+        Tick t = gap;
+        gate.injectSet1(t);
+        ref.setPolarity(npe::Polarity::Excitatory);
+        t += gap;
+        const int pulses = static_cast<int>(rng.below(15));
+        for (int i = 0; i < pulses; ++i) {
+            gate.injectIn(t);
+            ref.in();
+            t += gap;
+        }
+        const std::uint64_t before = ref.value();
+        // Let the last input's carry finish rippling through the
+        // chain before the destructive read.
+        t += 2 * gap;
+        gate.injectRst(t);
+        const std::uint64_t ref_read = ref.rst();
+        sim.run();
+
+        EXPECT_EQ(ref_read, before) << "trial " << trial;
+        std::uint64_t gate_read = 0;
+        for (int b = 0; b < k; ++b)
+            gate_read |= gate.readSink(b).count() > 0
+                             ? std::uint64_t{1} << b
+                             : 0;
+        EXPECT_EQ(gate_read, before) << "trial " << trial;
+        EXPECT_EQ(gate.value(), 0u) << "trial " << trial;
+        EXPECT_EQ(sim.violations(), 0u);
+    }
+}
+
+/**
+ * 20 randomized neuron trajectories: the Fig. 6/7 FSM's linearised
+ * state is tracked on a gate-level NPE by translating each state
+ * transition into the corresponding delta of counter pulses
+ * (Sec. 4.1.2 — "state index maps to an NPE counter value").
+ */
+TEST(CosimNeuronFsm, LinearStateTrackedOnGateNpe)
+{
+    Rng rng(4321);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int threshold = 2 + static_cast<int>(rng.below(3));
+        const int rising = 1 + static_cast<int>(rng.below(3));
+        const int falling = 1 + static_cast<int>(rng.below(3));
+        npe::NeuronFsm fsm(threshold, rising, falling);
+
+        // A chain wide enough that the trajectory never wraps.
+        int k = 1;
+        while ((1 << k) < fsm.numStates())
+            ++k;
+        sfq::Simulator sim;
+        sim.setViolationPolicy(sfq::ViolationPolicy::Fatal);
+        sfq::Netlist netlist(sim);
+        npe::NpeGate gate(netlist, "neuron", k);
+
+        const Tick gap = sfq::safePulseSpacing();
+        Tick t = gap;
+        gate.injectRst(t); // start at b0 = counter 0
+        t += gap;
+
+        int armed = 0; // 0 = none, +1 = up, -1 = down
+        int expected = 0;
+        for (int op = 0; op < 40; ++op) {
+            const auto s = rng.chance(0.5) ? npe::Stimulus::Spike
+                                           : npe::Stimulus::Time;
+            const int before = fsm.linearState();
+            fsm.stimulate(s);
+            const int delta = fsm.linearState() - before;
+            if (delta == 0)
+                continue; // saturation/refractory: no pulses
+            const int dir = delta > 0 ? 1 : -1;
+            if (dir != armed) {
+                // Let in-flight ripples drain and the re-arm pulse
+                // reach every SC through its splitter tree before the
+                // next input (the distribution skew would otherwise
+                // mix polarities mid-ripple).
+                t += static_cast<Tick>(k + 2) * gap;
+                if (dir > 0)
+                    gate.injectSet1(t);
+                else
+                    gate.injectSet0(t);
+                armed = dir;
+                t += static_cast<Tick>(k + 2) * gap;
+            }
+            for (int i = 0; i < std::abs(delta); ++i) {
+                gate.injectIn(t);
+                t += gap;
+            }
+            expected += delta;
+        }
+        sim.run();
+        ASSERT_EQ(expected, fsm.linearState());
+        EXPECT_EQ(gate.value(),
+                  static_cast<std::uint64_t>(fsm.linearState()))
+            << "trial " << trial << " state " << fsm.stateName();
+        // The trajectory stays within the chain: no wrap spikes.
+        EXPECT_EQ(gate.outSink().count(), 0u) << "trial " << trial;
+        EXPECT_EQ(sim.violations(), 0u);
+    }
+}
+
+/**
+ * Randomized single-layer networks: the compiler's encoded pulse
+ * program, executed open-loop on the gate-level chip, reproduces the
+ * behavioural chip's per-step spike counts exactly (mesh sizes 1-3,
+ * three random nets each).
+ */
+class LayerCosim
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(LayerCosim, GateChipMatchesBehaviouralStepLayer)
+{
+    const int n = std::get<0>(GetParam());
+    const int variant = std::get<1>(GetParam());
+    Rng rng(9000 + static_cast<std::uint64_t>(n * 10 + variant));
+
+    std::vector<std::vector<std::int8_t>> weights(
+        static_cast<std::size_t>(n));
+    std::vector<int> thresholds(static_cast<std::size_t>(n));
+    for (int o = 0; o < n; ++o) {
+        for (int i = 0; i < n; ++i)
+            weights[static_cast<std::size_t>(o)].push_back(
+                rng.chance(0.5) ? -1 : 1);
+        thresholds[static_cast<std::size_t>(o)] =
+            1 + static_cast<int>(rng.below(3));
+    }
+    const int t_steps = 3 + variant;
+    snn::BinaryLayer layer;
+    layer.weights = std::move(weights);
+    layer.thresholds = std::move(thresholds);
+    auto net = snn::BinarySnn::fromLayers({layer}, t_steps);
+
+    compiler::ChipConfig cfg;
+    cfg.n = n;
+    cfg.sc_per_npe = 5;
+    auto compiled = compiler::compileNetwork(net, cfg);
+
+    std::vector<std::vector<std::uint8_t>> frames;
+    for (int t = 0; t < t_steps; ++t) {
+        std::vector<std::uint8_t> f(static_cast<std::size_t>(n));
+        for (auto &v : f)
+            v = rng.chance(0.5) ? 1 : 0;
+        frames.push_back(std::move(f));
+    }
+
+    chip::SushiChip behavioural(cfg);
+    std::vector<std::vector<int>> behav_steps;
+    for (const auto &f : frames) {
+        chip::PulseVector act(f.begin(), f.end());
+        auto out = behavioural.stepLayer(compiled.layers[0],
+                                         net.layers()[0], act);
+        behav_steps.push_back(
+            std::vector<int>(out.begin(), out.end()));
+    }
+
+    compiler::PulseProgram prog =
+        compiler::encodeLayerProgram(compiled, frames);
+    ASSERT_EQ(prog.validate(), "");
+    sfq::Simulator sim;
+    sim.setViolationPolicy(sfq::ViolationPolicy::Fatal);
+    sfq::Netlist netlist(sim);
+    chip::GateChip gate(netlist, cfg);
+    auto gate_steps = gate.runProgram(compiled, prog);
+    EXPECT_EQ(sim.violations(), 0u);
+
+    ASSERT_EQ(gate_steps.size(), behav_steps.size());
+    for (std::size_t s = 0; s < gate_steps.size(); ++s)
+        EXPECT_EQ(gate_steps[s], behav_steps[s])
+            << "n=" << n << " variant " << variant << " step " << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomNets, LayerCosim,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0, 1, 2)));
+
+} // namespace
+} // namespace sushi

@@ -11,6 +11,7 @@
 
 #include "chip/sushi_chip.hh"
 #include "common/rng.hh"
+#include "engine/inference_engine.hh"
 #include "fabric/resource_model.hh"
 #include "fabric/timing_model.hh"
 #include "npe/npe.hh"
@@ -282,6 +283,61 @@ TEST(Property, FaultInjectionDropsPulsesDeterministically)
     const auto heavy = run(0.5, 7);
     EXPECT_GT(heavy.second, faulty_a.second);
     EXPECT_LT(heavy.first, clean.first);
+}
+
+TEST(Property, EngineEqualsSequentialSingleChip)
+{
+    // For any replica count, sharding a batch across the engine's
+    // chip pool is observationally identical to one chip running the
+    // batch sequentially: same per-sample counts and predictions,
+    // same merged counters.
+    snn::SnnConfig cfg;
+    cfg.input = 24;
+    cfg.hidden = 10;
+    cfg.output = 4;
+    cfg.t_steps = 3;
+    cfg.stateless = true;
+    snn::SnnMlp mlp(cfg, 13);
+    auto bin = snn::BinarySnn::fromFloat(mlp);
+    compiler::ChipConfig chip_cfg;
+    chip_cfg.n = 8;
+    auto model = engine::CompiledModel::compile(bin, chip_cfg);
+
+    Rng rng(410);
+    std::vector<engine::Sample> samples(21);
+    for (auto &s : samples) {
+        for (int t = 0; t < cfg.t_steps; ++t) {
+            std::vector<std::uint8_t> f(24);
+            for (auto &v : f)
+                v = rng.chance(0.5);
+            s.push_back(std::move(f));
+        }
+    }
+
+    chip::SushiChip single(chip_cfg);
+    std::vector<std::vector<int>> seq;
+    chip::InferenceStats seq_merged;
+    for (const auto &s : samples) {
+        single.resetStats();
+        seq.push_back(single.inferCounts(model->compiled(), s));
+        seq_merged.accumulate(single.stats());
+    }
+
+    for (int replicas : {1, 2, 5}) {
+        engine::EngineConfig ecfg;
+        ecfg.replicas = replicas;
+        engine::InferenceEngine eng(model, ecfg);
+        const auto run = eng.run(samples);
+        for (std::size_t i = 0; i < samples.size(); ++i)
+            EXPECT_EQ(run.samples[i].counts, seq[i])
+                << "replicas " << replicas << " sample " << i;
+        EXPECT_EQ(run.merged.synaptic_ops, seq_merged.synaptic_ops)
+            << "replicas " << replicas;
+        EXPECT_EQ(run.merged.output_spikes, seq_merged.output_spikes)
+            << "replicas " << replicas;
+        EXPECT_EQ(run.merged.reload_events, seq_merged.reload_events)
+            << "replicas " << replicas;
+    }
 }
 
 TEST(Property, FaultInjectionBreaksCosimEquivalence)
