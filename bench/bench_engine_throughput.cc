@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/parallel.hh"
+#include "common/stats.hh"
 #include "data/synth_digits.hh"
 #include "engine/inference_engine.hh"
 #include "snn/binarize.hh"
@@ -31,18 +32,6 @@
 #include "bench_util.hh"
 
 using namespace sushi;
-
-namespace {
-
-void
-appendDouble(std::string &out, double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.12g", v);
-    out += buf;
-}
-
-} // namespace
 
 int
 main()
@@ -154,48 +143,39 @@ main()
                 "%.2fx host wall-clock\n",
                 chip_speedup_8, host_speedup_8);
 
-    std::string json = "{\n  \"workload\": \"synth_digits\",\n";
-    json += "  \"samples\": " + std::to_string(samples_n) + ",\n";
-    json += "  \"t_steps\": " + std::to_string(t_steps) + ",\n";
-    json += "  \"mesh\": " + std::to_string(chip_cfg.n) + ",\n";
-    json += "  \"host_workers\": " +
-            std::to_string(parallelWorkers()) + ",\n";
-    json += "  \"deterministic_across_threads\": ";
-    json += deterministic ? "true" : "false";
-    json += ",\n  \"results_stable_across_replicas\": ";
-    json += results_stable ? "true" : "false";
-    json += ",\n  \"samples_per_sec\": [\n";
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const Point &p = points[i];
-        json += "    {\"replicas\": " + std::to_string(p.replicas);
-        json += ", \"samples_per_sec\": ";
-        appendDouble(json, p.chip_sps);
-        json += ", \"speedup\": ";
-        appendDouble(json, p.chip_sps / chip_base);
-        json += ", \"host_samples_per_sec\": ";
-        appendDouble(json, p.host_sps);
-        json += ", \"host_speedup\": ";
-        appendDouble(json, p.host_sps / host_base);
-        json += i + 1 < points.size() ? "},\n" : "}\n";
+    JsonWriter w;
+    w.field("workload", "synth_digits");
+    w.field("samples", std::uint64_t{samples_n});
+    w.field("t_steps", t_steps);
+    w.field("mesh", chip_cfg.n);
+    w.field("host_workers", static_cast<int>(parallelWorkers()));
+    w.field("deterministic_across_threads", deterministic);
+    w.field("results_stable_across_replicas", results_stable);
+    w.beginArray("samples_per_sec");
+    for (const Point &p : points) {
+        w.beginObject();
+        w.field("replicas", p.replicas);
+        w.field("samples_per_sec", p.chip_sps);
+        w.field("speedup", p.chip_sps / chip_base);
+        w.field("host_samples_per_sec", p.host_sps);
+        w.field("host_speedup", p.host_sps / host_base);
+        w.endObject();
     }
-    json += "  ],\n  \"speedup_at_8_replicas\": ";
-    appendDouble(json, chip_speedup_8);
-    json += ",\n  \"host_speedup_at_8_replicas\": ";
-    appendDouble(json, host_speedup_8);
-    json += ",\n  \"merged_stats\": " + digest + "\n}\n";
+    w.endArray();
+    w.field("speedup_at_8_replicas", chip_speedup_8);
+    w.field("host_speedup_at_8_replicas", host_speedup_8);
+    w.rawField("merged_stats", digest);
+    const std::string json = w.finish();
 
     const char *env_path = std::getenv("SUSHI_JSON_OUT");
     const std::string path =
         env_path != nullptr && env_path[0] != '\0'
             ? env_path
             : "BENCH_engine.json";
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
+    if (!JsonWriter::writeFile(path, json)) {
         std::fprintf(stderr, "failed to write %s\n", path.c_str());
         return 1;
     }
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
     std::printf("JSON written to %s\n", path.c_str());
 
     const bool ok =

@@ -1,105 +1,175 @@
 /**
  * @file
- * Engineering microbenchmarks (google-benchmark) of the simulator
- * substrate: event-kernel throughput, cell-level pulse processing,
- * state-controller and NPE operations. Not a paper figure — these
- * guard the performance of the infrastructure everything else runs
- * on.
+ * Event-kernel throughput on the gate-level NPE workload.
+ *
+ * Measures events/sec of the compiled simulation core on the same
+ * workload the fault campaign uses — 20k input pulses through a
+ * 10-SC gate-level NPE counter — plus a queue-only microbench of the
+ * calendar event queue. Correctness is asserted pulse-exactly against
+ * the behavioural counter before any number is reported, so a fast
+ * but wrong kernel fails instead of "winning".
+ *
+ * Environment:
+ *   SUSHI_JSON_OUT  output path (default BENCH_sim.json)
+ *   SUSHI_FULL=1    more repetitions (slower, steadier numbers)
+ *
+ * Exit status is nonzero when the workload result is wrong or the
+ * measured throughput regresses below the 2x speedup floor over the
+ * pre-compiled-core kernel.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
+#include "common/stats.hh"
 #include "npe/npe.hh"
-#include "sfq/cells.hh"
 #include "sfq/constraints.hh"
+#include "sfq/event_queue.hh"
 #include "sfq/netlist.hh"
 #include "sfq/simulator.hh"
 
+#include "bench_util.hh"
+
 using namespace sushi;
-using namespace sushi::sfq;
 
 namespace {
 
-void
-BM_EventQueue(benchmark::State &state)
+/**
+ * Seed-kernel baseline on this workload: the virtual-dispatch
+ * simulator (std::function events in a std::priority_queue, commit
+ * 307b40c) executes the same 339,747-event NPE run at ~7.46e6
+ * events/sec on the reference container (-O2). The speedup below is
+ * relative to this constant so the 2x acceptance floor of the
+ * compiled-core refactor stays visible run over run.
+ */
+constexpr double kSeedEventsPerSec = 7.46e6;
+
+/** Pulses injected into the gate-level counter per repetition. */
+constexpr int kPulses = 20000;
+constexpr int kNumSc = 10;
+
+struct RunResult
 {
-    for (auto _ : state) {
-        EventQueue q;
-        int sink = 0;
-        for (int i = 0; i < 1000; ++i)
-            q.schedule(i * 7 % 997, [&sink] { ++sink; });
-        while (!q.empty())
-            q.runOne();
-        benchmark::DoNotOptimize(sink);
+    double seconds = 0.0;
+    std::uint64_t events = 0;
+    std::uint64_t checksum = 0;
+};
+
+/** One full fresh-simulator repetition of the NPE workload. */
+RunResult
+runNpeWorkload()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    sfq::Simulator sim;
+    sim.setViolationPolicy(sfq::ViolationPolicy::Ignore);
+    sfq::Netlist net(sim);
+    npe::NpeGate gate(net, "npe", kNumSc);
+    const Tick gap = sfq::safePulseSpacing();
+    gate.injectSet1(gap);
+    for (int i = 0; i < kPulses; ++i)
+        gate.injectIn((i + 2) * gap);
+    sim.run();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    RunResult r;
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.events = sim.eventsExecuted();
+    r.checksum = gate.value() + gate.outSink().count();
+    return r;
+}
+
+/** Queue-only microbench: push/pop POD events, no cell execution. */
+double
+queueEventsPerSec(int rounds)
+{
+    sfq::EventQueue q;
+    std::uint64_t ops = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    sfq::EventQueue::Event ev{};
+    for (int r = 0; r < rounds; ++r) {
+        for (int i = 0; i < 10000; ++i)
+            q.push((i * 7) % 997 + r, i, 0);
+        while (q.popNext(kTickNever, ev))
+            ++ops;
     }
-    state.SetItemsProcessed(state.iterations() * 1000);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    return static_cast<double>(ops) / (s > 0 ? s : 1e-9);
 }
-BENCHMARK(BM_EventQueue);
-
-void
-BM_JtlChainPulse(benchmark::State &state)
-{
-    const int stages = static_cast<int>(state.range(0));
-    for (auto _ : state) {
-        Simulator sim;
-        sim.setViolationPolicy(ViolationPolicy::Ignore);
-        Netlist net(sim);
-        Jtl &head = net.makeJtl("head");
-        PulseSink &sink = net.makeSink("sink");
-        net.makeJtlChain("chain", head, 0, sink, 0, stages);
-        head.inject(0, 0);
-        sim.run();
-        benchmark::DoNotOptimize(sink.count());
-    }
-    state.SetItemsProcessed(state.iterations() * stages);
-}
-BENCHMARK(BM_JtlChainPulse)->Arg(16)->Arg(256);
-
-void
-BM_StateControllerGate(benchmark::State &state)
-{
-    for (auto _ : state) {
-        Simulator sim;
-        sim.setViolationPolicy(ViolationPolicy::Ignore);
-        Netlist net(sim);
-        npe::ScGate sc(net, "sc");
-        PulseSink &out = net.makeSink("out");
-        sc.connectOut(out, 0);
-        const Tick gap = safePulseSpacing();
-        sc.injectSet1(gap);
-        for (int i = 0; i < 32; ++i)
-            sc.injectIn((i + 2) * gap);
-        sim.run();
-        benchmark::DoNotOptimize(out.count());
-    }
-    state.SetItemsProcessed(state.iterations() * 32);
-}
-BENCHMARK(BM_StateControllerGate);
-
-void
-BM_NpeBehaviouralPulse(benchmark::State &state)
-{
-    npe::Npe npe(10);
-    std::uint64_t spikes = 0;
-    for (auto _ : state)
-        spikes += npe.in() ? 1 : 0;
-    benchmark::DoNotOptimize(spikes);
-    state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_NpeBehaviouralPulse);
-
-void
-BM_NpeBatchedPulses(benchmark::State &state)
-{
-    npe::Npe npe(10);
-    std::uint64_t spikes = 0;
-    for (auto _ : state)
-        spikes += npe.addPulses(1000);
-    benchmark::DoNotOptimize(spikes);
-    state.SetItemsProcessed(state.iterations() * 1000);
-}
-BENCHMARK(BM_NpeBatchedPulses);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main()
+{
+    const int reps = benchutil::envFlag("SUSHI_FULL") ? 15 : 5;
+
+    // Pulse-exact reference: the behavioural counter on the same
+    // pulse stream.
+    npe::Npe ideal(kNumSc);
+    ideal.setPolarity(npe::Polarity::Excitatory);
+    const std::uint64_t ideal_spikes =
+        ideal.addPulses(static_cast<std::uint64_t>(kPulses));
+    const std::uint64_t want_checksum =
+        ideal.value() + ideal_spikes;
+
+    std::printf("=== Event-kernel throughput (gate-level NPE) ===\n");
+    std::printf("%d pulses, %d SCs, best of %d repetitions\n",
+                kPulses, kNumSc, reps);
+
+    RunResult best{};
+    bool checksum_ok = true;
+    for (int r = 0; r < reps; ++r) {
+        const RunResult run = runNpeWorkload();
+        checksum_ok &= run.checksum == want_checksum;
+        if (best.events == 0 || run.seconds < best.seconds)
+            best = run;
+        std::printf("  rep %d: %9.0f events/sec (%llu events)\n",
+                    r,
+                    static_cast<double>(run.events) / run.seconds,
+                    static_cast<unsigned long long>(run.events));
+    }
+
+    const double eps =
+        static_cast<double>(best.events) / best.seconds;
+    const double speedup = eps / kSeedEventsPerSec;
+    const double queue_eps = queueEventsPerSec(reps * 20);
+
+    std::printf("workload checksum: %llu (want %llu) %s\n",
+                static_cast<unsigned long long>(best.checksum),
+                static_cast<unsigned long long>(want_checksum),
+                checksum_ok ? "ok" : "MISMATCH");
+    std::printf("best: %.3g events/sec, %.2fx over seed kernel "
+                "(%.3g ev/s)\n",
+                eps, speedup, kSeedEventsPerSec);
+    std::printf("queue-only: %.3g events/sec\n", queue_eps);
+
+    JsonWriter w;
+    w.field("workload", "npe_gate_counter");
+    w.field("pulses", kPulses);
+    w.field("num_sc", kNumSc);
+    w.field("reps", reps);
+    w.field("events_per_run", best.events);
+    w.field("checksum", best.checksum);
+    w.field("checksum_ok", checksum_ok);
+    w.field("events_per_sec", eps);
+    w.field("seed_events_per_sec", kSeedEventsPerSec);
+    w.field("speedup_vs_seed", speedup);
+    w.field("queue_events_per_sec", queue_eps);
+    const std::string json = w.finish();
+
+    const char *env_path = std::getenv("SUSHI_JSON_OUT");
+    const std::string path =
+        env_path != nullptr && env_path[0] != '\0'
+            ? env_path
+            : "BENCH_sim.json";
+    if (!JsonWriter::writeFile(path, json)) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("JSON written to %s\n", path.c_str());
+
+    return checksum_ok && speedup >= 2.0 ? 0 : 1;
+}

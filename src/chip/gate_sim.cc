@@ -14,6 +14,7 @@ GateChip::GateChip(sfq::Netlist &net, const compiler::ChipConfig &cfg)
     mesh_cfg.w_max = 1; // binary SSNN: strength is the on/off switch
     mesh_ = std::make_unique<fabric::MeshGate>(net, mesh_cfg);
     gap_ = sfq::safePulseSpacing();
+    net.compile(); // whole mesh lowered; runs on the compiled core
 }
 
 Tick

@@ -65,6 +65,12 @@ class GateChip
     /** The underlying mesh (for waveform capture). */
     fabric::MeshGate &mesh() { return *mesh_; }
 
+    /** The compiled flat representation this chip executes on. */
+    const sfq::CompiledNetlist &compiled() const
+    {
+        return net_.sim().core();
+    }
+
     /** Timing-constraint violations observed during the run. */
     std::uint64_t violations() const;
 

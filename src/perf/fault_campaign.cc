@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/stats.hh"
 #include "npe/npe.hh"
 #include "sfq/constraints.hh"
 #include "sfq/netlist.hh"
@@ -108,14 +109,6 @@ runTrial(const FaultCampaignConfig &cfg, const Trial &t)
     return r;
 }
 
-void
-appendJsonDouble(std::string &out, double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.12g", v);
-    out += buf;
-}
-
 } // namespace
 
 FaultCampaignResult
@@ -198,59 +191,37 @@ accuracyMonotone(const FaultCampaignResult &result)
 std::string
 campaignToJson(const FaultCampaignResult &result)
 {
-    std::string out;
-    out += "{\n";
-    out += "  \"workload\": \"npe_counter\",\n";
-    out += "  \"campaign_seed\": ";
-    out += std::to_string(result.cfg.campaign_seed);
-    out += ",\n  \"seeds\": ";
-    out += std::to_string(result.cfg.seeds);
-    out += ",\n  \"num_sc\": ";
-    out += std::to_string(result.cfg.num_sc);
-    out += ",\n  \"pulses\": ";
-    out += std::to_string(result.cfg.pulses);
-    out += ",\n  \"jitter_scale_ticks\": ";
-    appendJsonDouble(out, result.cfg.jitter_scale_ticks);
-    out += ",\n  \"points\": [\n";
-    for (std::size_t i = 0; i < result.points.size(); ++i) {
-        const FaultCampaignPoint &p = result.points[i];
-        out += "    {\"kind\": \"";
-        out += sfq::faultKindName(p.kind);
-        out += "\", \"rate\": ";
-        appendJsonDouble(out, p.rate);
-        out += ", \"trials\": ";
-        out += std::to_string(p.trials);
-        out += ", \"accuracy\": ";
-        appendJsonDouble(out, p.accuracy);
-        out += ", \"mean_count_err\": ";
-        appendJsonDouble(out, p.mean_count_err);
-        out += ", \"mean_violations\": ";
-        appendJsonDouble(out, p.mean_violations);
-        out += ", \"mean_dropped\": ";
-        appendJsonDouble(out, p.mean_dropped);
-        out += ", \"mean_inserted\": ";
-        appendJsonDouble(out, p.mean_inserted);
-        out += ", \"mean_recovered\": ";
-        appendJsonDouble(out, p.mean_recovered);
-        out += ", \"mean_energy_j\": ";
-        appendJsonDouble(out, p.mean_energy_j);
-        out += i + 1 < result.points.size() ? "},\n" : "}\n";
+    JsonWriter w;
+    w.field("workload", "npe_counter");
+    w.field("campaign_seed", result.cfg.campaign_seed);
+    w.field("seeds", result.cfg.seeds);
+    w.field("num_sc", result.cfg.num_sc);
+    w.field("pulses", result.cfg.pulses);
+    w.field("jitter_scale_ticks", result.cfg.jitter_scale_ticks);
+    w.beginArray("points");
+    for (const FaultCampaignPoint &p : result.points) {
+        w.beginObject();
+        w.field("kind", sfq::faultKindName(p.kind));
+        w.field("rate", p.rate);
+        w.field("trials", p.trials);
+        w.field("accuracy", p.accuracy);
+        w.field("mean_count_err", p.mean_count_err);
+        w.field("mean_violations", p.mean_violations);
+        w.field("mean_dropped", p.mean_dropped);
+        w.field("mean_inserted", p.mean_inserted);
+        w.field("mean_recovered", p.mean_recovered);
+        w.field("mean_energy_j", p.mean_energy_j);
+        w.endObject();
     }
-    out += "  ]\n}\n";
-    return out;
+    w.endArray();
+    return w.finish();
 }
 
 bool
 writeCampaignJson(const FaultCampaignResult &result,
                   const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr)
-        return false;
-    const std::string json = campaignToJson(result);
-    const bool ok =
-        std::fwrite(json.data(), 1, json.size(), f) == json.size();
-    return std::fclose(f) == 0 && ok;
+    return JsonWriter::writeFile(path, campaignToJson(result));
 }
 
 } // namespace sushi::perf

@@ -2,34 +2,14 @@
 
 #include <utility>
 
-#include "common/logging.hh"
-
 namespace sushi::sfq {
 
 Cell::Cell(Simulator &sim, std::string name, CellKind kind,
            int num_inputs, int num_outputs)
-    : Component(sim, std::move(name), num_inputs, num_outputs),
-      kind_(kind), checker_(kind, num_inputs)
+    : Component(sim, std::move(name), num_inputs, num_outputs,
+                static_cast<std::uint8_t>(kind)),
+      kind_(kind)
 {
-}
-
-bool
-Cell::arrive(int port)
-{
-    // A dead cell (shorted/open junction) eats the pulse before any
-    // junction switches: no energy, no constraint bookkeeping.
-    if (sim_.faults().anyCellFaults() &&
-        sim_.faults().suppressArrival(name(), sim_.now()))
-        return false;
-    std::string violation = checker_.arrive(port, sim_.now());
-    if (!violation.empty() &&
-        sim_.reportViolation(name(), violation)) {
-        // Recover policy: the marginal arrival is attributed to this
-        // cell and the offending pulse is discarded.
-        return false;
-    }
-    sim_.addSwitchEnergy(params().switch_energy_j);
-    return true;
 }
 
 Jtl::Jtl(Simulator &sim, std::string name)
@@ -37,26 +17,9 @@ Jtl::Jtl(Simulator &sim, std::string name)
 {
 }
 
-void
-Jtl::receive(int port)
-{
-    if (!arrive(port))
-        return;
-    send(0, params().delay);
-}
-
 Spl::Spl(Simulator &sim, std::string name)
     : Cell(sim, std::move(name), CellKind::SPL, 1, 2)
 {
-}
-
-void
-Spl::receive(int port)
-{
-    if (!arrive(port))
-        return;
-    send(0, params().delay);
-    send(1, params().delay);
 }
 
 Spl3::Spl3(Simulator &sim, std::string name)
@@ -64,27 +27,9 @@ Spl3::Spl3(Simulator &sim, std::string name)
 {
 }
 
-void
-Spl3::receive(int port)
-{
-    if (!arrive(port))
-        return;
-    send(0, params().delay);
-    send(1, params().delay);
-    send(2, params().delay);
-}
-
 Cb::Cb(Simulator &sim, std::string name)
     : Cell(sim, std::move(name), CellKind::CB, 2, 1)
 {
-}
-
-void
-Cb::receive(int port)
-{
-    if (!arrive(port))
-        return;
-    send(0, params().delay);
 }
 
 Cb3::Cb3(Simulator &sim, std::string name)
@@ -92,42 +37,9 @@ Cb3::Cb3(Simulator &sim, std::string name)
 {
 }
 
-void
-Cb3::receive(int port)
-{
-    if (!arrive(port))
-        return;
-    send(0, params().delay);
-}
-
 Dff::Dff(Simulator &sim, std::string name)
     : Cell(sim, std::move(name), CellKind::DFF, 2, 1)
 {
-}
-
-void
-Dff::receive(int port)
-{
-    if (!arrive(port))
-        return;
-    if (port == chan::kDffDin) {
-        if (stored_) {
-            // A second din before a clk would push a second flux
-            // quantum into the storage loop — a design error. Under
-            // Recover the surplus din is simply discarded.
-            if (sim_.reportViolation(name(),
-                                     "din while already storing"))
-                return;
-        }
-        stored_ = true;
-    } else {
-        // clk: destructive read. No stored flux means logic 0 — no
-        // output pulse.
-        if (stored_) {
-            stored_ = false;
-            send(0, params().delay);
-        }
-    }
 }
 
 Ndro::Ndro(Simulator &sim, std::string name)
@@ -135,54 +47,9 @@ Ndro::Ndro(Simulator &sim, std::string name)
 {
 }
 
-void
-Ndro::receive(int port)
-{
-    if (!arrive(port))
-        return;
-    // Stuck-at faults model flux trapped in (stuck-set) or a dead
-    // (stuck-reset) storage loop: while active, the loop holds its
-    // forced value and writes in the opposing direction are lost.
-    bool s_set = false, s_rst = false;
-    if (sim_.faults().anyCellFaults()) {
-        s_set = sim_.faults().stuckSet(name(), sim_.now());
-        s_rst = sim_.faults().stuckReset(name(), sim_.now());
-    }
-    if (s_set)
-        state_ = true;
-    if (s_rst)
-        state_ = false;
-    switch (port) {
-      case chan::kNdroDin:
-        if (!s_rst)
-            state_ = true;
-        break;
-      case chan::kNdroRst:
-        if (!s_set)
-            state_ = false;
-        break;
-      case chan::kNdroClk:
-        if (state_)
-            send(0, params().delay);
-        break;
-      default:
-        sushi_panic("NDRO %s: bad port %d", name().c_str(), port);
-    }
-}
-
 Tffl::Tffl(Simulator &sim, std::string name)
     : Cell(sim, std::move(name), CellKind::TFFL, 1, 1)
 {
-}
-
-void
-Tffl::receive(int port)
-{
-    if (!arrive(port))
-        return;
-    state_ = !state_;
-    if (state_) // pulses on the 0 -> 1 flip
-        send(0, params().delay);
 }
 
 Tffr::Tffr(Simulator &sim, std::string name)
@@ -190,47 +57,14 @@ Tffr::Tffr(Simulator &sim, std::string name)
 {
 }
 
-void
-Tffr::receive(int port)
-{
-    if (!arrive(port))
-        return;
-    state_ = !state_;
-    if (!state_) // pulses on the 1 -> 0 flip
-        send(0, params().delay);
-}
-
 DcSfq::DcSfq(Simulator &sim, std::string name)
     : Cell(sim, std::move(name), CellKind::DCSFQ, 1, 1)
 {
 }
 
-void
-DcSfq::receive(int port)
-{
-    if (!arrive(port))
-        return;
-    send(0, params().delay);
-}
-
-void
-DcSfq::edge(Tick when)
-{
-    inject(0, when);
-}
-
 SfqDc::SfqDc(Simulator &sim, std::string name)
     : Cell(sim, std::move(name), CellKind::SFQDC, 1, 0)
 {
-}
-
-void
-SfqDc::receive(int port)
-{
-    if (!arrive(port))
-        return;
-    level_ = !level_;
-    toggles_.push_back(sim_.now());
 }
 
 } // namespace sushi::sfq

@@ -5,6 +5,12 @@
  * Every cell checks its Table-1 input-timing constraints on each
  * arrival and accounts its switching energy to the simulator. Output
  * fan-out is one everywhere (enforced by Component::connect).
+ *
+ * These classes are construction-time facades: the per-cell behaviour
+ * (DFF latch, NDRO flux loop, TFF phase, splitter/confluence routing)
+ * executes inside CompiledNetlist::deliver()'s kind switch, and the
+ * accessors here read the one-bit storage state back out of the
+ * compiled SoA tables.
  */
 
 #ifndef SUSHI_SFQ_CELLS_HH
@@ -32,21 +38,8 @@ class Cell : public Component
     /** Convenience: this cell's parameter record. */
     const CellParams &params() const { return cellParams(kind_); }
 
-  protected:
-    /**
-     * Record an input arrival: checks timing constraints (reporting
-     * any violation to the simulator) and accounts switching energy.
-     * Call at the top of every receive().
-     * @return false if the pulse must not be processed — the cell is
-     *         dead (FaultKind::DeadCell) or the arrival violated a
-     *         constraint under ViolationPolicy::Recover; the caller
-     *         returns immediately.
-     */
-    [[nodiscard]] bool arrive(int port);
-
   private:
     CellKind kind_;
-    ConstraintChecker checker_;
 };
 
 /** Josephson transmission line stage: pure unit-delay repeater. */
@@ -54,7 +47,6 @@ class Jtl : public Cell
 {
   public:
     Jtl(Simulator &sim, std::string name);
-    void receive(int port) override;
 };
 
 /** 1-to-2 splitter. Ports: in 0 -> out 0 (A), out 1 (B). */
@@ -62,7 +54,6 @@ class Spl : public Cell
 {
   public:
     Spl(Simulator &sim, std::string name);
-    void receive(int port) override;
 };
 
 /** 1-to-3 splitter. */
@@ -70,7 +61,6 @@ class Spl3 : public Cell
 {
   public:
     Spl3(Simulator &sim, std::string name);
-    void receive(int port) override;
 };
 
 /** 2-to-1 confluence buffer. Inputs 0 (dinA), 1 (dinB) -> out 0. */
@@ -78,7 +68,6 @@ class Cb : public Cell
 {
   public:
     Cb(Simulator &sim, std::string name);
-    void receive(int port) override;
 };
 
 /** 3-to-1 confluence buffer. */
@@ -86,7 +75,6 @@ class Cb3 : public Cell
 {
   public:
     Cb3(Simulator &sim, std::string name);
-    void receive(int port) override;
 };
 
 /**
@@ -99,13 +87,9 @@ class Dff : public Cell
 {
   public:
     Dff(Simulator &sim, std::string name);
-    void receive(int port) override;
 
     /** True if a flux quantum is currently stored. */
-    bool stored() const { return stored_; }
-
-  private:
-    bool stored_ = false;
+    bool stored() const { return sim_.core().stateBit(id_); }
 };
 
 /**
@@ -119,13 +103,9 @@ class Ndro : public Cell
 {
   public:
     Ndro(Simulator &sim, std::string name);
-    void receive(int port) override;
 
     /** Current stored state. */
-    bool state() const { return state_; }
-
-  private:
-    bool state_ = false;
+    bool state() const { return sim_.core().stateBit(id_); }
 };
 
 /**
@@ -136,15 +116,11 @@ class Tffl : public Cell
 {
   public:
     Tffl(Simulator &sim, std::string name);
-    void receive(int port) override;
 
-    bool state() const { return state_; }
+    bool state() const { return sim_.core().stateBit(id_); }
 
     /** Force the internal state (used when initialising a design). */
-    void setState(bool s) { state_ = s; }
-
-  private:
-    bool state_ = false;
+    void setState(bool s) { sim_.core().setStateBit(id_, s); }
 };
 
 /** Toggle flip-flop, R variant: emits a pulse on the 1 -> 0 flip. */
@@ -152,13 +128,9 @@ class Tffr : public Cell
 {
   public:
     Tffr(Simulator &sim, std::string name);
-    void receive(int port) override;
 
-    bool state() const { return state_; }
-    void setState(bool s) { state_ = s; }
-
-  private:
-    bool state_ = false;
+    bool state() const { return sim_.core().stateBit(id_); }
+    void setState(bool s) { sim_.core().setStateBit(id_, s); }
 };
 
 /**
@@ -170,10 +142,9 @@ class DcSfq : public Cell
 {
   public:
     DcSfq(Simulator &sim, std::string name);
-    void receive(int port) override;
 
     /** Drive a level edge at absolute time @p when. */
-    void edge(Tick when);
+    void edge(Tick when) { inject(0, when); }
 };
 
 /**
@@ -185,20 +156,18 @@ class SfqDc : public Cell
 {
   public:
     SfqDc(Simulator &sim, std::string name);
-    void receive(int port) override;
 
     /** Current output level. */
-    bool level() const { return level_; }
+    bool level() const { return sim_.core().stateBit(id_); }
 
     /** Times of all level toggles so far. */
-    const std::vector<Tick> &toggles() const { return toggles_; }
+    const std::vector<Tick> &toggles() const
+    {
+        return sim_.core().trace(id_);
+    }
 
     /** Number of pulses received (= number of toggles). */
-    std::size_t pulseCount() const { return toggles_.size(); }
-
-  private:
-    bool level_ = false;
-    std::vector<Tick> toggles_;
+    std::size_t pulseCount() const { return toggles().size(); }
 };
 
 } // namespace sushi::sfq

@@ -1,0 +1,342 @@
+#include "sfq/compiled_netlist.hh"
+
+#include <utility>
+
+#include "sfq/constraints.hh"
+#include "sfq/fault_model.hh"
+#include "sfq/simulator.hh"
+
+namespace sushi::sfq {
+
+namespace {
+
+constexpr std::uint8_t
+u8(CellKind k)
+{
+    return static_cast<std::uint8_t>(k);
+}
+
+} // namespace
+
+CompiledNetlist::CompiledNetlist(Simulator &sim) : sim_(sim)
+{
+    for (int k = 0; k < static_cast<int>(CellKind::kNumKinds); ++k) {
+        const CellParams &p = cellParams(static_cast<CellKind>(k));
+        kind_delay_[k] = p.delay;
+        kind_energy_[k] = p.switch_energy_j;
+    }
+    kind_delay_[kKindSource] = 0;
+    kind_energy_[kKindSource] = 0.0;
+    kind_delay_[kKindSink] = 0;
+    kind_energy_[kKindSink] = 0.0;
+}
+
+std::int32_t
+CompiledNetlist::addCell(std::string name, std::uint8_t kind,
+                         int num_inputs, int num_outputs)
+{
+    sushi_assert(kind < kNumExecKinds);
+    sushi_assert(num_inputs >= 0 && num_inputs <= 255);
+    sushi_assert(num_outputs >= 0);
+    const auto id = static_cast<std::int32_t>(kind_.size());
+    kind_.push_back(kind);
+    state_.push_back(0);
+    n_in_.push_back(static_cast<std::uint8_t>(num_inputs));
+    in_off_.push_back(static_cast<std::int32_t>(last_.size()));
+    last_.insert(last_.end(), static_cast<std::size_t>(num_inputs),
+                 kTickNever);
+    out_off_.push_back(static_cast<std::int32_t>(conns_.size()));
+    conns_.insert(conns_.end(),
+                  static_cast<std::size_t>(num_outputs), OutConn{});
+    if (kind == u8(CellKind::SFQDC) || kind == kKindSink) {
+        trace_slot_.push_back(
+            static_cast<std::int32_t>(traces_.size()));
+        traces_.emplace_back();
+    } else {
+        trace_slot_.push_back(-1);
+    }
+    names_.push_back(std::move(name));
+    by_name_.emplace(names_.back(), id); // duplicates: first one wins
+    return id;
+}
+
+void
+CompiledNetlist::connect(std::int32_t src, int out_port,
+                         std::int32_t dst, int dst_port,
+                         Tick wire_delay)
+{
+    const std::size_t i = checkId(src);
+    sushi_assert(out_port >= 0 &&
+                 static_cast<std::size_t>(out_port) < connCount(i));
+    const std::size_t j = checkId(dst);
+    sushi_assert(dst_port >= 0 &&
+                 dst_port < static_cast<int>(n_in_[j]));
+    OutConn &c = conns_[static_cast<std::size_t>(out_off_[i]) +
+                        static_cast<std::size_t>(out_port)];
+    // Component::connect raises the user-facing fan-out fatal first;
+    // this guards direct core callers.
+    sushi_assert(c.dst < 0);
+    c.dst = dst;
+    c.port = dst_port;
+    c.wire_delay = wire_delay;
+    ++live_conns_;
+}
+
+std::int32_t
+CompiledNetlist::cellId(const std::string &name) const
+{
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? -1 : it->second;
+}
+
+bool
+CompiledNetlist::masksCurrent() const
+{
+    return fault_masks_usable_ &&
+           fault_mask_.size() == kind_.size() &&
+           fault_cfg_version_ == sim_.faults().configVersion();
+}
+
+void
+CompiledNetlist::freeze()
+{
+    const FaultModel &fm = sim_.faults();
+    const std::uint64_t ver = fm.configVersion();
+    if (ver == fault_cfg_version_ &&
+        fault_mask_.size() == kind_.size())
+        return;
+    fault_masks_usable_ = fm.numFaults() <= 64;
+    fault_mask_.assign(kind_.size(), 0);
+    if (fault_masks_usable_) {
+        for (std::size_t i = 0; i < kind_.size(); ++i) {
+            std::uint64_t m = 0;
+            for (std::size_t s = 0; s < fm.numFaults(); ++s)
+                if (fm.targetMatches(s, names_[i]))
+                    m |= std::uint64_t{1} << s;
+            fault_mask_[i] = m;
+        }
+    }
+    fault_cfg_version_ = ver;
+}
+
+bool
+CompiledNetlist::arriveCell(std::int32_t id, std::uint8_t kind,
+                            int port)
+{
+    const auto i = static_cast<std::size_t>(id);
+    const Tick now = sim_.now();
+    sushi_assert(port >= 0 && port < static_cast<int>(n_in_[i]));
+    FaultModel &fm = sim_.faults();
+    // A dead cell (shorted/open junction) eats the pulse before any
+    // junction switches: no energy, no constraint bookkeeping.
+    if (fm.anyCellFaults()) {
+        const bool dead =
+            masksCurrent()
+                ? fm.suppressArrivalMasked(fault_mask_[i], now)
+                : fm.suppressArrival(names_[i], now);
+        if (dead)
+            return false;
+    }
+    // Table-1 constraint check: first violated rule wins, in the
+    // constraintRules() order, exactly as ConstraintChecker does.
+    const auto ck = static_cast<CellKind>(kind);
+    Tick *last = last_.data() + in_off_[i];
+    const IncomingRule *hit = nullptr;
+    Tick hit_prev = kTickNever;
+    for (const IncomingRule &r : incomingRules(ck, port)) {
+        const Tick prev =
+            last[static_cast<std::size_t>(r.chan_a)];
+        if (prev == kTickNever)
+            continue;
+        if (now - prev < r.min_interval) {
+            hit = &r;
+            hit_prev = prev;
+            break;
+        }
+    }
+    // The arrival is recorded whether or not it violated: the pulse
+    // did hit the input, and later spacing is measured from it.
+    last[static_cast<std::size_t>(port)] = now;
+    if (hit != nullptr &&
+        sim_.reportViolation(names_[i],
+                             violationMessage(ck, hit->label,
+                                              hit->min_interval,
+                                              hit_prev, now),
+                             hit->label, hit_prev, now)) {
+        // Recover policy: the marginal arrival is attributed to this
+        // cell and the offending pulse is discarded.
+        return false;
+    }
+    sim_.addSwitchEnergy(kind_energy_[kind]);
+    return true;
+}
+
+void
+CompiledNetlist::emit(std::int32_t id, int out_port, Tick delay)
+{
+    const auto i = static_cast<std::size_t>(id);
+    const OutConn &c =
+        conns_[static_cast<std::size_t>(out_off_[i]) +
+               static_cast<std::size_t>(out_port)];
+    if (c.dst < 0)
+        return; // dangling output is legal (unused readout)
+    FaultModel &fm = sim_.faults();
+    if (fm.anyDeliveryFaults()) {
+        const Tick now = sim_.now();
+        const FaultModel::Delivery fate =
+            masksCurrent()
+                ? fm.onDeliverMasked(fault_mask_[i], now)
+                : fm.onDeliver(names_[i], now);
+        if (fate.dropped)
+            return; // injected fault: the pulse is lost in flight
+        Tick total = delay + c.wire_delay + fate.jitter;
+        if (total < 0)
+            total = 0; // jitter cannot deliver into the past
+        sim_.countPulse();
+        sim_.schedulePulse(now + total, c.dst, c.port);
+        // Spurious pulses (punch-through) trail the real delivery.
+        for (int s = 1; s <= fate.inserted; ++s) {
+            sim_.countPulse();
+            sim_.schedulePulse(now + total + s, c.dst, c.port);
+        }
+        return;
+    }
+    sim_.countPulse();
+    sim_.schedulePulse(sim_.now() + delay + c.wire_delay, c.dst,
+                       c.port);
+}
+
+void
+CompiledNetlist::deliver(std::int32_t id, std::int32_t port)
+{
+    const std::size_t i = checkId(id);
+    const std::uint8_t kind = kind_[i];
+    const Tick delay = kind_delay_[kind];
+    switch (kind) {
+      case u8(CellKind::JTL):
+      case u8(CellKind::DCSFQ):
+        if (!arriveCell(id, kind, port))
+            return;
+        emit(id, 0, delay);
+        break;
+      case u8(CellKind::SPL):
+        if (!arriveCell(id, kind, port))
+            return;
+        emit(id, 0, delay);
+        emit(id, 1, delay);
+        break;
+      case u8(CellKind::SPL3):
+        if (!arriveCell(id, kind, port))
+            return;
+        emit(id, 0, delay);
+        emit(id, 1, delay);
+        emit(id, 2, delay);
+        break;
+      case u8(CellKind::CB):
+      case u8(CellKind::CB3):
+        if (!arriveCell(id, kind, port))
+            return;
+        emit(id, 0, delay);
+        break;
+      case u8(CellKind::DFF):
+        if (!arriveCell(id, kind, port))
+            return;
+        if (port == chan::kDffDin) {
+            if (state_[i] != 0) {
+                // A second din before a clk would push a second flux
+                // quantum into the storage loop — a design error.
+                // Under Recover the surplus din is simply discarded.
+                if (sim_.reportViolation(
+                        names_[i], "din while already storing"))
+                    return;
+            }
+            state_[i] = 1;
+        } else {
+            // clk: destructive read. No stored flux means logic 0 —
+            // no output pulse.
+            if (state_[i] != 0) {
+                state_[i] = 0;
+                emit(id, 0, delay);
+            }
+        }
+        break;
+      case u8(CellKind::NDRO): {
+        if (!arriveCell(id, kind, port))
+            return;
+        // Stuck-at faults model flux trapped in (stuck-set) or a
+        // dead (stuck-reset) storage loop: while active, the loop
+        // holds its forced value and writes in the opposing
+        // direction are lost.
+        bool s_set = false, s_rst = false;
+        FaultModel &fm = sim_.faults();
+        if (fm.anyCellFaults()) {
+            const Tick now = sim_.now();
+            if (masksCurrent()) {
+                s_set = fm.stuckSetMasked(fault_mask_[i], now);
+                s_rst = fm.stuckResetMasked(fault_mask_[i], now);
+            } else {
+                s_set = fm.stuckSet(names_[i], now);
+                s_rst = fm.stuckReset(names_[i], now);
+            }
+        }
+        if (s_set)
+            state_[i] = 1;
+        if (s_rst)
+            state_[i] = 0;
+        switch (port) {
+          case chan::kNdroDin:
+            if (!s_rst)
+                state_[i] = 1;
+            break;
+          case chan::kNdroRst:
+            if (!s_set)
+                state_[i] = 0;
+            break;
+          case chan::kNdroClk:
+            if (state_[i] != 0)
+                emit(id, 0, delay);
+            break;
+          default:
+            sushi_panic("NDRO %s: bad port %d", names_[i].c_str(),
+                        port);
+        }
+        break;
+      }
+      case u8(CellKind::TFFL):
+        if (!arriveCell(id, kind, port))
+            return;
+        state_[i] ^= 1;
+        if (state_[i] != 0) // pulses on the 0 -> 1 flip
+            emit(id, 0, delay);
+        break;
+      case u8(CellKind::TFFR):
+        if (!arriveCell(id, kind, port))
+            return;
+        state_[i] ^= 1;
+        if (state_[i] == 0) // pulses on the 1 -> 0 flip
+            emit(id, 0, delay);
+        break;
+      case u8(CellKind::SFQDC):
+        if (!arriveCell(id, kind, port))
+            return;
+        state_[i] ^= 1; // output level toggles per pulse
+        traces_[static_cast<std::size_t>(trace_slot_[i])]
+            .push_back(sim_.now());
+        break;
+      case kKindSink:
+        sushi_assert(port == 0);
+        traces_[static_cast<std::size_t>(trace_slot_[i])]
+            .push_back(sim_.now());
+        break;
+      case kKindSource:
+        // A source "delivery" is its scheduled firing: emit through
+        // output 0 with zero cell delay, as PulseSource::pulseAt did.
+        emit(id, 0, 0);
+        break;
+      default:
+        sushi_panic("cell %s: bad kind %d", names_[i].c_str(),
+                    static_cast<int>(kind));
+    }
+}
+
+} // namespace sushi::sfq

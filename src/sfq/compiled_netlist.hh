@@ -1,0 +1,250 @@
+/**
+ * @file
+ * The compiled, data-oriented execution core of the RSFQ simulator.
+ *
+ * Every Component registers itself here at construction, which lowers
+ * the circuit into flat contiguous arrays as it is built:
+ *
+ *  - a cell table in struct-of-arrays form: one byte of kind, one
+ *    byte of storage state (NDRO flux bit / TFF phase / DFF latch /
+ *    SFQDC level) per cell;
+ *  - a CSR fan-out table: RSFQ fan-out is one (paper Sec. 2.1.2), so
+ *    each output port owns exactly one {dst, port, wire_delay} slot
+ *    and the per-cell offsets are plain prefix sums maintained at
+ *    registration time — no rebuild pass is ever needed;
+ *  - flat per-channel last-arrival ticks for the Table-1 constraint
+ *    checks;
+ *  - pooled pulse traces for the probes (PulseSink, SFQDC), the
+ *    index-addressed Waveform capture;
+ *  - an interned name table (ids are dense registration order), so
+ *    the name-based public APIs — fault targeting substrings,
+ *    violation attribution, TimingFault diagnostics — keep working
+ *    on top of index-addressed execution.
+ *
+ * deliver() is the pulse-delivery inner loop: a switch on the kind
+ * byte over indices. No virtual dispatch, no std::function, no
+ * allocation, no string handling on the fault-free hot path (see
+ * DESIGN.md §2.1). freeze() completes the lowering by caching one
+ * fault-target bitmask per cell, so fault campaigns skip substring
+ * matching per event as well.
+ */
+
+#ifndef SUSHI_SFQ_COMPILED_NETLIST_HH
+#define SUSHI_SFQ_COMPILED_NETLIST_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/time.hh"
+#include "sfq/cell_params.hh"
+
+namespace sushi::sfq {
+
+class Simulator;
+
+/** Flat, index-addressed circuit representation plus its executor. */
+class CompiledNetlist
+{
+  public:
+    /** Pseudo-kinds for the IO pads, after the library cell kinds. */
+    static constexpr std::uint8_t kKindSource =
+        static_cast<std::uint8_t>(CellKind::kNumKinds);
+    static constexpr std::uint8_t kKindSink = kKindSource + 1;
+    static constexpr std::uint8_t kNumExecKinds = kKindSink + 1;
+
+    /** One CSR fan-out slot (fan-out is 1 per output port). */
+    struct OutConn
+    {
+        std::int32_t dst = -1; ///< destination cell id, -1 dangling
+        std::int32_t port = 0; ///< destination input port
+        Tick wire_delay = 0;   ///< interconnect (JTL chain) delay
+    };
+
+    explicit CompiledNetlist(Simulator &sim);
+
+    CompiledNetlist(const CompiledNetlist &) = delete;
+    CompiledNetlist &operator=(const CompiledNetlist &) = delete;
+
+    /// @name Lowering (driven by Component registration)
+    /// @{
+
+    /** Register a cell; returns its dense id. */
+    std::int32_t addCell(std::string name, std::uint8_t kind,
+                         int num_inputs, int num_outputs);
+
+    /** Wire src output port to dst input port (fan-out of one). */
+    void connect(std::int32_t src, int out_port, std::int32_t dst,
+                 int dst_port, Tick wire_delay);
+
+    /** True if the output port already has a destination. */
+    bool
+    outputConnected(std::int32_t id, int out_port) const
+    {
+        return conn(id, out_port).dst >= 0;
+    }
+
+    /**
+     * Finish the lowering: refresh the per-cell fault-target bitmask
+     * cache against the simulator's current fault configuration.
+     * Idempotent and cheap when nothing changed; Simulator::run()
+     * calls it before executing, so the compiled path is always the
+     * one that runs.
+     */
+    void freeze();
+
+    /// @}
+    /// @name Interned name table
+    /// @{
+
+    std::size_t numCells() const { return kind_.size(); }
+    std::size_t numConnections() const { return live_conns_; }
+
+    const std::string &
+    cellName(std::int32_t id) const
+    {
+        return names_[checkId(id)];
+    }
+
+    /** Dense id for an instance name; -1 if unknown. Duplicate names
+     *  (legal, discouraged) resolve to the first registration. */
+    std::int32_t cellId(const std::string &name) const;
+
+    /** Execution kind byte (CellKind value, or kKindSource/Sink). */
+    std::uint8_t
+    cellKind(std::int32_t id) const
+    {
+        return kind_[checkId(id)];
+    }
+
+    /// @}
+    /// @name SoA state access (used by the cell facades and tests)
+    /// @{
+
+    /** One-bit storage state: NDRO flux, TFF phase, DFF latch,
+     *  SFQDC output level. */
+    bool stateBit(std::int32_t id) const
+    {
+        return state_[checkId(id)] != 0;
+    }
+    void setStateBit(std::int32_t id, bool v)
+    {
+        state_[checkId(id)] = v ? 1 : 0;
+    }
+
+    /** Recorded pulse trace of a probe cell (PulseSink / SFQDC). */
+    const std::vector<Tick> &
+    trace(std::int32_t id) const
+    {
+        const std::int32_t slot = trace_slot_[checkId(id)];
+        sushi_assert(slot >= 0);
+        return traces_[static_cast<std::size_t>(slot)];
+    }
+    std::vector<Tick> &
+    traceMut(std::int32_t id)
+    {
+        const std::int32_t slot = trace_slot_[checkId(id)];
+        sushi_assert(slot >= 0);
+        return traces_[static_cast<std::size_t>(slot)];
+    }
+
+    /** Last arrival tick on an input channel (kTickNever if none). */
+    Tick
+    lastArrival(std::int32_t id, int channel) const
+    {
+        const std::size_t i = checkId(id);
+        sushi_assert(channel >= 0 && channel < n_in_[i]);
+        return last_[static_cast<std::size_t>(in_off_[i]) +
+                     static_cast<std::size_t>(channel)];
+    }
+
+    /** CSR fan-out slot of an output port. */
+    const OutConn &
+    connection(std::int32_t id, int out_port) const
+    {
+        return conn(id, out_port);
+    }
+
+    /// @}
+
+    /**
+     * Execute one pulse arriving on input @p port of cell @p id at
+     * the simulator's current time. The inner loop of the simulator.
+     */
+    void deliver(std::int32_t id, std::int32_t port);
+
+  private:
+    /** Dead-cell / constraint / energy bookkeeping shared by every
+     *  library cell. @return false if the pulse must be discarded. */
+    bool arriveCell(std::int32_t id, std::uint8_t kind, int port);
+
+    /** Emit one pulse out of @p out_port after @p delay. */
+    void emit(std::int32_t id, int out_port, Tick delay);
+
+    /** True if the cached fault bitmasks match the live config. */
+    bool masksCurrent() const;
+
+    std::size_t
+    checkId(std::int32_t id) const
+    {
+        sushi_assert(id >= 0 &&
+                     static_cast<std::size_t>(id) < kind_.size());
+        return static_cast<std::size_t>(id);
+    }
+
+    const OutConn &
+    conn(std::int32_t id, int out_port) const
+    {
+        const std::size_t i = checkId(id);
+        sushi_assert(out_port >= 0 &&
+                     static_cast<std::size_t>(out_port) <
+                         connCount(i));
+        return conns_[static_cast<std::size_t>(out_off_[i]) +
+                      static_cast<std::size_t>(out_port)];
+    }
+
+    std::size_t
+    connCount(std::size_t i) const
+    {
+        const std::size_t end = i + 1 < out_off_.size()
+            ? static_cast<std::size_t>(out_off_[i + 1])
+            : conns_.size();
+        return end - static_cast<std::size_t>(out_off_[i]);
+    }
+
+    Simulator &sim_;
+
+    // Hot SoA cell table (indexed by dense cell id).
+    std::vector<std::uint8_t> kind_;
+    std::vector<std::uint8_t> state_;
+    std::vector<std::uint8_t> n_in_;
+    std::vector<std::int32_t> out_off_; ///< CSR offsets into conns_
+    std::vector<OutConn> conns_;
+    std::vector<std::int32_t> in_off_;  ///< offsets into last_
+    std::vector<Tick> last_;            ///< per-channel last arrival
+    std::vector<std::int32_t> trace_slot_;
+    std::deque<std::vector<Tick>> traces_; ///< stable refs for probes
+
+    // Cold: diagnostics / name-based APIs.
+    std::deque<std::string> names_; ///< stable refs for name()
+    std::unordered_map<std::string, std::int32_t> by_name_;
+    std::size_t live_conns_ = 0;
+
+    // Per-kind parameter cache (delay, switch energy).
+    Tick kind_delay_[kNumExecKinds];
+    double kind_energy_[kNumExecKinds];
+
+    // Fault lowering: bit s of fault_mask_[i] says fault spec s
+    // targets cell i. Rebuilt by freeze() when the configuration
+    // version moves; unusable (name fallback) past 64 specs.
+    std::vector<std::uint64_t> fault_mask_;
+    std::uint64_t fault_cfg_version_ = ~std::uint64_t{0};
+    bool fault_masks_usable_ = false;
+};
+
+} // namespace sushi::sfq
+
+#endif // SUSHI_SFQ_COMPILED_NETLIST_HH

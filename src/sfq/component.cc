@@ -7,10 +7,12 @@
 namespace sushi::sfq {
 
 Component::Component(Simulator &sim, std::string name,
-                     int num_inputs, int num_outputs)
-    : sim_(sim), name_(std::move(name)),
-      num_inputs_(num_inputs), num_outputs_(num_outputs),
-      outs_(static_cast<std::size_t>(num_outputs))
+                     int num_inputs, int num_outputs,
+                     std::uint8_t exec_kind)
+    : sim_(sim),
+      id_(sim.core().addCell(std::move(name), exec_kind, num_inputs,
+                             num_outputs)),
+      num_inputs_(num_inputs), num_outputs_(num_outputs)
 {
     sushi_assert(num_inputs >= 0 && num_outputs >= 0);
 }
@@ -21,92 +23,45 @@ Component::connect(int out_port, Component &dst, int dst_port,
 {
     sushi_assert(out_port >= 0 && out_port < num_outputs_);
     sushi_assert(dst_port >= 0 && dst_port < dst.numInputs());
-    Conn &c = outs_[static_cast<std::size_t>(out_port)];
-    if (c.dst != nullptr) {
+    if (sim_.core().outputConnected(id_, out_port)) {
         sushi_fatal("%s output %d already driven; RSFQ fan-out is 1 — "
-                    "insert an SPL", name_.c_str(), out_port);
+                    "insert an SPL", name().c_str(), out_port);
     }
-    c.dst = &dst;
-    c.dst_port = dst_port;
-    c.wire_delay = wire_delay;
+    sim_.core().connect(id_, out_port, dst.id_, dst_port, wire_delay);
 }
 
 bool
 Component::outputConnected(int out_port) const
 {
     sushi_assert(out_port >= 0 && out_port < num_outputs_);
-    return outs_[static_cast<std::size_t>(out_port)].dst != nullptr;
+    return sim_.core().outputConnected(id_, out_port);
 }
 
 void
 Component::inject(int port, Tick when)
 {
     sushi_assert(port >= 0 && port < num_inputs_);
-    sim_.schedule(when, [this, port] { receive(port); });
-}
-
-void
-Component::send(int out_port, Tick delay)
-{
-    sushi_assert(out_port >= 0 && out_port < num_outputs_);
-    const Conn &c = outs_[static_cast<std::size_t>(out_port)];
-    if (c.dst == nullptr)
-        return;
-    Component *dst = c.dst;
-    int dst_port = c.dst_port;
-    FaultModel &faults = sim_.faults();
-    if (faults.anyDeliveryFaults()) {
-        const FaultModel::Delivery fate =
-            faults.onDeliver(name_, sim_.now());
-        if (fate.dropped)
-            return; // injected fault: the pulse is lost in flight
-        Tick total = delay + c.wire_delay + fate.jitter;
-        if (total < 0)
-            total = 0; // jitter cannot deliver into the past
-        sim_.countPulse();
-        sim_.scheduleIn(total,
-                        [dst, dst_port] { dst->receive(dst_port); });
-        // Spurious pulses (punch-through) trail the real delivery.
-        for (int i = 1; i <= fate.inserted; ++i) {
-            sim_.countPulse();
-            sim_.scheduleIn(total + i, [dst, dst_port] {
-                dst->receive(dst_port);
-            });
-        }
-        return;
-    }
-    sim_.countPulse();
-    sim_.scheduleIn(delay + c.wire_delay,
-                    [dst, dst_port] { dst->receive(dst_port); });
+    sim_.schedulePulse(when, id_, port);
 }
 
 PulseSink::PulseSink(Simulator &sim, std::string name)
-    : Component(sim, std::move(name), 1, 0)
+    : Component(sim, std::move(name), 1, 0,
+                CompiledNetlist::kKindSink)
 {
-}
-
-void
-PulseSink::receive(int port)
-{
-    sushi_assert(port == 0);
-    times_.push_back(sim_.now());
 }
 
 PulseSource::PulseSource(Simulator &sim, std::string name)
-    : Component(sim, std::move(name), 0, 1)
+    : Component(sim, std::move(name), 0, 1,
+                CompiledNetlist::kKindSource)
 {
-}
-
-void
-PulseSource::receive(int)
-{
-    sushi_panic("PulseSource has no inputs");
 }
 
 void
 PulseSource::pulseAt(Tick when)
 {
-    sim_.schedule(when, [this] { send(0, 0); });
+    // A source firing is an event targeting the source cell itself;
+    // delivery emits through output 0 (port is ignored).
+    sim_.schedulePulse(when, id_, 0);
 }
 
 void

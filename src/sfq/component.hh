@@ -1,12 +1,19 @@
 /**
  * @file
- * Base class for RSFQ circuit components and pulse plumbing.
+ * Component facade over the compiled circuit core.
  *
  * An RSFQ design is a directed graph of components; SFQ pulses travel
  * along point-to-point connections. RSFQ cells have a fan-out of one
  * (paper Sec. 2.1.2), so connecting an output that is already driven
  * is rejected — a splitter (SPL) must be inserted instead, exactly as
  * in a real design.
+ *
+ * Since the compiled-core refactor a Component carries no execution
+ * state of its own: construction registers the cell into the owning
+ * simulator's CompiledNetlist (which allocates its SoA table row and
+ * CSR fan-out slots), and every accessor reads back through the dense
+ * cell id. Pulse execution never touches this class — the simulator
+ * delivers index-addressed events straight into the compiled tables.
  */
 
 #ifndef SUSHI_SFQ_COMPONENT_HH
@@ -20,29 +27,32 @@
 
 namespace sushi::sfq {
 
-/** A node in the circuit graph that can receive and emit pulses. */
+/** A handle to one node of the compiled circuit graph. */
 class Component
 {
   public:
     /**
+     * Register a cell with the simulator's compiled core.
      * @param sim        owning simulator
      * @param name       instance name (for diagnostics)
      * @param num_inputs number of input ports
      * @param num_outputs number of output ports
+     * @param exec_kind  CompiledNetlist execution kind byte (a
+     *        CellKind value, or kKindSource / kKindSink)
      */
-    Component(Simulator &sim, std::string name,
-              int num_inputs, int num_outputs);
+    Component(Simulator &sim, std::string name, int num_inputs,
+              int num_outputs, std::uint8_t exec_kind);
 
     virtual ~Component() = default;
 
     Component(const Component &) = delete;
     Component &operator=(const Component &) = delete;
 
-    /** Deliver a pulse arriving on input @p port at time now(). */
-    virtual void receive(int port) = 0;
-
     /** Instance name. */
-    const std::string &name() const { return name_; }
+    const std::string &name() const { return sim_.core().cellName(id_); }
+
+    /** Dense id of this cell in the compiled core. */
+    std::int32_t cellId() const { return id_; }
 
     /** Number of input / output ports. */
     int numInputs() const { return num_inputs_; }
@@ -68,51 +78,35 @@ class Component
     void inject(int port, Tick when);
 
   protected:
-    /**
-     * Emit a pulse from output @p out_port after @p delay from now.
-     * Silently drops the pulse if the output is unconnected (a
-     * dangling output is legal, e.g. an unused NPE readout).
-     */
-    void send(int out_port, Tick delay);
-
     Simulator &sim_;
+    std::int32_t id_;
 
   private:
-    struct Conn
-    {
-        Component *dst = nullptr;
-        int dst_port = 0;
-        Tick wire_delay = 0;
-    };
-
-    std::string name_;
     int num_inputs_;
     int num_outputs_;
-    std::vector<Conn> outs_;
 };
 
 /**
  * Records every pulse arriving at its single input; used as a circuit
- * primary output / probe.
+ * primary output / probe. The arrival times live in the compiled
+ * core's pooled trace storage.
  */
 class PulseSink : public Component
 {
   public:
     PulseSink(Simulator &sim, std::string name);
 
-    void receive(int port) override;
-
     /** Arrival times of all recorded pulses, in order. */
-    const std::vector<Tick> &pulsesSeen() const { return times_; }
+    const std::vector<Tick> &pulsesSeen() const
+    {
+        return sim_.core().trace(id_);
+    }
 
     /** Number of pulses recorded. */
-    std::size_t count() const { return times_.size(); }
+    std::size_t count() const { return pulsesSeen().size(); }
 
     /** Forget all recorded pulses. */
-    void clear() { times_.clear(); }
-
-  private:
-    std::vector<Tick> times_;
+    void clear() { sim_.core().traceMut(id_).clear(); }
 };
 
 /**
@@ -123,8 +117,6 @@ class PulseSource : public Component
 {
   public:
     PulseSource(Simulator &sim, std::string name);
-
-    void receive(int port) override;
 
     /** Schedule an output pulse at absolute time @p when. */
     void pulseAt(Tick when);

@@ -104,6 +104,62 @@ safePulseSpacing(double margin)
     return static_cast<Tick>(static_cast<double>(best) * margin);
 }
 
+IncomingRuleSpan
+incomingRules(CellKind kind, int channel)
+{
+    sushi_assert(channel >= 0 && channel < kMaxChannels);
+    // Flat [kind][channel] table of per-destination-channel rule runs,
+    // built once from constraintRules() so the two views can never
+    // disagree.
+    struct Table
+    {
+        std::vector<IncomingRule> rules;
+        IncomingRuleSpan spans[static_cast<std::size_t>(
+                                   CellKind::kNumKinds) *
+                               kMaxChannels];
+        Table()
+        {
+            std::size_t total = 0;
+            for (int k = 0; k < static_cast<int>(CellKind::kNumKinds);
+                 ++k)
+                total += constraintRules(static_cast<CellKind>(k))
+                             .size();
+            rules.reserve(total); // spans borrow: no reallocation
+            for (int k = 0; k < static_cast<int>(CellKind::kNumKinds);
+                 ++k) {
+                for (int c = 0; c < kMaxChannels; ++c) {
+                    const std::size_t start = rules.size();
+                    for (const auto &r :
+                         constraintRules(static_cast<CellKind>(k))) {
+                        if (r.chan_b == c)
+                            rules.push_back(IncomingRule{
+                                r.chan_a, r.min_interval, r.label});
+                    }
+                    spans[static_cast<std::size_t>(k) * kMaxChannels +
+                          static_cast<std::size_t>(c)] =
+                        IncomingRuleSpan{
+                            rules.data() + start,
+                            static_cast<int>(rules.size() - start)};
+                }
+            }
+        }
+    };
+    static const Table table;
+    return table.spans[static_cast<std::size_t>(kind) * kMaxChannels +
+                       static_cast<std::size_t>(channel)];
+}
+
+std::string
+violationMessage(CellKind kind, const char *label, Tick min_interval,
+                 Tick prev, Tick now)
+{
+    return std::string(cellKindName(kind)) + " " + label +
+           ": interval " + std::to_string(ticksToPs(now - prev)) +
+           " ps < " + std::to_string(ticksToPs(min_interval)) +
+           " ps (pulses at " + std::to_string(prev) + " fs and " +
+           std::to_string(now) + " fs)";
+}
+
 ConstraintChecker::ConstraintChecker(CellKind kind, int num_channels)
     : kind_(kind),
       last_(static_cast<std::size_t>(num_channels), kTickNever)
@@ -123,12 +179,8 @@ ConstraintChecker::arrive(int channel, Tick now)
         if (prev == kTickNever)
             continue;
         if (now - prev < r.min_interval) {
-            violated = std::string(cellKindName(kind_)) + " " +
-                       r.label + ": interval " +
-                       std::to_string(ticksToPs(now - prev)) +
-                       " ps < " +
-                       std::to_string(ticksToPs(r.min_interval)) +
-                       " ps";
+            violated = violationMessage(kind_, r.label,
+                                        r.min_interval, prev, now);
             break;
         }
     }

@@ -55,6 +55,48 @@ constexpr int kTffClk = 0;
 /** Constraint rules for the given cell type (may be empty). */
 const std::vector<ConstraintRule> &constraintRules(CellKind kind);
 
+/** Most input channels any library cell has (NDRO/CB3: 3). */
+constexpr int kMaxChannels = 3;
+
+/**
+ * One incoming-edge rule: an arrival on the checked channel must lag
+ * the most recent arrival on @p chan_a by @p min_interval. This is
+ * ConstraintRule pre-filtered by destination channel, the form the
+ * compiled inner loop consumes without scanning non-matching rules.
+ */
+struct IncomingRule
+{
+    int chan_a;
+    Tick min_interval;
+    const char *label;
+};
+
+/** A borrowed, immutable span of IncomingRule (iteration order is
+ *  the constraintRules() order, so first-violation wins identically). */
+struct IncomingRuleSpan
+{
+    const IncomingRule *data;
+    int count;
+    const IncomingRule *begin() const { return data; }
+    const IncomingRule *end() const { return data + count; }
+};
+
+/**
+ * The rules that constrain arrivals on @p channel of a @p kind cell.
+ * Backed by a process-lifetime flat table; cheap enough to call per
+ * arrival.
+ */
+IncomingRuleSpan incomingRules(CellKind kind, int channel);
+
+/**
+ * Canonical description of one timing violation, shared by the
+ * compiled core and ConstraintChecker so diagnostics are identical on
+ * both paths: cell kind, rule label, measured vs required interval,
+ * and the two offending pulse times.
+ */
+std::string violationMessage(CellKind kind, const char *label,
+                             Tick min_interval, Tick prev, Tick now);
+
 /**
  * The single largest minimum interval across all rules of @p kind;
  * 0 if the cell has no rules. Used by encoders that need one safe

@@ -1,41 +1,57 @@
 #include "sfq/event_queue.hh"
 
-#include <utility>
-
-#include "common/logging.hh"
-
 namespace sushi::sfq {
 
 void
-EventQueue::schedule(Tick when, Callback cb)
+EventQueue::refill()
 {
-    sushi_assert(when >= 0);
-    heap_.push(Event{when, next_seq_++, std::move(cb)});
-}
-
-Tick
-EventQueue::nextTick() const
-{
-    return heap_.empty() ? kTickNever : heap_.top().when;
-}
-
-Tick
-EventQueue::runOne()
-{
-    sushi_assert(!heap_.empty());
-    // priority_queue::top() is const; the callback must be moved out
-    // before pop, so copy the small header and move the callback.
-    Event ev = std::move(const_cast<Event &>(heap_.top()));
-    heap_.pop();
-    ++executed_;
-    ev.cb();
-    return ev.when;
+    while (cur_.empty()) {
+        if (ring_count_ == 0) {
+            // Everything pending sits past the ring: jump straight to
+            // the overflow heap's earliest day instead of scanning
+            // empty buckets one day at a time.
+            sushi_assert(!overflow_.empty());
+            cur_day_ = overflow_.front().when >> kDayBits;
+        } else {
+            ++cur_day_;
+        }
+        auto &bucket = days_[static_cast<std::size_t>(
+            cur_day_ & (kNumDays - 1))];
+        if (!bucket.empty()) {
+            ring_count_ -= bucket.size();
+            cur_.insert(cur_.end(), bucket.begin(), bucket.end());
+            bucket.clear();
+        }
+        // Overflow events whose day has been reached join the
+        // draining day. (An overflow day can undercut a ring day:
+        // the ring window slides forward with cur_day_, so a later
+        // push may ring-bucket a day that is *after* an event still
+        // parked in overflow. Checking on every day advance keeps
+        // global order.)
+        while (!overflow_.empty() &&
+               (overflow_.front().when >> kDayBits) <= cur_day_) {
+            std::pop_heap(overflow_.begin(), overflow_.end(),
+                          Later{});
+            cur_.push_back(overflow_.back());
+            overflow_.pop_back();
+        }
+        if (!cur_.empty())
+            std::make_heap(cur_.begin(), cur_.end(), Later{});
+    }
 }
 
 void
 EventQueue::clear()
 {
-    heap_ = {};
+    for (auto &bucket : days_)
+        bucket.clear();
+    cur_.clear();
+    overflow_.clear();
+    ring_count_ = 0;
+    size_ = 0;
+    cur_day_ = 0;
+    // next_seq_ and executed_ survive deliberately: eventsExecuted()
+    // stays monotonic across Simulator::reset(), as before.
 }
 
 } // namespace sushi::sfq

@@ -1,62 +1,151 @@
 /**
  * @file
- * Discrete-event queue for the RSFQ simulator.
+ * Calendar event queue for the RSFQ simulator.
  *
- * Events at equal ticks are delivered in insertion order (a stable
- * sequence number breaks ties), which keeps gate-level simulations
- * deterministic regardless of heap internals.
+ * Events are POD records ({tick, seq, cell_id, port} — 24 bytes, no
+ * per-event allocation) kept in a calendar of day-wide buckets:
+ *
+ *  - the *draining day* is a small binary min-heap (`cur_`) ordered
+ *    by (when, seq), so equal-tick events pop in insertion order —
+ *    the stable tie-break that keeps gate-level simulations
+ *    deterministic regardless of container internals;
+ *  - days within the ring horizon land in unsorted per-day buckets
+ *    and are only heapified when their day starts draining;
+ *  - events past the horizon go to an overflow min-heap and migrate
+ *    into the calendar as the draining day advances (including a
+ *    direct jump when the ring runs dry, so sparse far-future
+ *    schedules cost no empty-day scans).
+ *
+ * All storage is pooled vectors: clear() keeps capacity, so campaign
+ * loops re-use the same allocations run after run.
  */
 
 #ifndef SUSHI_SFQ_EVENT_QUEUE_HH
 #define SUSHI_SFQ_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/time.hh"
 
 namespace sushi::sfq {
 
-/** A time-ordered queue of callbacks. */
+/** A time-ordered queue of POD pulse-delivery events. */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /** Pseudo cell id marking a pooled Simulator callback; the
+     *  event's port field then holds the callback pool slot. */
+    static constexpr std::int32_t kCallbackCell = -1;
 
-    /** Schedule a callback at absolute tick @p when. */
-    void schedule(Tick when, Callback cb);
-
-    /** True if no events are pending. */
-    bool empty() const { return heap_.empty(); }
-
-    /** Number of pending events. */
-    std::size_t size() const { return heap_.size(); }
-
-    /** Tick of the earliest pending event; kTickNever if empty. */
-    Tick nextTick() const;
-
-    /**
-     * Pop and run the earliest event.
-     * @return the tick the event ran at.
-     */
-    Tick runOne();
-
-    /** Total events executed since construction. */
-    std::uint64_t executed() const { return executed_; }
-
-    /** Drop all pending events. */
-    void clear();
-
-  private:
+    /** One scheduled delivery: pulse into input @p port of compiled
+     *  cell @p cell at tick @p when. @p seq breaks equal-tick ties in
+     *  insertion order. */
     struct Event
     {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        std::int32_t cell;
+        std::int32_t port;
     };
 
+    /** Width of one calendar day: 2^15 ticks = 32.768 ps, a couple of
+     *  cell-cascade depths, so a day's heap stays small. */
+    static constexpr int kDayBits = 15;
+    static constexpr Tick kDayTicks = Tick{1} << kDayBits;
+
+    /** Ring size in days (power of two for cheap masking). */
+    static constexpr Tick kNumDays = 256;
+
+    /** Pushes this far past the draining day overflow to the heap. */
+    static constexpr Tick kHorizonTicks = kDayTicks * kNumDays;
+
+    EventQueue() : days_(static_cast<std::size_t>(kNumDays)) {}
+
+    /** Schedule delivery at absolute tick @p when. */
+    void
+    push(Tick when, std::int32_t cell, std::int32_t port)
+    {
+        sushi_assert(when >= 0);
+        const Event ev{when, next_seq_++, cell, port};
+        const Tick d = when >> kDayBits;
+        if (d <= cur_day_) {
+            // The draining day (or, without a simulator enforcing
+            // monotonic time, an earlier one): joins the live heap.
+            cur_.push_back(ev);
+            std::push_heap(cur_.begin(), cur_.end(), Later{});
+        } else if (d - cur_day_ < kNumDays) {
+            days_[static_cast<std::size_t>(d & (kNumDays - 1))]
+                .push_back(ev);
+            ++ring_count_;
+        } else {
+            overflow_.push_back(ev);
+            std::push_heap(overflow_.begin(), overflow_.end(),
+                           Later{});
+        }
+        ++size_;
+    }
+
+    /** True if no events are pending. */
+    bool empty() const { return size_ == 0; }
+
+    /** Number of pending events. */
+    std::size_t size() const { return size_; }
+
+    /** Tick of the earliest pending event; kTickNever if empty. */
+    Tick
+    nextTick()
+    {
+        if (size_ == 0)
+            return kTickNever;
+        if (cur_.empty())
+            refill();
+        return cur_.front().when;
+    }
+
+    /**
+     * Pop the earliest event into @p out if its tick is <= @p until.
+     * @return false (leaving the queue untouched) when the queue is
+     *         empty or the earliest event lies past @p until.
+     */
+    bool
+    popNext(Tick until, Event &out)
+    {
+        if (size_ == 0)
+            return false;
+        if (cur_.empty())
+            refill();
+        if (cur_.front().when > until)
+            return false;
+        out = cur_.front();
+        std::pop_heap(cur_.begin(), cur_.end(), Later{});
+        cur_.pop_back();
+        --size_;
+        ++executed_;
+        return true;
+    }
+
+    /** Pop the earliest event unconditionally (must not be empty). */
+    Event
+    pop()
+    {
+        Event ev{};
+        const bool ok = popNext(kTickNever, ev);
+        sushi_assert(ok);
+        return ev;
+    }
+
+    /** Total events popped for execution since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+    /** Drop all pending events; keeps capacity, seq, and executed
+     *  counters (matching the historical clear() contract). */
+    void clear();
+
+  private:
+    /** Min-heap order on (when, seq). */
     struct Later
     {
         bool
@@ -68,7 +157,16 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    /** Advance the calendar until the draining-day heap is non-empty.
+     *  Precondition: cur_ empty, size_ > 0. */
+    void refill();
+
+    std::vector<std::vector<Event>> days_; ///< ring of day buckets
+    std::vector<Event> cur_;               ///< draining-day min-heap
+    std::vector<Event> overflow_;          ///< beyond-horizon min-heap
+    Tick cur_day_ = 0;
+    std::size_t ring_count_ = 0;
+    std::size_t size_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
 };

@@ -58,6 +58,7 @@ FaultModel::addFault(FaultSpec spec)
         break;
     }
     specs_.push_back(std::move(spec));
+    ++config_version_;
 }
 
 void
@@ -66,6 +67,7 @@ FaultModel::clearFaults()
     specs_.clear();
     delivery_faults_ = 0;
     cell_faults_ = 0;
+    ++config_version_;
 }
 
 bool
@@ -149,6 +151,79 @@ FaultModel::stuckReset(const std::string &cell, Tick now) const
     for (const FaultSpec &spec : specs_)
         if (spec.kind == FaultKind::StuckReset &&
             matches(spec, cell, now))
+            return true;
+    return false;
+}
+
+FaultModel::Delivery
+FaultModel::onDeliverMasked(std::uint64_t mask, Tick now)
+{
+    Delivery d;
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const FaultSpec &spec = specs_[i];
+        switch (spec.kind) {
+          case FaultKind::PulseDrop:
+            if (maskedMatch(i, mask, now) && rng_.chance(spec.rate) &&
+                !d.dropped) {
+                d.dropped = true;
+                ++counters_.dropped;
+            }
+            break;
+          case FaultKind::SpuriousPulse:
+            if (maskedMatch(i, mask, now) && rng_.chance(spec.rate) &&
+                !d.dropped) {
+                ++d.inserted;
+                ++counters_.inserted;
+            }
+            break;
+          case FaultKind::TimingJitter:
+            if (maskedMatch(i, mask, now) &&
+                spec.jitter_sigma > 0.0) {
+                const double shift =
+                    rng_.gaussian(0.0, spec.jitter_sigma);
+                d.jitter += static_cast<Tick>(std::llround(shift));
+            }
+            break;
+          case FaultKind::StuckSet:
+          case FaultKind::StuckReset:
+          case FaultKind::DeadCell:
+            break;
+        }
+    }
+    if (d.jitter != 0)
+        ++counters_.jittered;
+    return d;
+}
+
+bool
+FaultModel::suppressArrivalMasked(std::uint64_t mask, Tick now)
+{
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        if (specs_[i].kind == FaultKind::DeadCell &&
+            maskedMatch(i, mask, now)) {
+            ++counters_.suppressed;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FaultModel::stuckSetMasked(std::uint64_t mask, Tick now) const
+{
+    for (std::size_t i = 0; i < specs_.size(); ++i)
+        if (specs_[i].kind == FaultKind::StuckSet &&
+            maskedMatch(i, mask, now))
+            return true;
+    return false;
+}
+
+bool
+FaultModel::stuckResetMasked(std::uint64_t mask, Tick now) const
+{
+    for (std::size_t i = 0; i < specs_.size(); ++i)
+        if (specs_[i].kind == FaultKind::StuckReset &&
+            maskedMatch(i, mask, now))
             return true;
     return false;
 }

@@ -105,6 +105,28 @@ class FaultModel
 
     const std::vector<FaultSpec> &faults() const { return specs_; }
 
+    /** Number of configured fault specs. */
+    std::size_t numFaults() const { return specs_.size(); }
+
+    /**
+     * Monotonic configuration version: bumped by addFault() and
+     * clearFaults() (reseed() keeps it — the target set is
+     * unchanged). CompiledNetlist caches per-cell target bitmasks
+     * keyed on this, so substring matching runs once per freeze, not
+     * once per delivered pulse.
+     */
+    std::uint64_t configVersion() const { return config_version_; }
+
+    /** True if spec @p i name-targets @p cell (time window excluded —
+     *  that part stays a per-event check). For mask building. */
+    bool
+    targetMatches(std::size_t i, const std::string &cell) const
+    {
+        const FaultSpec &spec = specs_[i];
+        return spec.target.empty() ||
+               cell.find(spec.target) != std::string::npos;
+    }
+
     /** The net effect of faults on one pulse delivery. */
     struct Delivery
     {
@@ -129,6 +151,20 @@ class FaultModel
     /** True if an NDRO named @p cell is stuck-reset at @p now. */
     bool stuckReset(const std::string &cell, Tick now) const;
 
+    /// @name Mask-addressed queries (compiled path)
+    ///
+    /// Bit i of @p mask caches targetMatches(i, cell) for the cell in
+    /// question, so the per-event work is a bit test plus the time
+    /// window. Each query consumes randomness for exactly the same
+    /// spec set as its name-based twin, so fault streams — and every
+    /// downstream decision — are bit-identical across the two paths.
+    /// @{
+    Delivery onDeliverMasked(std::uint64_t mask, Tick now);
+    bool suppressArrivalMasked(std::uint64_t mask, Tick now);
+    bool stuckSetMasked(std::uint64_t mask, Tick now) const;
+    bool stuckResetMasked(std::uint64_t mask, Tick now) const;
+    /// @}
+
     /** Fast-path guards: any fault of the given class configured? */
     bool anyDeliveryFaults() const { return delivery_faults_ > 0; }
     bool anyCellFaults() const { return cell_faults_ > 0; }
@@ -143,11 +179,23 @@ class FaultModel
     static bool matches(const FaultSpec &spec, const std::string &cell,
                         Tick now);
 
+    /** True if spec @p i applies at @p now given its cached target
+     *  bit. Mirrors matches() with the substring test precomputed. */
+    bool
+    maskedMatch(std::size_t i, std::uint64_t mask, Tick now) const
+    {
+        if ((mask & (std::uint64_t{1} << i)) == 0)
+            return false;
+        const FaultSpec &spec = specs_[i];
+        return now >= spec.from && now < spec.until;
+    }
+
     std::uint64_t seed_;
     Rng rng_;
     std::vector<FaultSpec> specs_;
     int delivery_faults_ = 0; ///< drop/spurious/jitter spec count
     int cell_faults_ = 0;     ///< stuck/dead spec count
+    std::uint64_t config_version_ = 0;
     FaultCounters counters_;
 };
 

@@ -132,6 +132,20 @@ class Netlist
     /** Resource tally of everything built so far. */
     const ResourceTally &resources() const { return tally_; }
 
+    /**
+     * Freeze the design into the simulator's compiled core and
+     * return it. Every cell is already lowered at construction; this
+     * completes the pass (fault-mask caches) and hands back the flat
+     * representation for inspection. Simulator::run() freezes
+     * implicitly, so calling this is optional but documents intent.
+     */
+    const CompiledNetlist &
+    compile()
+    {
+        sim_.core().freeze();
+        return sim_.core();
+    }
+
     /** Owning simulator. */
     Simulator &sim() { return sim_; }
 

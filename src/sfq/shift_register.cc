@@ -67,6 +67,7 @@ ShiftRegisterGate::ShiftRegisterGate(Netlist &net,
         dsts.emplace_back(dffs_[static_cast<std::size_t>(i)],
                           chan::kDffClk);
     net.fanout(name + ".clk_tree", *clk_, 0, dsts, 1);
+    net.compile(); // lowered; runs on the compiled core
 }
 
 void

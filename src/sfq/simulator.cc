@@ -7,18 +7,27 @@
 namespace sushi::sfq {
 
 void
-Simulator::schedule(Tick when, EventQueue::Callback cb)
+Simulator::schedule(Tick when, Callback cb)
 {
     if (when < now_) {
         sushi_panic("scheduling into the past: t=%lld now=%lld",
                     static_cast<long long>(when),
                     static_cast<long long>(now_));
     }
-    queue_.schedule(when, std::move(cb));
+    std::int32_t slot;
+    if (!cb_free_.empty()) {
+        slot = cb_free_.back();
+        cb_free_.pop_back();
+        cb_pool_[static_cast<std::size_t>(slot)] = std::move(cb);
+    } else {
+        slot = static_cast<std::int32_t>(cb_pool_.size());
+        cb_pool_.push_back(std::move(cb));
+    }
+    queue_.push(when, EventQueue::kCallbackCell, slot);
 }
 
 void
-Simulator::scheduleIn(Tick delta, EventQueue::Callback cb)
+Simulator::scheduleIn(Tick delta, Callback cb)
 {
     schedule(now_ + delta, std::move(cb));
 }
@@ -26,11 +35,23 @@ Simulator::scheduleIn(Tick delta, EventQueue::Callback cb)
 Tick
 Simulator::run(Tick until)
 {
-    while (!queue_.empty() && queue_.nextTick() <= until) {
-        // Advance time *before* executing so that callbacks observe
+    core_.freeze();
+    EventQueue::Event ev;
+    while (queue_.popNext(until, ev)) {
+        // Advance time *before* executing so that deliveries observe
         // the correct now() and relative scheduling is exact.
-        now_ = queue_.nextTick();
-        queue_.runOne();
+        now_ = ev.when;
+        if (ev.cell != EventQueue::kCallbackCell) {
+            core_.deliver(ev.cell, ev.port);
+        } else {
+            // Vacate the slot before invoking: the callback may
+            // schedule further callbacks (and reuse this slot).
+            const auto slot = static_cast<std::size_t>(ev.port);
+            Callback cb = std::move(cb_pool_[slot]);
+            cb_pool_[slot] = nullptr;
+            cb_free_.push_back(ev.port);
+            cb();
+        }
     }
     return now_;
 }
@@ -39,12 +60,15 @@ void
 Simulator::reset()
 {
     queue_.clear();
+    cb_pool_.clear();
+    cb_free_.clear();
     now_ = 0;
     violations_ = 0;
     recovered_ = 0;
     pulses_ = 0;
     switch_energy_j_ = 0.0;
     violations_by_cell_.clear();
+    last_violation_.clear();
     faults_.resetCounters();
     stats_.clear();
 }
@@ -73,13 +97,15 @@ Simulator::pulseDropped()
 
 bool
 Simulator::reportViolation(const std::string &cell,
-                           const std::string &what)
+                           const std::string &what,
+                           const char *constraint, Tick prev, Tick at)
 {
     ++violations_;
     stats_.inc("sim.constraint_violations");
     if (!cell.empty())
         ++violations_by_cell_[cell];
     const std::string where = cell.empty() ? what : cell + ": " + what;
+    last_violation_ = where;
     switch (policy_) {
       case ViolationPolicy::Ignore:
         break;
@@ -91,7 +117,9 @@ Simulator::reportViolation(const std::string &cell,
         stats_.inc("sim.recovered_pulses");
         return true;
       case ViolationPolicy::Fatal:
-        throw TimingFault(cell, where);
+        throw TimingFault(cell, where,
+                          constraint != nullptr ? constraint : "",
+                          prev, at);
     }
     return false;
 }

@@ -3,21 +3,28 @@
  * Top-level discrete-event RSFQ simulator.
  *
  * Owns the event queue, the global clockless time, aggregate energy
- * accounting, the fault-injection model, and the timing-constraint
- * violation policy. Components (cells) register themselves and
- * exchange SFQ pulses as events.
+ * accounting, the fault-injection model, the timing-constraint
+ * violation policy — and the CompiledNetlist, the flat data-oriented
+ * circuit core every Component lowers itself into at construction.
+ * Pulse exchange runs entirely on POD {tick, seq, cell, port} events
+ * against the compiled tables; std::function callbacks remain
+ * available for test harnesses and stimulus generators via a pooled
+ * side channel that never touches the pulse hot path.
  */
 
 #ifndef SUSHI_SFQ_SIMULATOR_HH
 #define SUSHI_SFQ_SIMULATOR_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/time.hh"
+#include "sfq/compiled_netlist.hh"
 #include "sfq/event_queue.hh"
 #include "sfq/fault_model.hh"
 
@@ -37,29 +44,51 @@ enum class ViolationPolicy
  * Thrown when a timing constraint is violated under
  * ViolationPolicy::Fatal, so callers can catch it and degrade
  * gracefully (e.g. fall back to a healthy NPE) instead of losing the
- * whole process to an abort.
+ * whole process to an abort. Carries the full attribution: the
+ * hierarchical cell name, the violated constraint label, and the two
+ * offending pulse times.
  */
 class TimingFault : public std::runtime_error
 {
   public:
-    TimingFault(std::string cell, const std::string &what)
+    TimingFault(std::string cell, const std::string &what,
+                std::string constraint = {}, Tick prev = kTickNever,
+                Tick at = kTickNever)
         : std::runtime_error("timing constraint violated: " + what),
-          cell_(std::move(cell))
+          cell_(std::move(cell)), constraint_(std::move(constraint)),
+          prev_(prev), at_(at)
     {
     }
 
     /** Instance name of the offending cell ("" if unattributed). */
     const std::string &cell() const { return cell_; }
 
+    /** Violated rule label, e.g. "din-din" ("" if unattributed). */
+    const std::string &constraint() const { return constraint_; }
+
+    /** Tick of the earlier of the two offending pulses
+     *  (kTickNever if not applicable). */
+    Tick prevPulse() const { return prev_; }
+
+    /** Tick of the arrival that violated the constraint
+     *  (kTickNever if not applicable). */
+    Tick violatingPulse() const { return at_; }
+
   private:
     std::string cell_;
+    std::string constraint_;
+    Tick prev_;
+    Tick at_;
 };
 
 /** The RSFQ circuit simulator. */
 class Simulator
 {
   public:
-    Simulator() = default;
+    /** Arbitrary scheduled work (stimulus/test side channel). */
+    using Callback = std::function<void()>;
+
+    Simulator() : core_(*this) {}
 
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
@@ -67,14 +96,36 @@ class Simulator
     /** Current simulation time. */
     Tick now() const { return now_; }
 
+    /** The compiled circuit this simulator executes. */
+    CompiledNetlist &core() { return core_; }
+    const CompiledNetlist &core() const { return core_; }
+
+    /**
+     * Schedule a pulse into input @p port of compiled cell @p cell at
+     * absolute tick @p when (>= now). The hot path: one POD queue
+     * push, no allocation.
+     */
+    void
+    schedulePulse(Tick when, std::int32_t cell, std::int32_t port)
+    {
+        if (when < now_) {
+            sushi_panic("scheduling into the past: t=%lld now=%lld",
+                        static_cast<long long>(when),
+                        static_cast<long long>(now_));
+        }
+        queue_.push(when, cell, port);
+    }
+
     /** Schedule @p cb at absolute tick @p when (>= now). */
-    void schedule(Tick when, EventQueue::Callback cb);
+    void schedule(Tick when, Callback cb);
 
     /** Schedule @p cb at now() + @p delta. */
-    void scheduleIn(Tick delta, EventQueue::Callback cb);
+    void scheduleIn(Tick delta, Callback cb);
 
     /**
      * Run until the queue drains or the next event is past @p until.
+     * Freezes the compiled core first (fault-mask refresh), so the
+     * compiled tables are always what executes.
      * @return the tick of the last executed event (now()).
      */
     Tick run(Tick until = kTickNever);
@@ -95,16 +146,33 @@ class Simulator
      * Record one timing-constraint violation attributed to @p cell.
      * Ignore/Warn count (and log) it; Recover additionally asks the
      * caller to drop the offending pulse; Fatal throws TimingFault
-     * (it no longer aborts the process).
+     * (it no longer aborts the process). @p constraint is the rule
+     * label and @p prev / @p at the two offending pulse ticks, all
+     * forwarded into the TimingFault for attribution.
      * @return true if the offending pulse must be dropped (Recover).
      */
     bool reportViolation(const std::string &cell,
-                         const std::string &what);
+                         const std::string &what,
+                         const char *constraint, Tick prev, Tick at);
+
+    /** Attributed violation without pulse-timing details. */
+    bool
+    reportViolation(const std::string &cell, const std::string &what)
+    {
+        return reportViolation(cell, what, "", kTickNever,
+                               kTickNever);
+    }
 
     /** Unattributed violation (kept for older call sites). */
     void reportViolation(const std::string &what)
     {
         reportViolation(std::string{}, what);
+    }
+
+    /** Full text of the most recent violation ("" if none yet). */
+    const std::string &lastViolation() const
+    {
+        return last_violation_;
     }
 
     /** Number of constraint violations observed so far. */
@@ -166,6 +234,7 @@ class Simulator
 
   private:
     EventQueue queue_;
+    CompiledNetlist core_;
     Tick now_ = 0;
     FaultModel faults_{1};
     std::uint64_t violations_ = 0;
@@ -174,7 +243,14 @@ class Simulator
     double switch_energy_j_ = 0.0;
     ViolationPolicy policy_ = ViolationPolicy::Warn;
     std::map<std::string, std::uint64_t> violations_by_cell_;
+    std::string last_violation_;
     StatSet stats_;
+
+    // Pooled callback storage: the queue carries only the slot index
+    // (EventQueue::kCallbackCell events), so callbacks never allocate
+    // per-event heap nodes either.
+    std::vector<Callback> cb_pool_;
+    std::vector<std::int32_t> cb_free_;
 };
 
 } // namespace sushi::sfq

@@ -8,6 +8,11 @@
  * each launch one SFQ pulse, and every chip output pulse inverts a
  * sampled level. This module reproduces those conversions and the
  * equivalence check.
+ *
+ * Traces themselves are recorded by the compiled execution core:
+ * probe cells (PulseSink, SfqDc) own slots in CompiledNetlist's
+ * pooled trace storage, written index-addressed during delivery, and
+ * the PulseTrace values handled here are views of those pools.
  */
 
 #ifndef SUSHI_SFQ_WAVEFORM_HH

@@ -250,6 +250,13 @@ TEST(Violation, FatalThrowsTypedTimingFault)
         EXPECT_EQ(e.cell(), "jtl");
         EXPECT_NE(std::string(e.what()).find("jtl"),
                   std::string::npos);
+        // Full attribution: which constraint, and the two offending
+        // pulse times.
+        EXPECT_EQ(e.constraint(), "din-din");
+        EXPECT_EQ(e.prevPulse(), 1000);
+        EXPECT_EQ(e.violatingPulse(), 1001);
+        EXPECT_NE(std::string(e.what()).find("pulses at 1000 fs"),
+                  std::string::npos);
     }
 }
 
