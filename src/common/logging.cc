@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <vector>
 
 namespace sushi {
@@ -10,6 +11,11 @@ namespace {
 
 std::atomic<LogHook> g_hook{nullptr};
 std::atomic<std::size_t> g_warn_count{0};
+
+/** Serializes the sink: concurrent serve/engine workers must not
+ *  interleave log records, and a test hook must observe one complete
+ *  record per call (the hook runs under this lock too). */
+std::mutex g_emit_mu;
 
 const char *
 levelName(LogLevel level)
@@ -56,6 +62,7 @@ vformat(const char *fmt, va_list ap)
 void
 emit(LogLevel level, const std::string &msg, const char *file, int line)
 {
+    std::lock_guard<std::mutex> lock(g_emit_mu);
     LogHook hook = g_hook.load();
     if (hook && (level == LogLevel::Warn || level == LogLevel::Inform)) {
         hook(level, msg);

@@ -9,6 +9,10 @@
  *               out-of-range parameter); exits with an error code.
  *  - warn()   : something is suspicious but simulation can continue.
  *  - inform() : status messages with no connotation of misbehaviour.
+ *
+ * The sink is thread-safe: records are serialized, so concurrent
+ * workers (serve/engine pools) never interleave output, and an
+ * installed LogHook receives one complete record per call.
  */
 
 #ifndef SUSHI_COMMON_LOGGING_HH

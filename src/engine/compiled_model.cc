@@ -84,7 +84,8 @@ ModelCache::get(const snn::BinarySnn &net,
         auto it = map_.find(key);
         if (it != map_.end()) {
             ++hits_;
-            return it->second;
+            lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+            return it->second.model;
         }
     }
     // Compile outside the lock: misses on distinct models may
@@ -92,9 +93,30 @@ ModelCache::get(const snn::BinarySnn &net,
     // model is wasted work, not an error — first insert wins.
     auto model = CompiledModel::compile(net, chip);
     std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] = map_.emplace(key, std::move(model));
     ++misses_;
-    return it->second;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        // A racer inserted while we compiled; keep its artifact.
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        return it->second.model;
+    }
+    lru_.push_front(key);
+    auto inserted =
+        map_.emplace(key, Entry{std::move(model), lru_.begin()});
+    evictOverCapacityLocked();
+    return inserted.first->second.model;
+}
+
+void
+ModelCache::evictOverCapacityLocked()
+{
+    if (capacity_ == 0)
+        return;
+    while (map_.size() > capacity_) {
+        ++evictions_;
+        map_.erase(lru_.back());
+        lru_.pop_back();
+    }
 }
 
 std::size_t
@@ -118,13 +140,37 @@ ModelCache::misses() const
     return misses_;
 }
 
+std::uint64_t
+ModelCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+}
+
+std::size_t
+ModelCache::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+}
+
+void
+ModelCache::setCapacity(std::size_t cap)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = cap;
+    evictOverCapacityLocked();
+}
+
 void
 ModelCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     map_.clear();
+    lru_.clear();
     hits_ = 0;
     misses_ = 0;
+    evictions_ = 0;
 }
 
 ModelCache &

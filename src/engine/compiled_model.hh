@@ -16,6 +16,7 @@
 #define SUSHI_ENGINE_COMPILED_MODEL_HH
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -75,10 +76,20 @@ class CompiledModel
 /**
  * Process-wide compile cache, keyed by content fingerprint.
  * Thread-safe; a hit returns the already-compiled shared artifact.
+ *
+ * The cache is bounded: once more than capacity() distinct models
+ * have been inserted, the least-recently-used artifact is evicted
+ * (long multi-model campaigns no longer grow it without limit).
+ * Eviction only drops the cache's reference — holders of the
+ * shared_ptr keep their artifact alive; refetching an evicted model
+ * recompiles it.
  */
 class ModelCache
 {
   public:
+    /** Default artifact capacity of a new cache. */
+    static constexpr std::size_t kDefaultCapacity = 32;
+
     /** Return the cached artifact for (net, chip), compiling on a
      *  miss. */
     std::shared_ptr<const CompiledModel>
@@ -87,18 +98,37 @@ class ModelCache
     std::size_t size() const;
     std::uint64_t hits() const;
     std::uint64_t misses() const;
+
+    /** Artifacts evicted by the LRU bound since construction. */
+    std::uint64_t evictions() const;
+
+    /** Maximum artifacts kept (0 = unbounded). */
+    std::size_t capacity() const;
+
+    /** Change the bound; evicts LRU artifacts down to @p cap. */
+    void setCapacity(std::size_t cap);
+
     void clear();
 
     /** The process-wide instance. */
     static ModelCache &shared();
 
   private:
+    struct Entry
+    {
+        std::shared_ptr<const CompiledModel> model;
+        std::list<std::uint64_t>::iterator lru_pos;
+    };
+
+    void evictOverCapacityLocked();
+
     mutable std::mutex mu_;
-    std::unordered_map<std::uint64_t,
-                       std::shared_ptr<const CompiledModel>>
-        map_;
+    std::unordered_map<std::uint64_t, Entry> map_;
+    std::list<std::uint64_t> lru_; ///< front = most recently used
+    std::size_t capacity_ = kDefaultCapacity;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
 };
 
 } // namespace sushi::engine

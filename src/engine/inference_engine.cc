@@ -82,6 +82,40 @@ InferenceEngine::replicaDegraded(int replica) const
                .failed > 0;
 }
 
+ReplicaRun
+InferenceEngine::runOnReplica(int replica,
+                              const Sample *const *samples,
+                              std::size_t count)
+{
+    sushi_assert(replica >= 0 && replica < replicas());
+    chip::SushiChip &chip = *chips_[static_cast<std::size_t>(replica)];
+    const compiler::CompiledNetwork &net = model_->compiled();
+    ReplicaRun out;
+    out.results.resize(count);
+    out.per_sample.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        chip.resetStats();
+        SampleResult &res = out.results[i];
+        res.counts = chip.inferCounts(net, *samples[i]);
+        res.prediction = static_cast<int>(
+            std::max_element(res.counts.begin(), res.counts.end()) -
+            res.counts.begin());
+        out.per_sample[i] = chip.stats();
+    }
+    return out;
+}
+
+ReplicaRun
+InferenceEngine::runOnReplica(int replica,
+                              const std::vector<Sample> &samples)
+{
+    std::vector<const Sample *> ptrs;
+    ptrs.reserve(samples.size());
+    for (const Sample &s : samples)
+        ptrs.push_back(&s);
+    return runOnReplica(replica, ptrs.data(), ptrs.size());
+}
+
 EngineRun
 InferenceEngine::run(const std::vector<Sample> &samples)
 {
@@ -122,23 +156,23 @@ InferenceEngine::run(const std::vector<Sample> &samples)
     // are captured per sample (reset before each) so the merge below
     // is independent of sharding and thread count.
     std::vector<chip::InferenceStats> per_sample(n);
-    const compiler::CompiledNetwork &net = model_->compiled();
     parallelFor(
         active.size(),
         [&](std::size_t begin, std::size_t end) {
             for (std::size_t a = begin; a < end; ++a) {
                 const auto r =
                     static_cast<std::size_t>(active[a]);
-                chip::SushiChip &chip = *chips_[r];
-                for (std::size_t i : shards[r]) {
-                    chip.resetStats();
-                    SampleResult &res = out.samples[i];
-                    res.counts = chip.inferCounts(net, samples[i]);
-                    res.prediction = static_cast<int>(
-                        std::max_element(res.counts.begin(),
-                                         res.counts.end()) -
-                        res.counts.begin());
-                    per_sample[i] = chip.stats();
+                std::vector<const Sample *> shard_ptrs;
+                shard_ptrs.reserve(shards[r].size());
+                for (std::size_t i : shards[r])
+                    shard_ptrs.push_back(&samples[i]);
+                ReplicaRun rr =
+                    runOnReplica(active[a], shard_ptrs.data(),
+                                 shard_ptrs.size());
+                for (std::size_t k = 0; k < shards[r].size(); ++k) {
+                    const std::size_t i = shards[r][k];
+                    out.samples[i] = std::move(rr.results[k]);
+                    per_sample[i] = rr.per_sample[k];
                 }
             }
         },

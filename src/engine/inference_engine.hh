@@ -66,6 +66,14 @@ struct SampleResult
     int prediction = -1;     ///< argmax label (first on ties)
 };
 
+/** Result of a partial batch run on one replica (the serving
+ *  layer's entry point). */
+struct ReplicaRun
+{
+    std::vector<SampleResult> results;        ///< one per sample
+    std::vector<chip::InferenceStats> per_sample; ///< stats deltas
+};
+
 /** One completed batch. */
 struct EngineRun
 {
@@ -119,6 +127,22 @@ class InferenceEngine
 
     /** Run one batch. Deterministic per the contract above. */
     EngineRun run(const std::vector<Sample> &samples);
+
+    /**
+     * Run @p count samples back to back on replica @p replica — the
+     * batch-of-one / partial-batch entry point the serving layer's
+     * dynamic batcher schedules through (run() shards onto it too).
+     * Stats are captured per sample from a reset chip, so every
+     * result and stats delta is bit-identical to running that sample
+     * alone through a fresh SushiChip. Thread-safe for concurrent
+     * calls on *distinct* replicas; a replica is not reentrant.
+     */
+    ReplicaRun runOnReplica(int replica, const Sample *const *samples,
+                            std::size_t count);
+
+    /** Convenience overload over a contiguous vector. */
+    ReplicaRun runOnReplica(int replica,
+                            const std::vector<Sample> &samples);
 
   private:
     std::shared_ptr<const CompiledModel> model_;

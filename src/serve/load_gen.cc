@@ -1,0 +1,38 @@
+#include "serve/load_gen.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sushi::serve {
+
+std::vector<GeneratedArrival>
+poissonArrivals(const LoadGenConfig &cfg)
+{
+    sushi_assert(cfg.rate_rps > 0.0);
+    sushi_assert(cfg.sample_pool >= 1);
+    sushi_assert(cfg.priorities >= 1);
+    Rng rng(cfg.seed);
+    std::vector<GeneratedArrival> out;
+    out.reserve(cfg.requests);
+    const double mean_gap_ns = 1e9 / cfg.rate_rps;
+    double t = 0.0;
+    for (std::size_t i = 0; i < cfg.requests; ++i) {
+        // Exponential inter-arrival gap; 1 - uniform() is in (0, 1].
+        t += -std::log(1.0 - rng.uniform()) * mean_gap_ns;
+        GeneratedArrival a;
+        a.arrival_ns = static_cast<std::int64_t>(t);
+        a.sample_index = static_cast<std::size_t>(
+            rng.below(static_cast<std::uint64_t>(cfg.sample_pool)));
+        if (cfg.priorities > 1)
+            a.opts.priority = static_cast<int>(rng.below(
+                static_cast<std::uint64_t>(cfg.priorities)));
+        if (cfg.deadline_ns != kNoDeadline)
+            a.opts.deadline_ns = a.arrival_ns + cfg.deadline_ns;
+        out.push_back(a);
+    }
+    return out;
+}
+
+} // namespace sushi::serve

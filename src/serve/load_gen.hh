@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Seeded open-loop arrival-process generator for the serving layer.
+ *
+ * Produces a deterministic Poisson arrival schedule (exponential
+ * inter-arrival gaps from a seeded Rng) that tests and the
+ * bench_serve_latency sweep feed into a virtual-clock Server via
+ * submitAt(). Equal (config, seed) give byte-equal schedules, which
+ * is half of the serve determinism contract — the other half is the
+ * Server's virtual event loop.
+ */
+
+#ifndef SUSHI_SERVE_LOAD_GEN_HH
+#define SUSHI_SERVE_LOAD_GEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/server.hh"
+
+namespace sushi::serve {
+
+/** Arrival-process knobs. */
+struct LoadGenConfig
+{
+    /** Mean arrival rate, requests per (virtual) second. */
+    double rate_rps = 1000.0;
+
+    /** Number of requests to generate. */
+    std::size_t requests = 1000;
+
+    /** Size of the sample pool indices are drawn from. */
+    std::size_t sample_pool = 1;
+
+    /** RNG seed; equal seeds give equal schedules. */
+    std::uint64_t seed = 1;
+
+    /** Relative deadline added to each arrival instant
+     *  (kNoDeadline = none). */
+    std::int64_t deadline_ns = kNoDeadline;
+
+    /** Priorities are drawn uniformly from [0, priorities). */
+    int priorities = 1;
+};
+
+/** One generated request arrival. */
+struct GeneratedArrival
+{
+    std::int64_t arrival_ns = 0;
+    std::size_t sample_index = 0; ///< in [0, sample_pool)
+    RequestOptions opts;
+};
+
+/** Deterministic Poisson arrival schedule (sorted by arrival_ns). */
+std::vector<GeneratedArrival>
+poissonArrivals(const LoadGenConfig &cfg);
+
+} // namespace sushi::serve
+
+#endif // SUSHI_SERVE_LOAD_GEN_HH

@@ -1,0 +1,67 @@
+#include "serve/metrics.hh"
+
+#include "common/stats.hh"
+#include "engine/inference_engine.hh"
+
+namespace sushi::serve {
+
+double
+ServerMetrics::utilisation(std::size_t r) const
+{
+    const std::int64_t span = spanNs();
+    if (r >= replicas.size() || span <= 0)
+        return 0.0;
+    return static_cast<double>(replicas[r].busy_ns) /
+           static_cast<double>(span);
+}
+
+double
+ServerMetrics::goodputRps() const
+{
+    const std::int64_t span = spanNs();
+    if (span <= 0)
+        return 0.0;
+    const std::uint64_t on_time = completed - deadline_missed;
+    return static_cast<double>(on_time) * 1e9 /
+           static_cast<double>(span);
+}
+
+std::string
+ServerMetrics::toJson() const
+{
+    JsonWriter w;
+    w.field("submitted", submitted);
+    w.field("accepted", accepted);
+    w.field("completed", completed);
+    w.field("rejected_queue_full", rejected_queue_full);
+    w.field("rejected_deadline", rejected_deadline);
+    w.field("rejected_shutdown", rejected_shutdown);
+    w.field("deadline_missed", deadline_missed);
+    w.field("batches", batches);
+    w.field("flush_size", flush_size);
+    w.field("flush_delay", flush_delay);
+    w.field("flush_drain", flush_drain);
+    w.field("first_submit_ns", first_submit_ns);
+    w.field("last_event_ns", last_event_ns);
+    w.field("span_ns", spanNs());
+    w.field("goodput_rps", goodputRps());
+    w.rawField("queue_ns", queue_ns.json());
+    w.rawField("service_ns", service_ns.json());
+    w.rawField("total_ns", total_ns.json());
+    w.rawField("batch_size", batch_size.json());
+    w.beginArray("replicas");
+    for (std::size_t r = 0; r < replicas.size(); ++r) {
+        w.beginObject();
+        w.field("replica", static_cast<int>(r));
+        w.field("batches", replicas[r].batches);
+        w.field("samples", replicas[r].samples);
+        w.field("busy_ns", replicas[r].busy_ns);
+        w.field("utilisation", utilisation(r));
+        w.endObject();
+    }
+    w.endArray();
+    w.rawField("merged_stats", engine::statsJson(merged));
+    return w.finish();
+}
+
+} // namespace sushi::serve

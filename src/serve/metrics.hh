@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Observability snapshot of the serving layer.
+ *
+ * ServerMetrics is a value type: Server::metrics() copies the live
+ * counters/histograms under the metrics lock and the caller owns the
+ * snapshot. Every aggregate is integer-valued or derived from
+ * integers at render time, so in virtual-clock mode toJson() is
+ * byte-identical across worker-thread counts and across repeated
+ * runs of the same seeded workload (the serve determinism property
+ * in tests/test_serve.cc).
+ */
+
+#ifndef SUSHI_SERVE_METRICS_HH
+#define SUSHI_SERVE_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chip/sushi_chip.hh"
+#include "common/histogram.hh"
+
+namespace sushi::serve {
+
+/** Per-replica serving totals. */
+struct ReplicaMetrics
+{
+    std::uint64_t batches = 0;  ///< batches executed
+    std::uint64_t samples = 0;  ///< requests served
+    std::int64_t busy_ns = 0;   ///< time spent executing batches
+};
+
+/** One coherent snapshot of the server's counters and latency
+ *  distributions. */
+struct ServerMetrics
+{
+    /// @name Request accounting.
+    /// @{
+    std::uint64_t submitted = 0; ///< submit()/submitAt() calls seen
+    std::uint64_t accepted = 0;  ///< admitted to the queue
+    std::uint64_t completed = 0; ///< executed and answered
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t rejected_deadline = 0; ///< shed before execution
+    std::uint64_t rejected_shutdown = 0;
+    std::uint64_t deadline_missed = 0; ///< completed after deadline
+    /// @}
+
+    /// @name Batcher accounting.
+    /// @{
+    std::uint64_t batches = 0;
+    std::uint64_t flush_size = 0;  ///< flushed at max_batch
+    std::uint64_t flush_delay = 0; ///< flushed at max_delay_ns
+    std::uint64_t flush_drain = 0; ///< flushed by drain/shutdown
+    /// @}
+
+    /// @name Latency and batch-size distributions (nanoseconds in
+    /// the server's clock domain).
+    /// @{
+    Histogram queue_ns{Histogram::exponential()};
+    Histogram service_ns{Histogram::exponential()};
+    Histogram total_ns{Histogram::exponential()};
+    Histogram batch_size{Histogram::linear(1, 64, 1)};
+    /// @}
+
+    /** Per-replica totals (index = replica id). */
+    std::vector<ReplicaMetrics> replicas;
+
+    /** Engine stats folded at batch completion, in completion order
+     *  (deterministic under the virtual clock). */
+    chip::InferenceStats merged;
+
+    std::int64_t first_submit_ns = -1; ///< first admission (-1: none)
+    std::int64_t last_event_ns = 0;    ///< latest completion/reject
+
+    /** Observed serving span (first submit to last event). */
+    std::int64_t spanNs() const
+    {
+        return first_submit_ns < 0 ? 0
+                                   : last_event_ns - first_submit_ns;
+    }
+
+    /** busy_ns of replica @p r as a fraction of spanNs(). */
+    double utilisation(std::size_t r) const;
+
+    /** Requests answered on time per second of span. */
+    double goodputRps() const;
+
+    /**
+     * Byte-deterministic JSON rendering (common/stats::JsonWriter
+     * formatting rules; histograms via Histogram::json()). Equal
+     * snapshots give equal bytes.
+     */
+    std::string toJson() const;
+};
+
+} // namespace sushi::serve
+
+#endif // SUSHI_SERVE_METRICS_HH

@@ -1,0 +1,561 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+
+namespace sushi::serve {
+
+namespace {
+
+/** Cap real-mode condition waits: a periodic wake is harmless and
+ *  keeps kNoDeadline arithmetic away from time_point overflow. */
+constexpr std::int64_t kMaxWaitNs = 1'000'000'000;
+
+} // namespace
+
+const char *
+rejectName(Reject r)
+{
+    switch (r) {
+      case Reject::None: return "none";
+      case Reject::QueueFull: return "queue_full";
+      case Reject::DeadlineExceeded: return "deadline_exceeded";
+      case Reject::ShuttingDown: return "shutting_down";
+    }
+    return "?";
+}
+
+Server::Server(std::shared_ptr<const engine::CompiledModel> model,
+               const ServerConfig &cfg)
+    : model_(std::move(model)),
+      cfg_(cfg),
+      engine_(model_, cfg.engine),
+      epoch_(std::chrono::steady_clock::now())
+{
+    sushi_assert(cfg_.max_batch >= 1);
+    sushi_assert(cfg_.max_queue >= 1);
+    sushi_assert(cfg_.max_delay_ns >= 0);
+    metrics_.replicas.resize(
+        static_cast<std::size_t>(engine_.replicas()));
+    if (cfg_.clock == ClockMode::Real) {
+        workers_.reserve(metrics_.replicas.size());
+        for (int r = 0; r < engine_.replicas(); ++r)
+            workers_.emplace_back([this, r] { workerMain(r); });
+    }
+}
+
+Server::~Server()
+{
+    shutdown();
+}
+
+std::int64_t
+Server::now() const
+{
+    if (cfg_.clock == ClockMode::Virtual) {
+        std::lock_guard<std::mutex> lock(mu_);
+        return virtual_now_;
+    }
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+std::future<Response>
+Server::submit(engine::Sample sample, const RequestOptions &opts)
+{
+    if (cfg_.clock == ClockMode::Virtual) {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Defer admission to runVirtual() at the current instant.
+        return submitAtLocked(virtual_now_, std::move(sample), opts);
+    }
+
+    std::unique_lock<std::mutex> lock(mu_);
+    const std::int64_t t =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count();
+    Pending req;
+    req.id = next_id_++;
+    req.priority = opts.priority;
+    req.submit_ns = t;
+    req.deadline_ns = opts.deadline_ns;
+    req.sample = std::move(sample);
+    auto fut = req.promise.get_future();
+    {
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        ++metrics_.submitted;
+    }
+
+    if (draining_ || stop_) {
+        resolveReject(req, Reject::ShuttingDown, t);
+        return fut;
+    }
+    if (req.deadline_ns <= t) {
+        resolveReject(req, Reject::DeadlineExceeded, t);
+        return fut;
+    }
+    shedExpiredLocked(t);
+    if (pending_.size() >= cfg_.max_queue) {
+        resolveReject(req, Reject::QueueFull, t);
+        return fut;
+    }
+    admitLocked(std::move(req), t);
+    work_cv_.notify_all();
+    return fut;
+}
+
+std::future<Response>
+Server::submitAt(std::int64_t arrival_ns, engine::Sample sample,
+                 const RequestOptions &opts)
+{
+    sushi_assert(cfg_.clock == ClockMode::Virtual);
+    std::lock_guard<std::mutex> lock(mu_);
+    return submitAtLocked(arrival_ns, std::move(sample), opts);
+}
+
+std::future<Response>
+Server::submitAtLocked(std::int64_t arrival_ns,
+                       engine::Sample sample,
+                       const RequestOptions &opts)
+{
+    Pending req;
+    req.id = next_id_++;
+    req.priority = opts.priority;
+    req.submit_ns = arrival_ns;
+    req.deadline_ns = opts.deadline_ns;
+    req.sample = std::move(sample);
+    auto fut = req.promise.get_future();
+    {
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        ++metrics_.submitted;
+    }
+    if (draining_ || stop_) {
+        resolveReject(req, Reject::ShuttingDown,
+                      std::max(arrival_ns, virtual_now_));
+        return fut;
+    }
+    arrivals_.push_back(Arrival{arrival_ns, std::move(req)});
+    return fut;
+}
+
+void
+Server::admitLocked(Pending &&req, std::int64_t t)
+{
+    std::uint64_t id = req.id;
+    pending_.emplace(id, std::move(req));
+    std::lock_guard<std::mutex> mlock(metrics_mu_);
+    ++metrics_.accepted;
+    if (metrics_.first_submit_ns < 0 || t < metrics_.first_submit_ns)
+        metrics_.first_submit_ns = t;
+}
+
+void
+Server::resolveReject(Pending &req, Reject reason,
+                      std::int64_t event_ns)
+{
+    Response resp;
+    resp.rejected = reason;
+    resp.id = req.id;
+    resp.submit_ns = req.submit_ns;
+    resp.dispatch_ns = event_ns;
+    resp.complete_ns = event_ns;
+    {
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        switch (reason) {
+          case Reject::QueueFull:
+            ++metrics_.rejected_queue_full;
+            break;
+          case Reject::DeadlineExceeded:
+            ++metrics_.rejected_deadline;
+            break;
+          case Reject::ShuttingDown:
+            ++metrics_.rejected_shutdown;
+            break;
+          case Reject::None:
+            break;
+        }
+        metrics_.last_event_ns =
+            std::max(metrics_.last_event_ns, event_ns);
+    }
+    req.promise.set_value(std::move(resp));
+}
+
+void
+Server::shedExpiredLocked(std::int64_t t)
+{
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->second.deadline_ns <= t) {
+            resolveReject(it->second, Reject::DeadlineExceeded, t);
+            it = pending_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+bool
+Server::flushReadyLocked(std::int64_t t, FlushCause *cause) const
+{
+    if (pending_.empty())
+        return false;
+    if (pending_.size() >= cfg_.max_batch) {
+        *cause = FlushCause::Size;
+        return true;
+    }
+    if (draining_ || stop_) {
+        *cause = FlushCause::Drain;
+        return true;
+    }
+    if (t - oldestSubmitLocked() >= cfg_.max_delay_ns) {
+        *cause = FlushCause::Delay;
+        return true;
+    }
+    return false;
+}
+
+Server::Batch
+Server::takeBatchLocked(int replica, std::int64_t t, FlushCause cause)
+{
+    Batch batch;
+    batch.replica = replica;
+    batch.dispatch_ns = t;
+    batch.cause = cause;
+
+    // Selection order: priority desc, then arrival (id) asc.
+    std::vector<std::pair<int, std::uint64_t>> order;
+    order.reserve(pending_.size());
+    for (const auto &[id, req] : pending_)
+        order.emplace_back(req.priority, id);
+    std::sort(order.begin(), order.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first != b.first ? a.first > b.first
+                                            : a.second < b.second;
+              });
+    const std::size_t take =
+        std::min<std::size_t>(cfg_.max_batch, order.size());
+    batch.reqs.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+        auto it = pending_.find(order[i].second);
+        batch.reqs.push_back(std::move(it->second));
+        pending_.erase(it);
+    }
+    return batch;
+}
+
+std::int64_t
+Server::oldestSubmitLocked() const
+{
+    sushi_assert(!pending_.empty());
+    // Ids are assigned under mu_ in admission order, so the smallest
+    // id is the longest-waiting request.
+    return pending_.begin()->second.submit_ns;
+}
+
+std::int64_t
+Server::nearestDeadlineLocked() const
+{
+    std::int64_t nearest = kNoDeadline;
+    for (const auto &[id, req] : pending_)
+        nearest = std::min(nearest, req.deadline_ns);
+    return nearest;
+}
+
+engine::ReplicaRun
+Server::runBatch(Batch &batch)
+{
+    std::vector<const engine::Sample *> ptrs;
+    ptrs.reserve(batch.reqs.size());
+    for (const Pending &req : batch.reqs)
+        ptrs.push_back(&req.sample);
+    return engine_.runOnReplica(batch.replica, ptrs.data(),
+                                ptrs.size());
+}
+
+std::int64_t
+Server::virtualServiceNs(const engine::ReplicaRun &run) const
+{
+    double ps = 0.0;
+    for (const auto &st : run.per_sample)
+        ps += st.est_time_ps;
+    auto ns = static_cast<std::int64_t>(
+        std::llround(ps * cfg_.virtual_ns_per_ps));
+    if (ns < 1)
+        ns = 1;
+    return ns + cfg_.batch_overhead_ns;
+}
+
+void
+Server::finishBatch(Batch &batch, engine::ReplicaRun &run,
+                    std::int64_t complete_ns)
+{
+    const auto n = batch.reqs.size();
+    sushi_assert(run.results.size() == n);
+    {
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        ++metrics_.batches;
+        switch (batch.cause) {
+          case FlushCause::Size: ++metrics_.flush_size; break;
+          case FlushCause::Delay: ++metrics_.flush_delay; break;
+          case FlushCause::Drain: ++metrics_.flush_drain; break;
+        }
+        metrics_.batch_size.sample(static_cast<std::int64_t>(n));
+        auto &rep =
+            metrics_.replicas[static_cast<std::size_t>(batch.replica)];
+        ++rep.batches;
+        rep.samples += n;
+        rep.busy_ns += complete_ns - batch.dispatch_ns;
+        for (std::size_t i = 0; i < n; ++i) {
+            const Pending &req = batch.reqs[i];
+            metrics_.queue_ns.sample(batch.dispatch_ns -
+                                     req.submit_ns);
+            metrics_.service_ns.sample(complete_ns -
+                                       batch.dispatch_ns);
+            metrics_.total_ns.sample(complete_ns - req.submit_ns);
+            ++metrics_.completed;
+            if (complete_ns > req.deadline_ns)
+                ++metrics_.deadline_missed;
+            metrics_.merged.accumulate(run.per_sample[i]);
+        }
+        // Energy is a pure function of synaptic work (matches the
+        // engine's own merge).
+        metrics_.merged.dynamic_energy_j =
+            chip::dynamicEnergyJ(metrics_.merged.synaptic_ops);
+        metrics_.last_event_ns =
+            std::max(metrics_.last_event_ns, complete_ns);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        Pending &req = batch.reqs[i];
+        Response resp;
+        resp.result = std::move(run.results[i]);
+        resp.id = req.id;
+        resp.submit_ns = req.submit_ns;
+        resp.dispatch_ns = batch.dispatch_ns;
+        resp.complete_ns = complete_ns;
+        resp.deadline_missed = complete_ns > req.deadline_ns;
+        resp.replica = batch.replica;
+        resp.batch_size = static_cast<int>(n);
+        req.promise.set_value(std::move(resp));
+    }
+}
+
+void
+Server::workerMain(int replica)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        const std::int64_t t =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - epoch_)
+                .count();
+        shedExpiredLocked(t);
+        if (pending_.empty()) {
+            drain_cv_.notify_all();
+            if (stop_)
+                return;
+            work_cv_.wait(lock);
+            continue;
+        }
+        FlushCause cause;
+        if (flushReadyLocked(t, &cause)) {
+            Batch batch = takeBatchLocked(replica, t, cause);
+            ++in_flight_;
+            lock.unlock();
+            engine::ReplicaRun run = runBatch(batch);
+            const std::int64_t done =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - epoch_)
+                    .count();
+            finishBatch(batch, run, done);
+            lock.lock();
+            --in_flight_;
+            drain_cv_.notify_all();
+            continue;
+        }
+        // Partial batch: sleep until the delay flush or the nearest
+        // deadline, whichever comes first (capped; new arrivals
+        // notify).
+        std::int64_t wake = oldestSubmitLocked() + cfg_.max_delay_ns;
+        wake = std::min(wake, nearestDeadlineLocked());
+        wake = std::min(wake, t + kMaxWaitNs);
+        work_cv_.wait_until(
+            lock, epoch_ + std::chrono::nanoseconds(wake));
+    }
+}
+
+void
+Server::runVirtual()
+{
+    sushi_assert(cfg_.clock == ClockMode::Virtual);
+    std::unique_lock<std::mutex> lock(mu_);
+    runVirtualLocked(lock);
+}
+
+void
+Server::runVirtualLocked(std::unique_lock<std::mutex> &lock)
+{
+    // Fire arrivals in logical-time order; ties keep submission
+    // order (stable sort).
+    std::stable_sort(arrivals_.begin(), arrivals_.end(),
+                     [](const Arrival &a, const Arrival &b) {
+                         return a.arrival_ns < b.arrival_ns;
+                     });
+    std::vector<Arrival> arrivals = std::move(arrivals_);
+    arrivals_.clear();
+    std::size_t next = 0;
+
+    struct Running
+    {
+        Batch batch;
+        engine::ReplicaRun run;
+        std::int64_t complete_ns = 0;
+    };
+    std::vector<std::optional<Running>> running(
+        static_cast<std::size_t>(engine_.replicas()));
+
+    for (;;) {
+        // Next event: arrival, completion, deadline expiry, or batch
+        // flush (only meaningful while a replica is free).
+        std::int64_t t = kNoDeadline;
+        if (next < arrivals.size())
+            t = std::min(t, arrivals[next].arrival_ns);
+        bool any_free = false;
+        for (std::size_t r = 0; r < running.size(); ++r) {
+            if (running[r])
+                t = std::min(t, running[r]->complete_ns);
+            else
+                any_free = true;
+        }
+        if (!pending_.empty()) {
+            t = std::min(t, nearestDeadlineLocked());
+            if (any_free) {
+                if (pending_.size() >= cfg_.max_batch || draining_)
+                    t = std::min(t, virtual_now_);
+                else
+                    t = std::min(t, oldestSubmitLocked() +
+                                        cfg_.max_delay_ns);
+            }
+        }
+        if (t == kNoDeadline)
+            break; // nothing queued, running, or yet to arrive
+        virtual_now_ = std::max(virtual_now_, t);
+
+        // 1. Completions due, in (complete_ns, replica) order.
+        std::vector<std::size_t> done;
+        for (std::size_t r = 0; r < running.size(); ++r)
+            if (running[r] &&
+                running[r]->complete_ns <= virtual_now_)
+                done.push_back(r);
+        std::sort(done.begin(), done.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return running[a]->complete_ns !=
+                                     running[b]->complete_ns
+                                 ? running[a]->complete_ns <
+                                       running[b]->complete_ns
+                                 : a < b;
+                  });
+        for (std::size_t r : done) {
+            finishBatch(running[r]->batch, running[r]->run,
+                        running[r]->complete_ns);
+            running[r].reset();
+        }
+
+        // 2. Shed queued requests whose deadlines have now passed,
+        //    then fire due arrivals against the cleaned queue.
+        shedExpiredLocked(virtual_now_);
+        while (next < arrivals.size() &&
+               arrivals[next].arrival_ns <= virtual_now_) {
+            const std::int64_t at =
+                std::max(arrivals[next].arrival_ns, virtual_now_);
+            Pending req = std::move(arrivals[next].req);
+            ++next;
+            req.submit_ns = at;
+            if (req.deadline_ns <= at) {
+                resolveReject(req, Reject::DeadlineExceeded, at);
+            } else if (pending_.size() >= cfg_.max_queue) {
+                resolveReject(req, Reject::QueueFull, at);
+            } else {
+                admitLocked(std::move(req), at);
+            }
+        }
+
+        // 3. Form batches on free replicas (ascending id), then
+        //    execute them concurrently over the worker pool.
+        std::vector<Batch> formed;
+        for (std::size_t r = 0; r < running.size(); ++r) {
+            if (running[r])
+                continue;
+            FlushCause cause;
+            if (!flushReadyLocked(virtual_now_, &cause))
+                break;
+            formed.push_back(takeBatchLocked(static_cast<int>(r),
+                                             virtual_now_, cause));
+        }
+        if (!formed.empty()) {
+            std::vector<engine::ReplicaRun> runs(formed.size());
+            lock.unlock();
+            parallelFor(
+                formed.size(),
+                [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i)
+                        runs[i] = runBatch(formed[i]);
+                },
+                ParallelOptions{/*grain=*/1, cfg_.max_threads});
+            lock.lock();
+            for (std::size_t i = 0; i < formed.size(); ++i) {
+                const auto r =
+                    static_cast<std::size_t>(formed[i].replica);
+                const std::int64_t service =
+                    virtualServiceNs(runs[i]);
+                running[r] = Running{std::move(formed[i]),
+                                     std::move(runs[i]),
+                                     virtual_now_ + service};
+            }
+        }
+    }
+    drain_cv_.notify_all();
+}
+
+void
+Server::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_ = true;
+    if (cfg_.clock == ClockMode::Virtual) {
+        runVirtualLocked(lock);
+        return;
+    }
+    work_cv_.notify_all();
+    drain_cv_.wait(lock, [this] {
+        return pending_.empty() && in_flight_ == 0;
+    });
+}
+
+void
+Server::shutdown()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_ && workers_.empty())
+            return;
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+    workers_.clear();
+}
+
+ServerMetrics
+Server::metrics() const
+{
+    std::lock_guard<std::mutex> mlock(metrics_mu_);
+    return metrics_;
+}
+
+} // namespace sushi::serve

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Request-level serving frontend over the batched inference engine.
+ *
+ * The engine (PR 2/3) answers closed offline batches; this layer is
+ * what faces traffic. A Server accepts single inference requests
+ * (submit() returns a future), coalesces them with a dynamic batcher
+ * (flush at max_batch requests or once the oldest waits max_delay_ns),
+ * schedules each batch onto a dedicated SushiChip replica through
+ * InferenceEngine::runOnReplica, and sheds load with typed
+ * rejections once the admission bound on queue depth is hit or a
+ * request's deadline has passed. drain()/shutdown() finish all
+ * admitted work before stopping; every future is always resolved.
+ *
+ * Two clock modes:
+ *
+ *  - ClockMode::Real — wall-clock serving. One worker thread per
+ *    replica pulls batches from the shared pending queue; timestamps
+ *    are steady_clock nanoseconds since construction. Throughput is
+ *    whatever the host delivers; no byte-determinism is promised.
+ *
+ *  - ClockMode::Virtual — deterministic discrete-event serving for
+ *    tests and the open-loop bench. Requests carry logical arrival
+ *    times (submitAt), runVirtual() plays the whole timeline:
+ *    batches form at exact logical instants, service time is the
+ *    batch's *modelled chip time* (est_time_ps scaled by
+ *    virtual_ns_per_ps), and completions/rejections are processed in
+ *    a fixed order. Same seed + config => byte-identical
+ *    ServerMetrics::toJson() for ANY worker-thread count (batch
+ *    execution still fans out over the worker pool), and every
+ *    per-request result is bit-identical to running that sample
+ *    alone through a SushiChip — the engine's determinism contract
+ *    lifted to the request level.
+ *
+ * Batcher state machine (both modes share it):
+ *
+ *        +--------- submit/submitAt ----------+
+ *        v                                    |
+ *   [Accumulating] --size >= max_batch--> [Flush(size)]
+ *        | oldest wait >= max_delay_ns -> [Flush(delay)]
+ *        | draining && nonempty -------> [Flush(drain)]
+ *        | deadline passed ------------> reject(DeadlineExceeded)
+ *        | depth == max_queue at admit -> reject(QueueFull)
+ *
+ * A flush pops up to max_batch requests in (priority desc, arrival
+ * asc) order onto the first free replica; expired requests are shed
+ * at pop time, never executed.
+ */
+
+#ifndef SUSHI_SERVE_SERVER_HH
+#define SUSHI_SERVE_SERVER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/inference_engine.hh"
+#include "serve/metrics.hh"
+
+namespace sushi::serve {
+
+/** "No deadline" sentinel for RequestOptions::deadline_ns. */
+constexpr std::int64_t kNoDeadline = INT64_MAX;
+
+/** Clock domain the server schedules in. */
+enum class ClockMode { Real, Virtual };
+
+/** Why a request was rejected instead of served. */
+enum class Reject : std::uint8_t {
+    None = 0,         ///< served
+    QueueFull,        ///< admission bound hit
+    DeadlineExceeded, ///< deadline passed before execution
+    ShuttingDown,     ///< submitted after drain()/shutdown()
+};
+
+/** Stable lowercase name for a rejection cause. */
+const char *rejectName(Reject r);
+
+/** Serving knobs. */
+struct ServerConfig
+{
+    /** Replica pool configuration (EngineConfig::replicas sizes the
+     *  pool; 0 selects parallelWorkers()). */
+    engine::EngineConfig engine;
+
+    /** Flush a batch once this many requests have coalesced. */
+    std::size_t max_batch = 8;
+
+    /** Flush a partial batch once its oldest request has waited this
+     *  long (the queue-delay knob of the dynamic batcher). */
+    std::int64_t max_delay_ns = 200'000;
+
+    /** Admission bound: submissions beyond this many queued requests
+     *  are rejected with Reject::QueueFull. */
+    std::size_t max_queue = 1024;
+
+    ClockMode clock = ClockMode::Real;
+
+    /** Virtual mode: service nanoseconds charged per modelled chip
+     *  picosecond (host/IO surcharge over the raw die time). */
+    double virtual_ns_per_ps = 1.0;
+
+    /** Virtual mode: fixed per-batch dispatch overhead. */
+    std::int64_t batch_overhead_ns = 0;
+
+    /** Virtual mode: cap on worker threads executing simultaneous
+     *  batches (0 = pool size). Metrics are byte-identical for every
+     *  value — the determinism knob. */
+    unsigned max_threads = 0;
+};
+
+/** Per-request scheduling options. */
+struct RequestOptions
+{
+    /** Absolute deadline in the server's clock domain; the request
+     *  is shed (never executed) once this instant passes. */
+    std::int64_t deadline_ns = kNoDeadline;
+
+    /** Higher priorities are dequeued first; ties serve in arrival
+     *  order. */
+    int priority = 0;
+};
+
+/** What a request's future resolves to. */
+struct Response
+{
+    engine::SampleResult result; ///< empty when rejected
+    Reject rejected = Reject::None;
+
+    bool ok() const { return rejected == Reject::None; }
+
+    std::uint64_t id = 0;        ///< admission sequence number
+    std::int64_t submit_ns = 0;  ///< admission instant
+    std::int64_t dispatch_ns = 0; ///< batch formation instant
+    std::int64_t complete_ns = 0; ///< completion / rejection instant
+    bool deadline_missed = false; ///< served, but past its deadline
+    int replica = -1;            ///< replica that served it
+    int batch_size = 0;          ///< size of its batch
+
+    std::int64_t queueNs() const { return dispatch_ns - submit_ns; }
+    std::int64_t serviceNs() const
+    {
+        return complete_ns - dispatch_ns;
+    }
+    std::int64_t totalNs() const { return complete_ns - submit_ns; }
+};
+
+/** The request-level inference server. */
+class Server
+{
+  public:
+    Server(std::shared_ptr<const engine::CompiledModel> model,
+           const ServerConfig &cfg = {});
+    ~Server(); ///< shutdown(): resolves every outstanding future
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    const ServerConfig &config() const { return cfg_; }
+    int replicas() const { return engine_.replicas(); }
+
+    /** Current time in the server's clock domain (ns). */
+    std::int64_t now() const;
+
+    /**
+     * Submit one request; never blocks. The future always resolves —
+     * with a result, or with a typed rejection. In virtual mode this
+     * is submitAt(now()).
+     */
+    std::future<Response> submit(engine::Sample sample,
+                                 const RequestOptions &opts = {});
+
+    /**
+     * Virtual mode: enqueue a request arriving at @p arrival_ns.
+     * Admission control runs when the arrival fires inside
+     * runVirtual(), against the queue state at that logical instant.
+     */
+    std::future<Response> submitAt(std::int64_t arrival_ns,
+                                   engine::Sample sample,
+                                   const RequestOptions &opts = {});
+
+    /**
+     * Virtual mode: play the timeline until every enqueued arrival
+     * has been served or shed. Single driver thread; batch execution
+     * fans out over the worker pool (cfg.max_threads wide).
+     */
+    void runVirtual();
+
+    /**
+     * Stop admitting (later submissions resolve ShuttingDown) and
+     * wait until every queued and in-flight request has resolved.
+     * Partial batches flush immediately. Idempotent.
+     */
+    void drain();
+
+    /** drain(), then stop and join the worker threads. Idempotent;
+     *  the destructor calls it. */
+    void shutdown();
+
+    /** Coherent snapshot of the serving metrics. */
+    ServerMetrics metrics() const;
+
+  private:
+    /** Why a batch flushed. */
+    enum class FlushCause : std::uint8_t { Size, Delay, Drain };
+
+    struct Pending
+    {
+        std::uint64_t id = 0;
+        int priority = 0;
+        std::int64_t submit_ns = 0;
+        std::int64_t deadline_ns = kNoDeadline;
+        engine::Sample sample;
+        std::promise<Response> promise;
+    };
+
+    struct Batch
+    {
+        int replica = -1;
+        std::int64_t dispatch_ns = 0;
+        FlushCause cause = FlushCause::Size;
+        std::vector<Pending> reqs;
+    };
+
+    /** A virtual-mode arrival waiting for its logical instant. */
+    struct Arrival
+    {
+        std::int64_t arrival_ns = 0;
+        Pending req;
+    };
+
+    // Shared batcher/admission logic (mu_ held).
+    std::future<Response> submitAtLocked(std::int64_t arrival_ns,
+                                         engine::Sample sample,
+                                         const RequestOptions &opts);
+    void admitLocked(Pending &&req, std::int64_t t);
+    void resolveReject(Pending &req, Reject reason,
+                       std::int64_t event_ns);
+    void shedExpiredLocked(std::int64_t t);
+    bool flushReadyLocked(std::int64_t t, FlushCause *cause) const;
+    Batch takeBatchLocked(int replica, std::int64_t t,
+                          FlushCause cause);
+    std::int64_t oldestSubmitLocked() const;
+    std::int64_t nearestDeadlineLocked() const;
+
+    // Execution + metrics (mu_ NOT held for runBatch).
+    engine::ReplicaRun runBatch(Batch &batch);
+    std::int64_t virtualServiceNs(const engine::ReplicaRun &run) const;
+    void finishBatch(Batch &batch, engine::ReplicaRun &run,
+                     std::int64_t complete_ns);
+
+    void workerMain(int replica);
+    void runVirtualLocked(std::unique_lock<std::mutex> &lock);
+
+    std::shared_ptr<const engine::CompiledModel> model_;
+    ServerConfig cfg_;
+    engine::InferenceEngine engine_;
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;  ///< workers: queue activity
+    std::condition_variable drain_cv_; ///< drain(): progress
+    std::map<std::uint64_t, Pending> pending_; ///< keyed by id (FIFO)
+    std::vector<Arrival> arrivals_;    ///< virtual mode, un-fired
+    std::uint64_t next_id_ = 0;
+    std::size_t in_flight_ = 0;
+    bool draining_ = false;
+    bool stop_ = false;
+    std::int64_t virtual_now_ = 0;
+
+    mutable std::mutex metrics_mu_;
+    ServerMetrics metrics_;
+
+    std::chrono::steady_clock::time_point epoch_;
+    std::vector<std::thread> workers_; ///< real mode only
+};
+
+} // namespace sushi::serve
+
+#endif // SUSHI_SERVE_SERVER_HH

@@ -7,6 +7,7 @@
 
 #include <set>
 
+#include "common/histogram.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/time.hh"
@@ -179,6 +180,85 @@ TEST(Stats, Clear)
     EXPECT_FALSE(s.has("a"));
     EXPECT_FALSE(s.has("b"));
     EXPECT_FALSE(s.has("c"));
+}
+
+TEST(Histogram, BucketAssignmentAndAggregates)
+{
+    Histogram h = Histogram::linear(10, 50, 10); // bounds 10..50
+    h.sample(1);   // <= 10 -> bucket 0
+    h.sample(10);  // inclusive upper bound -> bucket 0
+    h.sample(11);  // bucket 1
+    h.sample(50);  // bucket 4
+    h.sample(999); // overflow
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 1 + 10 + 11 + 50 + 999);
+    EXPECT_EQ(h.min(), 1);
+    EXPECT_EQ(h.max(), 999);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.bucketCount(h.bounds().size()), 1u); // overflow
+    EXPECT_DOUBLE_EQ(h.mean(), (1 + 10 + 11 + 50 + 999) / 5.0);
+}
+
+TEST(Histogram, PercentilesAreMonotoneAndClamped)
+{
+    Histogram h = Histogram::linear(1, 100, 1);
+    for (int v = 1; v <= 100; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.percentile(0.50), 50);
+    EXPECT_EQ(h.percentile(0.95), 95);
+    EXPECT_EQ(h.percentile(0.99), 99);
+    EXPECT_EQ(h.percentile(0.0), 1);   // clamped to min
+    EXPECT_EQ(h.percentile(1.0), 100); // clamped to max
+    std::int64_t prev = 0;
+    for (double p = 0.0; p <= 1.0; p += 0.01) {
+        const std::int64_t v = h.percentile(p);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+
+    Histogram empty = Histogram::exponential();
+    EXPECT_EQ(empty.percentile(0.5), 0);
+    EXPECT_EQ(empty.min(), 0);
+    EXPECT_EQ(empty.max(), 0);
+
+    // A single sample dominates every percentile, clamped to the
+    // observed value even though its bucket bound is coarser.
+    Histogram one = Histogram::exponential();
+    one.sample(1000); // bucket bound 1024
+    EXPECT_EQ(one.percentile(0.5), 1000);
+    EXPECT_EQ(one.percentile(0.99), 1000);
+}
+
+TEST(Histogram, MergeMatchesBulkAndJsonIsOrderIndependent)
+{
+    Rng rng(77);
+    std::vector<std::int64_t> values;
+    for (int i = 0; i < 500; ++i)
+        values.push_back(static_cast<std::int64_t>(rng.below(1 << 20)));
+
+    Histogram bulk = Histogram::exponential();
+    for (auto v : values)
+        bulk.sample(v);
+
+    // Split across two shards, merge, compare bytes.
+    Histogram a = Histogram::exponential();
+    Histogram b = Histogram::exponential();
+    for (std::size_t i = 0; i < values.size(); ++i)
+        (i % 2 ? a : b).sample(values[i]);
+    a.merge(b);
+    EXPECT_EQ(a.json(), bulk.json());
+
+    // Reverse fill order: still byte-identical.
+    Histogram rev = Histogram::exponential();
+    for (auto it = values.rbegin(); it != values.rend(); ++it)
+        rev.sample(*it);
+    EXPECT_EQ(rev.json(), bulk.json());
+
+    EXPECT_NE(bulk.json().find("\"count\": 500"), std::string::npos);
+    EXPECT_NE(bulk.json().find("\"buckets\": ["), std::string::npos);
 }
 
 } // namespace

@@ -105,6 +105,44 @@ TEST(ModelCache, ArtifactPointsIntoItsOwnNetwork)
               model->network().layers().size());
 }
 
+TEST(ModelCache, LruEvictionAndRefetchRecompiles)
+{
+    ModelCache cache;
+    EXPECT_EQ(cache.capacity(), ModelCache::kDefaultCapacity);
+    cache.setCapacity(2);
+    const auto chip = smallChip();
+    auto net_a = tinyNet(12, 6, 3, 2, 101);
+    auto net_b = tinyNet(12, 6, 3, 2, 102);
+    auto net_c = tinyNet(12, 6, 3, 2, 103);
+
+    auto a = cache.get(net_a, chip);
+    auto b = cache.get(net_b, chip);
+    auto a_again = cache.get(net_a, chip); // hit: A becomes MRU
+    EXPECT_EQ(a.get(), a_again.get());
+
+    // Inserting C evicts the LRU artifact — B, not A.
+    auto c = cache.get(net_c, chip);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.get(net_a, chip).get(), a.get()); // still cached
+
+    // Eviction dropped only the cache's reference: our handle to B
+    // stays valid, but refetching recompiles a fresh artifact.
+    EXPECT_EQ(b->compiled().net, &b->network());
+    auto b_refetched = cache.get(net_b, chip);
+    EXPECT_NE(b_refetched.get(), b.get());
+    EXPECT_EQ(b_refetched->fingerprint(), b->fingerprint());
+    EXPECT_EQ(cache.evictions(), 2u); // refetching B evicted C
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 4u); // A, B, C, B-again
+
+    // Shrinking the bound evicts down immediately, keeping the MRU.
+    cache.setCapacity(1);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.get(net_b, chip).get(), b_refetched.get());
+    EXPECT_EQ(cache.capacity(), 1u);
+}
+
 TEST(Engine, MatchesSingleChipSequential)
 {
     auto net = tinyNet(20, 10, 4, 3, 31);

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Edge-case tests for the shared WorkerPool / parallelFor machinery
+ * and the thread-safe logging sink: exception propagation through
+ * drain(), nested parallelFor inlining from inside a pool worker,
+ * pool reuse after a failed drain, and a multi-threaded warn()
+ * hammer asserting records never tear or get lost. These run under
+ * the TSan CI job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+
+namespace sushi {
+namespace {
+
+TEST(WorkerPool, DrainPropagatesFirstJobException)
+{
+    WorkerPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&ran, i] {
+            ++ran;
+            if (i == 3)
+                throw std::runtime_error("job 3 failed");
+        });
+    }
+    try {
+        pool.drain();
+        FAIL() << "drain() swallowed the job exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "job 3 failed");
+    }
+    EXPECT_EQ(ran.load(), 8); // one failure doesn't cancel the rest
+}
+
+TEST(WorkerPool, ReusableAfterFailedDrain)
+{
+    WorkerPool pool(2);
+    pool.submit([] { throw std::logic_error("boom"); });
+    EXPECT_THROW(pool.drain(), std::logic_error);
+
+    // The error must not be sticky: the pool keeps working and a
+    // clean drain succeeds.
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i)
+        pool.submit([&ran] { ++ran; });
+    EXPECT_NO_THROW(pool.drain());
+    EXPECT_EQ(ran.load(), 16);
+
+    // And a second failure is reported again, not suppressed.
+    pool.submit([] { throw std::logic_error("boom 2"); });
+    EXPECT_THROW(pool.drain(), std::logic_error);
+    EXPECT_NO_THROW(pool.drain()); // drained, nothing pending
+}
+
+TEST(WorkerPool, OnWorkerThreadDistinguishesContext)
+{
+    EXPECT_FALSE(WorkerPool::onWorkerThread());
+    std::atomic<bool> inside{false};
+    WorkerPool::shared().submit(
+        [&inside] { inside = WorkerPool::onWorkerThread(); });
+    WorkerPool::shared().drain();
+    EXPECT_TRUE(inside.load());
+}
+
+TEST(ParallelFor, NestedCallInlinesOnPoolWorker)
+{
+    // Run a parallelFor from INSIDE a pool worker (every pool,
+    // including a 1-wide one, has real worker threads): the nested
+    // call must inline — no deadlock waiting on the pool that is
+    // running us — while still covering its range exactly once.
+    ASSERT_GT(WorkerPool::shared().size(), 0u);
+    const std::size_t inner_n = 64;
+    std::vector<int> hits(inner_n, 0);
+    std::atomic<bool> on_worker{false};
+    WorkerPool::shared().submit([&hits, &on_worker] {
+        on_worker = WorkerPool::onWorkerThread();
+        ParallelOptions grain1;
+        grain1.grain = 1;
+        parallelFor(
+            hits.size(),
+            [&hits](std::size_t b, std::size_t e) {
+                for (std::size_t i = b; i < e; ++i)
+                    ++hits[i];
+            },
+            grain1);
+    });
+    WorkerPool::shared().drain();
+    EXPECT_TRUE(on_worker.load());
+    for (std::size_t i = 0; i < inner_n; ++i)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ParallelFor, RethrowsAtCallSiteAndStaysUsable)
+{
+    ParallelOptions grain1;
+    grain1.grain = 1;
+    EXPECT_THROW(
+        parallelFor(
+            8,
+            [](std::size_t b, std::size_t e) {
+                // Whichever chunk covers index 2 throws — fires on
+                // the inline path and on every chunking.
+                if (b <= 2 && 2 < e)
+                    throw std::runtime_error("chunk failed");
+            },
+            grain1),
+        std::runtime_error);
+
+    // The shared pool survives for later loops.
+    std::vector<int> out(128, 0);
+    parallelFor(
+        out.size(),
+        [&out](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i)
+                out[i] = static_cast<int>(i);
+        },
+        grain1);
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0),
+              127 * 128 / 2);
+}
+
+// ---- logging sink thread-safety ---------------------------------
+
+std::mutex g_records_mu;
+std::vector<std::string> g_records;
+
+void
+recordHook(LogLevel level, const std::string &msg)
+{
+    if (level != LogLevel::Warn)
+        return;
+    std::lock_guard<std::mutex> lock(g_records_mu);
+    g_records.push_back(msg);
+}
+
+TEST(Logging, SinkSerializesConcurrentWarnings)
+{
+    {
+        std::lock_guard<std::mutex> lock(g_records_mu);
+        g_records.clear();
+    }
+    setLogHook(&recordHook);
+    const std::size_t n = 512;
+    const std::size_t before = warnCount();
+
+    ParallelOptions grain1;
+    grain1.grain = 1;
+    parallelFor(
+        n,
+        [](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i)
+                sushi_warn("concurrent warning %zu of many", i);
+        },
+        grain1);
+    setLogHook(nullptr);
+
+    EXPECT_EQ(warnCount() - before, n); // none lost
+    std::lock_guard<std::mutex> lock(g_records_mu);
+    ASSERT_EQ(g_records.size(), n);
+    std::vector<bool> seen(n, false);
+    for (const auto &r : g_records) {
+        // Each record arrived whole: prefix and suffix intact and
+        // the index parses back out.
+        const auto pos = r.find("concurrent warning ");
+        ASSERT_NE(pos, std::string::npos) << r;
+        EXPECT_NE(r.find(" of many"), std::string::npos) << r;
+        const std::size_t idx =
+            std::stoul(r.substr(pos + std::strlen("concurrent warning ")));
+        ASSERT_LT(idx, n);
+        EXPECT_FALSE(seen[idx]) << "duplicate record " << idx;
+        seen[idx] = true;
+    }
+}
+
+} // namespace
+} // namespace sushi

@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Tests for the request-level serving layer: dynamic-batcher flush
+ * rules (size / delay / drain), deadline shedding before execution
+ * and late-completion accounting, queue-full admission control,
+ * priority ordering under contention, drain/shutdown semantics, the
+ * virtual-clock determinism property (same seed + config ==>
+ * byte-identical ServerMetrics JSON across worker-thread counts and
+ * repeated runs), and request-level bit-equivalence with a lone
+ * SushiChip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "chip/sushi_chip.hh"
+#include "common/rng.hh"
+#include "serve/load_gen.hh"
+#include "serve/server.hh"
+#include "snn/binarize.hh"
+#include "snn/network.hh"
+
+namespace sushi::serve {
+namespace {
+
+snn::BinarySnn
+tinyNet(std::size_t input, std::size_t hidden, std::size_t output,
+        int t_steps, std::uint64_t seed)
+{
+    snn::SnnConfig cfg;
+    cfg.input = input;
+    cfg.hidden = hidden;
+    cfg.output = output;
+    cfg.t_steps = t_steps;
+    cfg.stateless = true;
+    snn::SnnMlp mlp(cfg, seed);
+    return snn::BinarySnn::fromFloat(mlp);
+}
+
+std::vector<engine::Sample>
+randomSamples(std::size_t n, std::size_t dim, int t_steps,
+              std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<engine::Sample> samples(n);
+    for (auto &s : samples) {
+        for (int t = 0; t < t_steps; ++t) {
+            std::vector<std::uint8_t> f(dim);
+            for (auto &v : f)
+                v = rng.chance(0.4) ? 1 : 0;
+            s.push_back(std::move(f));
+        }
+    }
+    return samples;
+}
+
+std::shared_ptr<const engine::CompiledModel>
+smallModel()
+{
+    static std::shared_ptr<const engine::CompiledModel> model = [] {
+        compiler::ChipConfig chip;
+        chip.n = 8;
+        chip.sc_per_npe = 10;
+        return engine::CompiledModel::compile(
+            tinyNet(16, 8, 4, 3, 7), chip);
+    }();
+    return model;
+}
+
+ServerConfig
+virtualConfig(int replicas, std::size_t max_batch,
+              std::int64_t max_delay_ns,
+              std::size_t max_queue = 1024)
+{
+    ServerConfig cfg;
+    cfg.engine.replicas = replicas;
+    cfg.max_batch = max_batch;
+    cfg.max_delay_ns = max_delay_ns;
+    cfg.max_queue = max_queue;
+    cfg.clock = ClockMode::Virtual;
+    return cfg;
+}
+
+/** Service duration of one request on an idle virtual server. */
+std::int64_t
+soloServiceNs(const engine::Sample &sample)
+{
+    Server server(smallModel(), virtualConfig(1, 1, 0));
+    auto fut = server.submitAt(0, sample);
+    server.runVirtual();
+    return fut.get().serviceNs();
+}
+
+TEST(ServeBatcher, FlushesOnSize)
+{
+    Server server(smallModel(),
+                  virtualConfig(1, 4, /*max_delay=*/1'000'000'000));
+    const auto samples = randomSamples(8, 16, 3, 1);
+    std::vector<std::future<Response>> futs;
+    for (const auto &s : samples)
+        futs.push_back(server.submitAt(0, s));
+    server.runVirtual();
+
+    for (auto &f : futs) {
+        const Response r = f.get();
+        EXPECT_TRUE(r.ok());
+        EXPECT_EQ(r.batch_size, 4);
+    }
+    const ServerMetrics m = server.metrics();
+    EXPECT_EQ(m.accepted, 8u);
+    EXPECT_EQ(m.completed, 8u);
+    EXPECT_EQ(m.batches, 2u);
+    EXPECT_EQ(m.flush_size, 2u);
+    EXPECT_EQ(m.flush_delay, 0u);
+    EXPECT_EQ(m.batch_size.bucketCount(3), 2u); // two batches of 4
+}
+
+TEST(ServeBatcher, FlushesOnDelay)
+{
+    const std::int64_t delay = 500;
+    Server server(smallModel(), virtualConfig(1, 8, delay));
+    const auto samples = randomSamples(2, 16, 3, 2);
+    auto f0 = server.submitAt(0, samples[0]);
+    auto f1 = server.submitAt(100, samples[1]);
+    server.runVirtual();
+
+    const Response r0 = f0.get();
+    const Response r1 = f1.get();
+    EXPECT_TRUE(r0.ok());
+    EXPECT_TRUE(r1.ok());
+    // The partial batch flushed when the OLDEST request hit the
+    // queue-delay bound, carrying both requests.
+    EXPECT_EQ(r0.dispatch_ns, delay);
+    EXPECT_EQ(r1.dispatch_ns, delay);
+    EXPECT_EQ(r0.batch_size, 2);
+    const ServerMetrics m = server.metrics();
+    EXPECT_EQ(m.flush_delay, 1u);
+    EXPECT_EQ(m.flush_size, 0u);
+}
+
+TEST(ServeDeadline, RejectsBeforeExecution)
+{
+    const auto samples = randomSamples(3, 16, 3, 3);
+    Server server(smallModel(), virtualConfig(1, 1, 0));
+
+    // A occupies the replica; B's deadline passes while it queues;
+    // C is dead on arrival.
+    auto fa = server.submitAt(0, samples[0]);
+    RequestOptions ob;
+    ob.deadline_ns = 1;
+    auto fb = server.submitAt(0, samples[1], ob);
+    RequestOptions oc;
+    oc.deadline_ns = 5;
+    auto fc = server.submitAt(10, samples[2], oc);
+    server.runVirtual();
+
+    EXPECT_TRUE(fa.get().ok());
+    const Response rb = fb.get();
+    EXPECT_EQ(rb.rejected, Reject::DeadlineExceeded);
+    EXPECT_TRUE(rb.result.counts.empty()); // never executed
+    EXPECT_EQ(fc.get().rejected, Reject::DeadlineExceeded);
+    const ServerMetrics m = server.metrics();
+    EXPECT_EQ(m.rejected_deadline, 2u);
+    EXPECT_EQ(m.completed, 1u);
+    EXPECT_EQ(m.deadline_missed, 0u);
+}
+
+TEST(ServeDeadline, LateCompletionCountsAsMissed)
+{
+    const auto samples = randomSamples(2, 16, 3, 4);
+    const std::int64_t service = soloServiceNs(samples[0]);
+    ASSERT_GT(service, 1);
+
+    // B dequeues when A's service ends and its deadline passes
+    // mid-service: it completes, but late.
+    Server server(smallModel(), virtualConfig(1, 1, 0));
+    auto fa = server.submitAt(0, samples[0]);
+    RequestOptions ob;
+    ob.deadline_ns = service + 1;
+    auto fb = server.submitAt(0, samples[1], ob);
+    server.runVirtual();
+
+    EXPECT_TRUE(fa.get().ok());
+    const Response rb = fb.get();
+    EXPECT_TRUE(rb.ok());
+    EXPECT_TRUE(rb.deadline_missed);
+    EXPECT_GT(rb.complete_ns, ob.deadline_ns);
+    const ServerMetrics m = server.metrics();
+    EXPECT_EQ(m.completed, 2u);
+    EXPECT_EQ(m.deadline_missed, 1u);
+    EXPECT_EQ(m.rejected_deadline, 0u);
+}
+
+TEST(ServeAdmission, QueueFullSheds)
+{
+    const auto samples = randomSamples(6, 16, 3, 5);
+    Server server(smallModel(),
+                  virtualConfig(1, 1, 0, /*max_queue=*/2));
+    std::vector<std::future<Response>> futs;
+    for (const auto &s : samples)
+        futs.push_back(server.submitAt(0, s));
+    server.runVirtual();
+
+    std::size_t ok = 0, shed = 0;
+    for (auto &f : futs) {
+        const Response r = f.get();
+        if (r.ok())
+            ++ok;
+        else if (r.rejected == Reject::QueueFull)
+            ++shed;
+    }
+    EXPECT_EQ(ok, 2u);
+    EXPECT_EQ(shed, 4u);
+    const ServerMetrics m = server.metrics();
+    EXPECT_EQ(m.rejected_queue_full, 4u);
+    EXPECT_EQ(m.accepted, 2u);
+    EXPECT_EQ(m.submitted, 6u);
+}
+
+TEST(ServePriority, HigherPriorityDispatchesFirst)
+{
+    const auto samples = randomSamples(4, 16, 3, 6);
+    Server server(smallModel(), virtualConfig(1, 1, 0));
+    const int priorities[] = {0, 1, 5, 3};
+    std::vector<std::future<Response>> futs;
+    for (std::size_t i = 0; i < 4; ++i) {
+        RequestOptions opts;
+        opts.priority = priorities[i];
+        futs.push_back(server.submitAt(0, samples[i], opts));
+    }
+    server.runVirtual();
+
+    std::vector<Response> rs;
+    for (auto &f : futs)
+        rs.push_back(f.get());
+    // Contention on one replica: dispatch order follows priority
+    // (5, 3, 1, 0), not submission order.
+    EXPECT_LT(rs[2].dispatch_ns, rs[3].dispatch_ns);
+    EXPECT_LT(rs[3].dispatch_ns, rs[1].dispatch_ns);
+    EXPECT_LT(rs[1].dispatch_ns, rs[0].dispatch_ns);
+}
+
+TEST(ServePriority, TiesServeInArrivalOrder)
+{
+    const auto samples = randomSamples(3, 16, 3, 16);
+    Server server(smallModel(), virtualConfig(1, 1, 0));
+    std::vector<std::future<Response>> futs;
+    for (const auto &s : samples)
+        futs.push_back(server.submitAt(0, s));
+    server.runVirtual();
+    std::vector<Response> rs;
+    for (auto &f : futs)
+        rs.push_back(f.get());
+    EXPECT_LE(rs[0].dispatch_ns, rs[1].dispatch_ns);
+    EXPECT_LE(rs[1].dispatch_ns, rs[2].dispatch_ns);
+}
+
+TEST(ServeEquivalence, ResultsBitIdenticalToLoneChip)
+{
+    const auto samples = randomSamples(17, 16, 3, 8);
+    ServerConfig cfg = virtualConfig(3, 4, 1000);
+    Server server(smallModel(), cfg);
+    LoadGenConfig lg;
+    lg.rate_rps = 1e6;
+    lg.requests = samples.size();
+    lg.sample_pool = samples.size();
+    lg.seed = 99;
+    const auto arrivals = poissonArrivals(lg);
+    std::vector<std::future<Response>> futs;
+    for (const auto &a : arrivals)
+        futs.push_back(server.submitAt(
+            a.arrival_ns, samples[a.sample_index], a.opts));
+    server.runVirtual();
+
+    chip::SushiChip chip(smallModel()->chip());
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        const Response r = futs[i].get();
+        ASSERT_TRUE(r.ok());
+        chip.resetStats();
+        const auto expect = chip.inferCounts(
+            smallModel()->compiled(),
+            samples[arrivals[i].sample_index]);
+        EXPECT_EQ(r.result.counts, expect) << "request " << i;
+    }
+}
+
+TEST(ServeDeterminism, MetricsByteIdenticalAcrossThreadCounts)
+{
+    const auto samples = randomSamples(12, 16, 3, 9);
+    LoadGenConfig lg;
+    lg.rate_rps = 2e6; // near saturation: queueing + shedding occur
+    lg.requests = 150;
+    lg.sample_pool = samples.size();
+    lg.seed = 1234;
+    lg.deadline_ns = 400'000;
+    lg.priorities = 3;
+    const auto arrivals = poissonArrivals(lg);
+
+    std::string digest;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        for (int repeat = 0; repeat < 2; ++repeat) {
+            ServerConfig cfg =
+                virtualConfig(4, 4, 2000, /*max_queue=*/16);
+            cfg.max_threads = threads;
+            Server server(smallModel(), cfg);
+            for (const auto &a : arrivals)
+                server.submitAt(a.arrival_ns,
+                                samples[a.sample_index], a.opts);
+            server.runVirtual();
+            const std::string json = server.metrics().toJson();
+            if (digest.empty())
+                digest = json;
+            EXPECT_EQ(json, digest)
+                << "threads " << threads << " repeat " << repeat;
+        }
+    }
+    // The workload actually exercised the interesting paths.
+    Server probe(smallModel(), virtualConfig(4, 4, 2000, 16));
+    for (const auto &a : arrivals)
+        probe.submitAt(a.arrival_ns, samples[a.sample_index],
+                       a.opts);
+    probe.runVirtual();
+    const ServerMetrics m = probe.metrics();
+    EXPECT_GT(m.completed, 0u);
+    EXPECT_GT(m.batches, 0u);
+    EXPECT_GT(m.rejected_queue_full + m.rejected_deadline, 0u);
+}
+
+TEST(ServeDrain, VirtualDrainFlushesQueuedAndRejectsLater)
+{
+    const auto samples = randomSamples(3, 16, 3, 10);
+    Server server(smallModel(),
+                  virtualConfig(2, 8, /*max_delay=*/1'000'000'000));
+    std::vector<std::future<Response>> futs;
+    for (const auto &s : samples)
+        futs.push_back(server.submitAt(0, s));
+    server.drain(); // plays the timeline; partial batch flushes
+
+    for (auto &f : futs)
+        EXPECT_TRUE(f.get().ok());
+    const ServerMetrics m = server.metrics();
+    EXPECT_EQ(m.completed, 3u);
+    EXPECT_GE(m.flush_drain, 1u);
+
+    auto late = server.submit(samples[0]);
+    EXPECT_EQ(late.get().rejected, Reject::ShuttingDown);
+}
+
+TEST(ServeDrain, DestructorResolvesOutstandingFutures)
+{
+    const auto samples = randomSamples(2, 16, 3, 11);
+    std::vector<std::future<Response>> futs;
+    {
+        Server server(smallModel(), virtualConfig(1, 4, 1000));
+        for (const auto &s : samples)
+            futs.push_back(server.submitAt(0, s));
+        // No runVirtual(): the destructor must drain gracefully.
+    }
+    for (auto &f : futs)
+        EXPECT_TRUE(f.get().ok());
+}
+
+TEST(ServeRealMode, ServesTrafficAndDrainsInFlight)
+{
+    const auto samples = randomSamples(24, 16, 3, 12);
+    ServerConfig cfg;
+    cfg.engine.replicas = 2;
+    cfg.max_batch = 4;
+    cfg.max_delay_ns = 1'000'000; // 1 ms
+    cfg.clock = ClockMode::Real;
+    Server server(smallModel(), cfg);
+
+    std::vector<std::future<Response>> futs;
+    for (const auto &s : samples)
+        futs.push_back(server.submit(s));
+    server.drain(); // in-flight and queued requests all finish
+
+    chip::SushiChip chip(smallModel()->chip());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Response r = futs[i].get();
+        ASSERT_TRUE(r.ok()) << "request " << i;
+        EXPECT_GE(r.queueNs(), 0);
+        EXPECT_GE(r.serviceNs(), 0);
+        chip.resetStats();
+        EXPECT_EQ(r.result.counts,
+                  chip.inferCounts(smallModel()->compiled(),
+                                   samples[i]));
+    }
+    const ServerMetrics m = server.metrics();
+    EXPECT_EQ(m.completed, samples.size());
+    EXPECT_EQ(m.accepted, samples.size());
+    EXPECT_EQ(m.merged.frames,
+              static_cast<std::uint64_t>(samples.size()));
+
+    auto late = server.submit(samples[0]);
+    EXPECT_EQ(late.get().rejected, Reject::ShuttingDown);
+    server.shutdown();
+    server.shutdown(); // idempotent
+}
+
+TEST(ServeRealMode, PartialBatchFlushesWithoutDrain)
+{
+    const auto samples = randomSamples(2, 16, 3, 13);
+    ServerConfig cfg;
+    cfg.engine.replicas = 1;
+    cfg.max_batch = 64;          // never reached
+    cfg.max_delay_ns = 2'000'000; // 2 ms
+    cfg.clock = ClockMode::Real;
+    Server server(smallModel(), cfg);
+    auto f0 = server.submit(samples[0]);
+    auto f1 = server.submit(samples[1]);
+    // The delay flush must fire on its own.
+    EXPECT_TRUE(f0.get().ok());
+    EXPECT_TRUE(f1.get().ok());
+    EXPECT_GE(server.metrics().flush_delay, 1u);
+}
+
+TEST(ServeMetrics, SnapshotJsonRoundsTrip)
+{
+    const auto samples = randomSamples(5, 16, 3, 14);
+    Server server(smallModel(), virtualConfig(2, 2, 100));
+    for (const auto &s : samples)
+        server.submitAt(0, s);
+    server.runVirtual();
+    const ServerMetrics m = server.metrics();
+    const std::string json = m.toJson();
+    EXPECT_NE(json.find("\"completed\": 5"), std::string::npos);
+    EXPECT_NE(json.find("\"queue_ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"merged_stats\""), std::string::npos);
+    EXPECT_NE(json.find("\"replicas\""), std::string::npos);
+    // Two snapshots of an idle server are byte-identical.
+    EXPECT_EQ(json, server.metrics().toJson());
+    EXPECT_GT(m.spanNs(), 0);
+    EXPECT_GT(m.utilisation(0), 0.0);
+}
+
+TEST(ServeLoadGen, SchedulesAreSeedDeterministic)
+{
+    LoadGenConfig lg;
+    lg.rate_rps = 5e5;
+    lg.requests = 64;
+    lg.sample_pool = 7;
+    lg.seed = 42;
+    lg.deadline_ns = 1000;
+    lg.priorities = 4;
+    const auto a = poissonArrivals(lg);
+    const auto b = poissonArrivals(lg);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival_ns, b[i].arrival_ns);
+        EXPECT_EQ(a[i].sample_index, b[i].sample_index);
+        EXPECT_EQ(a[i].opts.priority, b[i].opts.priority);
+        EXPECT_EQ(a[i].opts.deadline_ns, b[i].opts.deadline_ns);
+        if (i > 0) {
+            EXPECT_GE(a[i].arrival_ns, a[i - 1].arrival_ns);
+        }
+        EXPECT_LT(a[i].sample_index, lg.sample_pool);
+        EXPECT_EQ(a[i].opts.deadline_ns,
+                  a[i].arrival_ns + lg.deadline_ns);
+    }
+    lg.seed = 43;
+    const auto c = poissonArrivals(lg);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        differs |= a[i].arrival_ns != c[i].arrival_ns;
+    EXPECT_TRUE(differs);
+}
+
+} // namespace
+} // namespace sushi::serve
