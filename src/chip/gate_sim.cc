@@ -17,6 +17,26 @@ GateChip::GateChip(sfq::Netlist &net, const compiler::ChipConfig &cfg)
     net.compile(); // whole mesh lowered; runs on the compiled core
 }
 
+void
+GateChip::setSimThreads(int threads)
+{
+    sim_threads_ = threads;
+    if (threads <= 1) {
+        psim_.reset();
+        return;
+    }
+    sfq::ParallelSimulator::Options opts;
+    opts.threads = threads;
+    psim_ = std::make_unique<sfq::ParallelSimulator>(net_.sim(),
+                                                     opts);
+}
+
+Tick
+GateChip::runSim()
+{
+    return psim_ != nullptr ? psim_->run() : net_.sim().run();
+}
+
 Tick
 GateChip::rearmInputNpe(int i, Tick t)
 {
@@ -78,7 +98,7 @@ GateChip::run(const compiler::CompiledNetwork &cnet,
             }
         }
         t += gap_ * (cfg_.sc_per_npe + 2);
-        sim.run();
+        runSim();
         t = std::max(t, sim.now() + gap_);
 
         // Bias pulses (thresholds <= 0) are delivered excitatory
@@ -126,7 +146,7 @@ GateChip::run(const compiler::CompiledNetwork &cnet,
                     mesh_->outputNpe(j).injectSet1(t);
             }
             t += gap_;
-            sim.run();
+            runSim();
             t = std::max(t, sim.now() + gap_);
 
             // Replay the input spikes for this pass, one relay
@@ -137,11 +157,11 @@ GateChip::run(const compiler::CompiledNetwork &cnet,
                 t = rearmInputNpe(i, t);
                 mesh_->injectInput(i, t);
                 t += 2 * gap_;
-                sim.run();
+                runSim();
                 t = std::max(t, sim.now() + gap_);
             }
         }
-        sim.run();
+        runSim();
         t = std::max(t, sim.now() + 2 * gap_);
 
         // Collect this step's output pulses from the drivers.
@@ -212,7 +232,7 @@ GateChip::runProgram(const compiler::CompiledNetwork &cnet,
             break;
         }
     }
-    net_.sim().run();
+    runSim();
 
     bounds_ = prog.step_bounds;
     std::vector<std::vector<int>> result;

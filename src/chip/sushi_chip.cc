@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <mutex>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "fabric/resource_model.hh"
 #include "fabric/timing_model.hh"
 #include "sfq/cell_params.hh"
@@ -129,16 +131,29 @@ SushiChip::stepLayer(const compiler::CompiledLayer &layer,
 
     PulseVector out(out_dim, 0);
     const bool degraded = remap_.failed > 0;
-    for (std::size_t o = 0; o < out_dim; ++o) {
+
+    // Counters spilled from the neuron loop. Neurons are independent
+    // and these are integer sums (exact, order-free), so evaluating
+    // neurons across worker threads yields the same out[] and the
+    // same InferenceStats as the sequential loop, bit for bit.
+    struct NeuronTally
+    {
+        std::uint64_t remapped = 0;
+        std::uint64_t underflow = 0;
+        std::uint64_t syn_ops = 0; // also counts input_pulses
+        std::uint64_t multi = 0;
+    };
+
+    auto evalNeuron = [&](std::size_t o, NeuronTally &tl) {
         if (layer.disabled[o])
-            continue;
+            return;
         // Degraded mode: the neuron's home slot is o mod N; if that
         // NPE failed, a healthy host NPE serves it in an extra pass.
         // The counter arithmetic is slot-independent, so results stay
         // bit-identical — only time/reload accounting changes.
         if (degraded &&
             failed_npes_[o % static_cast<std::size_t>(cfg_.n)])
-            ++stats_.remapped_neurons;
+            ++tl.remapped;
         // A fresh counter per neuron-step is behaviourally identical
         // to the time-multiplexed physical NPE (rst + write).
         npe::Npe npe(cfg_.sc_per_npe);
@@ -170,20 +185,48 @@ SushiChip::stepLayer(const compiler::CompiledLayer &layer,
             if (neg) {
                 npe.setPolarity(npe::Polarity::Inhibitory);
                 const std::uint64_t borrows = npe.addPulses(neg);
-                stats_.underflow_spikes += borrows;
+                tl.underflow += borrows;
                 spikes += borrows;
             }
             if (pos) {
                 npe.setPolarity(npe::Polarity::Excitatory);
                 spikes += npe.addPulses(pos);
             }
-            stats_.synaptic_ops += neg + pos;
-            stats_.input_pulses += neg + pos;
+            tl.syn_ops += neg + pos;
         }
         if (spikes > 1)
-            ++stats_.multi_fires;
+            ++tl.multi;
         out[o] = static_cast<std::uint16_t>(spikes);
+    };
+
+    NeuronTally tally;
+    if (sim_threads_ > 1 && out_dim > 1) {
+        std::mutex mu;
+        ParallelOptions popts;
+        popts.grain = 16;
+        popts.max_workers = sim_threads_;
+        parallelFor(
+            out_dim,
+            [&](std::size_t begin, std::size_t end) {
+                NeuronTally local;
+                for (std::size_t o = begin; o < end; ++o)
+                    evalNeuron(o, local);
+                std::lock_guard<std::mutex> lock(mu);
+                tally.remapped += local.remapped;
+                tally.underflow += local.underflow;
+                tally.syn_ops += local.syn_ops;
+                tally.multi += local.multi;
+            },
+            popts);
+    } else {
+        for (std::size_t o = 0; o < out_dim; ++o)
+            evalNeuron(o, tally);
     }
+    stats_.remapped_neurons += tally.remapped;
+    stats_.underflow_spikes += tally.underflow;
+    stats_.synaptic_ops += tally.syn_ops;
+    stats_.input_pulses += tally.syn_ops;
+    stats_.multi_fires += tally.multi;
 
     // Reload + timing accounting for this layer-step.
     stats_.reload_events +=

@@ -111,6 +111,15 @@ class SushiChip
     void resetStats();
 
     /**
+     * Evaluate output neurons on up to @p threads worker threads
+     * (<= 1: sequential, the default). Neuron counters are
+     * independent and the spilled statistics are integer sums, so
+     * results and InferenceStats are identical at any setting.
+     */
+    void setSimThreads(int threads) { sim_threads_ = threads; }
+    int simThreads() const { return sim_threads_; }
+
+    /**
      * Return the chip to its just-constructed state: statistics
      * cleared and every NPE slot healthy. Replica pools call this
      * between batches so a reused chip is indistinguishable from a
@@ -147,6 +156,7 @@ class SushiChip
     InferenceStats stats_;
     std::vector<std::uint8_t> failed_npes_;
     compiler::NpeRemap remap_;
+    int sim_threads_ = 0;
 };
 
 } // namespace sushi::chip

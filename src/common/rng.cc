@@ -119,4 +119,19 @@ Rng::fork()
     return Rng(next() ^ 0xa02bdbf7bb3c0a7ULL);
 }
 
+double
+keyedGaussian(double mean, double stddev, std::uint64_t seed,
+              std::uint64_t stream, std::uint32_t &counter)
+{
+    // Box-Muller on exactly two keyed uniforms. u1 is mapped into
+    // (0, 1] so log() never sees zero without a variable-length
+    // rejection loop (fixed consumption is the whole point here).
+    const double u1 =
+        1.0 - keyedUniform(seed, stream, counter); // (0, 1]
+    const double u2 = keyedUniform(seed, stream, counter);
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi = 6.283185307179586;
+    return mean + stddev * (mag * std::cos(two_pi * u2));
+}
+
 } // namespace sushi

@@ -6,6 +6,15 @@
  * engines so that streams are bit-identical across platforms and
  * standard-library versions: every experiment in the repository is
  * seeded and reproducible.
+ *
+ * Alongside the sequential Rng there is a *keyed* (counter-based)
+ * draw family: each variate is a pure function of (seed, stream,
+ * counter), with no generator state shared between streams. Consumers
+ * that must produce identical decisions regardless of the order in
+ * which independent streams interleave — the partitioned parallel
+ * simulator's per-cell fault draws — key every draw by the cell id
+ * and a per-cell counter, so the global execution order drops out of
+ * the randomness entirely.
  */
 
 #ifndef SUSHI_COMMON_RNG_HH
@@ -54,6 +63,53 @@ class Rng
     bool have_spare_ = false;
     double spare_ = 0.0;
 };
+
+/** SplitMix64 finalizer: a strong 64-bit bit mixer. */
+constexpr std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Raw 64 bits of the keyed stream (seed, stream) at @p counter. */
+constexpr std::uint64_t
+keyedBits(std::uint64_t seed, std::uint64_t stream,
+          std::uint64_t counter)
+{
+    std::uint64_t z = mix64(seed);
+    z ^= mix64(stream + 0x9e3779b97f4a7c15ULL);
+    z ^= mix64(counter + 0xbf58476d1ce4e5b9ULL);
+    return mix64(z);
+}
+
+/** Keyed uniform double in [0, 1); consumes one counter value. */
+inline double
+keyedUniform(std::uint64_t seed, std::uint64_t stream,
+             std::uint32_t &counter)
+{
+    const std::uint64_t bits = keyedBits(seed, stream, counter++);
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/** Keyed Bernoulli trial; consumes one counter value. */
+inline bool
+keyedChance(double p, std::uint64_t seed, std::uint64_t stream,
+            std::uint32_t &counter)
+{
+    return keyedUniform(seed, stream, counter) < p;
+}
+
+/**
+ * Keyed standard normal variate (Box-Muller). Always consumes exactly
+ * two counter values — unlike Rng::gaussian there is no spare-value
+ * caching, so consumption per call is fixed and the stream position
+ * stays a pure function of the draw count.
+ */
+double keyedGaussian(double mean, double stddev, std::uint64_t seed,
+                     std::uint64_t stream, std::uint32_t &counter);
 
 } // namespace sushi
 

@@ -54,9 +54,11 @@ InferenceEngine::InferenceEngine(
         cfg_.shard_block = 1;
     cfg_.replicas = replicas;
     chips_.reserve(static_cast<std::size_t>(replicas));
-    for (int r = 0; r < replicas; ++r)
+    for (int r = 0; r < replicas; ++r) {
         chips_.push_back(
             std::make_unique<chip::SushiChip>(model_->chip()));
+        chips_.back()->setSimThreads(cfg_.sim_threads);
+    }
 }
 
 void

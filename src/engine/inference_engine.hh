@@ -57,6 +57,13 @@ struct EngineConfig
 
     /** Exclude degraded replicas from the shard plan. */
     bool drain_degraded = true;
+
+    /** Worker threads inside each replica's neuron-evaluation loop
+     *  (SushiChip::setSimThreads; <= 1 keeps replicas sequential).
+     *  Orthogonal to max_threads, and — like it — byte-identical
+     *  results at every setting. Not part of the model fingerprint:
+     *  a host execution knob, not a chip property. */
+    int sim_threads = 0;
 };
 
 /** Per-sample inference outcome. */

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
@@ -56,16 +58,64 @@ struct TrialResult
     double energy_j = 0.0;
 };
 
+/**
+ * A replica of the campaign workload: a Simulator sharing the
+ * master's immutable compiled structure (no re-lowering per trial or
+ * per worker), with the cells the campaign drives and reads resolved
+ * to dense ids once. Between trials the replica rewinds with the
+ * snapshot-fast Simulator::reset() instead of being rebuilt, so a
+ * trial's cost is the simulation itself.
+ */
+struct Rig
+{
+    sfq::Simulator sim;
+    std::int32_t in_cell;
+    std::int32_t set1_cell;
+    std::int32_t out_cell;
+    std::vector<std::int32_t> sc_state_cells;
+
+    Rig(std::shared_ptr<const sfq::NetStructure> structure,
+        int num_sc)
+        : sim(std::move(structure))
+    {
+        // Graceful degradation: marginal arrivals are attributed to
+        // the cell and the offending pulse dropped, never an abort.
+        sim.setViolationPolicy(sfq::ViolationPolicy::Recover);
+        const sfq::CompiledNetlist &core = sim.core();
+        in_cell = core.cellId("npe.in");
+        set1_cell = core.cellId("npe.set1");
+        out_cell = core.cellId("npe.out");
+        sushi_assert(in_cell >= 0 && set1_cell >= 0 && out_cell >= 0);
+        for (int i = 0; i < num_sc; ++i) {
+            // Either TFF of an SC holds the stored bit; use the left.
+            const std::int32_t id = core.cellId(
+                "npe.sc" + std::to_string(i) + ".tffl");
+            sushi_assert(id >= 0);
+            sc_state_cells.push_back(id);
+        }
+    }
+
+    /** Counter value decoded from the SC states (LSB = SC0). */
+    std::uint64_t
+    value() const
+    {
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < sc_state_cells.size(); ++i)
+            if (sim.core().stateBit(sc_state_cells[i]))
+                v |= std::uint64_t{1} << i;
+        return v;
+    }
+};
+
 TrialResult
-runTrial(const FaultCampaignConfig &cfg, const Trial &t)
+runTrial(const FaultCampaignConfig &cfg, const Trial &t, Rig &rig)
 {
     const sfq::FaultKind kind = cfg.kinds[t.kind_i];
     const double rate = cfg.rates[t.rate_i];
 
-    sfq::Simulator sim;
-    // Graceful degradation: marginal arrivals are attributed to the
-    // cell and the offending pulse dropped, never an abort.
-    sim.setViolationPolicy(sfq::ViolationPolicy::Recover);
+    sfq::Simulator &sim = rig.sim;
+    sim.reset(); // snapshot restore: state, traces, counters, queue
+    sim.faults().clearFaults();
     sim.faults().reseed(
         trialSeed(cfg.campaign_seed, t.kind_i, t.rate_i, t.seed_i));
     if (rate > 0.0) {
@@ -81,12 +131,10 @@ runTrial(const FaultCampaignConfig &cfg, const Trial &t)
     // Workload: pulses through a gate-level NPE counter, checked
     // pulse-exactly against the ideal behavioural counter — the same
     // equivalence the paper's waveform verification establishes.
-    sfq::Netlist net(sim);
-    npe::NpeGate gate(net, "npe", cfg.num_sc);
     const Tick gap = sfq::safePulseSpacing();
-    gate.injectSet1(gap);
+    sim.schedulePulse(gap, rig.set1_cell, 0);
     for (int i = 0; i < cfg.pulses; ++i)
-        gate.injectIn((i + 2) * gap);
+        sim.schedulePulse((i + 2) * gap, rig.in_cell, 0);
     sim.run();
 
     npe::Npe ideal(cfg.num_sc);
@@ -95,9 +143,11 @@ runTrial(const FaultCampaignConfig &cfg, const Trial &t)
         ideal.addPulses(static_cast<std::uint64_t>(cfg.pulses));
 
     TrialResult r;
-    const std::uint64_t got = gate.value();
+    const std::uint64_t got = rig.value();
     const std::uint64_t want = ideal.value();
-    r.exact = got == want && gate.outSink().count() == ideal_spikes;
+    const std::uint64_t spikes =
+        sim.core().trace(rig.out_cell).size();
+    r.exact = got == want && spikes == ideal_spikes;
     r.count_err = std::abs(static_cast<double>(got) -
                            static_cast<double>(want));
     r.violations = static_cast<double>(sim.violations());
@@ -126,15 +176,30 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
             for (int s = 0; s < cfg.seeds; ++s)
                 trials.push_back(Trial{k, r, s});
 
-    // Fan out across threads; every trial owns its simulator, and
-    // results land at their own index, so the aggregation below is
-    // independent of the thread count.
+    // Lower the workload circuit once and share its immutable
+    // structure; each worker chunk builds a replica rig (mutable
+    // state only) and snapshot-resets it between trials.
+    sfq::Simulator master;
+    sfq::Netlist net(master);
+    npe::NpeGate gate(net, "npe", cfg.num_sc);
+    std::shared_ptr<const sfq::NetStructure> structure =
+        master.core().shareStructure();
+
+    // Fan out across threads; every chunk owns its replica, results
+    // land at their own index, and each trial is fully reset before
+    // it runs, so the aggregation below is independent of both the
+    // thread count and the trial-to-chunk assignment.
     std::vector<TrialResult> results(trials.size());
-    parallelFor(trials.size(),
-                [&](std::size_t begin, std::size_t end) {
-                    for (std::size_t i = begin; i < end; ++i)
-                        results[i] = runTrial(cfg, trials[i]);
-                });
+    ParallelOptions opts;
+    opts.grain = 8; // one replica rig per chunk, amortized
+    parallelFor(
+        trials.size(),
+        [&](std::size_t begin, std::size_t end) {
+            Rig rig(structure, cfg.num_sc);
+            for (std::size_t i = begin; i < end; ++i)
+                results[i] = runTrial(cfg, trials[i], rig);
+        },
+        opts);
 
     FaultCampaignResult out;
     out.cfg = cfg;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sfq/constraints.hh"
+#include "sfq/event_queue.hh"
 #include "sfq/fault_model.hh"
 #include "sfq/simulator.hh"
 
@@ -24,11 +25,44 @@ CompiledNetlist::CompiledNetlist(Simulator &sim) : sim_(sim)
         const CellParams &p = cellParams(static_cast<CellKind>(k));
         kind_delay_[k] = p.delay;
         kind_energy_[k] = p.switch_energy_j;
+        // Per-kind constraint presence: cells of a kind with no
+        // Table-1 rules skip the per-arrival rule scan entirely.
+        kind_has_rules_[k] =
+            !constraintRules(static_cast<CellKind>(k)).empty();
     }
     kind_delay_[kKindSource] = 0;
     kind_energy_[kKindSource] = 0.0;
+    kind_has_rules_[kKindSource] = false;
     kind_delay_[kKindSink] = 0;
     kind_energy_[kKindSink] = 0.0;
+    kind_has_rules_[kKindSink] = false;
+    auto s = std::make_shared<NetStructure>();
+    mut_ = s.get();
+    struct_ = std::move(s);
+}
+
+CompiledNetlist::CompiledNetlist(
+    Simulator &sim, std::shared_ptr<const NetStructure> structure)
+    : CompiledNetlist(sim)
+{
+    sushi_assert(structure != nullptr);
+    struct_ = std::move(structure);
+    mut_ = nullptr; // adopted structures are sealed
+    const NetStructure &st = *struct_;
+    state_.assign(st.kind.size(), 0);
+    last_.assign(st.num_inputs, kTickNever);
+    rng_ctr_.assign(st.kind.size(), 0);
+    traces_.resize(st.num_traces);
+}
+
+NetStructure &
+CompiledNetlist::mut()
+{
+    if (mut_ == nullptr) {
+        sushi_panic("compiled netlist structure is sealed (shared "
+                    "with replicas); cannot add or connect cells");
+    }
+    return *mut_;
 }
 
 std::int32_t
@@ -38,25 +72,30 @@ CompiledNetlist::addCell(std::string name, std::uint8_t kind,
     sushi_assert(kind < kNumExecKinds);
     sushi_assert(num_inputs >= 0 && num_inputs <= 255);
     sushi_assert(num_outputs >= 0);
-    const auto id = static_cast<std::int32_t>(kind_.size());
-    kind_.push_back(kind);
+    NetStructure &st = mut();
+    const auto id = static_cast<std::int32_t>(st.kind.size());
+    st.kind.push_back(kind);
     state_.push_back(0);
-    n_in_.push_back(static_cast<std::uint8_t>(num_inputs));
-    in_off_.push_back(static_cast<std::int32_t>(last_.size()));
+    rng_ctr_.push_back(0);
+    st.n_in.push_back(static_cast<std::uint8_t>(num_inputs));
+    st.has_rules.push_back(kind_has_rules_[kind] ? 1 : 0);
+    st.in_off.push_back(static_cast<std::int32_t>(last_.size()));
     last_.insert(last_.end(), static_cast<std::size_t>(num_inputs),
                  kTickNever);
-    out_off_.push_back(static_cast<std::int32_t>(conns_.size()));
-    conns_.insert(conns_.end(),
-                  static_cast<std::size_t>(num_outputs), OutConn{});
+    st.num_inputs = last_.size();
+    st.out_off.push_back(static_cast<std::int32_t>(st.conns.size()));
+    st.conns.insert(st.conns.end(),
+                    static_cast<std::size_t>(num_outputs), OutConn{});
     if (kind == u8(CellKind::SFQDC) || kind == kKindSink) {
-        trace_slot_.push_back(
+        st.trace_slot.push_back(
             static_cast<std::int32_t>(traces_.size()));
         traces_.emplace_back();
+        st.num_traces = traces_.size();
     } else {
-        trace_slot_.push_back(-1);
+        st.trace_slot.push_back(-1);
     }
-    names_.push_back(std::move(name));
-    by_name_.emplace(names_.back(), id); // duplicates: first one wins
+    st.names.push_back(std::move(name));
+    st.by_name.emplace(st.names.back(), id); // duplicates: first wins
     return id;
 }
 
@@ -70,48 +109,69 @@ CompiledNetlist::connect(std::int32_t src, int out_port,
                  static_cast<std::size_t>(out_port) < connCount(i));
     const std::size_t j = checkId(dst);
     sushi_assert(dst_port >= 0 &&
-                 dst_port < static_cast<int>(n_in_[j]));
-    OutConn &c = conns_[static_cast<std::size_t>(out_off_[i]) +
-                        static_cast<std::size_t>(out_port)];
+                 dst_port < static_cast<int>(struct_->n_in[j]));
+    NetStructure &st = mut();
+    OutConn &c = st.conns[static_cast<std::size_t>(st.out_off[i]) +
+                          static_cast<std::size_t>(out_port)];
     // Component::connect raises the user-facing fan-out fatal first;
     // this guards direct core callers.
     sushi_assert(c.dst < 0);
     c.dst = dst;
     c.port = dst_port;
     c.wire_delay = wire_delay;
-    ++live_conns_;
+    ++st.live_conns;
 }
 
 std::int32_t
 CompiledNetlist::cellId(const std::string &name) const
 {
-    auto it = by_name_.find(name);
-    return it == by_name_.end() ? -1 : it->second;
+    auto it = struct_->by_name.find(name);
+    return it == struct_->by_name.end() ? -1 : it->second;
+}
+
+std::shared_ptr<const NetStructure>
+CompiledNetlist::shareStructure()
+{
+    mut_ = nullptr;
+    return struct_;
 }
 
 bool
 CompiledNetlist::masksCurrent() const
 {
     return fault_masks_usable_ &&
-           fault_mask_.size() == kind_.size() &&
+           fault_mask_.size() == struct_->kind.size() &&
            fault_cfg_version_ == sim_.faults().configVersion();
 }
 
 void
 CompiledNetlist::freeze()
 {
+    const NetStructure &st = *struct_;
+    // Snapshot the post-compile mutable state on the first freeze
+    // after a structural change: restoreState() rewinds to exactly
+    // this point by flat copies.
+    if (!snapped_ || snap_state_.size() != state_.size()) {
+        snap_state_ = state_;
+        snap_last_ = last_;
+        snap_rng_ctr_ = rng_ctr_;
+        snap_trace_size_.resize(traces_.size());
+        for (std::size_t t = 0; t < traces_.size(); ++t)
+            snap_trace_size_[t] = traces_[t].size();
+        snapped_ = true;
+    }
     const FaultModel &fm = sim_.faults();
     const std::uint64_t ver = fm.configVersion();
     if (ver == fault_cfg_version_ &&
-        fault_mask_.size() == kind_.size())
+        fault_mask_.size() == st.kind.size())
         return;
     fault_masks_usable_ = fm.numFaults() <= 64;
-    fault_mask_.assign(kind_.size(), 0);
+    fault_mask_.assign(st.kind.size(), 0);
     if (fault_masks_usable_) {
-        for (std::size_t i = 0; i < kind_.size(); ++i) {
+        for (std::size_t i = 0; i < st.kind.size(); ++i) {
             std::uint64_t m = 0;
             for (std::size_t s = 0; s < fm.numFaults(); ++s)
-                if (fm.targetMatches(s, names_[i]))
+                if (fm.targetMatches(s, st.names[i]))
                     m |= std::uint64_t{1} << s;
             fault_mask_[i] = m;
         }
@@ -119,135 +179,186 @@ CompiledNetlist::freeze()
     fault_cfg_version_ = ver;
 }
 
+void
+CompiledNetlist::restoreState()
+{
+    if (!snapped_)
+        return;
+    sushi_assert(snap_state_.size() == state_.size());
+    state_ = snap_state_;
+    last_ = snap_last_;
+    rng_ctr_ = snap_rng_ctr_;
+    for (std::size_t t = 0; t < traces_.size(); ++t) {
+        const std::size_t want = snap_trace_size_[t];
+        if (traces_[t].size() > want)
+            traces_[t].resize(want);
+    }
+}
+
+double
+CompiledNetlist::switchEnergyOf(const std::uint64_t counts[]) const
+{
+    double e = 0.0;
+    for (int k = 0; k < static_cast<int>(kNumExecKinds); ++k)
+        e += static_cast<double>(counts[k]) * kind_energy_[k];
+    return e;
+}
+
 bool
 CompiledNetlist::arriveCell(std::int32_t id, std::uint8_t kind,
-                            int port)
+                            int port, ExecCtx &cx)
 {
     const auto i = static_cast<std::size_t>(id);
-    const Tick now = sim_.now();
-    sushi_assert(port >= 0 && port < static_cast<int>(n_in_[i]));
+    const NetStructure &st = *struct_;
+    const Tick now = cx.now;
+    sushi_assert(port >= 0 && port < static_cast<int>(st.n_in[i]));
     FaultModel &fm = sim_.faults();
     // A dead cell (shorted/open junction) eats the pulse before any
     // junction switches: no energy, no constraint bookkeeping.
     if (fm.anyCellFaults()) {
         const bool dead =
             masksCurrent()
-                ? fm.suppressArrivalMasked(fault_mask_[i], now)
-                : fm.suppressArrival(names_[i], now);
+                ? fm.suppressArrivalKeyed(fault_mask_[i], now,
+                                          *cx.faults)
+                : fm.suppressArrival(st.names[i], now);
         if (dead)
             return false;
     }
-    // Table-1 constraint check: first violated rule wins, in the
-    // constraintRules() order, exactly as ConstraintChecker does.
-    const auto ck = static_cast<CellKind>(kind);
-    Tick *last = last_.data() + in_off_[i];
-    const IncomingRule *hit = nullptr;
-    Tick hit_prev = kTickNever;
-    for (const IncomingRule &r : incomingRules(ck, port)) {
-        const Tick prev =
-            last[static_cast<std::size_t>(r.chan_a)];
-        if (prev == kTickNever)
-            continue;
-        if (now - prev < r.min_interval) {
-            hit = &r;
-            hit_prev = prev;
-            break;
+    Tick *last = last_.data() + st.in_off[i];
+    if (st.has_rules[i] != 0) {
+        // Table-1 constraint check: first violated rule wins, in the
+        // constraintRules() order, exactly as ConstraintChecker does.
+        const auto ck = static_cast<CellKind>(kind);
+        const IncomingRule *hit = nullptr;
+        Tick hit_prev = kTickNever;
+        for (const IncomingRule &r : incomingRules(ck, port)) {
+            const Tick prev =
+                last[static_cast<std::size_t>(r.chan_a)];
+            if (prev == kTickNever)
+                continue;
+            if (now - prev < r.min_interval) {
+                hit = &r;
+                hit_prev = prev;
+                break;
+            }
         }
+        // The arrival is recorded whether or not it violated: the
+        // pulse did hit the input, and later spacing is measured
+        // from it.
+        last[static_cast<std::size_t>(port)] = now;
+        if (hit != nullptr &&
+            sim_.reportViolationEvt(
+                st.names[i],
+                violationMessage(ck, hit->label, hit->min_interval,
+                                 hit_prev, now),
+                hit->label, hit_prev, now, now, id, port)) {
+            // Recover policy: the marginal arrival is attributed to
+            // this cell and the offending pulse is discarded.
+            return false;
+        }
+    } else {
+        last[static_cast<std::size_t>(port)] = now;
     }
-    // The arrival is recorded whether or not it violated: the pulse
-    // did hit the input, and later spacing is measured from it.
-    last[static_cast<std::size_t>(port)] = now;
-    if (hit != nullptr &&
-        sim_.reportViolation(names_[i],
-                             violationMessage(ck, hit->label,
-                                              hit->min_interval,
-                                              hit_prev, now),
-                             hit->label, hit_prev, now)) {
-        // Recover policy: the marginal arrival is attributed to this
-        // cell and the offending pulse is discarded.
-        return false;
-    }
-    sim_.addSwitchEnergy(kind_energy_[kind]);
+    ++cx.switch_count[kind];
     return true;
 }
 
 void
-CompiledNetlist::emit(std::int32_t id, int out_port, Tick delay)
+CompiledNetlist::pushOut(ExecCtx &cx, Tick when, std::int32_t dst,
+                         std::int32_t port)
+{
+    ++*cx.pulses;
+    if (cx.lane_of == nullptr || cx.lane_of[dst] == cx.lane) {
+        cx.queue->push(when, dst, port);
+    } else {
+        // Crossing a partition boundary: park in the per-destination
+        // outbox; the window barrier merges it into the destination
+        // partition's queue in deterministic order.
+        cx.outbox[cx.lane_of[dst]].push_back(
+            CrossEvent{when, dst, port});
+    }
+}
+
+void
+CompiledNetlist::emit(std::int32_t id, int out_port, Tick delay,
+                      ExecCtx &cx)
 {
     const auto i = static_cast<std::size_t>(id);
+    const NetStructure &st = *struct_;
     const OutConn &c =
-        conns_[static_cast<std::size_t>(out_off_[i]) +
-               static_cast<std::size_t>(out_port)];
+        st.conns[static_cast<std::size_t>(st.out_off[i]) +
+                 static_cast<std::size_t>(out_port)];
     if (c.dst < 0)
         return; // dangling output is legal (unused readout)
     FaultModel &fm = sim_.faults();
     if (fm.anyDeliveryFaults()) {
-        const Tick now = sim_.now();
+        const Tick now = cx.now;
         const FaultModel::Delivery fate =
             masksCurrent()
-                ? fm.onDeliverMasked(fault_mask_[i], now)
-                : fm.onDeliver(names_[i], now);
+                ? fm.onDeliverKeyed(
+                      fault_mask_[i], now,
+                      static_cast<std::uint64_t>(id), rng_ctr_[i],
+                      *cx.faults)
+                : fm.onDeliver(st.names[i], now);
         if (fate.dropped)
             return; // injected fault: the pulse is lost in flight
         Tick total = delay + c.wire_delay + fate.jitter;
         if (total < 0)
             total = 0; // jitter cannot deliver into the past
-        sim_.countPulse();
-        sim_.schedulePulse(now + total, c.dst, c.port);
+        pushOut(cx, now + total, c.dst, c.port);
         // Spurious pulses (punch-through) trail the real delivery.
-        for (int s = 1; s <= fate.inserted; ++s) {
-            sim_.countPulse();
-            sim_.schedulePulse(now + total + s, c.dst, c.port);
-        }
+        for (int s = 1; s <= fate.inserted; ++s)
+            pushOut(cx, now + total + s, c.dst, c.port);
         return;
     }
-    sim_.countPulse();
-    sim_.schedulePulse(sim_.now() + delay + c.wire_delay, c.dst,
-                       c.port);
+    pushOut(cx, cx.now + delay + c.wire_delay, c.dst, c.port);
 }
 
 void
-CompiledNetlist::deliver(std::int32_t id, std::int32_t port)
+CompiledNetlist::deliver(std::int32_t id, std::int32_t port,
+                         ExecCtx &cx)
 {
     const std::size_t i = checkId(id);
-    const std::uint8_t kind = kind_[i];
+    const std::uint8_t kind = struct_->kind[i];
     const Tick delay = kind_delay_[kind];
     switch (kind) {
       case u8(CellKind::JTL):
       case u8(CellKind::DCSFQ):
-        if (!arriveCell(id, kind, port))
+        if (!arriveCell(id, kind, port, cx))
             return;
-        emit(id, 0, delay);
+        emit(id, 0, delay, cx);
         break;
       case u8(CellKind::SPL):
-        if (!arriveCell(id, kind, port))
+        if (!arriveCell(id, kind, port, cx))
             return;
-        emit(id, 0, delay);
-        emit(id, 1, delay);
+        emit(id, 0, delay, cx);
+        emit(id, 1, delay, cx);
         break;
       case u8(CellKind::SPL3):
-        if (!arriveCell(id, kind, port))
+        if (!arriveCell(id, kind, port, cx))
             return;
-        emit(id, 0, delay);
-        emit(id, 1, delay);
-        emit(id, 2, delay);
+        emit(id, 0, delay, cx);
+        emit(id, 1, delay, cx);
+        emit(id, 2, delay, cx);
         break;
       case u8(CellKind::CB):
       case u8(CellKind::CB3):
-        if (!arriveCell(id, kind, port))
+        if (!arriveCell(id, kind, port, cx))
             return;
-        emit(id, 0, delay);
+        emit(id, 0, delay, cx);
         break;
       case u8(CellKind::DFF):
-        if (!arriveCell(id, kind, port))
+        if (!arriveCell(id, kind, port, cx))
             return;
         if (port == chan::kDffDin) {
             if (state_[i] != 0) {
                 // A second din before a clk would push a second flux
                 // quantum into the storage loop — a design error.
                 // Under Recover the surplus din is simply discarded.
-                if (sim_.reportViolation(
-                        names_[i], "din while already storing"))
+                if (sim_.reportViolationEvt(
+                        struct_->names[i],
+                        "din while already storing", "", kTickNever,
+                        kTickNever, cx.now, id, port))
                     return;
             }
             state_[i] = 1;
@@ -256,12 +367,12 @@ CompiledNetlist::deliver(std::int32_t id, std::int32_t port)
             // no output pulse.
             if (state_[i] != 0) {
                 state_[i] = 0;
-                emit(id, 0, delay);
+                emit(id, 0, delay, cx);
             }
         }
         break;
       case u8(CellKind::NDRO): {
-        if (!arriveCell(id, kind, port))
+        if (!arriveCell(id, kind, port, cx))
             return;
         // Stuck-at faults model flux trapped in (stuck-set) or a
         // dead (stuck-reset) storage loop: while active, the loop
@@ -270,13 +381,13 @@ CompiledNetlist::deliver(std::int32_t id, std::int32_t port)
         bool s_set = false, s_rst = false;
         FaultModel &fm = sim_.faults();
         if (fm.anyCellFaults()) {
-            const Tick now = sim_.now();
+            const Tick now = cx.now;
             if (masksCurrent()) {
                 s_set = fm.stuckSetMasked(fault_mask_[i], now);
                 s_rst = fm.stuckResetMasked(fault_mask_[i], now);
             } else {
-                s_set = fm.stuckSet(names_[i], now);
-                s_rst = fm.stuckReset(names_[i], now);
+                s_set = fm.stuckSet(struct_->names[i], now);
+                s_rst = fm.stuckReset(struct_->names[i], now);
             }
         }
         if (s_set)
@@ -294,47 +405,48 @@ CompiledNetlist::deliver(std::int32_t id, std::int32_t port)
             break;
           case chan::kNdroClk:
             if (state_[i] != 0)
-                emit(id, 0, delay);
+                emit(id, 0, delay, cx);
             break;
           default:
-            sushi_panic("NDRO %s: bad port %d", names_[i].c_str(),
-                        port);
+            sushi_panic("NDRO %s: bad port %d",
+                        struct_->names[i].c_str(), port);
         }
         break;
       }
       case u8(CellKind::TFFL):
-        if (!arriveCell(id, kind, port))
+        if (!arriveCell(id, kind, port, cx))
             return;
         state_[i] ^= 1;
         if (state_[i] != 0) // pulses on the 0 -> 1 flip
-            emit(id, 0, delay);
+            emit(id, 0, delay, cx);
         break;
       case u8(CellKind::TFFR):
-        if (!arriveCell(id, kind, port))
+        if (!arriveCell(id, kind, port, cx))
             return;
         state_[i] ^= 1;
         if (state_[i] == 0) // pulses on the 1 -> 0 flip
-            emit(id, 0, delay);
+            emit(id, 0, delay, cx);
         break;
       case u8(CellKind::SFQDC):
-        if (!arriveCell(id, kind, port))
+        if (!arriveCell(id, kind, port, cx))
             return;
         state_[i] ^= 1; // output level toggles per pulse
-        traces_[static_cast<std::size_t>(trace_slot_[i])]
-            .push_back(sim_.now());
+        traces_[static_cast<std::size_t>(struct_->trace_slot[i])]
+            .push_back(cx.now);
         break;
       case kKindSink:
         sushi_assert(port == 0);
-        traces_[static_cast<std::size_t>(trace_slot_[i])]
-            .push_back(sim_.now());
+        traces_[static_cast<std::size_t>(struct_->trace_slot[i])]
+            .push_back(cx.now);
         break;
       case kKindSource:
         // A source "delivery" is its scheduled firing: emit through
         // output 0 with zero cell delay, as PulseSource::pulseAt did.
-        emit(id, 0, 0);
+        emit(id, 0, 0, cx);
         break;
       default:
-        sushi_panic("cell %s: bad kind %d", names_[i].c_str(),
+        sushi_panic("cell %s: bad kind %d",
+                    struct_->names[i].c_str(),
                     static_cast<int>(kind));
     }
 }

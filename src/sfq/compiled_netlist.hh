@@ -3,30 +3,37 @@
  * The compiled, data-oriented execution core of the RSFQ simulator.
  *
  * Every Component registers itself here at construction, which lowers
- * the circuit into flat contiguous arrays as it is built:
+ * the circuit into flat contiguous arrays as it is built. The tables
+ * are split along the mutability boundary:
  *
- *  - a cell table in struct-of-arrays form: one byte of kind, one
- *    byte of storage state (NDRO flux bit / TFF phase / DFF latch /
- *    SFQDC level) per cell;
- *  - a CSR fan-out table: RSFQ fan-out is one (paper Sec. 2.1.2), so
- *    each output port owns exactly one {dst, port, wire_delay} slot
- *    and the per-cell offsets are plain prefix sums maintained at
- *    registration time — no rebuild pass is ever needed;
- *  - flat per-channel last-arrival ticks for the Table-1 constraint
- *    checks;
- *  - pooled pulse traces for the probes (PulseSink, SFQDC), the
- *    index-addressed Waveform capture;
- *  - an interned name table (ids are dense registration order), so
- *    the name-based public APIs — fault targeting substrings,
- *    violation attribution, TimingFault diagnostics — keep working
- *    on top of index-addressed execution.
+ *  - NetStructure holds everything *immutable after compilation* —
+ *    the SoA kind/input-count bytes, the CSR fan-out table (RSFQ
+ *    fan-out is one, paper Sec. 2.1.2, so each output port owns
+ *    exactly one {dst, port, wire_delay} slot), the per-cell
+ *    constraint-presence flags, and the interned name table. One
+ *    NetStructure can be shared (shared_ptr) by many simulators:
+ *    replica fleets — fault-campaign workers, engine replicas —
+ *    clone only the mutable state below instead of re-lowering the
+ *    whole circuit per replica;
+ *
+ *  - the per-simulator mutable state: one byte of storage state
+ *    (NDRO flux bit / TFF phase / DFF latch / SFQDC level) per cell,
+ *    flat per-channel last-arrival ticks for the Table-1 constraint
+ *    checks, pooled pulse traces for the probes (PulseSink, SFQDC),
+ *    per-cell keyed-RNG draw counters, and the cached fault-target
+ *    bitmasks.
  *
  * deliver() is the pulse-delivery inner loop: a switch on the kind
  * byte over indices. No virtual dispatch, no std::function, no
  * allocation, no string handling on the fault-free hot path (see
- * DESIGN.md §2.1). freeze() completes the lowering by caching one
- * fault-target bitmask per cell, so fault campaigns skip substring
- * matching per event as well.
+ * DESIGN.md §2.1). It executes against an ExecCtx — a bundle of
+ * pointers naming the clock, event queue, and counters to use — so
+ * the same compiled tables serve both the sequential simulator (one
+ * context wired to the Simulator's own members) and the partitioned
+ * parallel simulator (one context per partition, with cross-partition
+ * pulses routed into per-edge outboxes). freeze() completes the
+ * lowering by caching one fault-target bitmask per cell and taking
+ * the state snapshot that makes Simulator::reset() a memcpy.
  */
 
 #ifndef SUSHI_SFQ_COMPILED_NETLIST_HH
@@ -34,6 +41,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -45,6 +53,67 @@
 namespace sushi::sfq {
 
 class Simulator;
+class EventQueue;
+struct FaultCounters;
+
+/** One CSR fan-out slot (fan-out is 1 per output port). */
+struct OutConn
+{
+    std::int32_t dst = -1; ///< destination cell id, -1 dangling
+    std::int32_t port = 0; ///< destination input port
+    Tick wire_delay = 0;   ///< interconnect (JTL chain) delay
+};
+
+/**
+ * The immutable-after-compilation half of a compiled netlist. Built
+ * through CompiledNetlist's lowering API, then optionally sealed and
+ * shared across simulators via CompiledNetlist::shareStructure().
+ */
+struct NetStructure
+{
+    std::vector<std::uint8_t> kind;     ///< execution kind byte
+    std::vector<std::uint8_t> n_in;     ///< input port count
+    std::vector<std::uint8_t> has_rules; ///< any Table-1 rule on kind
+    std::vector<std::int32_t> out_off;  ///< CSR offsets into conns
+    std::vector<OutConn> conns;
+    std::vector<std::int32_t> in_off;   ///< offsets into last-arrival
+    std::vector<std::int32_t> trace_slot;
+    std::deque<std::string> names;      ///< stable refs for name()
+    std::unordered_map<std::string, std::int32_t> by_name;
+    std::size_t live_conns = 0;
+    std::size_t num_traces = 0;
+    std::size_t num_inputs = 0;         ///< total input channels
+};
+
+/** One pulse bound for another partition, parked in an outbox until
+ *  the window barrier (parallel simulation only). */
+struct CrossEvent
+{
+    Tick when;
+    std::int32_t cell;
+    std::int32_t port;
+};
+
+/**
+ * Execution context for deliver(): names the clock, event queue, and
+ * counters one delivery should use. The sequential Simulator wires a
+ * single context to its own members; the parallel simulator gives
+ * each partition its own (queue, counters, outboxes) so partitions
+ * never write shared state. All pointers are non-owning.
+ */
+struct ExecCtx
+{
+    Tick now = 0;                       ///< current simulation time
+    EventQueue *queue = nullptr;        ///< same-partition pushes
+    std::uint64_t *pulses = nullptr;    ///< delivered-pulse tally
+    std::uint64_t *switch_count = nullptr; ///< per-kind switch tally
+    FaultCounters *faults = nullptr;    ///< injected-fault tally
+
+    /// Partition routing: null lane_of means everything is local.
+    const std::int32_t *lane_of = nullptr; ///< cell id -> partition
+    std::int32_t lane = 0;                 ///< executing partition
+    std::vector<CrossEvent> *outbox = nullptr; ///< per-dst-partition
+};
 
 /** Flat, index-addressed circuit representation plus its executor. */
 class CompiledNetlist
@@ -56,15 +125,12 @@ class CompiledNetlist
     static constexpr std::uint8_t kKindSink = kKindSource + 1;
     static constexpr std::uint8_t kNumExecKinds = kKindSink + 1;
 
-    /** One CSR fan-out slot (fan-out is 1 per output port). */
-    struct OutConn
-    {
-        std::int32_t dst = -1; ///< destination cell id, -1 dangling
-        std::int32_t port = 0; ///< destination input port
-        Tick wire_delay = 0;   ///< interconnect (JTL chain) delay
-    };
-
     explicit CompiledNetlist(Simulator &sim);
+
+    /** Adopt a sealed structure shared with other simulators; this
+     *  instance allocates only the mutable per-sim state. */
+    CompiledNetlist(Simulator &sim,
+                    std::shared_ptr<const NetStructure> structure);
 
     CompiledNetlist(const CompiledNetlist &) = delete;
     CompiledNetlist &operator=(const CompiledNetlist &) = delete;
@@ -72,7 +138,8 @@ class CompiledNetlist
     /// @name Lowering (driven by Component registration)
     /// @{
 
-    /** Register a cell; returns its dense id. */
+    /** Register a cell; returns its dense id. Fatal once the
+     *  structure has been sealed by shareStructure(). */
     std::int32_t addCell(std::string name, std::uint8_t kind,
                          int num_inputs, int num_outputs);
 
@@ -89,24 +156,43 @@ class CompiledNetlist
 
     /**
      * Finish the lowering: refresh the per-cell fault-target bitmask
-     * cache against the simulator's current fault configuration.
-     * Idempotent and cheap when nothing changed; Simulator::run()
-     * calls it before executing, so the compiled path is always the
-     * one that runs.
+     * cache against the simulator's current fault configuration, and
+     * capture the post-compile state snapshot (first freeze after a
+     * structural change) that restoreState() rewinds to. Idempotent
+     * and cheap when nothing changed; Simulator::run() calls it
+     * before executing, so the compiled path is always the one that
+     * runs.
      */
     void freeze();
+
+    /**
+     * Seal the structure and return it for sharing with replica
+     * simulators (Simulator's structure-adopting constructor).
+     * Further addCell/connect calls on any simulator using this
+     * structure are fatal — replicas would see the mutation.
+     */
+    std::shared_ptr<const NetStructure> shareStructure();
+
+    /** The structure (shared or exclusively owned). */
+    const std::shared_ptr<const NetStructure> &structure() const
+    {
+        return struct_;
+    }
 
     /// @}
     /// @name Interned name table
     /// @{
 
-    std::size_t numCells() const { return kind_.size(); }
-    std::size_t numConnections() const { return live_conns_; }
+    std::size_t numCells() const { return struct_->kind.size(); }
+    std::size_t numConnections() const
+    {
+        return struct_->live_conns;
+    }
 
     const std::string &
     cellName(std::int32_t id) const
     {
-        return names_[checkId(id)];
+        return struct_->names[checkId(id)];
     }
 
     /** Dense id for an instance name; -1 if unknown. Duplicate names
@@ -117,7 +203,22 @@ class CompiledNetlist
     std::uint8_t
     cellKind(std::int32_t id) const
     {
-        return kind_[checkId(id)];
+        return struct_->kind[checkId(id)];
+    }
+
+    /** Propagation delay of an execution kind. */
+    Tick
+    kindDelay(std::uint8_t kind) const
+    {
+        sushi_assert(kind < kNumExecKinds);
+        return kind_delay_[kind];
+    }
+
+    /** Number of output ports of a cell. */
+    int
+    numOutputs(std::int32_t id) const
+    {
+        return static_cast<int>(connCount(checkId(id)));
     }
 
     /// @}
@@ -139,14 +240,14 @@ class CompiledNetlist
     const std::vector<Tick> &
     trace(std::int32_t id) const
     {
-        const std::int32_t slot = trace_slot_[checkId(id)];
+        const std::int32_t slot = struct_->trace_slot[checkId(id)];
         sushi_assert(slot >= 0);
         return traces_[static_cast<std::size_t>(slot)];
     }
     std::vector<Tick> &
     traceMut(std::int32_t id)
     {
-        const std::int32_t slot = trace_slot_[checkId(id)];
+        const std::int32_t slot = struct_->trace_slot[checkId(id)];
         sushi_assert(slot >= 0);
         return traces_[static_cast<std::size_t>(slot)];
     }
@@ -156,8 +257,9 @@ class CompiledNetlist
     lastArrival(std::int32_t id, int channel) const
     {
         const std::size_t i = checkId(id);
-        sushi_assert(channel >= 0 && channel < n_in_[i]);
-        return last_[static_cast<std::size_t>(in_off_[i]) +
+        sushi_assert(channel >= 0 &&
+                     channel < static_cast<int>(struct_->n_in[i]));
+        return last_[static_cast<std::size_t>(struct_->in_off[i]) +
                      static_cast<std::size_t>(channel)];
     }
 
@@ -169,29 +271,56 @@ class CompiledNetlist
     }
 
     /// @}
+    /// @name Snapshot-fast reset
+    /// @{
+
+    /**
+     * Rewind the mutable state to the snapshot freeze() captured:
+     * storage bits, last-arrival ticks, and keyed-RNG counters are
+     * restored by flat array copies (memcpy under the hood) and the
+     * probe traces truncated to their snapshot length — no per-cell
+     * walk. No-op before the first freeze.
+     */
+    void restoreState();
+
+    /// @}
+
+    /** Dynamic switching energy implied by a per-kind switch tally
+     *  (joules): sum over kinds of count x per-switch energy. */
+    double switchEnergyOf(const std::uint64_t counts[]) const;
 
     /**
      * Execute one pulse arriving on input @p port of cell @p id at
-     * the simulator's current time. The inner loop of the simulator.
+     * time @p cx.now, against @p cx's queue and counters. The inner
+     * loop of the simulator.
      */
-    void deliver(std::int32_t id, std::int32_t port);
+    void deliver(std::int32_t id, std::int32_t port, ExecCtx &cx);
 
   private:
     /** Dead-cell / constraint / energy bookkeeping shared by every
      *  library cell. @return false if the pulse must be discarded. */
-    bool arriveCell(std::int32_t id, std::uint8_t kind, int port);
+    bool arriveCell(std::int32_t id, std::uint8_t kind, int port,
+                    ExecCtx &cx);
 
     /** Emit one pulse out of @p out_port after @p delay. */
-    void emit(std::int32_t id, int out_port, Tick delay);
+    void emit(std::int32_t id, int out_port, Tick delay, ExecCtx &cx);
+
+    /** Route one scheduled delivery: local queue push, or outbox
+     *  append when @p dst lives in another partition. */
+    void pushOut(ExecCtx &cx, Tick when, std::int32_t dst,
+                 std::int32_t port);
 
     /** True if the cached fault bitmasks match the live config. */
     bool masksCurrent() const;
 
+    /** The builder-writable structure (null once sealed/adopted). */
+    NetStructure &mut();
+
     std::size_t
     checkId(std::int32_t id) const
     {
-        sushi_assert(id >= 0 &&
-                     static_cast<std::size_t>(id) < kind_.size());
+        sushi_assert(id >= 0 && static_cast<std::size_t>(id) <
+                                    struct_->kind.size());
         return static_cast<std::size_t>(id);
     }
 
@@ -202,40 +331,45 @@ class CompiledNetlist
         sushi_assert(out_port >= 0 &&
                      static_cast<std::size_t>(out_port) <
                          connCount(i));
-        return conns_[static_cast<std::size_t>(out_off_[i]) +
-                      static_cast<std::size_t>(out_port)];
+        return struct_
+            ->conns[static_cast<std::size_t>(struct_->out_off[i]) +
+                    static_cast<std::size_t>(out_port)];
     }
 
     std::size_t
     connCount(std::size_t i) const
     {
-        const std::size_t end = i + 1 < out_off_.size()
-            ? static_cast<std::size_t>(out_off_[i + 1])
-            : conns_.size();
-        return end - static_cast<std::size_t>(out_off_[i]);
+        const std::size_t end = i + 1 < struct_->out_off.size()
+            ? static_cast<std::size_t>(struct_->out_off[i + 1])
+            : struct_->conns.size();
+        return end - static_cast<std::size_t>(struct_->out_off[i]);
     }
 
     Simulator &sim_;
 
-    // Hot SoA cell table (indexed by dense cell id).
-    std::vector<std::uint8_t> kind_;
+    // The structural half: owned exclusively while building, possibly
+    // shared (and then immutable) afterwards. mut_ aliases struct_
+    // while this instance may still lower cells into it.
+    std::shared_ptr<const NetStructure> struct_;
+    NetStructure *mut_ = nullptr;
+
+    // Mutable per-simulator state (indexed by dense cell id).
     std::vector<std::uint8_t> state_;
-    std::vector<std::uint8_t> n_in_;
-    std::vector<std::int32_t> out_off_; ///< CSR offsets into conns_
-    std::vector<OutConn> conns_;
-    std::vector<std::int32_t> in_off_;  ///< offsets into last_
     std::vector<Tick> last_;            ///< per-channel last arrival
-    std::vector<std::int32_t> trace_slot_;
+    std::vector<std::uint32_t> rng_ctr_; ///< keyed fault-draw counters
     std::deque<std::vector<Tick>> traces_; ///< stable refs for probes
 
-    // Cold: diagnostics / name-based APIs.
-    std::deque<std::string> names_; ///< stable refs for name()
-    std::unordered_map<std::string, std::int32_t> by_name_;
-    std::size_t live_conns_ = 0;
+    // Post-compile snapshot for restoreState().
+    std::vector<std::uint8_t> snap_state_;
+    std::vector<Tick> snap_last_;
+    std::vector<std::uint32_t> snap_rng_ctr_;
+    std::vector<std::size_t> snap_trace_size_;
+    bool snapped_ = false;
 
     // Per-kind parameter cache (delay, switch energy).
     Tick kind_delay_[kNumExecKinds];
     double kind_energy_[kNumExecKinds];
+    bool kind_has_rules_[kNumExecKinds];
 
     // Fault lowering: bit s of fault_mask_[i] says fault spec s
     // targets cell i. Rebuilt by freeze() when the configuration
@@ -243,6 +377,12 @@ class CompiledNetlist
     std::vector<std::uint64_t> fault_mask_;
     std::uint64_t fault_cfg_version_ = ~std::uint64_t{0};
     bool fault_masks_usable_ = false;
+
+    /** Masks usable for the keyed fault path (parallel runs need
+     *  this or a fault-free config). */
+    bool faultMasksUsable() const { return fault_masks_usable_; }
+
+    friend class ParallelSimulator;
 };
 
 } // namespace sushi::sfq

@@ -6,9 +6,14 @@
  * per-event allocation) kept in a calendar of day-wide buckets:
  *
  *  - the *draining day* is a small binary min-heap (`cur_`) ordered
- *    by (when, seq), so equal-tick events pop in insertion order —
- *    the stable tie-break that keeps gate-level simulations
- *    deterministic regardless of container internals;
+ *    by (when, cell, port, seq) — an *intrinsic* tie-break: the pop
+ *    order of equal-tick events depends only on what the events are,
+ *    never on the order they were pushed. That is what lets the
+ *    partitioned parallel simulator reproduce the sequential order
+ *    exactly — each partition pops its own events in the same
+ *    relative order the single queue would have, regardless of when
+ *    boundary pulses were merged in (callbacks sort first at a tick,
+ *    in schedule order);
  *  - days within the ring horizon land in unsorted per-day buckets
  *    and are only heapified when their day starts draining;
  *  - events past the horizon go to an overflow min-heap and migrate
@@ -41,8 +46,9 @@ class EventQueue
     static constexpr std::int32_t kCallbackCell = -1;
 
     /** One scheduled delivery: pulse into input @p port of compiled
-     *  cell @p cell at tick @p when. @p seq breaks equal-tick ties in
-     *  insertion order. */
+     *  cell @p cell at tick @p when. Equal-tick ties order by
+     *  (cell, port); @p seq only breaks full (when, cell, port)
+     *  collisions, in insertion order. */
     struct Event
     {
         Tick when;
@@ -137,6 +143,28 @@ class EventQueue
         return ev;
     }
 
+    /**
+     * Pop the earliest event into @p out *without* counting it as
+     * executed. Used to migrate pending events between queues (the
+     * parallel simulator drains the owning simulator's queue into
+     * per-partition queues and back); migration must not inflate
+     * eventsExecuted().
+     * @return false when the queue is empty.
+     */
+    bool
+    take(Event &out)
+    {
+        if (size_ == 0)
+            return false;
+        if (cur_.empty())
+            refill();
+        out = cur_.front();
+        std::pop_heap(cur_.begin(), cur_.end(), Later{});
+        cur_.pop_back();
+        --size_;
+        return true;
+    }
+
     /** Total events popped for execution since construction. */
     std::uint64_t executed() const { return executed_; }
 
@@ -145,7 +173,10 @@ class EventQueue
     void clear();
 
   private:
-    /** Min-heap order on (when, seq). */
+    /** Min-heap order on (when, cell, port, seq). Callback events
+     *  (cell == kCallbackCell == -1) sort before every pulse at the
+     *  same tick and among themselves by seq alone: callback slots
+     *  are pool-recycled, so their port is not a stable identity. */
     struct Later
     {
         bool
@@ -153,6 +184,10 @@ class EventQueue
         {
             if (a.when != b.when)
                 return a.when > b.when;
+            if (a.cell != b.cell)
+                return a.cell > b.cell;
+            if (a.cell != kCallbackCell && a.port != b.port)
+                return a.port > b.port;
             return a.seq > b.seq;
         }
     };

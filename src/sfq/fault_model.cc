@@ -50,6 +50,7 @@ FaultModel::addFault(FaultSpec spec)
       case FaultKind::TimingJitter:
         sushi_assert(spec.jitter_sigma >= 0.0);
         ++delivery_faults_;
+        ++jitter_faults_;
         break;
       case FaultKind::StuckSet:
       case FaultKind::StuckReset:
@@ -67,6 +68,7 @@ FaultModel::clearFaults()
     specs_.clear();
     delivery_faults_ = 0;
     cell_faults_ = 0;
+    jitter_faults_ = 0;
     ++config_version_;
 }
 
@@ -202,6 +204,69 @@ FaultModel::suppressArrivalMasked(std::uint64_t mask, Tick now)
         if (specs_[i].kind == FaultKind::DeadCell &&
             maskedMatch(i, mask, now)) {
             ++counters_.suppressed;
+            return true;
+        }
+    }
+    return false;
+}
+
+FaultModel::Delivery
+FaultModel::onDeliverKeyed(std::uint64_t mask, Tick now,
+                           std::uint64_t cell, std::uint32_t &ctr,
+                           FaultCounters &c) const
+{
+    Delivery d;
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const FaultSpec &spec = specs_[i];
+        switch (spec.kind) {
+          case FaultKind::PulseDrop:
+            // Matching specs consume their counter values even after
+            // a drop decision, so the per-cell stream position — and
+            // therefore every later decision on this cell — is
+            // independent of this delivery's fate (mirrors the
+            // sequential-stream rule in onDeliver).
+            if (maskedMatch(i, mask, now) &&
+                keyedChance(spec.rate, seed_, cell, ctr) &&
+                !d.dropped) {
+                d.dropped = true;
+                ++c.dropped;
+            }
+            break;
+          case FaultKind::SpuriousPulse:
+            if (maskedMatch(i, mask, now) &&
+                keyedChance(spec.rate, seed_, cell, ctr) &&
+                !d.dropped) {
+                ++d.inserted;
+                ++c.inserted;
+            }
+            break;
+          case FaultKind::TimingJitter:
+            if (maskedMatch(i, mask, now) &&
+                spec.jitter_sigma > 0.0) {
+                const double shift = keyedGaussian(
+                    0.0, spec.jitter_sigma, seed_, cell, ctr);
+                d.jitter += static_cast<Tick>(std::llround(shift));
+            }
+            break;
+          case FaultKind::StuckSet:
+          case FaultKind::StuckReset:
+          case FaultKind::DeadCell:
+            break;
+        }
+    }
+    if (d.jitter != 0)
+        ++c.jittered;
+    return d;
+}
+
+bool
+FaultModel::suppressArrivalKeyed(std::uint64_t mask, Tick now,
+                                 FaultCounters &c) const
+{
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        if (specs_[i].kind == FaultKind::DeadCell &&
+            maskedMatch(i, mask, now)) {
+            ++c.suppressed;
             return true;
         }
     }

@@ -165,9 +165,44 @@ class FaultModel
     bool stuckResetMasked(std::uint64_t mask, Tick now) const;
     /// @}
 
+    /// @name Keyed queries (compiled / parallel path)
+    ///
+    /// Counter-based randomness: every draw is a pure function of
+    /// (seed, cell id, per-cell counter), so fault decisions depend
+    /// only on the per-cell delivery sequence — never on the global
+    /// interleaving of cells. That is what lets the partitioned
+    /// parallel simulator reproduce the sequential fault stream
+    /// exactly: each partition advances only its own cells' counters.
+    /// Effects are tallied into the caller's @p c (per-partition in
+    /// parallel runs, the model's own counters sequentially), so the
+    /// queries are const and race-free across partitions.
+    /// @{
+
+    /** Keyed twin of onDeliverMasked: the fate of a delivery leaving
+     *  cell @p cell, whose draw counter is @p ctr. Matching drop /
+     *  spurious specs consume one counter value each, jitter specs
+     *  exactly two, independent of earlier outcomes. */
+    Delivery onDeliverKeyed(std::uint64_t mask, Tick now,
+                            std::uint64_t cell, std::uint32_t &ctr,
+                            FaultCounters &c) const;
+
+    /** Keyed twin of suppressArrivalMasked (no randomness; counts
+     *  the suppression into @p c instead of the model). */
+    bool suppressArrivalKeyed(std::uint64_t mask, Tick now,
+                              FaultCounters &c) const;
+    /// @}
+
+    /** Mutable counters (for merging per-partition tallies back). */
+    FaultCounters &countersMut() { return counters_; }
+
     /** Fast-path guards: any fault of the given class configured? */
     bool anyDeliveryFaults() const { return delivery_faults_ > 0; }
     bool anyCellFaults() const { return cell_faults_ > 0; }
+
+    /** Any TimingJitter spec configured? Jitter shifts delivery
+     *  times arbitrarily, which defeats the parallel simulator's
+     *  min-link-delay lookahead — it falls back to sequential. */
+    bool anyJitterFaults() const { return jitter_faults_ > 0; }
 
     const FaultCounters &counters() const { return counters_; }
 
@@ -195,6 +230,7 @@ class FaultModel
     std::vector<FaultSpec> specs_;
     int delivery_faults_ = 0; ///< drop/spurious/jitter spec count
     int cell_faults_ = 0;     ///< stuck/dead spec count
+    int jitter_faults_ = 0;   ///< TimingJitter spec count
     std::uint64_t config_version_ = 0;
     FaultCounters counters_;
 };

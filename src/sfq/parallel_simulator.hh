@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Partitioned parallel execution of a compiled netlist.
+ *
+ * ParallelSimulator wraps a Simulator and runs its compiled core
+ * across several threads while producing *byte-identical* results —
+ * traces, probe output, violation attribution, pulse/energy/fault
+ * counters — at any thread count, including 1 (and including the
+ * plain Simulator::run() path).
+ *
+ * How (DESIGN.md §4.9):
+ *
+ *  - the netlist is partitioned along slow inter-component links
+ *    (partition.hh); the minimum delay of a lane-crossing link is
+ *    the *lookahead* L;
+ *  - all lanes advance in lock-step windows [W, W + L): a pulse
+ *    crossing lanes is dated >= W + L, so inside a window each lane
+ *    is causally independent and executes its own calendar queue
+ *    exactly as the sequential simulator would;
+ *  - cross-lane pulses are parked in per-(src, dst) outboxes and
+ *    merged at the window barrier in fixed lane order. Merge order
+ *    cannot matter for replay: the event queue pops in intrinsic
+ *    (when, cell, port) order, and events identical in all three are
+ *    the same physical delivery;
+ *  - fault randomness is counter-keyed per cell (fault_model.hh), so
+ *    decisions depend only on each cell's own delivery sequence,
+ *    never on global interleaving; per-lane tallies merge by sum;
+ *  - a Fatal timing violation aborts that lane at its event key
+ *    (when, cell, port); every other lane still finishes the window,
+ *    and the fault with the minimum key — exactly the one sequential
+ *    execution would hit first — is rethrown.
+ *
+ * Workloads the window protocol cannot reproduce fall back to the
+ *  sequential path transparently (lastRunParallel() says which ran):
+ *  TimingJitter faults (jitter breaks the lookahead bound), fault
+ *  configs too large for the per-cell mask cache, pending callback
+ *  events (host-side stimulus closures), or a netlist that contracts
+ *  to a single partition.
+ */
+
+#ifndef SUSHI_SFQ_PARALLEL_SIMULATOR_HH
+#define SUSHI_SFQ_PARALLEL_SIMULATOR_HH
+
+#include "common/time.hh"
+#include "sfq/partition.hh"
+#include "sfq/simulator.hh"
+
+namespace sushi::sfq {
+
+/** Lock-step multi-threaded driver for one Simulator. */
+class ParallelSimulator
+{
+  public:
+    struct Options
+    {
+        /** Worker threads (= max lanes); 0 picks
+         *  std::thread::hardware_concurrency(). 1 is sequential. */
+        int threads = 0;
+
+        /**
+         * Connections faster than this are never cut (partition.hh).
+         * The default keeps every intra-component path (cell delays
+         * run 3.5–10 ps) in one lane and cuts only long NoC-class
+         * links, giving windows wide enough to amortize the two
+         * barriers each costs. Lower it to force finer partitions
+         * (tests use 1 tick to exercise cuts on tiny rigs).
+         */
+        Tick min_lookahead = psToTicks(10.0);
+    };
+
+    explicit ParallelSimulator(Simulator &sim)
+        : ParallelSimulator(sim, Options{})
+    {
+    }
+    ParallelSimulator(Simulator &sim, Options opts);
+
+    /**
+     * Equivalent of sim.run(until): execute every pending event with
+     * tick <= @p until, in parallel when the workload allows it.
+     * @return the tick of the last executed event (sim.now()).
+     */
+    Tick run(Tick until = kTickNever);
+
+    /** The partition plan of the last run (rebuilt on netlist
+     *  growth). Valid after the first run(). */
+    const PartitionPlan &plan() const { return plan_; }
+
+    /** True if the last run() actually executed in parallel (false:
+     *  it delegated to the sequential Simulator::run()). */
+    bool lastRunParallel() const { return last_parallel_; }
+
+    /** Resolved thread count this instance will try to use. */
+    int threads() const { return threads_; }
+
+  private:
+    void refreshPlan();
+    Tick runParallel(Tick until);
+
+    Simulator &sim_;
+    Options opts_;
+    int threads_;
+    PartitionPlan plan_;
+    bool plan_valid_ = false;
+    bool last_parallel_ = false;
+};
+
+} // namespace sushi::sfq
+
+#endif // SUSHI_SFQ_PARALLEL_SIMULATOR_HH

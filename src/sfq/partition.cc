@@ -1,0 +1,166 @@
+#include "sfq/partition.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "sfq/compiled_netlist.hh"
+
+namespace sushi::sfq {
+
+namespace {
+
+/** Union-find with path halving (no ranks: the id-order tie-breaks
+ *  below want the minimum cell id as the stable representative). */
+class UnionFind
+{
+  public:
+    explicit UnionFind(std::size_t n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    std::size_t
+    find(std::size_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]]; // path halving
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    /** Merge; the smaller root index wins, keeping representatives
+     *  equal to each component's minimum cell id. */
+    void
+    merge(std::size_t a, std::size_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return;
+        if (b < a)
+            std::swap(a, b);
+        parent_[b] = a;
+    }
+
+  private:
+    std::vector<std::size_t> parent_;
+};
+
+} // namespace
+
+PartitionPlan
+partitionNetlist(const CompiledNetlist &core, int max_lanes,
+                 Tick min_lookahead)
+{
+    sushi_assert(max_lanes >= 1);
+    sushi_assert(min_lookahead >= 1);
+    PartitionPlan plan;
+    const std::size_t n = core.numCells();
+    plan.num_cells = n;
+    plan.lane_of.assign(n, 0);
+    plan.component_of.assign(n, 0);
+    if (n == 0)
+        return plan;
+
+    // 1. Contract every connection too fast to serve as a window
+    //    boundary. End-to-end edge delay is the earliest a pulse
+    //    executing at the source can be dated at the destination:
+    //    source propagation delay + interconnect delay.
+    UnionFind uf(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto id = static_cast<std::int32_t>(i);
+        const Tick src_delay = core.kindDelay(core.cellKind(id));
+        const int outs = core.numOutputs(id);
+        for (int p = 0; p < outs; ++p) {
+            const OutConn &c = core.connection(id, p);
+            if (c.dst < 0)
+                continue;
+            if (src_delay + c.wire_delay < min_lookahead)
+                uf.merge(i, static_cast<std::size_t>(c.dst));
+        }
+    }
+
+    // 2. Collect components: representative (minimum cell id) ->
+    //    dense component index, in ascending representative order so
+    //    component numbering is stable.
+    std::vector<std::int32_t> comp_index(n, -1);
+    std::vector<std::size_t> comp_size;
+    std::vector<std::int32_t> comp_order; // dense index by discovery
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t root = uf.find(i);
+        if (comp_index[root] < 0) {
+            comp_index[root] =
+                static_cast<std::int32_t>(comp_size.size());
+            comp_size.push_back(0);
+        }
+        const std::int32_t ci = comp_index[root];
+        plan.component_of[i] = ci;
+        ++comp_size[ci];
+    }
+    const std::size_t num_comps = comp_size.size();
+
+    // 3. Pack components onto lanes, largest first (LPT): sort by
+    //    size descending, component index ascending on ties (the
+    //    index encodes the minimum cell id order), assigning each to
+    //    the currently lightest lane, lowest index on ties. Wholly
+    //    deterministic.
+    const int lanes = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(max_lanes),
+                              num_comps));
+    plan.num_lanes = std::max(lanes, 1);
+    std::vector<std::int32_t> by_size(num_comps);
+    std::iota(by_size.begin(), by_size.end(), 0);
+    std::sort(by_size.begin(), by_size.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                  const std::size_t sa =
+                      comp_size[static_cast<std::size_t>(a)];
+                  const std::size_t sb =
+                      comp_size[static_cast<std::size_t>(b)];
+                  if (sa != sb)
+                      return sa > sb;
+                  return a < b;
+              });
+    std::vector<std::size_t> lane_load(
+        static_cast<std::size_t>(plan.num_lanes), 0);
+    std::vector<std::int32_t> lane_of_comp(num_comps, 0);
+    for (const std::int32_t ci : by_size) {
+        std::size_t best = 0;
+        for (std::size_t l = 1; l < lane_load.size(); ++l)
+            if (lane_load[l] < lane_load[best])
+                best = l;
+        lane_of_comp[static_cast<std::size_t>(ci)] =
+            static_cast<std::int32_t>(best);
+        lane_load[best] += comp_size[static_cast<std::size_t>(ci)];
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        plan.lane_of[i] = lane_of_comp[static_cast<std::size_t>(
+            plan.component_of[i])];
+
+    // 4. The achievable lookahead: minimum end-to-end delay over
+    //    connections that ended up crossing lanes.
+    plan.lookahead = kTickNever;
+    plan.cross_edges = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto id = static_cast<std::int32_t>(i);
+        const Tick src_delay = core.kindDelay(core.cellKind(id));
+        const int outs = core.numOutputs(id);
+        for (int p = 0; p < outs; ++p) {
+            const OutConn &c = core.connection(id, p);
+            if (c.dst < 0)
+                continue;
+            if (plan.lane_of[i] ==
+                plan.lane_of[static_cast<std::size_t>(c.dst)])
+                continue;
+            ++plan.cross_edges;
+            plan.lookahead = std::min(plan.lookahead,
+                                      src_delay + c.wire_delay);
+        }
+    }
+    sushi_assert(plan.cross_edges == 0 ||
+                 plan.lookahead >= min_lookahead);
+    return plan;
+}
+
+} // namespace sushi::sfq

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Netlist partitioning for the parallel gate simulator.
+ *
+ * The compiled netlist is cut only along "slow" wires: every
+ * connection whose end-to-end delay (source cell propagation delay +
+ * interconnect delay) is below the lookahead threshold is contracted,
+ * so tightly-coupled cell clusters — the inside of an NPE, a state
+ * controller, a fan-out tree — always land in one partition. What
+ * remains crossing partitions are the long inter-component links
+ * (NoC hops, chip-to-chip wiring), and the minimum delay over those
+ * crossings is the *lookahead*: a partition executing the window
+ * [W, W + lookahead) can never receive a pulse dated inside the
+ * window from another partition, which is what makes conservative
+ * lock-step windows correct (classic CMB-style null-message-free
+ * synchronization, here with a static lookahead).
+ *
+ * Partition assignment is deterministic: connected components are
+ * formed by union-find over the contracted edges, then packed onto
+ * lanes largest-first (LPT), ties broken by smallest cell id. The
+ * plan depends only on the netlist and the thresholds — never on
+ * thread scheduling — so every run of every thread count sees the
+ * same cut.
+ */
+
+#ifndef SUSHI_SFQ_PARTITION_HH
+#define SUSHI_SFQ_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hh"
+
+namespace sushi::sfq {
+
+class CompiledNetlist;
+
+/** A deterministic assignment of compiled cells to parallel lanes. */
+struct PartitionPlan
+{
+    /** Dense cell id -> lane (partition) index. */
+    std::vector<std::int32_t> lane_of;
+
+    /** Dense cell id -> contracted connected component (diagnostic;
+     *  lanes are unions of whole components). */
+    std::vector<std::int32_t> component_of;
+
+    /** Number of lanes actually used (>= 1). */
+    int num_lanes = 1;
+
+    /**
+     * Minimum end-to-end delay over lane-crossing connections;
+     * kTickNever when no connection crosses lanes (fully independent
+     * partitions — a single unbounded window suffices).
+     */
+    Tick lookahead = kTickNever;
+
+    std::size_t num_cells = 0;
+
+    /** Number of connections crossing lanes. */
+    std::size_t cross_edges = 0;
+};
+
+/**
+ * Partition @p core into at most @p max_lanes lanes, contracting
+ * every connection with end-to-end delay < @p min_lookahead.
+ * Guarantees: every cell is assigned exactly one lane; every
+ * lane-crossing connection has delay >= plan.lookahead >=
+ * @p min_lookahead; the plan is a pure function of the netlist and
+ * the two parameters.
+ */
+PartitionPlan partitionNetlist(const CompiledNetlist &core,
+                               int max_lanes, Tick min_lookahead);
+
+} // namespace sushi::sfq
+
+#endif // SUSHI_SFQ_PARTITION_HH

@@ -1,5 +1,6 @@
 #include "sfq/simulator.hh"
 
+#include <cstring>
 #include <utility>
 
 #include "common/logging.hh"
@@ -36,13 +37,19 @@ Tick
 Simulator::run(Tick until)
 {
     core_.freeze();
+    ExecCtx cx;
+    cx.queue = &queue_;
+    cx.pulses = &pulses_;
+    cx.switch_count = switch_count_;
+    cx.faults = &faults_.countersMut();
     EventQueue::Event ev;
     while (queue_.popNext(until, ev)) {
         // Advance time *before* executing so that deliveries observe
         // the correct now() and relative scheduling is exact.
         now_ = ev.when;
+        cx.now = ev.when;
         if (ev.cell != EventQueue::kCallbackCell) {
-            core_.deliver(ev.cell, ev.port);
+            core_.deliver(ev.cell, ev.port, cx);
         } else {
             // Vacate the slot before invoking: the callback may
             // schedule further callbacks (and reuse this slot).
@@ -66,9 +73,14 @@ Simulator::reset()
     violations_ = 0;
     recovered_ = 0;
     pulses_ = 0;
-    switch_energy_j_ = 0.0;
+    std::memset(switch_count_, 0, sizeof switch_count_);
+    extra_energy_j_ = 0.0;
     violations_by_cell_.clear();
     last_violation_.clear();
+    last_v_when_ = -1;
+    last_v_cell_ = -1;
+    last_v_port_ = -1;
+    core_.restoreState();
     faults_.resetCounters();
     stats_.clear();
 }
@@ -100,12 +112,55 @@ Simulator::reportViolation(const std::string &cell,
                            const std::string &what,
                            const char *constraint, Tick prev, Tick at)
 {
-    ++violations_;
-    stats_.inc("sim.constraint_violations");
-    if (!cell.empty())
-        ++violations_by_cell_[cell];
-    const std::string where = cell.empty() ? what : cell + ": " + what;
-    last_violation_ = where;
+    // Legacy (unkeyed) entry point: always the most recent report,
+    // and resets the stored key so a later keyed report wins again.
+    const bool drop = reportViolationEvt(cell, what, constraint, prev,
+                                         at, -1, -1, -1);
+    {
+        std::lock_guard<std::mutex> lk(violation_mu_);
+        last_v_when_ = -1;
+        last_v_cell_ = -1;
+        last_v_port_ = -1;
+    }
+    return drop;
+}
+
+bool
+Simulator::reportViolationEvt(const std::string &cell,
+                              const std::string &what,
+                              const char *constraint, Tick prev,
+                              Tick at, Tick ev_when,
+                              std::int32_t ev_cell,
+                              std::int32_t ev_port)
+{
+    std::string where;
+    {
+        std::lock_guard<std::mutex> lk(violation_mu_);
+        ++violations_;
+        stats_.inc("sim.constraint_violations");
+        if (!cell.empty())
+            ++violations_by_cell_[cell];
+        where = cell.empty() ? what : cell + ": " + what;
+        // Max-key-wins: sequential execution reports in increasing
+        // event order, so >= reproduces "most recent"; partitioned
+        // lanes may report out of order and still converge on the
+        // same final value.
+        const bool newest =
+            ev_when > last_v_when_ ||
+            (ev_when == last_v_when_ &&
+             (ev_cell > last_v_cell_ ||
+              (ev_cell == last_v_cell_ && ev_port >= last_v_port_)));
+        if (newest) {
+            last_violation_ = where;
+            last_v_when_ = ev_when;
+            last_v_cell_ = ev_cell;
+            last_v_port_ = ev_port;
+        }
+        if (policy_ == ViolationPolicy::Recover) {
+            ++recovered_;
+            stats_.inc("sim.recovered_pulses");
+        }
+    }
     switch (policy_) {
       case ViolationPolicy::Ignore:
         break;
@@ -113,8 +168,6 @@ Simulator::reportViolation(const std::string &cell,
         sushi_warn("timing constraint violated: %s", where.c_str());
         break;
       case ViolationPolicy::Recover:
-        ++recovered_;
-        stats_.inc("sim.recovered_pulses");
         return true;
       case ViolationPolicy::Fatal:
         throw TimingFault(cell, where,

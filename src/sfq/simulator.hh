@@ -10,6 +10,12 @@
  * against the compiled tables; std::function callbacks remain
  * available for test harnesses and stimulus generators via a pooled
  * side channel that never touches the pulse hot path.
+ *
+ * Execution goes through an ExecCtx: the sequential run() wires one
+ * context to the simulator's own queue and counters, while the
+ * partitioned ParallelSimulator (parallel_simulator.hh) drives the
+ * same compiled core with one context per partition and merges the
+ * counters back, so both paths produce identical aggregates.
  */
 
 #ifndef SUSHI_SFQ_SIMULATOR_HH
@@ -18,6 +24,8 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -90,6 +98,18 @@ class Simulator
 
     Simulator() : core_(*this) {}
 
+    /**
+     * Build a replica simulator over a sealed structure shared with
+     * other simulators (CompiledNetlist::shareStructure()): only the
+     * mutable per-sim state is allocated — the circuit is not
+     * re-lowered. Replicas address cells by dense id / name through
+     * core(); Component facades belong to the original netlist.
+     */
+    explicit Simulator(std::shared_ptr<const NetStructure> structure)
+        : core_(*this, std::move(structure))
+    {
+    }
+
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
@@ -136,8 +156,11 @@ class Simulator
     /**
      * Rewind the simulator for reuse: drops all pending events and
      * clears time, energy, pulse, violation, and fault counters plus
-     * the stats registry. The fault *configuration* is kept (reseed
-     * via faults().reseed()); registered components are untouched —
+     * the stats registry; the compiled core's storage bits, arrival
+     * history, and probe traces rewind to their post-compile snapshot
+     * by flat copies (CompiledNetlist::restoreState()) — no per-cell
+     * walk. The fault *configuration* is kept (reseed via
+     * faults().reseed()); registered components are untouched —
      * campaign iterations reuse one simulator without realloc churn.
      */
     void reset();
@@ -154,6 +177,22 @@ class Simulator
     bool reportViolation(const std::string &cell,
                          const std::string &what,
                          const char *constraint, Tick prev, Tick at);
+
+    /**
+     * Violation report keyed by the event that exposed it — the
+     * (when, cell id, port) of the delivery being executed. The key
+     * makes aggregation order-free: lastViolation() keeps the report
+     * with the maximum key, which under sequential execution is
+     * simply the latest one, and under partitioned execution is the
+     * same report regardless of which lane finds it first. Thread
+     * safe (parallel lanes report concurrently).
+     */
+    bool reportViolationEvt(const std::string &cell,
+                            const std::string &what,
+                            const char *constraint, Tick prev,
+                            Tick at, Tick ev_when,
+                            std::int32_t ev_cell,
+                            std::int32_t ev_port);
 
     /** Attributed violation without pulse-timing details. */
     bool
@@ -192,11 +231,20 @@ class Simulator
     void setViolationPolicy(ViolationPolicy p) { policy_ = p; }
     ViolationPolicy violationPolicy() const { return policy_; }
 
-    /** Accumulate switching energy (joules). */
-    void addSwitchEnergy(double joules) { switch_energy_j_ += joules; }
+    /** Accumulate switching energy (joules) on top of what the
+     *  compiled cells dissipate (tests, external estimates). */
+    void addSwitchEnergy(double joules) { extra_energy_j_ += joules; }
 
-    /** Total dynamic (switching) energy dissipated so far, joules. */
-    double switchEnergy() const { return switch_energy_j_; }
+    /**
+     * Total dynamic (switching) energy dissipated so far, joules:
+     * the per-kind switch tallies priced by the cell library, plus
+     * anything added via addSwitchEnergy(). Count-based, so the sum
+     * is exact (and merge-order-free) however execution interleaved.
+     */
+    double switchEnergy() const
+    {
+        return extra_energy_j_ + core_.switchEnergyOf(switch_count_);
+    }
 
     /** Count a pulse delivery (for throughput stats). */
     void countPulse() { ++pulses_; }
@@ -225,8 +273,12 @@ class Simulator
     /** Total pulses delivered between cells. */
     std::uint64_t pulses() const { return pulses_; }
 
-    /** Events executed so far. */
-    std::uint64_t eventsExecuted() const { return queue_.executed(); }
+    /** Events executed so far (including events executed on lane
+     *  queues during partitioned runs). */
+    std::uint64_t eventsExecuted() const
+    {
+        return queue_.executed() + extra_events_;
+    }
 
     /** Mutable stats registry shared by all components. */
     StatSet &stats() { return stats_; }
@@ -240,10 +292,21 @@ class Simulator
     std::uint64_t violations_ = 0;
     std::uint64_t recovered_ = 0;
     std::uint64_t pulses_ = 0;
-    double switch_energy_j_ = 0.0;
+    std::uint64_t switch_count_[CompiledNetlist::kNumExecKinds] = {};
+    double extra_energy_j_ = 0.0;
+    std::uint64_t extra_events_ = 0; ///< lane-queue executed events
     ViolationPolicy policy_ = ViolationPolicy::Warn;
     std::map<std::string, std::uint64_t> violations_by_cell_;
     std::string last_violation_;
+
+    // Event key of the stored last_violation_ (max-key-wins merge);
+    // when = -1 marks "no keyed report yet" so the next keyed report
+    // always wins. Guarded by violation_mu_ with the counters above.
+    Tick last_v_when_ = -1;
+    std::int32_t last_v_cell_ = -1;
+    std::int32_t last_v_port_ = -1;
+    std::mutex violation_mu_;
+
     StatSet stats_;
 
     // Pooled callback storage: the queue carries only the slot index
@@ -251,6 +314,8 @@ class Simulator
     // per-event heap nodes either.
     std::vector<Callback> cb_pool_;
     std::vector<std::int32_t> cb_free_;
+
+    friend class ParallelSimulator;
 };
 
 } // namespace sushi::sfq

@@ -15,8 +15,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 
 #include "chip/gate_sim.hh"
+#include "sfq/parallel_simulator.hh"
 #include "chip/sushi_chip.hh"
 #include "common/rng.hh"
 #include "compiler/pulse_encoder.hh"
@@ -31,9 +33,13 @@ namespace {
 /**
  * 100 randomized multi-burst counter programs: random chain length,
  * random preload, polarity flips between bursts, spike counts checked
- * after every burst (not just at the end).
+ * after every burst (not just at the end). With @p threads > 1 every
+ * drain runs on the partitioned parallel simulator with the gate
+ * scattered across lanes (min lookahead 1 tick) — same oracle, same
+ * spike-for-spike requirement.
  */
-TEST(CosimNpe, RandomMultiBurstPrograms)
+void
+multiBurstPrograms(int threads)
 {
     Rng rng(1234);
     for (int trial = 0; trial < 100; ++trial) {
@@ -43,6 +49,21 @@ TEST(CosimNpe, RandomMultiBurstPrograms)
         sfq::Netlist netlist(sim);
         npe::NpeGate gate(netlist, "npe", k);
         npe::Npe ref(k);
+
+        std::unique_ptr<sfq::ParallelSimulator> psim;
+        if (threads > 1) {
+            sfq::ParallelSimulator::Options opts;
+            opts.threads = threads;
+            opts.min_lookahead = 1;
+            psim = std::make_unique<sfq::ParallelSimulator>(sim,
+                                                            opts);
+        }
+        auto drain = [&] {
+            if (psim != nullptr)
+                psim->run();
+            else
+                sim.run();
+        };
 
         const Tick gap = sfq::safePulseSpacing();
         Tick t = gap;
@@ -83,7 +104,7 @@ TEST(CosimNpe, RandomMultiBurstPrograms)
             // Draining advances simulator time past the injection
             // cursor (ripple/propagation delays), so resume injecting
             // after now().
-            sim.run();
+            drain();
             t = std::max(t, sim.now() + gap);
             ASSERT_EQ(gate.outSink().count(), ref_spikes)
                 << "trial " << trial << " burst " << burst;
@@ -92,6 +113,13 @@ TEST(CosimNpe, RandomMultiBurstPrograms)
         EXPECT_EQ(gate.states(), ref.states()) << "trial " << trial;
         EXPECT_EQ(sim.violations(), 0u) << "trial " << trial;
     }
+}
+
+TEST(CosimNpe, RandomMultiBurstPrograms) { multiBurstPrograms(0); }
+
+TEST(CosimNpe, RandomMultiBurstProgramsPartitioned)
+{
+    multiBurstPrograms(4);
 }
 
 /**
@@ -280,6 +308,22 @@ TEST_P(LayerCosim, GateChipMatchesBehaviouralStepLayer)
     for (std::size_t s = 0; s < gate_steps.size(); ++s)
         EXPECT_EQ(gate_steps[s], behav_steps[s])
             << "n=" << n << " variant " << variant << " step " << s;
+
+    // Third party to the agreement: the same program on a second
+    // gate chip whose event kernel runs partitioned across two
+    // lanes. The mesh is one tight component at the default
+    // lookahead, so this also covers the single-lane fallback at
+    // small n.
+    sfq::Simulator psim_sim;
+    psim_sim.setViolationPolicy(sfq::ViolationPolicy::Fatal);
+    sfq::Netlist pnetlist(psim_sim);
+    chip::GateChip pgate(pnetlist, cfg);
+    pgate.setSimThreads(2);
+    auto pgate_steps = pgate.runProgram(compiled, prog);
+    EXPECT_EQ(psim_sim.violations(), 0u);
+    EXPECT_EQ(pgate_steps, gate_steps)
+        << "partitioned gate chip diverged, n=" << n << " variant "
+        << variant;
 }
 
 INSTANTIATE_TEST_SUITE_P(

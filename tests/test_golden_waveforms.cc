@@ -28,6 +28,7 @@
 #include "sfq/cells.hh"
 #include "sfq/constraints.hh"
 #include "sfq/netlist.hh"
+#include "sfq/parallel_simulator.hh"
 #include "sfq/simulator.hh"
 #include "sfq/waveform.hh"
 
@@ -97,7 +98,10 @@ checkGolden(const std::string &name, const PulseTrace &trace)
         << name << ": trace diverged from " << goldenPath(name);
 }
 
-/** A micro-netlist: one cell, sources on each input, sink on out 0. */
+/** A micro-netlist: one cell, sources on each input, sink on out 0.
+ *  With @p threads > 1 the event kernel runs on the partitioned
+ *  parallel simulator, split at every cell boundary (min lookahead
+ *  1 tick) — the goldens must not move. */
 struct MicroBench
 {
     Simulator sim;
@@ -106,8 +110,9 @@ struct MicroBench
     PulseSink *out = nullptr;
     Tick gap = safePulseSpacing();
     Tick t = 0;
+    int threads = 0;
 
-    explicit MicroBench()
+    explicit MicroBench(int sim_threads = 0) : threads(sim_threads)
     {
         sim.setViolationPolicy(ViolationPolicy::Fatal);
     }
@@ -133,17 +138,26 @@ struct MicroBench
 
     PulseTrace finish()
     {
-        sim.run();
+        if (threads > 1) {
+            ParallelSimulator::Options opts;
+            opts.threads = threads;
+            opts.min_lookahead = 1; // split even tiny rigs
+            ParallelSimulator psim(sim, opts);
+            psim.run();
+        } else {
+            sim.run();
+        }
         EXPECT_EQ(sim.violations(), 0u);
         return out->pulsesSeen();
     }
 };
 
-TEST(GoldenWaveforms, Ndro)
+void
+ndroScenario(int threads)
 {
     // din arms, each clk reads non-destructively, rst clears
     // (Fig. 3(b)(f); the Sec. 4.1.1 configurable switch).
-    MicroBench mb;
+    MicroBench mb(threads);
     auto &cell = mb.net.makeNdro("ndro");
     mb.wire(cell, 3);
     const int din = 0, rst = 1, clk = 2;
@@ -160,11 +174,12 @@ TEST(GoldenWaveforms, Ndro)
     checkGolden("ndro", trace);
 }
 
-TEST(GoldenWaveforms, TffL)
+void
+tfflScenario(int threads)
 {
     // L-variant toggle: a pulse out on every 0 -> 1 flip, i.e. on
     // odd-numbered inputs (Sec. 2.1.2 E — the frequency divider).
-    MicroBench mb;
+    MicroBench mb(threads);
     auto &cell = mb.net.makeTffl("tff");
     mb.wire(cell, 1);
     for (int i = 0; i < 6; ++i)
@@ -174,10 +189,11 @@ TEST(GoldenWaveforms, TffL)
     checkGolden("tffl", trace);
 }
 
-TEST(GoldenWaveforms, Cb)
+void
+cbScenario(int threads)
 {
     // Confluence buffer merges both inputs onto one output.
-    MicroBench mb;
+    MicroBench mb(threads);
     auto &cell = mb.net.makeCb("cb");
     mb.wire(cell, 2);
     mb.fire(0);
@@ -190,11 +206,12 @@ TEST(GoldenWaveforms, Cb)
     checkGolden("cb", trace);
 }
 
-TEST(GoldenWaveforms, Dff)
+void
+dffScenario(int threads)
 {
     // Destructive readout: dout fires only for clk after din, and
     // the read consumes the stored flux (Fig. 3(a)(e)).
-    MicroBench mb;
+    MicroBench mb(threads);
     auto &cell = mb.net.makeDff("dff");
     mb.wire(cell, 2);
     const int din = 0, clk = 1;
@@ -208,6 +225,19 @@ TEST(GoldenWaveforms, Dff)
     EXPECT_EQ(trace.size(), 2u);
     checkGolden("dff", trace);
 }
+
+TEST(GoldenWaveforms, Ndro) { ndroScenario(0); }
+TEST(GoldenWaveforms, TffL) { tfflScenario(0); }
+TEST(GoldenWaveforms, Cb) { cbScenario(0); }
+TEST(GoldenWaveforms, Dff) { dffScenario(0); }
+
+// The same scenarios with the event kernel partitioned across four
+// lanes: the checked-in goldens are the oracle, so any divergence
+// between the sequential and parallel kernels fails here too.
+TEST(GoldenWaveformsPartitioned, Ndro) { ndroScenario(4); }
+TEST(GoldenWaveformsPartitioned, TffL) { tfflScenario(4); }
+TEST(GoldenWaveformsPartitioned, Cb) { cbScenario(4); }
+TEST(GoldenWaveformsPartitioned, Dff) { dffScenario(4); }
 
 TEST(GoldenWaveforms, DifferAcceptsJitterWithinTolerance)
 {

@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Property tests for the partitioned parallel simulator (PR 5).
+ *
+ * The contract under test is absolute: ParallelSimulator::run() must
+ * be byte-identical to Simulator::run() at every thread count — pulse
+ * traces, counters, energy, fault statistics, violation attribution,
+ * and thrown TimingFaults all included. The suite drives the same
+ * gate-level NPE workloads the determinism and fault suites use, both
+ * in the embarrassingly-parallel regime (independent gates, no cross
+ * edges) and the windowed regime (min_lookahead=1 scatters one gate
+ * across lanes, forcing boundary-pulse exchange every window).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "npe/npe.hh"
+#include "sfq/compiled_netlist.hh"
+#include "sfq/constraints.hh"
+#include "sfq/fault_model.hh"
+#include "sfq/netlist.hh"
+#include "sfq/parallel_simulator.hh"
+#include "sfq/partition.hh"
+#include "sfq/simulator.hh"
+
+namespace sushi {
+namespace {
+
+constexpr int kNumSc = 5;
+
+/** Everything observable about one run, for byte-comparisons. */
+struct RunRecord
+{
+    std::vector<std::vector<Tick>> traces; // per gate
+    std::vector<std::uint64_t> values;     // per gate
+    std::uint64_t events = 0;
+    std::uint64_t pulses = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t inserted = 0;
+    double energy_j = 0.0;
+    std::string last_violation;
+
+    bool operator==(const RunRecord &o) const
+    {
+        return traces == o.traces && values == o.values &&
+               events == o.events && pulses == o.pulses &&
+               violations == o.violations &&
+               recovered == o.recovered && dropped == o.dropped &&
+               inserted == o.inserted && energy_j == o.energy_j &&
+               last_violation == o.last_violation;
+    }
+};
+
+/** A rig of @p num_gates independent gate-level NPE counters with a
+ *  staggered pulse stimulus (gates diverge, ties still happen). */
+struct Rig
+{
+    sfq::Simulator sim;
+    sfq::Netlist net{sim};
+    std::vector<std::unique_ptr<npe::NpeGate>> gates;
+
+    explicit Rig(int num_gates,
+                 sfq::ViolationPolicy policy =
+                     sfq::ViolationPolicy::Warn)
+    {
+        sim.setViolationPolicy(policy);
+        for (int g = 0; g < num_gates; ++g)
+            gates.push_back(std::make_unique<npe::NpeGate>(
+                net, "npe" + std::to_string(g), kNumSc));
+    }
+
+    void inject(int pulses, Tick gap)
+    {
+        for (std::size_t g = 0; g < gates.size(); ++g) {
+            gates[g]->injectSet1(gap);
+            for (int i = 0; i < pulses + static_cast<int>(g); ++i)
+                gates[g]->injectIn((i + 2) * gap + ticksFor(g));
+        }
+    }
+
+    /** Small per-gate phase shift; gate 0 stays on the shared grid
+     *  so same-tick deliveries across lanes still occur. */
+    static Tick ticksFor(std::size_t g)
+    {
+        return static_cast<Tick>((g % 2) * 17);
+    }
+
+    RunRecord record() const
+    {
+        RunRecord r;
+        for (const auto &gate : gates) {
+            r.traces.push_back(gate->outSink().pulsesSeen());
+            r.values.push_back(gate->value());
+        }
+        r.events = sim.eventsExecuted();
+        r.pulses = sim.pulses();
+        r.violations = sim.violations();
+        r.recovered = sim.recoveredPulses();
+        r.dropped = sim.faults().counters().dropped;
+        r.inserted = sim.faults().counters().inserted;
+        r.energy_j = sim.switchEnergy();
+        r.last_violation = sim.lastViolation();
+        return r;
+    }
+};
+
+RunRecord
+runSequential(int num_gates, int pulses, Tick gap)
+{
+    Rig rig(num_gates);
+    rig.inject(pulses, gap);
+    rig.sim.run();
+    return rig.record();
+}
+
+RunRecord
+runParallel(int num_gates, int pulses, Tick gap, int threads,
+            Tick min_lookahead = 0)
+{
+    Rig rig(num_gates);
+    rig.inject(pulses, gap);
+    sfq::ParallelSimulator::Options opts;
+    opts.threads = threads;
+    if (min_lookahead > 0)
+        opts.min_lookahead = min_lookahead;
+    sfq::ParallelSimulator psim(rig.sim, opts);
+    psim.run();
+    return rig.record();
+}
+
+// ---------------------------------------------------------------
+// Partitioner
+// ---------------------------------------------------------------
+
+TEST(Partitioner, EveryCellLandsOnExactlyOneLane)
+{
+    Rig rig(4);
+    rig.sim.core().freeze();
+    const sfq::PartitionPlan plan =
+        sfq::partitionNetlist(rig.sim.core(), 4, psToTicks(10.0));
+    ASSERT_EQ(plan.lane_of.size(), rig.sim.core().numCells());
+    EXPECT_GT(plan.num_lanes, 1);
+    for (std::int32_t lane : plan.lane_of) {
+        EXPECT_GE(lane, 0);
+        EXPECT_LT(lane, plan.num_lanes);
+    }
+}
+
+TEST(Partitioner, ShortEdgesNeverCrossLanes)
+{
+    Rig rig(3);
+    const sfq::CompiledNetlist &core = rig.sim.core();
+    rig.sim.core().freeze();
+    const Tick min_la = psToTicks(10.0);
+    const sfq::PartitionPlan plan =
+        sfq::partitionNetlist(core, 8, min_la);
+    Tick min_cross = kTickNever;
+    std::uint64_t crossings = 0;
+    for (std::size_t i = 0; i < core.numCells(); ++i) {
+        const auto id = static_cast<std::int32_t>(i);
+        const Tick src_delay = core.kindDelay(core.cellKind(id));
+        for (int p = 0; p < core.numOutputs(id); ++p) {
+            const sfq::OutConn &c = core.connection(id, p);
+            if (c.dst < 0)
+                continue;
+            const Tick edge = src_delay + c.wire_delay;
+            if (edge < min_la) {
+                // Contracted: must share a component and a lane.
+                EXPECT_EQ(plan.component_of[i],
+                          plan.component_of[static_cast<std::size_t>(
+                              c.dst)]);
+                EXPECT_EQ(plan.lane_of[i],
+                          plan.lane_of[static_cast<std::size_t>(
+                              c.dst)]);
+            }
+            if (plan.lane_of[i] !=
+                plan.lane_of[static_cast<std::size_t>(c.dst)]) {
+                ++crossings;
+                min_cross = std::min(min_cross, edge);
+            }
+        }
+    }
+    EXPECT_EQ(crossings, plan.cross_edges);
+    if (plan.cross_edges > 0) {
+        EXPECT_EQ(plan.lookahead, min_cross);
+        EXPECT_GE(plan.lookahead, min_la);
+    } else {
+        EXPECT_EQ(plan.lookahead, kTickNever);
+    }
+}
+
+TEST(Partitioner, IndependentGatesPartitionWithoutCrossEdges)
+{
+    Rig rig(6);
+    rig.sim.core().freeze();
+    const sfq::PartitionPlan plan =
+        sfq::partitionNetlist(rig.sim.core(), 4, psToTicks(10.0));
+    // Each gate's internal edges are tighter than the default
+    // min-lookahead, so a gate is one component; six components on
+    // four lanes leave no lane-crossing edges.
+    EXPECT_EQ(plan.num_lanes, 4);
+    EXPECT_EQ(plan.cross_edges, 0u);
+    EXPECT_EQ(plan.lookahead, kTickNever);
+}
+
+// ---------------------------------------------------------------
+// Byte-identity, clean workloads
+// ---------------------------------------------------------------
+
+TEST(ParallelSim, ByteIdenticalAcrossThreadCounts)
+{
+    const Tick gap = sfq::safePulseSpacing();
+    const RunRecord seq = runSequential(5, 120, gap);
+    ASSERT_FALSE(seq.traces[0].empty());
+    for (int threads : {1, 2, 8}) {
+        const RunRecord par = runParallel(5, 120, gap, threads);
+        EXPECT_TRUE(seq == par) << "threads=" << threads;
+    }
+}
+
+TEST(ParallelSim, ByteIdenticalUnderWindowedSync)
+{
+    // min_lookahead=1 stops the partitioner from contracting the
+    // gate graph: one NPE scatters across lanes and every window
+    // exchanges boundary pulses. Results must not move.
+    const Tick gap = sfq::safePulseSpacing();
+    const RunRecord seq = runSequential(1, 100, gap);
+    for (int threads : {2, 8}) {
+        const RunRecord par = runParallel(1, 100, gap, threads, 1);
+        EXPECT_TRUE(seq == par) << "threads=" << threads;
+    }
+}
+
+TEST(ParallelSim, RepeatedRunsAreStable)
+{
+    const Tick gap = sfq::safePulseSpacing();
+    const RunRecord a = runParallel(4, 80, gap, 8);
+    const RunRecord b = runParallel(4, 80, gap, 8);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(ParallelSim, MarginalTimingKeepsViolationParity)
+{
+    // Spacing tight enough to trip constraints: the violation count,
+    // recovered-pulse count, and max-key last_violation report must
+    // all match the sequential run.
+    const Tick gap = psToTicks(30.0);
+    Rig seq_rig(2, sfq::ViolationPolicy::Recover);
+    seq_rig.inject(25, gap);
+    seq_rig.sim.run();
+    const RunRecord seq = seq_rig.record();
+    EXPECT_GT(seq.violations, 0u);
+
+    Rig par_rig(2, sfq::ViolationPolicy::Recover);
+    par_rig.inject(25, gap);
+    sfq::ParallelSimulator::Options opts;
+    opts.threads = 4;
+    sfq::ParallelSimulator psim(par_rig.sim, opts);
+    psim.run();
+    EXPECT_TRUE(seq == par_rig.record());
+}
+
+// ---------------------------------------------------------------
+// Faults
+// ---------------------------------------------------------------
+
+RunRecord
+runFaulty(int threads, sfq::FaultKind kind, double rate,
+          bool *was_parallel = nullptr)
+{
+    Rig rig(4, sfq::ViolationPolicy::Recover);
+    rig.sim.faults().reseed(0xfeedULL);
+    sfq::FaultSpec spec;
+    spec.kind = kind;
+    if (kind == sfq::FaultKind::TimingJitter)
+        spec.jitter_sigma = rate;
+    else
+        spec.rate = rate;
+    rig.sim.faults().addFault(spec);
+    rig.inject(60, sfq::safePulseSpacing());
+    if (threads <= 0) {
+        rig.sim.run();
+    } else {
+        sfq::ParallelSimulator::Options opts;
+        opts.threads = threads;
+        sfq::ParallelSimulator psim(rig.sim, opts);
+        psim.run();
+        if (was_parallel != nullptr)
+            *was_parallel = psim.lastRunParallel();
+    }
+    return rig.record();
+}
+
+TEST(ParallelSim, DropAndSpuriousFaultsStayByteIdentical)
+{
+    for (sfq::FaultKind kind : {sfq::FaultKind::PulseDrop,
+                                sfq::FaultKind::SpuriousPulse}) {
+        const RunRecord seq = runFaulty(0, kind, 0.05);
+        EXPECT_GT(seq.dropped + seq.inserted, 0u);
+        for (int threads : {2, 8}) {
+            bool parallel = false;
+            const RunRecord par =
+                runFaulty(threads, kind, 0.05, &parallel);
+            EXPECT_TRUE(parallel);
+            EXPECT_TRUE(seq == par)
+                << "kind=" << static_cast<int>(kind)
+                << " threads=" << threads;
+        }
+    }
+}
+
+TEST(ParallelSim, JitterFallsBackToSequentialPath)
+{
+    // Jitter breaks the lookahead bound; the run must transparently
+    // degrade to the (byte-compatible) sequential path.
+    bool parallel = true;
+    const RunRecord par = runFaulty(
+        4, sfq::FaultKind::TimingJitter, 500.0, &parallel);
+    EXPECT_FALSE(parallel);
+    const RunRecord seq =
+        runFaulty(0, sfq::FaultKind::TimingJitter, 500.0);
+    EXPECT_TRUE(seq == par);
+}
+
+// ---------------------------------------------------------------
+// Fatal attribution
+// ---------------------------------------------------------------
+
+TEST(ParallelSim, FatalFaultAttributionMatchesSequential)
+{
+    const Tick gap = psToTicks(30.0); // marginal: trips constraints
+    auto capture = [&](int threads) {
+        Rig rig(3, sfq::ViolationPolicy::Fatal);
+        rig.inject(25, gap);
+        std::string cell, constraint;
+        Tick prev = kTickNever, at = kTickNever;
+        try {
+            if (threads <= 0) {
+                rig.sim.run();
+            } else {
+                sfq::ParallelSimulator::Options opts;
+                opts.threads = threads;
+                sfq::ParallelSimulator psim(rig.sim, opts);
+                psim.run();
+            }
+            ADD_FAILURE() << "expected a TimingFault";
+        } catch (const sfq::TimingFault &tf) {
+            cell = tf.cell();
+            constraint = tf.constraint();
+            prev = tf.prevPulse();
+            at = tf.violatingPulse();
+        }
+        return std::make_tuple(cell, constraint, prev, at);
+    };
+    const auto seq = capture(0);
+    for (int threads : {2, 8})
+        EXPECT_EQ(seq, capture(threads)) << "threads=" << threads;
+}
+
+// ---------------------------------------------------------------
+// Snapshot reset + structure sharing
+// ---------------------------------------------------------------
+
+TEST(ParallelSim, SnapshotResetRoundTripsExactly)
+{
+    const Tick gap = sfq::safePulseSpacing();
+    Rig rig(2);
+    rig.inject(50, gap);
+    rig.sim.run();
+    const RunRecord first = rig.record();
+
+    rig.sim.reset();
+    EXPECT_EQ(rig.sim.pulses(), 0u);
+    EXPECT_EQ(rig.sim.switchEnergy(), 0.0);
+    EXPECT_TRUE(rig.gates[0]->outSink().pulsesSeen().empty());
+
+    rig.inject(50, gap);
+    rig.sim.run();
+    const RunRecord second = rig.record();
+    EXPECT_EQ(first.traces, second.traces);
+    EXPECT_EQ(first.values, second.values);
+    EXPECT_EQ(first.pulses, second.pulses);
+    EXPECT_EQ(first.energy_j, second.energy_j);
+}
+
+TEST(ParallelSim, SharedStructureReplicasMatchTheMaster)
+{
+    const Tick gap = sfq::safePulseSpacing();
+    Rig master(1);
+    master.inject(40, gap);
+    master.sim.run();
+
+    std::shared_ptr<const sfq::NetStructure> structure =
+        master.sim.core().shareStructure();
+    sfq::Simulator replica(structure);
+    EXPECT_EQ(replica.core().structure().get(), structure.get());
+
+    const std::int32_t in = replica.core().cellId("npe0.in");
+    const std::int32_t set1 = replica.core().cellId("npe0.set1");
+    const std::int32_t out = replica.core().cellId("npe0.out");
+    ASSERT_GE(in, 0);
+    ASSERT_GE(set1, 0);
+    ASSERT_GE(out, 0);
+    replica.schedulePulse(gap, set1, 0);
+    for (int i = 0; i < 40; ++i)
+        replica.schedulePulse((i + 2) * gap, in, 0);
+    replica.run();
+
+    EXPECT_EQ(replica.core().trace(out),
+              master.gates[0]->outSink().pulsesSeen());
+    EXPECT_EQ(replica.pulses(), master.sim.pulses());
+    EXPECT_EQ(replica.switchEnergy(), master.sim.switchEnergy());
+}
+
+TEST(ParallelSim, CallbacksFallBackToSequentialPath)
+{
+    const Tick gap = sfq::safePulseSpacing();
+    Rig rig(2);
+    rig.inject(20, gap);
+    bool fired = false;
+    rig.sim.schedule(5 * gap, [&] { fired = true; });
+    sfq::ParallelSimulator::Options opts;
+    opts.threads = 4;
+    sfq::ParallelSimulator psim(rig.sim, opts);
+    psim.run();
+    EXPECT_FALSE(psim.lastRunParallel());
+    EXPECT_TRUE(fired);
+    EXPECT_TRUE(runSequential(2, 20, gap).traces ==
+                rig.record().traces);
+}
+
+} // namespace
+} // namespace sushi
