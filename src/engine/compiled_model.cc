@@ -1,5 +1,7 @@
 #include "engine/compiled_model.hh"
 
+#include <iterator>
+
 namespace sushi::engine {
 
 namespace {
@@ -101,21 +103,40 @@ ModelCache::get(const snn::BinarySnn &net,
         return it->second.model;
     }
     lru_.push_front(key);
-    auto inserted =
-        map_.emplace(key, Entry{std::move(model), lru_.begin()});
+    map_.emplace(key, Entry{model, lru_.begin()});
+    // The walk may evict the entry we just inserted (when every
+    // older entry is pinned), so return the local handle rather
+    // than reading back through the map.
     evictOverCapacityLocked();
-    return inserted.first->second.model;
+    return model;
 }
 
 void
 ModelCache::evictOverCapacityLocked()
 {
-    if (capacity_ == 0)
+    if (capacity_ == 0 || map_.size() <= capacity_)
         return;
-    while (map_.size() > capacity_) {
-        ++evictions_;
-        map_.erase(lru_.back());
-        lru_.pop_back();
+    // Walk from least- to most-recently-used, skipping entries whose
+    // model is pinned by an in-flight replica batch. Skipped entries
+    // stay resident (the cache transiently exceeds capacity); the
+    // walk is retried on the next insert / setCapacity call.
+    std::size_t over = map_.size() - capacity_;
+    for (auto it = std::prev(lru_.end()); over > 0;) {
+        const bool at_front = it == lru_.begin();
+        const auto toward_front =
+            at_front ? lru_.end() : std::prev(it);
+        auto entry = map_.find(*it);
+        if (entry->second.model->pinCount() > 0) {
+            ++evictions_deferred_;
+        } else {
+            ++evictions_;
+            map_.erase(entry);
+            lru_.erase(it);
+            --over;
+        }
+        if (at_front)
+            break;
+        it = toward_front;
     }
 }
 
@@ -147,6 +168,23 @@ ModelCache::evictions() const
     return evictions_;
 }
 
+std::uint64_t
+ModelCache::evictionsDeferred() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_deferred_;
+}
+
+std::size_t
+ModelCache::pinned() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto &[key, entry] : map_)
+        n += entry.model->pinCount() > 0 ? 1 : 0;
+    return n;
+}
+
 std::size_t
 ModelCache::capacity() const
 {
@@ -171,6 +209,7 @@ ModelCache::clear()
     hits_ = 0;
     misses_ = 0;
     evictions_ = 0;
+    evictions_deferred_ = 0;
 }
 
 ModelCache &

@@ -15,6 +15,7 @@
 #ifndef SUSHI_ENGINE_COMPILED_MODEL_HH
 #define SUSHI_ENGINE_COMPILED_MODEL_HH
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -58,6 +59,45 @@ class CompiledModel
     fingerprintOf(const snn::BinarySnn &net,
                   const compiler::ChipConfig &chip);
 
+    /**
+     * RAII execution pin. While any Pin on a model is alive the
+     * ModelCache will not evict that model's entry: the engine pins
+     * the model around every replica batch, so a cache thrashed by
+     * many cold models never drops the artifact a batch is running
+     * on (which would force an immediate recompile on the next
+     * request). Pinning is advisory for correctness — shared_ptr
+     * ownership already keeps the artifact alive — but it turns an
+     * eviction-recompile storm into a deferred eviction.
+     */
+    class Pin
+    {
+      public:
+        explicit Pin(const CompiledModel *model) : model_(model)
+        {
+            if (model_ != nullptr)
+                model_->pins_.fetch_add(
+                    1, std::memory_order_relaxed);
+        }
+        ~Pin()
+        {
+            if (model_ != nullptr)
+                model_->pins_.fetch_sub(
+                    1, std::memory_order_relaxed);
+        }
+        Pin(const Pin &) = delete;
+        Pin &operator=(const Pin &) = delete;
+
+      private:
+        const CompiledModel *model_;
+    };
+
+    /** Live execution pins (replica batches referencing this model
+     *  right now). */
+    int pinCount() const
+    {
+        return pins_.load(std::memory_order_relaxed);
+    }
+
   private:
     struct Key
     {
@@ -71,6 +111,7 @@ class CompiledModel
     snn::BinarySnn net_;
     compiler::CompiledNetwork compiled_;
     std::uint64_t fingerprint_;
+    mutable std::atomic<int> pins_{0};
 };
 
 /**
@@ -83,6 +124,13 @@ class CompiledModel
  * Eviction only drops the cache's reference — holders of the
  * shared_ptr keep their artifact alive; refetching an evicted model
  * recompiles it.
+ *
+ * Eviction never races in-flight work: entries whose model carries
+ * live execution pins (CompiledModel::Pin, taken by the engine for
+ * the duration of every replica batch) are skipped — the deferral is
+ * counted in evictionsDeferred() and retried on the next insert or
+ * setCapacity() call, so the cache may transiently exceed its
+ * capacity while every over-quota entry is pinned.
  */
 class ModelCache
 {
@@ -101,6 +149,13 @@ class ModelCache
 
     /** Artifacts evicted by the LRU bound since construction. */
     std::uint64_t evictions() const;
+
+    /** Evictions skipped because the entry was pinned by in-flight
+     *  work at the time (each skip counts once per attempt). */
+    std::uint64_t evictionsDeferred() const;
+
+    /** Entries currently pinned by in-flight batches (gauge). */
+    std::size_t pinned() const;
 
     /** Maximum artifacts kept (0 = unbounded). */
     std::size_t capacity() const;
@@ -129,6 +184,7 @@ class ModelCache
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t evictions_deferred_ = 0;
 };
 
 } // namespace sushi::engine

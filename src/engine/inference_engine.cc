@@ -54,10 +54,13 @@ InferenceEngine::InferenceEngine(
         cfg_.shard_block = 1;
     cfg_.replicas = replicas;
     chips_.reserve(static_cast<std::size_t>(replicas));
+    chip_mu_.reserve(static_cast<std::size_t>(replicas));
+    accounts_.resize(static_cast<std::size_t>(replicas));
     for (int r = 0; r < replicas; ++r) {
         chips_.push_back(
             std::make_unique<chip::SushiChip>(model_->chip()));
         chips_.back()->setSimThreads(cfg_.sim_threads);
+        chip_mu_.push_back(std::make_unique<std::mutex>());
     }
 }
 
@@ -65,6 +68,8 @@ void
 InferenceEngine::markReplicaDegraded(int replica, int slot)
 {
     sushi_assert(replica >= 0 && replica < replicas());
+    std::lock_guard<std::mutex> lock(
+        *chip_mu_[static_cast<std::size_t>(replica)]);
     chips_[static_cast<std::size_t>(replica)]->markNpeFailed(slot);
 }
 
@@ -72,16 +77,76 @@ void
 InferenceEngine::healReplica(int replica)
 {
     sushi_assert(replica >= 0 && replica < replicas());
+    std::lock_guard<std::mutex> lock(
+        *chip_mu_[static_cast<std::size_t>(replica)]);
     chips_[static_cast<std::size_t>(replica)]->clearFailedNpes();
 }
 
 bool
 InferenceEngine::replicaDegraded(int replica) const
 {
+    return failedNpeSlots(replica) > 0;
+}
+
+int
+InferenceEngine::failedNpeSlots(int replica) const
+{
     sushi_assert(replica >= 0 && replica < replicas());
+    std::lock_guard<std::mutex> lock(
+        *chip_mu_[static_cast<std::size_t>(replica)]);
     return chips_[static_cast<std::size_t>(replica)]
-               ->remapPlan()
-               .failed > 0;
+        ->remapPlan()
+        .failed;
+}
+
+int
+InferenceEngine::npeSlots() const
+{
+    return model_->chip().n;
+}
+
+void
+InferenceEngine::recordBatchOutcome(int replica, bool ok,
+                                    std::int64_t service_ns,
+                                    std::size_t samples)
+{
+    sushi_assert(replica >= 0 && replica < replicas());
+    std::lock_guard<std::mutex> lock(accounts_mu_);
+    ReplicaAccount &acct =
+        accounts_[static_cast<std::size_t>(replica)];
+    ++acct.batches;
+    acct.service_ns_total += service_ns;
+    acct.last_service_ns = service_ns;
+    if (ok) {
+        acct.samples += samples;
+        acct.consecutive_failures = 0;
+    } else {
+        ++acct.failures;
+        ++acct.consecutive_failures;
+    }
+}
+
+ReplicaAccount
+InferenceEngine::replicaAccount(int replica) const
+{
+    sushi_assert(replica >= 0 && replica < replicas());
+    ReplicaAccount acct;
+    {
+        std::lock_guard<std::mutex> lock(accounts_mu_);
+        acct = accounts_[static_cast<std::size_t>(replica)];
+    }
+    acct.failed_npes =
+        static_cast<std::uint64_t>(failedNpeSlots(replica));
+    return acct;
+}
+
+void
+InferenceEngine::clearReplicaStreak(int replica)
+{
+    sushi_assert(replica >= 0 && replica < replicas());
+    std::lock_guard<std::mutex> lock(accounts_mu_);
+    accounts_[static_cast<std::size_t>(replica)]
+        .consecutive_failures = 0;
 }
 
 ReplicaRun
@@ -90,6 +155,11 @@ InferenceEngine::runOnReplica(int replica,
                               std::size_t count)
 {
     sushi_assert(replica >= 0 && replica < replicas());
+    // Pin the model against ModelCache eviction and hold the replica
+    // lock so degrade/heal mutations land on batch boundaries.
+    CompiledModel::Pin pin(model_.get());
+    std::lock_guard<std::mutex> lock(
+        *chip_mu_[static_cast<std::size_t>(replica)]);
     chip::SushiChip &chip = *chips_[static_cast<std::size_t>(replica)];
     const compiler::CompiledNetwork &net = model_->compiled();
     ReplicaRun out;
@@ -171,6 +241,9 @@ InferenceEngine::run(const std::vector<Sample> &samples)
                 ReplicaRun rr =
                     runOnReplica(active[a], shard_ptrs.data(),
                                  shard_ptrs.size());
+                recordBatchOutcome(active[a], /*ok=*/true,
+                                   /*service_ns=*/0,
+                                   shard_ptrs.size());
                 for (std::size_t k = 0; k < shards[r].size(); ++k) {
                     const std::size_t i = shards[r][k];
                     out.samples[i] = std::move(rr.results[k]);

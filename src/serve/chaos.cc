@@ -1,0 +1,185 @@
+#include "serve/chaos.hh"
+
+#include <algorithm>
+#include <climits>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sushi::serve {
+
+namespace {
+
+/** Keyed-draw lanes within one dispatch sequence number. A dispatch
+ *  consumes a fixed counter window, so the draw for effect k of
+ *  dispatch s never depends on which other effects fired. */
+constexpr std::uint32_t kDrawsPerDispatch = 8;
+enum DrawLane : std::uint32_t {
+    kLaneCrash = 0,
+    kLaneFault = 1,
+    kLaneStall = 2,
+    kLaneSlow = 3,
+    kLaneDegrade = 4,
+    kLaneDegradeSlot = 5,
+};
+
+double
+drawUniform(const ChaosPolicy &p, int replica, std::uint32_t seq,
+            std::uint32_t lane)
+{
+    const std::uint64_t bits =
+        keyedBits(p.seed ^ 0xc4a05f7d2e8b9613ULL,
+                  static_cast<std::uint64_t>(replica),
+                  static_cast<std::uint64_t>(seq) * kDrawsPerDispatch +
+                      lane);
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+const char *
+chaosKindName(ChaosKind k)
+{
+    switch (k) {
+      case ChaosKind::None: return "none";
+      case ChaosKind::Crash: return "crash";
+      case ChaosKind::Stall: return "stall";
+      case ChaosKind::SlowDegrade: return "slow_degrade";
+      case ChaosKind::TransientFault: return "transient_fault";
+      case ChaosKind::NpeDegrade: return "npe_degrade";
+    }
+    return "?";
+}
+
+ChaosEngine::ChaosEngine(const ChaosPolicy &policy, int replicas)
+    : policy_(policy), reps_(static_cast<std::size_t>(replicas))
+{
+    sushi_assert(replicas >= 1);
+    // Scripted events apply in (time, list-position) order.
+    std::stable_sort(policy_.script.begin(), policy_.script.end(),
+                     [](const ChaosScript &a, const ChaosScript &b) {
+                         return a.at_ns < b.at_ns;
+                     });
+    for (const ChaosScript &ev : policy_.script)
+        sushi_assert(ev.replica >= 0 && ev.replica < replicas);
+}
+
+void
+ChaosEngine::advanceTo(std::int64_t now_ns)
+{
+    while (script_next_ < policy_.script.size() &&
+           policy_.script[script_next_].at_ns <= now_ns) {
+        const ChaosScript &ev = policy_.script[script_next_++];
+        Rep &rep = reps_[static_cast<std::size_t>(ev.replica)];
+        switch (ev.kind) {
+          case ChaosKind::Crash:
+            rep.crashed_until_ns = ev.at_ns + policy_.crash_hold_ns;
+            break;
+          case ChaosKind::Stall:
+            rep.pending_stall = true;
+            break;
+          case ChaosKind::SlowDegrade:
+            rep.slow_scale *= policy_.slow_factor;
+            break;
+          case ChaosKind::NpeDegrade:
+            rep.pending_degrade = ev.slot;
+            break;
+          case ChaosKind::TransientFault:
+          case ChaosKind::None:
+            break; // transient faults only make sense per dispatch
+        }
+    }
+}
+
+ChaosEngine::BatchFate
+ChaosEngine::onBatch(int replica, std::int64_t now_ns)
+{
+    sushi_assert(replica >= 0 &&
+                 static_cast<std::size_t>(replica) < reps_.size());
+    advanceTo(now_ns);
+    Rep &rep = reps_[static_cast<std::size_t>(replica)];
+    const std::uint32_t seq = rep.seq++;
+
+    BatchFate fate;
+    if (rep.crashed_until_ns > now_ns) {
+        fate.crash = true;
+        return fate;
+    }
+    if (policy_.crash_rate > 0.0 &&
+        drawUniform(policy_, replica, seq, kLaneCrash) <
+            policy_.crash_rate) {
+        rep.crashed_until_ns = now_ns + policy_.crash_hold_ns;
+        fate.crash = true;
+        return fate;
+    }
+    if (policy_.fault_rate > 0.0 &&
+        drawUniform(policy_, replica, seq, kLaneFault) <
+            policy_.fault_rate) {
+        fate.fault = true;
+        return fate;
+    }
+    if (rep.pending_stall ||
+        (policy_.stall_rate > 0.0 &&
+         drawUniform(policy_, replica, seq, kLaneStall) <
+             policy_.stall_rate)) {
+        rep.pending_stall = false;
+        fate.stall = true;
+    }
+    if (policy_.slow_rate > 0.0 &&
+        drawUniform(policy_, replica, seq, kLaneSlow) <
+            policy_.slow_rate) {
+        rep.slow_scale *= policy_.slow_factor;
+        fate.slow_started = true;
+    }
+    if (rep.pending_degrade >= 0) {
+        fate.degrade_slot = rep.pending_degrade;
+        rep.pending_degrade = -1;
+    } else if (policy_.degrade_rate > 0.0 &&
+               drawUniform(policy_, replica, seq, kLaneDegrade) <
+                   policy_.degrade_rate) {
+        // Slot chosen by a keyed draw; the server clamps it to the
+        // chip's actual output-slot count.
+        fate.degrade_slot = static_cast<int>(
+            keyedBits(policy_.seed ^ 0x9d2c5680ca3b17efULL,
+                      static_cast<std::uint64_t>(replica),
+                      static_cast<std::uint64_t>(seq) *
+                              kDrawsPerDispatch +
+                          kLaneDegradeSlot) &
+            0x7fffffff);
+    }
+    fate.service_scale =
+        rep.slow_scale * (fate.stall ? policy_.stall_factor : 1.0);
+    return fate;
+}
+
+bool
+ChaosEngine::crashed(int replica, std::int64_t now_ns)
+{
+    sushi_assert(replica >= 0 &&
+                 static_cast<std::size_t>(replica) < reps_.size());
+    advanceTo(now_ns);
+    return reps_[static_cast<std::size_t>(replica)].crashed_until_ns >
+           now_ns;
+}
+
+void
+ChaosEngine::heal(int replica)
+{
+    sushi_assert(replica >= 0 &&
+                 static_cast<std::size_t>(replica) < reps_.size());
+    Rep &rep = reps_[static_cast<std::size_t>(replica)];
+    rep.slow_scale = 1.0;
+    rep.pending_stall = false;
+    rep.pending_degrade = -1;
+    rep.crashed_until_ns = -1;
+}
+
+std::int64_t
+ChaosEngine::nextScriptNs() const
+{
+    if (script_next_ >= policy_.script.size())
+        return INT64_MAX;
+    return policy_.script[script_next_].at_ns;
+}
+
+} // namespace sushi::serve

@@ -7,30 +7,133 @@
 
 namespace sushi::serve {
 
-std::vector<GeneratedArrival>
-poissonArrivals(const LoadGenConfig &cfg)
+namespace {
+
+/** Exponential variate with the given mean; 1 - uniform() is in
+ *  (0, 1] so the log argument never hits zero. */
+double
+expGap(Rng &rng, double mean)
+{
+    return -std::log(1.0 - rng.uniform()) * mean;
+}
+
+/** Fill the per-request fields shared by every arrival process. */
+GeneratedArrival
+makeArrival(const LoadGenConfig &cfg, Rng &rng, double t)
+{
+    GeneratedArrival a;
+    a.arrival_ns = static_cast<std::int64_t>(t);
+    a.sample_index = static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(cfg.sample_pool)));
+    if (cfg.priorities > 1)
+        a.opts.priority = static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(cfg.priorities)));
+    if (cfg.deadline_ns != kNoDeadline)
+        a.opts.deadline_ns = a.arrival_ns + cfg.deadline_ns;
+    return a;
+}
+
+void
+checkCommon(const LoadGenConfig &cfg)
 {
     sushi_assert(cfg.rate_rps > 0.0);
     sushi_assert(cfg.sample_pool >= 1);
     sushi_assert(cfg.priorities >= 1);
+}
+
+} // namespace
+
+std::vector<GeneratedArrival>
+poissonArrivals(const LoadGenConfig &cfg)
+{
+    checkCommon(cfg);
     Rng rng(cfg.seed);
     std::vector<GeneratedArrival> out;
     out.reserve(cfg.requests);
     const double mean_gap_ns = 1e9 / cfg.rate_rps;
     double t = 0.0;
     for (std::size_t i = 0; i < cfg.requests; ++i) {
-        // Exponential inter-arrival gap; 1 - uniform() is in (0, 1].
-        t += -std::log(1.0 - rng.uniform()) * mean_gap_ns;
-        GeneratedArrival a;
-        a.arrival_ns = static_cast<std::int64_t>(t);
-        a.sample_index = static_cast<std::size_t>(
-            rng.below(static_cast<std::uint64_t>(cfg.sample_pool)));
-        if (cfg.priorities > 1)
-            a.opts.priority = static_cast<int>(rng.below(
-                static_cast<std::uint64_t>(cfg.priorities)));
-        if (cfg.deadline_ns != kNoDeadline)
-            a.opts.deadline_ns = a.arrival_ns + cfg.deadline_ns;
-        out.push_back(a);
+        t += expGap(rng, mean_gap_ns);
+        out.push_back(makeArrival(cfg, rng, t));
+    }
+    return out;
+}
+
+std::vector<GeneratedArrival>
+burstyArrivals(const LoadGenConfig &cfg)
+{
+    checkCommon(cfg);
+    sushi_assert(cfg.burst_on_ns > 0 && cfg.burst_off_ns > 0);
+    const double on_rate = cfg.burst_rate_rps > 0.0
+                               ? cfg.burst_rate_rps
+                               : 4.0 * cfg.rate_rps;
+    const double mean_gap_ns = 1e9 / on_rate;
+    Rng rng(cfg.seed);
+    std::vector<GeneratedArrival> out;
+    out.reserve(cfg.requests);
+    // Alternate exponentially-long ON/OFF phases; arrivals are a
+    // Poisson stream confined to the ON phases. Phase boundaries and
+    // gaps come from the same sequential seeded stream, so the whole
+    // trace is one pure function of (config, seed).
+    double t = 0.0;
+    double phase_end =
+        expGap(rng, static_cast<double>(cfg.burst_on_ns));
+    bool on = true;
+    while (out.size() < cfg.requests) {
+        if (!on) {
+            t = phase_end;
+            phase_end =
+                t + expGap(rng,
+                           static_cast<double>(cfg.burst_on_ns));
+            on = true;
+            continue;
+        }
+        const double gap = expGap(rng, mean_gap_ns);
+        if (t + gap >= phase_end) {
+            // The burst ended before the next arrival; jump to the
+            // start of the next OFF phase.
+            t = phase_end;
+            phase_end =
+                t + expGap(rng,
+                           static_cast<double>(cfg.burst_off_ns));
+            on = false;
+            continue;
+        }
+        t += gap;
+        out.push_back(makeArrival(cfg, rng, t));
+    }
+    return out;
+}
+
+std::vector<GeneratedArrival>
+diurnalArrivals(const LoadGenConfig &cfg)
+{
+    checkCommon(cfg);
+    sushi_assert(cfg.diurnal_period_ns > 0);
+    sushi_assert(cfg.diurnal_amplitude >= 0.0 &&
+                 cfg.diurnal_amplitude <= 1.0);
+    Rng rng(cfg.seed);
+    std::vector<GeneratedArrival> out;
+    out.reserve(cfg.requests);
+    // Thinning (Lewis-Shedler): draw candidates at the peak rate and
+    // accept with probability rate(t)/peak. Exact for any bounded
+    // rate profile, and deterministic because both the candidate
+    // stream and the accept draws come from the one seeded Rng.
+    const double peak_rps =
+        cfg.rate_rps * (1.0 + cfg.diurnal_amplitude);
+    const double mean_gap_ns = 1e9 / peak_rps;
+    const double two_pi = 2.0 * 3.14159265358979323846;
+    double t = 0.0;
+    while (out.size() < cfg.requests) {
+        t += expGap(rng, mean_gap_ns);
+        const double phase =
+            two_pi * t / static_cast<double>(cfg.diurnal_period_ns);
+        double rate = cfg.rate_rps *
+                      (1.0 + cfg.diurnal_amplitude * std::sin(phase));
+        if (rate < 0.0)
+            rate = 0.0;
+        if (rng.uniform() * peak_rps < rate)
+            out.push_back(makeArrival(cfg, rng, t));
     }
     return out;
 }

@@ -26,6 +26,25 @@ ServerMetrics::goodputRps() const
            static_cast<double>(span);
 }
 
+double
+ServerMetrics::availability() const
+{
+    if (submitted == 0)
+        return 1.0;
+    const std::uint64_t on_time = completed - deadline_missed;
+    return static_cast<double>(on_time) /
+           static_cast<double>(submitted);
+}
+
+std::uint64_t
+ServerMetrics::degradedReplicas() const
+{
+    std::uint64_t n = 0;
+    for (const ReplicaMetrics &r : replicas)
+        n += r.degraded() ? 1 : 0;
+    return n;
+}
+
 std::string
 ServerMetrics::toJson() const
 {
@@ -36,15 +55,39 @@ ServerMetrics::toJson() const
     w.field("rejected_queue_full", rejected_queue_full);
     w.field("rejected_deadline", rejected_deadline);
     w.field("rejected_shutdown", rejected_shutdown);
+    w.field("rejected_breaker", rejected_breaker);
+    w.field("rejected_replica_failure", rejected_replica_failure);
     w.field("deadline_missed", deadline_missed);
     w.field("batches", batches);
     w.field("flush_size", flush_size);
     w.field("flush_delay", flush_delay);
     w.field("flush_drain", flush_drain);
+    w.field("batch_failures", batch_failures);
+    w.field("retries", retries);
+    w.field("hedges_launched", hedges_launched);
+    w.field("hedges_won", hedges_won);
+    w.field("hedges_lost", hedges_lost);
+    w.field("hedges_cancelled", hedges_cancelled);
+    w.field("breaker_opens", breaker_opens);
+    w.field("breaker_half_opens", breaker_half_opens);
+    w.field("breaker_closes", breaker_closes);
+    w.field("breaker_state", breakerStateName(breaker));
+    w.field("quarantines", quarantines);
+    w.field("probes", probes);
+    w.field("probe_failures", probe_failures);
+    w.field("readmits", readmits);
+    w.field("spares_promoted", spares_promoted);
+    w.field("chaos_crashes", chaos_crashes);
+    w.field("chaos_stalls", chaos_stalls);
+    w.field("chaos_slow_degrades", chaos_slow_degrades);
+    w.field("chaos_faults", chaos_faults);
+    w.field("chaos_degrades", chaos_degrades);
+    w.field("degraded_replicas", degradedReplicas());
     w.field("first_submit_ns", first_submit_ns);
     w.field("last_event_ns", last_event_ns);
     w.field("span_ns", spanNs());
     w.field("goodput_rps", goodputRps());
+    w.field("availability", availability());
     w.rawField("queue_ns", queue_ns.json());
     w.rawField("service_ns", service_ns.json());
     w.rawField("total_ns", total_ns.json());
@@ -53,9 +96,16 @@ ServerMetrics::toJson() const
     for (std::size_t r = 0; r < replicas.size(); ++r) {
         w.beginObject();
         w.field("replica", static_cast<int>(r));
+        w.field("state", replicaStateName(replicas[r].state));
         w.field("batches", replicas[r].batches);
         w.field("samples", replicas[r].samples);
         w.field("busy_ns", replicas[r].busy_ns);
+        w.field("failures", replicas[r].failures);
+        w.field("quarantines", replicas[r].quarantines);
+        w.field("probes", replicas[r].probes);
+        w.field("readmissions", replicas[r].readmissions);
+        w.field("failed_npes", replicas[r].failed_npes);
+        w.field("degraded", replicas[r].degraded());
         w.field("utilisation", utilisation(r));
         w.endObject();
     }

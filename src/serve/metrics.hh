@@ -8,7 +8,15 @@
  * integers at render time, so in virtual-clock mode toJson() is
  * byte-identical across worker-thread counts and across repeated
  * runs of the same seeded workload (the serve determinism property
- * in tests/test_serve.cc).
+ * in tests/test_serve.cc, extended to whole chaos campaigns in
+ * tests/test_chaos.cc).
+ *
+ * PR 6 adds the resilience counters: retries, hedge outcomes,
+ * circuit-breaker transitions, quarantine/probe/readmission
+ * accounting, chaos injection totals, and per-replica health state
+ * including the failed-NPE gauge surfaced from the chip layer — so
+ * a degraded-but-alive replica is distinguishable from a healthy
+ * one in the same snapshot that shows a quarantined one.
  */
 
 #ifndef SUSHI_SERVE_METRICS_HH
@@ -20,15 +28,29 @@
 
 #include "chip/sushi_chip.hh"
 #include "common/histogram.hh"
+#include "serve/resilience.hh"
 
 namespace sushi::serve {
 
-/** Per-replica serving totals. */
+/** Per-replica serving totals and health state. */
 struct ReplicaMetrics
 {
     std::uint64_t batches = 0;  ///< batches executed
     std::uint64_t samples = 0;  ///< requests served
     std::int64_t busy_ns = 0;   ///< time spent executing batches
+
+    /// @name Health accounting (PR 6).
+    /// @{
+    std::uint64_t failures = 0;     ///< failed batches
+    std::uint64_t quarantines = 0;  ///< times quarantined
+    std::uint64_t probes = 0;       ///< health probes run
+    std::uint64_t readmissions = 0; ///< probe-success readmits
+    std::uint64_t failed_npes = 0;  ///< current failed-NPE gauge
+    ReplicaState state = ReplicaState::Active; ///< at snapshot time
+    /// @}
+
+    /** Degraded-but-alive: serving with remapped NPEs. */
+    bool degraded() const { return failed_npes > 0; }
 };
 
 /** One coherent snapshot of the server's counters and latency
@@ -43,6 +65,8 @@ struct ServerMetrics
     std::uint64_t rejected_queue_full = 0;
     std::uint64_t rejected_deadline = 0; ///< shed before execution
     std::uint64_t rejected_shutdown = 0;
+    std::uint64_t rejected_breaker = 0;  ///< breaker fast-fails
+    std::uint64_t rejected_replica_failure = 0; ///< retries exhausted
     std::uint64_t deadline_missed = 0; ///< completed after deadline
     /// @}
 
@@ -52,6 +76,34 @@ struct ServerMetrics
     std::uint64_t flush_size = 0;  ///< flushed at max_batch
     std::uint64_t flush_delay = 0; ///< flushed at max_delay_ns
     std::uint64_t flush_drain = 0; ///< flushed by drain/shutdown
+    std::uint64_t batch_failures = 0; ///< dispatches that failed
+    /// @}
+
+    /// @name Recovery accounting (PR 6).
+    /// @{
+    std::uint64_t retries = 0;          ///< retry dispatches queued
+    std::uint64_t hedges_launched = 0;  ///< hedge copies enqueued
+    std::uint64_t hedges_won = 0;       ///< hedge resolved first
+    std::uint64_t hedges_lost = 0;      ///< primary resolved first
+    std::uint64_t hedges_cancelled = 0; ///< copy cancelled unqueued
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t breaker_half_opens = 0;
+    std::uint64_t breaker_closes = 0;
+    std::uint64_t quarantines = 0;      ///< replicas failed out
+    std::uint64_t probes = 0;           ///< health probes run
+    std::uint64_t probe_failures = 0;
+    std::uint64_t readmits = 0;         ///< probe-success readmits
+    std::uint64_t spares_promoted = 0;  ///< hot spares activated
+    BreakerState breaker = BreakerState::Closed; ///< at snapshot
+    /// @}
+
+    /// @name Chaos injection totals (PR 6).
+    /// @{
+    std::uint64_t chaos_crashes = 0;
+    std::uint64_t chaos_stalls = 0;
+    std::uint64_t chaos_slow_degrades = 0;
+    std::uint64_t chaos_faults = 0;
+    std::uint64_t chaos_degrades = 0; ///< injected NPE failures
     /// @}
 
     /// @name Latency and batch-size distributions (nanoseconds in
@@ -85,6 +137,17 @@ struct ServerMetrics
 
     /** Requests answered on time per second of span. */
     double goodputRps() const;
+
+    /**
+     * Availability: fraction of submitted requests that were served
+     * AND met their deadline (non-shed, deadline-met fraction — the
+     * metric the chaos availability sweep records). 1.0 when nothing
+     * was submitted.
+     */
+    double availability() const;
+
+    /** Replicas currently serving with failed NPEs remapped. */
+    std::uint64_t degradedReplicas() const;
 
     /**
      * Byte-deterministic JSON rendering (common/stats::JsonWriter

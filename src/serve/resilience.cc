@@ -1,0 +1,27 @@
+#include "serve/resilience.hh"
+
+namespace sushi::serve {
+
+const char *
+replicaStateName(ReplicaState s)
+{
+    switch (s) {
+      case ReplicaState::Active: return "active";
+      case ReplicaState::Quarantined: return "quarantined";
+      case ReplicaState::Spare: return "spare";
+    }
+    return "?";
+}
+
+const char *
+breakerStateName(BreakerState s)
+{
+    switch (s) {
+      case BreakerState::Closed: return "closed";
+      case BreakerState::Open: return "open";
+      case BreakerState::HalfOpen: return "half_open";
+    }
+    return "?";
+}
+
+} // namespace sushi::serve

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Resilience policies of the self-healing serving layer.
+ *
+ * The SFQ substrate makes chips fast but fragile: flux trapping, JJ
+ * margin drift and fabrication yield mean a deployed fleet must
+ * expect whole-chip and per-NPE failures (DESIGN.md §4.5). These
+ * policies describe how the Server reacts:
+ *
+ *  - RetryPolicy      — per-request retry budget with exponential
+ *                       backoff and *keyed* jitter: the delay before
+ *                       attempt k of request r is a pure function of
+ *                       (seed, r, k), so retry schedules replay
+ *                       byte-identically at any thread count.
+ *  - HedgePolicy      — deadline-critical priorities get a duplicate
+ *                       dispatch onto a second replica once the
+ *                       primary has been in flight for delay_ns;
+ *                       first completion wins, the loser is
+ *                       cancelled (if still queued) or discarded.
+ *  - BreakerPolicy    — a per-model circuit breaker. Consecutive
+ *                       batch failures trip it Open; admissions then
+ *                       fast-fail with Reject::BreakerOpen instead
+ *                       of queueing into a retry storm. After
+ *                       open_ns it goes HalfOpen and lets a few
+ *                       trial batches through; success closes it.
+ *  - HealthPolicy     — failure detection thresholds: consecutive
+ *                       bad batches (failures, or batches slower
+ *                       than slow_batch_ns) quarantine a replica;
+ *                       quarantined replicas are probed on an
+ *                       exponential-backoff schedule and readmitted
+ *                       on probe success. Hot spares are promoted
+ *                       so the effective pool keeps its size.
+ *
+ * Every policy defaults to OFF (no retries, no hedging, breaker
+ * disabled, quarantine after 3 failures but nothing injects
+ * failures), so a plain Server behaves exactly as before PR 6.
+ */
+
+#ifndef SUSHI_SERVE_RESILIENCE_HH
+#define SUSHI_SERVE_RESILIENCE_HH
+
+#include <climits>
+#include <cstdint>
+
+namespace sushi::serve {
+
+/** Lifecycle state of one replica in the serving pool. */
+enum class ReplicaState : std::uint8_t {
+    Active,      ///< in the scheduling rotation
+    Quarantined, ///< failed out; awaiting probe-and-readmit
+    Spare,       ///< healthy but held out of rotation (hot spare)
+};
+
+/** Stable lowercase name of a replica state. */
+const char *replicaStateName(ReplicaState s);
+
+/** Circuit-breaker state (the classic three-state machine). */
+enum class BreakerState : std::uint8_t {
+    Closed,   ///< normal admission
+    Open,     ///< fast-fail all admissions
+    HalfOpen, ///< limited trial batches decide open vs closed
+};
+
+/** Stable lowercase name of a breaker state. */
+const char *breakerStateName(BreakerState s);
+
+/** Per-request retry budget with deterministic backoff. */
+struct RetryPolicy
+{
+    /** Retries allowed after the first failed attempt (0 = a failed
+     *  request rejects immediately with Reject::ReplicaFailure). */
+    int max_retries = 0;
+
+    /** Backoff before retry k (1-based) is backoff_ns << (k-1),
+     *  capped at backoff_max_ns, then jittered. */
+    std::int64_t backoff_ns = 100'000;
+    std::int64_t backoff_max_ns = 10'000'000;
+
+    /** Backoff is scaled by a keyed uniform draw in
+     *  [1 - jitter, 1 + jitter]; 0 disables jitter. */
+    double jitter = 0.5;
+
+    bool enabled() const { return max_retries > 0; }
+};
+
+/** Hedged duplicate dispatch for deadline-critical priorities. */
+struct HedgePolicy
+{
+    /** Requests with priority >= priority_floor are hedge-eligible
+     *  (INT_MAX disables hedging entirely). */
+    int priority_floor = INT_MAX;
+
+    /** A hedge copy is enqueued once the primary dispatch has been
+     *  in flight this long without completing. */
+    std::int64_t delay_ns = 1'000'000;
+
+    bool enabled() const { return priority_floor != INT_MAX; }
+};
+
+/** Per-model circuit breaker thresholds. */
+struct BreakerPolicy
+{
+    /** Consecutive batch failures that trip Closed -> Open
+     *  (0 disables the breaker). */
+    int failure_threshold = 0;
+
+    /** Time spent Open before probing HalfOpen. */
+    std::int64_t open_ns = 5'000'000;
+
+    /** Trial batches admitted in HalfOpen; that many consecutive
+     *  successes close the breaker, any failure re-opens it. */
+    int half_open_probes = 2;
+
+    bool enabled() const { return failure_threshold > 0; }
+};
+
+/** Replica failure detection and probe-and-readmit schedule. */
+struct HealthPolicy
+{
+    /** Consecutive bad batches (failure or slow) that quarantine a
+     *  replica. Chaos crashes quarantine immediately regardless. */
+    int quarantine_after = 3;
+
+    /** A successful batch slower than this counts as "bad" for the
+     *  consecutive-failure detector (slow-degrade detection;
+     *  INT64_MAX disables the latency signal). */
+    std::int64_t slow_batch_ns = INT64_MAX;
+
+    /** First probe fires this long after quarantine; each failed
+     *  probe multiplies the delay by probe_backoff up to the cap. */
+    std::int64_t probe_delay_ns = 1'000'000;
+    double probe_backoff = 2.0;
+    std::int64_t probe_delay_max_ns = 64'000'000;
+};
+
+} // namespace sushi::serve
+
+#endif // SUSHI_SERVE_RESILIENCE_HH

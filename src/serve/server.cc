@@ -6,6 +6,8 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/rng.hh"
+#include "sfq/simulator.hh"
 
 namespace sushi::serve {
 
@@ -14,6 +16,24 @@ namespace {
 /** Cap real-mode condition waits: a periodic wake is harmless and
  *  keeps kNoDeadline arithmetic away from time_point overflow. */
 constexpr std::int64_t kMaxWaitNs = 1'000'000'000;
+
+/** "No candidate" sentinel for event-time minima. */
+constexpr std::int64_t kNever = INT64_MAX;
+
+/** Domain separator of the retry-jitter keyed draws. */
+constexpr std::uint64_t kRetryJitterKey = 0x52e7b1a9f36d04c5ULL;
+
+/** The engine pool is the active target plus the hot spares. */
+engine::EngineConfig
+poolConfig(const ServerConfig &cfg)
+{
+    engine::EngineConfig ec = cfg.engine;
+    int active = ec.replicas;
+    if (active <= 0)
+        active = static_cast<int>(parallelWorkers());
+    ec.replicas = active + std::max(0, cfg.hot_spares);
+    return ec;
+}
 
 } // namespace
 
@@ -25,6 +45,8 @@ rejectName(Reject r)
       case Reject::QueueFull: return "queue_full";
       case Reject::DeadlineExceeded: return "deadline_exceeded";
       case Reject::ShuttingDown: return "shutting_down";
+      case Reject::BreakerOpen: return "breaker_open";
+      case Reject::ReplicaFailure: return "replica_failure";
     }
     return "?";
 }
@@ -33,14 +55,26 @@ Server::Server(std::shared_ptr<const engine::CompiledModel> model,
                const ServerConfig &cfg)
     : model_(std::move(model)),
       cfg_(cfg),
-      engine_(model_, cfg.engine),
+      engine_(model_, poolConfig(cfg)),
+      chaos_(cfg.chaos, engine_.replicas()),
       epoch_(std::chrono::steady_clock::now())
 {
     sushi_assert(cfg_.max_batch >= 1);
     sushi_assert(cfg_.max_queue >= 1);
     sushi_assert(cfg_.max_delay_ns >= 0);
+    sushi_assert(cfg_.hot_spares >= 0);
+    target_active_ =
+        engine_.replicas() - std::max(0, cfg_.hot_spares);
+    sushi_assert(target_active_ >= 1);
+    health_.resize(static_cast<std::size_t>(engine_.replicas()));
     metrics_.replicas.resize(
         static_cast<std::size_t>(engine_.replicas()));
+    for (int r = target_active_; r < engine_.replicas(); ++r) {
+        health_[static_cast<std::size_t>(r)].state =
+            ReplicaState::Spare;
+        metrics_.replicas[static_cast<std::size_t>(r)].state =
+            ReplicaState::Spare;
+    }
     if (cfg_.clock == ClockMode::Real) {
         workers_.reserve(metrics_.replicas.size());
         for (int r = 0; r < engine_.replicas(); ++r)
@@ -54,15 +88,36 @@ Server::~Server()
 }
 
 std::int64_t
+Server::realNow() const
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+std::int64_t
 Server::now() const
 {
     if (cfg_.clock == ClockMode::Virtual) {
         std::lock_guard<std::mutex> lock(mu_);
         return virtual_now_;
     }
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(
-               std::chrono::steady_clock::now() - epoch_)
-        .count();
+    return realNow();
+}
+
+ReplicaState
+Server::replicaState(int r) const
+{
+    sushi_assert(r >= 0 && r < engine_.replicas());
+    std::lock_guard<std::mutex> lock(mu_);
+    return health_[static_cast<std::size_t>(r)].state;
+}
+
+BreakerState
+Server::breakerState() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return breaker_.state;
 }
 
 std::future<Response>
@@ -75,17 +130,18 @@ Server::submit(engine::Sample sample, const RequestOptions &opts)
     }
 
     std::unique_lock<std::mutex> lock(mu_);
-    const std::int64_t t =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - epoch_)
-            .count();
+    const std::int64_t t = realNow();
     Pending req;
     req.id = next_id_++;
+    req.request_id = req.id;
     req.priority = opts.priority;
     req.submit_ns = t;
+    req.queued_ns = t;
     req.deadline_ns = opts.deadline_ns;
-    req.sample = std::move(sample);
-    auto fut = req.promise.get_future();
+    req.sample =
+        std::make_shared<const engine::Sample>(std::move(sample));
+    req.state = std::make_shared<ReqState>();
+    auto fut = req.state->promise.get_future();
     {
         std::lock_guard<std::mutex> mlock(metrics_mu_);
         ++metrics_.submitted;
@@ -97,6 +153,12 @@ Server::submit(engine::Sample sample, const RequestOptions &opts)
     }
     if (req.deadline_ns <= t) {
         resolveReject(req, Reject::DeadlineExceeded, t);
+        return fut;
+    }
+    breakerAdvanceLocked(t);
+    if (cfg_.breaker.enabled() &&
+        breaker_.state == BreakerState::Open) {
+        resolveReject(req, Reject::BreakerOpen, t);
         return fut;
     }
     shedExpiredLocked(t);
@@ -125,11 +187,15 @@ Server::submitAtLocked(std::int64_t arrival_ns,
 {
     Pending req;
     req.id = next_id_++;
+    req.request_id = req.id;
     req.priority = opts.priority;
     req.submit_ns = arrival_ns;
+    req.queued_ns = arrival_ns;
     req.deadline_ns = opts.deadline_ns;
-    req.sample = std::move(sample);
-    auto fut = req.promise.get_future();
+    req.sample =
+        std::make_shared<const engine::Sample>(std::move(sample));
+    req.state = std::make_shared<ReqState>();
+    auto fut = req.state->promise.get_future();
     {
         std::lock_guard<std::mutex> mlock(metrics_mu_);
         ++metrics_.submitted;
@@ -147,6 +213,7 @@ void
 Server::admitLocked(Pending &&req, std::int64_t t)
 {
     std::uint64_t id = req.id;
+    ++req.state->live;
     pending_.emplace(id, std::move(req));
     std::lock_guard<std::mutex> mlock(metrics_mu_);
     ++metrics_.accepted;
@@ -160,10 +227,12 @@ Server::resolveReject(Pending &req, Reject reason,
 {
     Response resp;
     resp.rejected = reason;
-    resp.id = req.id;
+    resp.id = req.request_id;
     resp.submit_ns = req.submit_ns;
     resp.dispatch_ns = event_ns;
     resp.complete_ns = event_ns;
+    resp.retries = req.state->failures;
+    resp.hedged = req.state->hedged;
     {
         std::lock_guard<std::mutex> mlock(metrics_mu_);
         switch (reason) {
@@ -176,25 +245,77 @@ Server::resolveReject(Pending &req, Reject reason,
           case Reject::ShuttingDown:
             ++metrics_.rejected_shutdown;
             break;
+          case Reject::BreakerOpen:
+            ++metrics_.rejected_breaker;
+            break;
+          case Reject::ReplicaFailure:
+            ++metrics_.rejected_replica_failure;
+            break;
           case Reject::None:
             break;
         }
         metrics_.last_event_ns =
             std::max(metrics_.last_event_ns, event_ns);
     }
-    req.promise.set_value(std::move(resp));
+    req.state->resolved = true;
+    req.state->promise.set_value(std::move(resp));
+    purgeCopiesLocked(req.state);
+}
+
+void
+Server::purgeCopiesLocked(const std::shared_ptr<ReqState> &state)
+{
+    // First resolution wins: remove every still-queued copy of the
+    // request (running copies discard themselves at completion).
+    if (state->live > 0) {
+        std::uint64_t cancelled = 0;
+        for (auto it = pending_.begin();
+             it != pending_.end() && state->live > 0;) {
+            if (it->second.state == state) {
+                if (it->second.is_hedge)
+                    ++cancelled;
+                --state->live;
+                it = pending_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        for (auto it = retries_.begin();
+             it != retries_.end() && state->live > 0;) {
+            if (it->req.state == state) {
+                --state->live;
+                it = retries_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        if (cancelled > 0) {
+            std::lock_guard<std::mutex> mlock(metrics_mu_);
+            metrics_.hedges_cancelled += cancelled;
+        }
+    }
+    if (!hedges_.empty())
+        hedges_.erase(
+            std::remove_if(hedges_.begin(), hedges_.end(),
+                           [&](const HedgeTimer &h) {
+                               return h.proto.state == state;
+                           }),
+            hedges_.end());
 }
 
 void
 Server::shedExpiredLocked(std::int64_t t)
 {
     for (auto it = pending_.begin(); it != pending_.end();) {
-        if (it->second.deadline_ns <= t) {
-            resolveReject(it->second, Reject::DeadlineExceeded, t);
-            it = pending_.erase(it);
-        } else {
+        Pending &req = it->second;
+        if (req.deadline_ns > t) {
             ++it;
+            continue;
         }
+        --req.state->live;
+        if (!req.state->resolved && req.state->live <= 0)
+            resolveReject(req, Reject::DeadlineExceeded, t);
+        it = pending_.erase(it);
     }
 }
 
@@ -211,11 +332,25 @@ Server::flushReadyLocked(std::int64_t t, FlushCause *cause) const
         *cause = FlushCause::Drain;
         return true;
     }
-    if (t - oldestSubmitLocked() >= cfg_.max_delay_ns) {
+    if (t - oldestQueuedLocked() >= cfg_.max_delay_ns) {
         *cause = FlushCause::Delay;
         return true;
     }
     return false;
+}
+
+bool
+Server::replicaEligibleLocked(int replica) const
+{
+    if (health_[static_cast<std::size_t>(replica)].state !=
+        ReplicaState::Active)
+        return false;
+    // HalfOpen admits a bounded number of concurrent trial batches.
+    if (cfg_.breaker.enabled() &&
+        breaker_.state == BreakerState::HalfOpen &&
+        breaker_.half_open_inflight >= cfg_.breaker.half_open_probes)
+        return false;
+    return true;
 }
 
 Server::Batch
@@ -236,11 +371,22 @@ Server::takeBatchLocked(int replica, std::int64_t t, FlushCause cause)
                   return a.first != b.first ? a.first > b.first
                                             : a.second < b.second;
               });
-    const std::size_t take =
-        std::min<std::size_t>(cfg_.max_batch, order.size());
-    batch.reqs.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-        auto it = pending_.find(order[i].second);
+    batch.reqs.reserve(std::min<std::size_t>(cfg_.max_batch,
+                                             order.size()));
+    for (const auto &[prio, id] : order) {
+        if (batch.reqs.size() >= cfg_.max_batch)
+            break;
+        auto it = pending_.find(id);
+        // Never put two copies of one request (primary + hedge) in
+        // the same batch — the duplicate would be wasted work.
+        bool dup = false;
+        for (const Pending &q : batch.reqs)
+            if (q.state == it->second.state) {
+                dup = true;
+                break;
+            }
+        if (dup)
+            continue;
         batch.reqs.push_back(std::move(it->second));
         pending_.erase(it);
     }
@@ -248,12 +394,16 @@ Server::takeBatchLocked(int replica, std::int64_t t, FlushCause cause)
 }
 
 std::int64_t
-Server::oldestSubmitLocked() const
+Server::oldestQueuedLocked() const
 {
     sushi_assert(!pending_.empty());
-    // Ids are assigned under mu_ in admission order, so the smallest
-    // id is the longest-waiting request.
-    return pending_.begin()->second.submit_ns;
+    // Retry and hedge copies re-enter the queue with fresh enqueue
+    // times, so the longest-waiting copy is found by scan, not by
+    // smallest id.
+    std::int64_t oldest = kNever;
+    for (const auto &[id, req] : pending_)
+        oldest = std::min(oldest, req.queued_ns);
+    return oldest;
 }
 
 std::int64_t
@@ -265,36 +415,413 @@ Server::nearestDeadlineLocked() const
     return nearest;
 }
 
-engine::ReplicaRun
-Server::runBatch(Batch &batch)
+int
+Server::activeCountLocked() const
 {
-    std::vector<const engine::Sample *> ptrs;
-    ptrs.reserve(batch.reqs.size());
-    for (const Pending &req : batch.reqs)
-        ptrs.push_back(&req.sample);
-    return engine_.runOnReplica(batch.replica, ptrs.data(),
-                                ptrs.size());
+    int n = 0;
+    for (const RepHealth &h : health_)
+        n += h.state == ReplicaState::Active ? 1 : 0;
+    return n;
+}
+
+bool
+Server::workPendingLocked() const
+{
+    return !pending_.empty() || !retries_.empty() || in_flight_ > 0;
 }
 
 std::int64_t
-Server::virtualServiceNs(const engine::ReplicaRun &run) const
+Server::backoffNs(std::uint64_t request_id, int attempt) const
 {
+    const RetryPolicy &rp = cfg_.retry;
+    std::int64_t delay = std::max<std::int64_t>(1, rp.backoff_ns);
+    for (int i = 1; i < attempt && delay < rp.backoff_max_ns; ++i)
+        delay *= 2;
+    delay = std::min(delay,
+                     std::max<std::int64_t>(1, rp.backoff_max_ns));
+    if (rp.jitter > 0.0) {
+        // Keyed draw: the jitter of attempt k of request r is a pure
+        // function of (seed, r, k) — no shared RNG state, so retry
+        // schedules replay identically at any thread count.
+        const std::uint64_t bits =
+            keyedBits(cfg_.resilience_seed ^ kRetryJitterKey,
+                      request_id, static_cast<std::uint64_t>(attempt));
+        const double u =
+            static_cast<double>(bits >> 11) * 0x1.0p-53;
+        const double scale =
+            1.0 - rp.jitter + 2.0 * rp.jitter * u;
+        delay = static_cast<std::int64_t>(
+            std::llround(static_cast<double>(delay) * scale));
+    }
+    return std::max<std::int64_t>(1, delay);
+}
+
+std::int64_t
+Server::nextRetryNsLocked() const
+{
+    std::int64_t next = kNever;
+    for (const RetryEntry &e : retries_)
+        next = std::min(next, e.ready_ns);
+    return next;
+}
+
+std::int64_t
+Server::nextHedgeNsLocked() const
+{
+    std::int64_t next = kNever;
+    for (const HedgeTimer &h : hedges_)
+        next = std::min(next, h.fire_ns);
+    return next;
+}
+
+std::int64_t
+Server::nextProbeNsLocked() const
+{
+    std::int64_t next = kNever;
+    for (const RepHealth &h : health_)
+        if (h.state == ReplicaState::Quarantined)
+            next = std::min(next, h.probe_at);
+    return next;
+}
+
+void
+Server::breakerAdvanceLocked(std::int64_t t)
+{
+    if (!cfg_.breaker.enabled())
+        return;
+    if (breaker_.state == BreakerState::Open &&
+        t >= breaker_.open_until) {
+        breaker_.state = BreakerState::HalfOpen;
+        breaker_.half_open_successes = 0;
+        breaker_.half_open_inflight = 0;
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        ++metrics_.breaker_half_opens;
+        metrics_.breaker = BreakerState::HalfOpen;
+    }
+}
+
+void
+Server::breakerOnOutcomeLocked(bool ok, bool trial, std::int64_t t)
+{
+    if (!cfg_.breaker.enabled())
+        return;
+    if (trial && breaker_.half_open_inflight > 0)
+        --breaker_.half_open_inflight;
+    if (ok) {
+        breaker_.consecutive_failures = 0;
+        if (breaker_.state == BreakerState::HalfOpen && trial &&
+            ++breaker_.half_open_successes >=
+                cfg_.breaker.half_open_probes) {
+            breaker_.state = BreakerState::Closed;
+            breaker_.half_open_successes = 0;
+            std::lock_guard<std::mutex> mlock(metrics_mu_);
+            ++metrics_.breaker_closes;
+            metrics_.breaker = BreakerState::Closed;
+        }
+        return;
+    }
+    ++breaker_.consecutive_failures;
+    const bool trip =
+        breaker_.state == BreakerState::HalfOpen ||
+        (breaker_.state == BreakerState::Closed &&
+         breaker_.consecutive_failures >=
+             cfg_.breaker.failure_threshold);
+    if (trip) {
+        breaker_.state = BreakerState::Open;
+        breaker_.open_until = t + cfg_.breaker.open_ns;
+        breaker_.half_open_inflight = 0;
+        breaker_.half_open_successes = 0;
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        ++metrics_.breaker_opens;
+        metrics_.breaker = BreakerState::Open;
+    }
+}
+
+void
+Server::applyChaosAtDispatchLocked(Batch &batch)
+{
+    if (!cfg_.chaos.enabled())
+        return;
+    batch.fate = chaos_.onBatch(batch.replica, batch.dispatch_ns);
+    const ChaosEngine::BatchFate &fate = batch.fate;
+    int failed_npes_now = -1;
+    if (fate.degrade_slot >= 0) {
+        // The replica is idle at dispatch time, so the mark lands on
+        // a batch boundary before this batch starts.
+        const int slot =
+            fate.degrade_slot % std::max(1, engine_.npeSlots());
+        engine_.markReplicaDegraded(batch.replica, slot);
+        failed_npes_now = engine_.failedNpeSlots(batch.replica);
+    }
+    std::lock_guard<std::mutex> mlock(metrics_mu_);
+    if (fate.crash)
+        ++metrics_.chaos_crashes;
+    if (fate.fault)
+        ++metrics_.chaos_faults;
+    if (fate.stall)
+        ++metrics_.chaos_stalls;
+    if (fate.slow_started)
+        ++metrics_.chaos_slow_degrades;
+    if (failed_npes_now >= 0) {
+        ++metrics_.chaos_degrades;
+        metrics_.replicas[static_cast<std::size_t>(batch.replica)]
+            .failed_npes =
+            static_cast<std::uint64_t>(failed_npes_now);
+    }
+}
+
+void
+Server::quarantineLocked(int replica, std::int64_t t)
+{
+    RepHealth &h = health_[static_cast<std::size_t>(replica)];
+    if (h.state != ReplicaState::Active)
+        return;
+    h.state = ReplicaState::Quarantined;
+    h.consecutive_bad = 0;
+    h.probe_delay =
+        std::max<std::int64_t>(1, cfg_.health.probe_delay_ns);
+    h.probe_at = t + h.probe_delay;
+    {
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        ++metrics_.quarantines;
+        auto &rep =
+            metrics_.replicas[static_cast<std::size_t>(replica)];
+        ++rep.quarantines;
+        rep.state = ReplicaState::Quarantined;
+    }
+    // Promote the lowest-index hot spare to keep the pool size.
+    for (std::size_t s = 0; s < health_.size(); ++s) {
+        if (health_[s].state != ReplicaState::Spare)
+            continue;
+        health_[s].state = ReplicaState::Active;
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        ++metrics_.spares_promoted;
+        metrics_.replicas[s].state = ReplicaState::Active;
+        break;
+    }
+    work_cv_.notify_all();
+}
+
+void
+Server::runProbeLocked(int replica, std::int64_t t)
+{
+    RepHealth &h = health_[static_cast<std::size_t>(replica)];
+    sushi_assert(h.state == ReplicaState::Quarantined);
+    {
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        ++metrics_.probes;
+        ++metrics_
+              .replicas[static_cast<std::size_t>(replica)]
+              .probes;
+    }
+    const bool reachable =
+        !(cfg_.chaos.enabled() && chaos_.crashed(replica, t));
+    if (!reachable) {
+        h.probe_delay = std::min<std::int64_t>(
+            std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(std::llround(
+                       static_cast<double>(h.probe_delay) *
+                       cfg_.health.probe_backoff))),
+            std::max<std::int64_t>(1,
+                                   cfg_.health.probe_delay_max_ns));
+        h.probe_at = t + h.probe_delay;
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        ++metrics_.probe_failures;
+        return;
+    }
+    // Probe success: reset the replica (chip re-biased, NPEs healed)
+    // and readmit — Active if the pool is short, Spare otherwise.
+    chaos_.heal(replica);
+    engine_.healReplica(replica);
+    engine_.clearReplicaStreak(replica);
+    h.consecutive_bad = 0;
+    h.state = activeCountLocked() < target_active_
+                  ? ReplicaState::Active
+                  : ReplicaState::Spare;
+    {
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        ++metrics_.readmits;
+        auto &rep =
+            metrics_.replicas[static_cast<std::size_t>(replica)];
+        ++rep.readmissions;
+        rep.failed_npes = 0;
+        rep.state = h.state;
+    }
+    work_cv_.notify_all();
+}
+
+void
+Server::fireRetriesLocked(std::int64_t t)
+{
+    if (retries_.empty())
+        return;
+    std::vector<RetryEntry> due;
+    for (auto it = retries_.begin(); it != retries_.end();) {
+        if (it->ready_ns <= t) {
+            due.push_back(std::move(*it));
+            it = retries_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    std::sort(due.begin(), due.end(),
+              [](const RetryEntry &a, const RetryEntry &b) {
+                  return a.ready_ns != b.ready_ns
+                             ? a.ready_ns < b.ready_ns
+                             : a.req.id < b.req.id;
+              });
+    for (RetryEntry &e : due) {
+        Pending &req = e.req;
+        if (req.state->resolved) {
+            --req.state->live;
+            continue;
+        }
+        if (req.deadline_ns <= t) {
+            --req.state->live;
+            if (req.state->live <= 0)
+                resolveReject(req, Reject::DeadlineExceeded, t);
+            continue;
+        }
+        if (cfg_.breaker.enabled() &&
+            breaker_.state == BreakerState::Open) {
+            // The breaker converts a retry storm into typed
+            // fast-fails instead of re-queueing against a dead model.
+            --req.state->live;
+            if (req.state->live <= 0)
+                resolveReject(req, Reject::BreakerOpen, t);
+            continue;
+        }
+        req.queued_ns = t;
+        pending_.emplace(req.id, std::move(req));
+    }
+}
+
+void
+Server::fireHedgesLocked(std::int64_t t)
+{
+    if (hedges_.empty())
+        return;
+    std::vector<HedgeTimer> due;
+    for (auto it = hedges_.begin(); it != hedges_.end();) {
+        if (it->fire_ns <= t) {
+            due.push_back(std::move(*it));
+            it = hedges_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    std::sort(due.begin(), due.end(),
+              [](const HedgeTimer &a, const HedgeTimer &b) {
+                  return a.fire_ns != b.fire_ns
+                             ? a.fire_ns < b.fire_ns
+                             : a.proto.request_id <
+                                   b.proto.request_id;
+              });
+    for (HedgeTimer &h : due) {
+        ReqState &st = *h.proto.state;
+        // Void if resolved, already hedged, the armed dispatch
+        // failed meanwhile, the deadline passed, or we're draining.
+        if (st.resolved || st.hedged || st.failures != h.attempt ||
+            h.proto.deadline_ns <= t || draining_ || stop_)
+            continue;
+        Pending copy = std::move(h.proto);
+        copy.id = next_id_++;
+        copy.queued_ns = t;
+        copy.is_hedge = true;
+        st.hedged = true;
+        ++st.live;
+        pending_.emplace(copy.id, std::move(copy));
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        ++metrics_.hedges_launched;
+    }
+}
+
+void
+Server::scheduleHedgeLocked(const Batch &batch)
+{
+    if (!cfg_.hedge.enabled())
+        return;
+    for (const Pending &req : batch.reqs) {
+        if (req.is_hedge || req.state->hedged ||
+            req.priority < cfg_.hedge.priority_floor)
+            continue;
+        HedgeTimer h;
+        h.fire_ns = batch.dispatch_ns + cfg_.hedge.delay_ns;
+        h.attempt = req.state->failures;
+        h.proto = req; // shares sample and state
+        hedges_.push_back(std::move(h));
+    }
+}
+
+Server::Outcome
+Server::executeBatch(Batch &batch)
+{
+    Outcome out;
+    if (batch.fate.crash) {
+        // The replica is unreachable: nothing executes, the batch
+        // fails after the modelled detection latency.
+        out.ok = false;
+        return out;
+    }
+    std::vector<const engine::Sample *> ptrs;
+    ptrs.reserve(batch.reqs.size());
+    for (const Pending &req : batch.reqs)
+        ptrs.push_back(req.sample.get());
+    try {
+        out.run = engine_.runOnReplica(batch.replica, ptrs.data(),
+                                       ptrs.size());
+    } catch (const std::exception &) {
+        // A genuine engine failure is indistinguishable from chaos:
+        // the batch fails and the health/retry machinery takes over.
+        out.ok = false;
+        out.run = engine::ReplicaRun{};
+        return out;
+    }
+    if (batch.fate.fault) {
+        // Escalate through the real typed path: the injected fault
+        // is a timing-constraint violation, exactly what a marginal
+        // JJ produces (results are discarded, service was charged).
+        try {
+            throw sfq::TimingFault("chaos.injector",
+                                   "injected transient escalation",
+                                   "chaos-transient");
+        } catch (const sfq::TimingFault &) {
+            out.ok = false;
+        }
+    }
+    return out;
+}
+
+std::int64_t
+Server::virtualServiceNs(const Batch &batch,
+                         const Outcome &outcome) const
+{
+    if (batch.fate.crash)
+        return std::max<std::int64_t>(
+            1, cfg_.chaos.crash_detect_ns);
     double ps = 0.0;
-    for (const auto &st : run.per_sample)
+    for (const auto &st : outcome.run.per_sample)
         ps += st.est_time_ps;
-    auto ns = static_cast<std::int64_t>(
-        std::llround(ps * cfg_.virtual_ns_per_ps));
+    auto ns = static_cast<std::int64_t>(std::llround(
+        ps * cfg_.virtual_ns_per_ps * batch.fate.service_scale));
     if (ns < 1)
         ns = 1;
     return ns + cfg_.batch_overhead_ns;
 }
 
 void
-Server::finishBatch(Batch &batch, engine::ReplicaRun &run,
-                    std::int64_t complete_ns)
+Server::processOutcomeLocked(Batch &batch, Outcome &outcome,
+                             std::int64_t complete_ns)
 {
-    const auto n = batch.reqs.size();
-    sushi_assert(run.results.size() == n);
+    const int r = batch.replica;
+    const auto rr = static_cast<std::size_t>(r);
+    const std::size_t n = batch.reqs.size();
+    const std::int64_t service = complete_ns - batch.dispatch_ns;
+    const bool ok = outcome.ok;
+
+    engine_.recordBatchOutcome(r, ok, service, ok ? n : 0);
+    breakerOnOutcomeLocked(ok, batch.half_open_trial, complete_ns);
+
     {
         std::lock_guard<std::mutex> mlock(metrics_mu_);
         ++metrics_.batches;
@@ -304,42 +831,119 @@ Server::finishBatch(Batch &batch, engine::ReplicaRun &run,
           case FlushCause::Drain: ++metrics_.flush_drain; break;
         }
         metrics_.batch_size.sample(static_cast<std::int64_t>(n));
-        auto &rep =
-            metrics_.replicas[static_cast<std::size_t>(batch.replica)];
+        auto &rep = metrics_.replicas[rr];
         ++rep.batches;
-        rep.samples += n;
-        rep.busy_ns += complete_ns - batch.dispatch_ns;
-        for (std::size_t i = 0; i < n; ++i) {
-            const Pending &req = batch.reqs[i];
-            metrics_.queue_ns.sample(batch.dispatch_ns -
-                                     req.submit_ns);
-            metrics_.service_ns.sample(complete_ns -
-                                       batch.dispatch_ns);
-            metrics_.total_ns.sample(complete_ns - req.submit_ns);
-            ++metrics_.completed;
-            if (complete_ns > req.deadline_ns)
-                ++metrics_.deadline_missed;
-            metrics_.merged.accumulate(run.per_sample[i]);
+        rep.busy_ns += service;
+        if (!ok) {
+            ++metrics_.batch_failures;
+            ++rep.failures;
         }
-        // Energy is a pure function of synaptic work (matches the
-        // engine's own merge).
-        metrics_.merged.dynamic_energy_j =
-            chip::dynamicEnergyJ(metrics_.merged.synaptic_ops);
         metrics_.last_event_ns =
             std::max(metrics_.last_event_ns, complete_ns);
     }
+
+    if (ok) {
+        sushi_assert(outcome.run.results.size() == n);
+        for (std::size_t i = 0; i < n; ++i) {
+            Pending &req = batch.reqs[i];
+            ReqState &st = *req.state;
+            --st.live;
+            if (st.resolved)
+                continue; // a sibling copy already answered
+            st.resolved = true;
+            const bool was_hedged = st.hedged;
+            {
+                std::lock_guard<std::mutex> mlock(metrics_mu_);
+                metrics_.queue_ns.sample(batch.dispatch_ns -
+                                         req.submit_ns);
+                metrics_.service_ns.sample(service);
+                metrics_.total_ns.sample(complete_ns -
+                                         req.submit_ns);
+                ++metrics_.completed;
+                ++metrics_.replicas[rr].samples;
+                if (complete_ns > req.deadline_ns)
+                    ++metrics_.deadline_missed;
+                metrics_.merged.accumulate(outcome.run.per_sample[i]);
+                if (was_hedged) {
+                    if (req.is_hedge)
+                        ++metrics_.hedges_won;
+                    else
+                        ++metrics_.hedges_lost;
+                }
+            }
+            Response resp;
+            resp.result = std::move(outcome.run.results[i]);
+            resp.id = req.request_id;
+            resp.submit_ns = req.submit_ns;
+            resp.dispatch_ns = batch.dispatch_ns;
+            resp.complete_ns = complete_ns;
+            resp.deadline_missed = complete_ns > req.deadline_ns;
+            resp.replica = r;
+            resp.batch_size = static_cast<int>(n);
+            resp.retries = st.failures;
+            resp.hedged = was_hedged;
+            st.promise.set_value(std::move(resp));
+            purgeCopiesLocked(req.state);
+        }
+        {
+            // Energy is a pure function of synaptic work (matches
+            // the engine's own merge).
+            std::lock_guard<std::mutex> mlock(metrics_mu_);
+            metrics_.merged.dynamic_energy_j =
+                chip::dynamicEnergyJ(metrics_.merged.synaptic_ops);
+        }
+        // Slow-degrade detection: a successful but slow batch still
+        // counts against the replica's health streak.
+        RepHealth &h = health_[rr];
+        if (cfg_.health.slow_batch_ns != INT64_MAX &&
+            service >= cfg_.health.slow_batch_ns) {
+            if (++h.consecutive_bad >=
+                std::max(1, cfg_.health.quarantine_after))
+                quarantineLocked(r, complete_ns);
+        } else {
+            h.consecutive_bad = 0;
+        }
+        return;
+    }
+
+    // Failure path: every request in the batch either rides another
+    // live copy, re-queues within its retry budget, or rejects.
     for (std::size_t i = 0; i < n; ++i) {
         Pending &req = batch.reqs[i];
-        Response resp;
-        resp.result = std::move(run.results[i]);
-        resp.id = req.id;
-        resp.submit_ns = req.submit_ns;
-        resp.dispatch_ns = batch.dispatch_ns;
-        resp.complete_ns = complete_ns;
-        resp.deadline_missed = complete_ns > req.deadline_ns;
-        resp.replica = batch.replica;
-        resp.batch_size = static_cast<int>(n);
-        req.promise.set_value(std::move(resp));
+        ReqState &st = *req.state;
+        --st.live;
+        if (st.resolved)
+            continue;
+        if (st.live > 0)
+            continue; // a hedge/retry copy is still carrying it
+        ++st.failures;
+        const int attempt = st.failures;
+        if (cfg_.retry.enabled() &&
+            attempt <= cfg_.retry.max_retries &&
+            req.deadline_ns > complete_ns) {
+            const std::int64_t delay =
+                backoffNs(req.request_id, attempt);
+            ++st.live;
+            {
+                std::lock_guard<std::mutex> mlock(metrics_mu_);
+                ++metrics_.retries;
+            }
+            retries_.push_back(
+                RetryEntry{complete_ns + delay, std::move(req)});
+        } else if (req.deadline_ns <= complete_ns) {
+            resolveReject(req, Reject::DeadlineExceeded,
+                          complete_ns);
+        } else {
+            resolveReject(req, Reject::ReplicaFailure, complete_ns);
+        }
+    }
+    // Health: a crash quarantines immediately; other failures feed
+    // the consecutive-bad-batch detector.
+    if (batch.fate.crash) {
+        quarantineLocked(r, complete_ns);
+    } else if (++health_[rr].consecutive_bad >=
+               std::max(1, cfg_.health.quarantine_after)) {
+        quarantineLocked(r, complete_ns);
     }
 }
 
@@ -348,40 +952,77 @@ Server::workerMain(int replica)
 {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
-        const std::int64_t t =
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - epoch_)
-                .count();
-        shedExpiredLocked(t);
-        if (pending_.empty()) {
-            drain_cv_.notify_all();
+        const std::int64_t t = realNow();
+        breakerAdvanceLocked(t);
+        RepHealth &h = health_[static_cast<std::size_t>(replica)];
+        if (h.state == ReplicaState::Spare) {
             if (stop_)
                 return;
             work_cv_.wait(lock);
             continue;
         }
-        FlushCause cause;
-        if (flushReadyLocked(t, &cause)) {
-            Batch batch = takeBatchLocked(replica, t, cause);
-            ++in_flight_;
-            lock.unlock();
-            engine::ReplicaRun run = runBatch(batch);
-            const std::int64_t done =
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - epoch_)
-                    .count();
-            finishBatch(batch, run, done);
-            lock.lock();
-            --in_flight_;
-            drain_cv_.notify_all();
+        if (h.state == ReplicaState::Quarantined) {
+            if (stop_)
+                return;
+            if (t < h.probe_at) {
+                const std::int64_t wake =
+                    std::min(h.probe_at, t + kMaxWaitNs);
+                work_cv_.wait_until(
+                    lock, epoch_ + std::chrono::nanoseconds(wake));
+                continue;
+            }
+            runProbeLocked(replica, t);
             continue;
         }
-        // Partial batch: sleep until the delay flush or the nearest
-        // deadline, whichever comes first (capped; new arrivals
-        // notify).
-        std::int64_t wake = oldestSubmitLocked() + cfg_.max_delay_ns;
-        wake = std::min(wake, nearestDeadlineLocked());
-        wake = std::min(wake, t + kMaxWaitNs);
+        fireRetriesLocked(t);
+        fireHedgesLocked(t);
+        shedExpiredLocked(t);
+        if (pending_.empty()) {
+            if (!workPendingLocked())
+                drain_cv_.notify_all();
+            if (stop_)
+                return;
+            std::int64_t wake = std::min(
+                {nextRetryNsLocked(), nextHedgeNsLocked(),
+                 t + kMaxWaitNs});
+            work_cv_.wait_until(
+                lock, epoch_ + std::chrono::nanoseconds(wake));
+            continue;
+        }
+        FlushCause cause;
+        if (replicaEligibleLocked(replica) &&
+            flushReadyLocked(t, &cause)) {
+            Batch batch = takeBatchLocked(replica, t, cause);
+            applyChaosAtDispatchLocked(batch);
+            if (cfg_.breaker.enabled() &&
+                breaker_.state == BreakerState::HalfOpen) {
+                batch.half_open_trial = true;
+                ++breaker_.half_open_inflight;
+            }
+            scheduleHedgeLocked(batch);
+            ++in_flight_;
+            lock.unlock();
+            Outcome out = executeBatch(batch);
+            const std::int64_t done = realNow();
+            lock.lock();
+            --in_flight_;
+            processOutcomeLocked(batch, out, done);
+            drain_cv_.notify_all();
+            work_cv_.notify_all();
+            continue;
+        }
+        // Partial batch (or this replica is held out): sleep until
+        // the delay flush, the nearest deadline, or the next
+        // retry/hedge fire, whichever comes first (capped; new
+        // arrivals and state changes notify).
+        std::int64_t wake = t + kMaxWaitNs;
+        if (replicaEligibleLocked(replica)) {
+            wake = std::min(wake, oldestQueuedLocked() +
+                                      cfg_.max_delay_ns);
+            wake = std::min(wake, nearestDeadlineLocked());
+        }
+        wake = std::min(
+            {wake, nextRetryNsLocked(), nextHedgeNsLocked()});
         work_cv_.wait_until(
             lock, epoch_ + std::chrono::nanoseconds(wake));
     }
@@ -411,38 +1052,58 @@ Server::runVirtualLocked(std::unique_lock<std::mutex> &lock)
     struct Running
     {
         Batch batch;
-        engine::ReplicaRun run;
+        Outcome outcome;
         std::int64_t complete_ns = 0;
     };
     std::vector<std::optional<Running>> running(
         static_cast<std::size_t>(engine_.replicas()));
 
     for (;;) {
-        // Next event: arrival, completion, deadline expiry, or batch
-        // flush (only meaningful while a replica is free).
-        std::int64_t t = kNoDeadline;
+        // Next event: arrival, completion, deadline expiry, batch
+        // flush (only while an eligible replica is free), retry
+        // ready, hedge fire, health probe, scripted chaos, or the
+        // breaker's open_until.
+        std::int64_t t = kNever;
         if (next < arrivals.size())
             t = std::min(t, arrivals[next].arrival_ns);
-        bool any_free = false;
+        bool any_running = false;
+        bool any_eligible_free = false;
         for (std::size_t r = 0; r < running.size(); ++r) {
-            if (running[r])
+            if (running[r]) {
+                any_running = true;
                 t = std::min(t, running[r]->complete_ns);
-            else
-                any_free = true;
+            } else if (replicaEligibleLocked(static_cast<int>(r))) {
+                any_eligible_free = true;
+            }
         }
         if (!pending_.empty()) {
             t = std::min(t, nearestDeadlineLocked());
-            if (any_free) {
+            if (any_eligible_free) {
                 if (pending_.size() >= cfg_.max_batch || draining_)
                     t = std::min(t, virtual_now_);
                 else
-                    t = std::min(t, oldestSubmitLocked() +
+                    t = std::min(t, oldestQueuedLocked() +
                                         cfg_.max_delay_ns);
             }
         }
-        if (t == kNoDeadline)
+        t = std::min(t, nextRetryNsLocked());
+        t = std::min(t, nextHedgeNsLocked());
+        const bool work = !pending_.empty() || !retries_.empty() ||
+                          any_running || next < arrivals.size();
+        if (work) {
+            t = std::min(t, nextProbeNsLocked());
+            if (cfg_.chaos.enabled())
+                t = std::min(t, chaos_.nextScriptNs());
+            if (cfg_.breaker.enabled() &&
+                breaker_.state == BreakerState::Open)
+                t = std::min(t, breaker_.open_until);
+        }
+        if (t == kNever)
             break; // nothing queued, running, or yet to arrive
         virtual_now_ = std::max(virtual_now_, t);
+        if (cfg_.chaos.enabled())
+            chaos_.advance(virtual_now_);
+        breakerAdvanceLocked(virtual_now_);
 
         // 1. Completions due, in (complete_ns, replica) order.
         std::vector<std::size_t> done;
@@ -459,14 +1120,24 @@ Server::runVirtualLocked(std::unique_lock<std::mutex> &lock)
                                  : a < b;
                   });
         for (std::size_t r : done) {
-            finishBatch(running[r]->batch, running[r]->run,
-                        running[r]->complete_ns);
+            processOutcomeLocked(running[r]->batch,
+                                 running[r]->outcome,
+                                 running[r]->complete_ns);
             running[r].reset();
         }
 
-        // 2. Shed queued requests whose deadlines have now passed,
-        //    then fire due arrivals against the cleaned queue.
+        // 2. Hedge fires, 3. health probes (replica order).
+        fireHedgesLocked(virtual_now_);
+        for (std::size_t r = 0; r < health_.size(); ++r)
+            if (health_[r].state == ReplicaState::Quarantined &&
+                health_[r].probe_at <= virtual_now_)
+                runProbeLocked(static_cast<int>(r), virtual_now_);
+
+        // 4. Shed queued requests whose deadlines have now passed,
+        //    re-admit due retries, then fire due arrivals against
+        //    the cleaned queue.
         shedExpiredLocked(virtual_now_);
+        fireRetriesLocked(virtual_now_);
         while (next < arrivals.size() &&
                arrivals[next].arrival_ns <= virtual_now_) {
             const std::int64_t at =
@@ -474,8 +1145,12 @@ Server::runVirtualLocked(std::unique_lock<std::mutex> &lock)
             Pending req = std::move(arrivals[next].req);
             ++next;
             req.submit_ns = at;
+            req.queued_ns = at;
             if (req.deadline_ns <= at) {
                 resolveReject(req, Reject::DeadlineExceeded, at);
+            } else if (cfg_.breaker.enabled() &&
+                       breaker_.state == BreakerState::Open) {
+                resolveReject(req, Reject::BreakerOpen, at);
             } else if (pending_.size() >= cfg_.max_queue) {
                 resolveReject(req, Reject::QueueFull, at);
             } else {
@@ -483,26 +1158,35 @@ Server::runVirtualLocked(std::unique_lock<std::mutex> &lock)
             }
         }
 
-        // 3. Form batches on free replicas (ascending id), then
-        //    execute them concurrently over the worker pool.
+        // 5. Form batches on eligible free replicas (ascending id),
+        //    then execute them concurrently over the worker pool.
         std::vector<Batch> formed;
         for (std::size_t r = 0; r < running.size(); ++r) {
-            if (running[r])
+            if (running[r] ||
+                !replicaEligibleLocked(static_cast<int>(r)))
                 continue;
             FlushCause cause;
             if (!flushReadyLocked(virtual_now_, &cause))
                 break;
-            formed.push_back(takeBatchLocked(static_cast<int>(r),
-                                             virtual_now_, cause));
+            Batch batch = takeBatchLocked(static_cast<int>(r),
+                                          virtual_now_, cause);
+            applyChaosAtDispatchLocked(batch);
+            if (cfg_.breaker.enabled() &&
+                breaker_.state == BreakerState::HalfOpen) {
+                batch.half_open_trial = true;
+                ++breaker_.half_open_inflight;
+            }
+            scheduleHedgeLocked(batch);
+            formed.push_back(std::move(batch));
         }
         if (!formed.empty()) {
-            std::vector<engine::ReplicaRun> runs(formed.size());
+            std::vector<Outcome> outs(formed.size());
             lock.unlock();
             parallelFor(
                 formed.size(),
                 [&](std::size_t begin, std::size_t end) {
                     for (std::size_t i = begin; i < end; ++i)
-                        runs[i] = runBatch(formed[i]);
+                        outs[i] = executeBatch(formed[i]);
                 },
                 ParallelOptions{/*grain=*/1, cfg_.max_threads});
             lock.lock();
@@ -510,9 +1194,9 @@ Server::runVirtualLocked(std::unique_lock<std::mutex> &lock)
                 const auto r =
                     static_cast<std::size_t>(formed[i].replica);
                 const std::int64_t service =
-                    virtualServiceNs(runs[i]);
+                    virtualServiceNs(formed[i], outs[i]);
                 running[r] = Running{std::move(formed[i]),
-                                     std::move(runs[i]),
+                                     std::move(outs[i]),
                                      virtual_now_ + service};
             }
         }
@@ -530,9 +1214,7 @@ Server::drain()
         return;
     }
     work_cv_.notify_all();
-    drain_cv_.wait(lock, [this] {
-        return pending_.empty() && in_flight_ == 0;
-    });
+    drain_cv_.wait(lock, [this] { return !workPendingLocked(); });
 }
 
 void

@@ -1,6 +1,7 @@
 /**
  * @file
- * Request-level serving frontend over the batched inference engine.
+ * Request-level serving frontend over the batched inference engine,
+ * with self-healing replica management (PR 6).
  *
  * The engine (PR 2/3) answers closed offline batches; this layer is
  * what faces traffic. A Server accepts single inference requests
@@ -10,27 +11,54 @@
  * InferenceEngine::runOnReplica, and sheds load with typed
  * rejections once the admission bound on queue depth is hit or a
  * request's deadline has passed. drain()/shutdown() finish all
- * admitted work before stopping; every future is always resolved.
+ * admitted work before stopping; every future is always resolved —
+ * including under injected replica crashes.
+ *
+ * Resilience layer (all policies default OFF; see resilience.hh):
+ *
+ *  - Replica health: batch outcomes feed per-replica accounts in the
+ *    engine; crashes and consecutive-bad-batch streaks quarantine a
+ *    replica (it leaves the scheduling rotation), hot spares are
+ *    promoted to keep the effective pool size, and quarantined
+ *    replicas are probed on an exponential-backoff schedule and
+ *    readmitted on probe success.
+ *  - Retries: a failed dispatch re-queues the request after an
+ *    exponential backoff with *keyed* jitter — the delay before
+ *    attempt k of request r is a pure function of (seed, r, k) — up
+ *    to the retry budget, then rejects Reject::ReplicaFailure.
+ *  - Hedging: requests at deadline-critical priorities get a
+ *    duplicate dispatch once their primary batch has been in flight
+ *    hedge.delay_ns; the first completion wins and the loser is
+ *    cancelled (still queued) or discarded (already running).
+ *  - Circuit breaker: consecutive batch failures trip the per-model
+ *    breaker Open and admissions fast-fail with Reject::BreakerOpen
+ *    (a retry storm becomes typed rejections); after open_ns a
+ *    HalfOpen phase lets a few trial batches decide open vs closed.
+ *  - Chaos: a seed-deterministic ChaosEngine (chaos.hh) is consulted
+ *    at every dispatch and can crash/stall/slow/fault a batch or
+ *    fail an NPE (SushiChip::markNpeFailed). Under the virtual clock
+ *    an entire chaos campaign replays byte-identically at any
+ *    worker-thread count.
  *
  * Two clock modes:
  *
  *  - ClockMode::Real — wall-clock serving. One worker thread per
  *    replica pulls batches from the shared pending queue; timestamps
- *    are steady_clock nanoseconds since construction. Throughput is
- *    whatever the host delivers; no byte-determinism is promised.
+ *    are steady_clock nanoseconds since construction. Quarantined
+ *    replicas' workers run their own probe schedule; spare workers
+ *    sleep until promoted. Throughput is whatever the host delivers;
+ *    no byte-determinism is promised (chaos service-time scaling is
+ *    virtual-only; crashes/faults/degrades apply in both modes).
  *
  *  - ClockMode::Virtual — deterministic discrete-event serving for
- *    tests and the open-loop bench. Requests carry logical arrival
+ *    tests and the open-loop benches. Requests carry logical arrival
  *    times (submitAt), runVirtual() plays the whole timeline:
  *    batches form at exact logical instants, service time is the
  *    batch's *modelled chip time* (est_time_ps scaled by
- *    virtual_ns_per_ps), and completions/rejections are processed in
- *    a fixed order. Same seed + config => byte-identical
- *    ServerMetrics::toJson() for ANY worker-thread count (batch
- *    execution still fans out over the worker pool), and every
- *    per-request result is bit-identical to running that sample
- *    alone through a SushiChip — the engine's determinism contract
- *    lifted to the request level.
+ *    virtual_ns_per_ps, then by the chaos service scale), and
+ *    completions/rejections/retries/hedges/probes are processed in a
+ *    fixed order. Same seed + config => byte-identical
+ *    ServerMetrics::toJson() for ANY worker-thread count.
  *
  * Batcher state machine (both modes share it):
  *
@@ -41,10 +69,11 @@
  *        | draining && nonempty -------> [Flush(drain)]
  *        | deadline passed ------------> reject(DeadlineExceeded)
  *        | depth == max_queue at admit -> reject(QueueFull)
+ *        | breaker open at admit ------> reject(BreakerOpen)
  *
  * A flush pops up to max_batch requests in (priority desc, arrival
- * asc) order onto the first free replica; expired requests are shed
- * at pop time, never executed.
+ * asc) order onto the first free *active* replica; expired requests
+ * are shed at pop time, never executed.
  */
 
 #ifndef SUSHI_SERVE_SERVER_HH
@@ -61,7 +90,9 @@
 #include <vector>
 
 #include "engine/inference_engine.hh"
+#include "serve/chaos.hh"
 #include "serve/metrics.hh"
+#include "serve/resilience.hh"
 
 namespace sushi::serve {
 
@@ -77,6 +108,8 @@ enum class Reject : std::uint8_t {
     QueueFull,        ///< admission bound hit
     DeadlineExceeded, ///< deadline passed before execution
     ShuttingDown,     ///< submitted after drain()/shutdown()
+    BreakerOpen,      ///< circuit breaker fast-fail
+    ReplicaFailure,   ///< dispatch failed and retry budget exhausted
 };
 
 /** Stable lowercase name for a rejection cause. */
@@ -86,8 +119,13 @@ const char *rejectName(Reject r);
 struct ServerConfig
 {
     /** Replica pool configuration (EngineConfig::replicas sizes the
-     *  pool; 0 selects parallelWorkers()). */
+     *  *active* pool; 0 selects parallelWorkers(); hot_spares are
+     *  added on top). */
     engine::EngineConfig engine;
+
+    /** Extra replicas instantiated but held out of rotation; one is
+     *  promoted whenever an active replica is quarantined. */
+    int hot_spares = 0;
 
     /** Flush a batch once this many requests have coalesced. */
     std::size_t max_batch = 8;
@@ -97,7 +135,9 @@ struct ServerConfig
     std::int64_t max_delay_ns = 200'000;
 
     /** Admission bound: submissions beyond this many queued requests
-     *  are rejected with Reject::QueueFull. */
+     *  are rejected with Reject::QueueFull. (Retry and hedge
+     *  re-queues bypass the bound — they recover already-admitted
+     *  work.) */
     std::size_t max_queue = 1024;
 
     ClockMode clock = ClockMode::Real;
@@ -113,6 +153,18 @@ struct ServerConfig
      *  batches (0 = pool size). Metrics are byte-identical for every
      *  value — the determinism knob. */
     unsigned max_threads = 0;
+
+    /// @name Resilience policies (all default off / no-op).
+    /// @{
+    RetryPolicy retry;
+    HedgePolicy hedge;
+    BreakerPolicy breaker;
+    HealthPolicy health;
+    ChaosPolicy chaos;
+
+    /** Seed of the keyed retry-jitter draws. */
+    std::uint64_t resilience_seed = 1;
+    /// @}
 };
 
 /** Per-request scheduling options. */
@@ -142,6 +194,8 @@ struct Response
     bool deadline_missed = false; ///< served, but past its deadline
     int replica = -1;            ///< replica that served it
     int batch_size = 0;          ///< size of its batch
+    int retries = 0;             ///< failed dispatches beforehand
+    bool hedged = false;         ///< a hedge copy was launched
 
     std::int64_t queueNs() const { return dispatch_ns - submit_ns; }
     std::int64_t serviceNs() const
@@ -163,7 +217,12 @@ class Server
     Server &operator=(const Server &) = delete;
 
     const ServerConfig &config() const { return cfg_; }
+
+    /** Total replica pool (active target + hot spares). */
     int replicas() const { return engine_.replicas(); }
+
+    /** The engine (per-replica accounts live there). */
+    const engine::InferenceEngine &engine() const { return engine_; }
 
     /** Current time in the server's clock domain (ns). */
     std::int64_t now() const;
@@ -194,8 +253,8 @@ class Server
 
     /**
      * Stop admitting (later submissions resolve ShuttingDown) and
-     * wait until every queued and in-flight request has resolved.
-     * Partial batches flush immediately. Idempotent.
+     * wait until every queued, retrying and in-flight request has
+     * resolved. Partial batches flush immediately. Idempotent.
      */
     void drain();
 
@@ -206,18 +265,39 @@ class Server
     /** Coherent snapshot of the serving metrics. */
     ServerMetrics metrics() const;
 
+    /** Current lifecycle state of replica @p r. */
+    ReplicaState replicaState(int r) const;
+
+    /** Current circuit-breaker state. */
+    BreakerState breakerState() const;
+
   private:
     /** Why a batch flushed. */
     enum class FlushCause : std::uint8_t { Size, Delay, Drain };
 
+    /** Shared per-request bookkeeping: the promise plus the copy /
+     *  retry / hedge state every live copy of the request points at. */
+    struct ReqState
+    {
+        std::promise<Response> promise;
+        bool resolved = false;
+        int failures = 0; ///< failed dispatches (retry budget)
+        int live = 0;     ///< copies queued / running / backing off
+        bool hedged = false; ///< hedge copy launched
+    };
+
+    /** One queued copy of a request. */
     struct Pending
     {
-        std::uint64_t id = 0;
+        std::uint64_t id = 0;         ///< per-copy admission key
+        std::uint64_t request_id = 0; ///< original admission id
         int priority = 0;
-        std::int64_t submit_ns = 0;
+        std::int64_t submit_ns = 0; ///< original arrival (latency t0)
+        std::int64_t queued_ns = 0; ///< this copy's enqueue instant
         std::int64_t deadline_ns = kNoDeadline;
-        engine::Sample sample;
-        std::promise<Response> promise;
+        bool is_hedge = false;
+        std::shared_ptr<const engine::Sample> sample;
+        std::shared_ptr<ReqState> state;
     };
 
     struct Batch
@@ -225,7 +305,16 @@ class Server
         int replica = -1;
         std::int64_t dispatch_ns = 0;
         FlushCause cause = FlushCause::Size;
+        bool half_open_trial = false;
+        ChaosEngine::BatchFate fate;
         std::vector<Pending> reqs;
+    };
+
+    /** Result of executing (or failing to execute) one batch. */
+    struct Outcome
+    {
+        bool ok = true;
+        engine::ReplicaRun run; ///< empty when !ok
     };
 
     /** A virtual-mode arrival waiting for its logical instant. */
@@ -235,6 +324,41 @@ class Server
         Pending req;
     };
 
+    /** A failed request waiting out its retry backoff. */
+    struct RetryEntry
+    {
+        std::int64_t ready_ns = 0;
+        Pending req;
+    };
+
+    /** An armed hedge: fires a duplicate dispatch of the request
+     *  unless it resolved first. */
+    struct HedgeTimer
+    {
+        std::int64_t fire_ns = 0;
+        int attempt = 0; ///< state->failures when armed; a mismatch
+                         ///< at fire time means the dispatch failed
+                         ///< and the timer is void
+        Pending proto; ///< copy inserted on fire (id assigned then)
+    };
+
+    struct RepHealth
+    {
+        ReplicaState state = ReplicaState::Active;
+        int consecutive_bad = 0; ///< failures + slow batches
+        std::int64_t probe_at = 0;
+        std::int64_t probe_delay = 0;
+    };
+
+    struct Breaker
+    {
+        BreakerState state = BreakerState::Closed;
+        int consecutive_failures = 0;
+        std::int64_t open_until = 0;
+        int half_open_inflight = 0;
+        int half_open_successes = 0;
+    };
+
     // Shared batcher/admission logic (mu_ held).
     std::future<Response> submitAtLocked(std::int64_t arrival_ns,
                                          engine::Sample sample,
@@ -242,31 +366,58 @@ class Server
     void admitLocked(Pending &&req, std::int64_t t);
     void resolveReject(Pending &req, Reject reason,
                        std::int64_t event_ns);
+    void purgeCopiesLocked(const std::shared_ptr<ReqState> &state);
     void shedExpiredLocked(std::int64_t t);
     bool flushReadyLocked(std::int64_t t, FlushCause *cause) const;
+    bool replicaEligibleLocked(int replica) const;
     Batch takeBatchLocked(int replica, std::int64_t t,
                           FlushCause cause);
-    std::int64_t oldestSubmitLocked() const;
+    std::int64_t oldestQueuedLocked() const;
     std::int64_t nearestDeadlineLocked() const;
 
-    // Execution + metrics (mu_ NOT held for runBatch).
-    engine::ReplicaRun runBatch(Batch &batch);
-    std::int64_t virtualServiceNs(const engine::ReplicaRun &run) const;
-    void finishBatch(Batch &batch, engine::ReplicaRun &run,
-                     std::int64_t complete_ns);
+    // Resilience machinery (mu_ held).
+    void breakerAdvanceLocked(std::int64_t t);
+    void breakerOnOutcomeLocked(bool ok, bool trial, std::int64_t t);
+    void applyChaosAtDispatchLocked(Batch &batch);
+    void quarantineLocked(int replica, std::int64_t t);
+    void runProbeLocked(int replica, std::int64_t t);
+    void fireRetriesLocked(std::int64_t t);
+    void fireHedgesLocked(std::int64_t t);
+    void scheduleHedgeLocked(const Batch &batch);
+    std::int64_t backoffNs(std::uint64_t request_id, int attempt)
+        const;
+    std::int64_t nextRetryNsLocked() const;
+    std::int64_t nextHedgeNsLocked() const;
+    std::int64_t nextProbeNsLocked() const;
+    int activeCountLocked() const;
+    bool workPendingLocked() const;
+
+    // Execution + outcome (mu_ NOT held for executeBatch).
+    Outcome executeBatch(Batch &batch);
+    std::int64_t virtualServiceNs(const Batch &batch,
+                                  const Outcome &outcome) const;
+    void processOutcomeLocked(Batch &batch, Outcome &outcome,
+                              std::int64_t complete_ns);
 
     void workerMain(int replica);
     void runVirtualLocked(std::unique_lock<std::mutex> &lock);
+    std::int64_t realNow() const;
 
     std::shared_ptr<const engine::CompiledModel> model_;
     ServerConfig cfg_;
     engine::InferenceEngine engine_;
+    ChaosEngine chaos_;
+    int target_active_ = 0; ///< active-pool size the server defends
 
     mutable std::mutex mu_;
     std::condition_variable work_cv_;  ///< workers: queue activity
     std::condition_variable drain_cv_; ///< drain(): progress
     std::map<std::uint64_t, Pending> pending_; ///< keyed by id (FIFO)
     std::vector<Arrival> arrivals_;    ///< virtual mode, un-fired
+    std::vector<RetryEntry> retries_;  ///< backing off
+    std::vector<HedgeTimer> hedges_;   ///< armed hedge timers
+    std::vector<RepHealth> health_;    ///< per-replica state
+    Breaker breaker_;
     std::uint64_t next_id_ = 0;
     std::size_t in_flight_ = 0;
     bool draining_ = false;

@@ -181,27 +181,29 @@ ParallelSimulator::runParallel(Tick until)
             // lookahead guarantees no other lane can produce an
             // event dated <= cap for us, so this is exactly the
             // sequential pop order restricted to this lane's cells.
-            if (!stop.load(std::memory_order_relaxed)) {
-                try {
-                    while (ln.queue.popNext(cap, e)) {
-                        cx.now = e.when;
-                        ln.last_exec = e.when;
-                        core.deliver(e.cell, e.port, cx);
-                    }
-                } catch (const TimingFault &) {
-                    // Remember our first fault with its event key;
-                    // other lanes still finish the window so the
-                    // globally earliest fault is known.
-                    ln.faulted = true;
-                    ln.fault_when = e.when;
-                    ln.fault_cell = e.cell;
-                    ln.fault_port = e.port;
-                    ln.fault_eptr = std::current_exception();
-                    stop.store(true, std::memory_order_relaxed);
-                } catch (...) {
-                    ln.error = std::current_exception();
-                    stop.store(true, std::memory_order_relaxed);
+            // Every lane ALWAYS runs its slice of the current window
+            // — even if another lane has already faulted and set
+            // `stop` — so the globally earliest fault is known and
+            // Fatal attribution never depends on which lane happened
+            // to fault first in wall-clock time. `stop` only cuts
+            // off *subsequent* windows (the break below the merge).
+            try {
+                while (ln.queue.popNext(cap, e)) {
+                    cx.now = e.when;
+                    ln.last_exec = e.when;
+                    core.deliver(e.cell, e.port, cx);
                 }
+            } catch (const TimingFault &) {
+                // Remember our first fault with its event key.
+                ln.faulted = true;
+                ln.fault_when = e.when;
+                ln.fault_cell = e.cell;
+                ln.fault_port = e.port;
+                ln.fault_eptr = std::current_exception();
+                stop.store(true, std::memory_order_relaxed);
+            } catch (...) {
+                ln.error = std::current_exception();
+                stop.store(true, std::memory_order_relaxed);
             }
             barrier.arriveAndWait();
             // Merge boundary pulses addressed to us, in fixed source

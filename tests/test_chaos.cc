@@ -1,0 +1,615 @@
+/**
+ * @file
+ * Tests for the self-healing serving layer (PR 6): chaos-campaign
+ * byte-determinism across worker-thread counts, liveness (every
+ * future resolves under injected crashes), quarantine / hot-spare
+ * promotion / probe-and-readmit, retry budgets and
+ * Reject::ReplicaFailure, hedged dispatch with first-wins
+ * cancellation, the circuit-breaker state machine, injected NPE
+ * degradation surfacing in ServerMetrics, ModelCache pinning,
+ * engine health mutation under concurrency, real-clock chaos drain,
+ * and the bursty / diurnal load-generator traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chip/sushi_chip.hh"
+#include "common/rng.hh"
+#include "engine/compiled_model.hh"
+#include "serve/load_gen.hh"
+#include "serve/server.hh"
+#include "snn/binarize.hh"
+#include "snn/network.hh"
+
+namespace sushi::serve {
+namespace {
+
+snn::BinarySnn
+tinyNet(std::size_t input, std::size_t hidden, std::size_t output,
+        int t_steps, std::uint64_t seed)
+{
+    snn::SnnConfig cfg;
+    cfg.input = input;
+    cfg.hidden = hidden;
+    cfg.output = output;
+    cfg.t_steps = t_steps;
+    cfg.stateless = true;
+    snn::SnnMlp mlp(cfg, seed);
+    return snn::BinarySnn::fromFloat(mlp);
+}
+
+std::vector<engine::Sample>
+randomSamples(std::size_t n, std::size_t dim, int t_steps,
+              std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<engine::Sample> samples(n);
+    for (auto &s : samples) {
+        for (int t = 0; t < t_steps; ++t) {
+            std::vector<std::uint8_t> f(dim);
+            for (auto &v : f)
+                v = rng.chance(0.4) ? 1 : 0;
+            s.push_back(std::move(f));
+        }
+    }
+    return samples;
+}
+
+std::shared_ptr<const engine::CompiledModel>
+smallModel()
+{
+    static std::shared_ptr<const engine::CompiledModel> model = [] {
+        compiler::ChipConfig chip;
+        chip.n = 8;
+        chip.sc_per_npe = 10;
+        return engine::CompiledModel::compile(
+            tinyNet(16, 8, 4, 3, 7), chip);
+    }();
+    return model;
+}
+
+ServerConfig
+virtualConfig(int replicas, std::size_t max_batch,
+              std::int64_t max_delay_ns,
+              std::size_t max_queue = 1024)
+{
+    ServerConfig cfg;
+    cfg.engine.replicas = replicas;
+    cfg.max_batch = max_batch;
+    cfg.max_delay_ns = max_delay_ns;
+    cfg.max_queue = max_queue;
+    cfg.clock = ClockMode::Virtual;
+    return cfg;
+}
+
+/** Service duration of one request on an idle virtual server. */
+std::int64_t
+soloServiceNs(const engine::Sample &sample)
+{
+    Server server(smallModel(), virtualConfig(1, 1, 0));
+    auto fut = server.submitAt(0, sample);
+    server.runVirtual();
+    return fut.get().serviceNs();
+}
+
+/** A full resilience + chaos config: 4 active replicas, 1 hot
+ *  spare, retries, hedging, breaker, health detection and a mixed
+ *  random + scripted fault environment. */
+ServerConfig
+campaignConfig(unsigned max_threads)
+{
+    ServerConfig cfg = virtualConfig(4, 4, 100'000);
+    cfg.max_threads = max_threads;
+    cfg.hot_spares = 1;
+    cfg.retry.max_retries = 3;
+    cfg.retry.backoff_ns = 50'000;
+    cfg.hedge.priority_floor = 1;
+    cfg.hedge.delay_ns = 400'000;
+    cfg.breaker.failure_threshold = 8;
+    cfg.breaker.open_ns = 2'000'000;
+    cfg.health.quarantine_after = 2;
+    cfg.health.probe_delay_ns = 500'000;
+    cfg.chaos.seed = 77;
+    cfg.chaos.crash_rate = 0.02;
+    cfg.chaos.stall_rate = 0.05;
+    cfg.chaos.fault_rate = 0.03;
+    cfg.chaos.degrade_rate = 0.01;
+    cfg.chaos.crash_hold_ns = 4'000'000;
+    cfg.chaos.script.push_back(
+        {2'000'000, 1, ChaosKind::Crash, 0});
+    cfg.chaos.script.push_back(
+        {5'000'000, 2, ChaosKind::SlowDegrade, 0});
+    cfg.resilience_seed = 9;
+    return cfg;
+}
+
+/** Run a seeded bursty workload through a campaign server and
+ *  return the metrics JSON (all futures must resolve). */
+std::string
+runCampaign(unsigned max_threads)
+{
+    const auto samples = randomSamples(8, 16, 3, 11);
+    LoadGenConfig lg;
+    lg.rate_rps = 10'000.0;
+    lg.requests = 150;
+    lg.sample_pool = samples.size();
+    lg.seed = 5;
+    lg.priorities = 3;
+    const auto arrivals = burstyArrivals(lg);
+
+    Server server(smallModel(), campaignConfig(max_threads));
+    std::vector<std::future<Response>> futs;
+    futs.reserve(arrivals.size());
+    for (const auto &a : arrivals)
+        futs.push_back(server.submitAt(
+            a.arrival_ns, samples[a.sample_index], a.opts));
+    server.runVirtual();
+    for (auto &f : futs)
+        f.get(); // liveness: every future resolved
+    return server.metrics().toJson();
+}
+
+TEST(ChaosDeterminism, ByteIdenticalAcrossThreadsAndRepeats)
+{
+    const std::string base = runCampaign(1);
+    EXPECT_EQ(base, runCampaign(1)) << "repeat run differs";
+    EXPECT_EQ(base, runCampaign(2)) << "2 worker threads differ";
+    EXPECT_EQ(base, runCampaign(8)) << "8 worker threads differ";
+}
+
+TEST(ChaosLiveness, AllFuturesResolveUnderHeavyCrashes)
+{
+    ServerConfig cfg = virtualConfig(2, 4, 100'000);
+    cfg.hot_spares = 1;
+    cfg.retry.max_retries = 2;
+    cfg.retry.backoff_ns = 50'000;
+    cfg.chaos.seed = 3;
+    cfg.chaos.crash_rate = 0.30;
+    cfg.chaos.fault_rate = 0.10;
+    cfg.chaos.crash_hold_ns = 1'000'000;
+    cfg.health.probe_delay_ns = 200'000;
+
+    const auto samples = randomSamples(4, 16, 3, 21);
+    Server server(smallModel(), cfg);
+    std::vector<std::future<Response>> futs;
+    for (int i = 0; i < 80; ++i)
+        futs.push_back(server.submitAt(
+            i * 50'000, samples[static_cast<std::size_t>(i) %
+                                samples.size()]));
+    server.runVirtual();
+
+    std::uint64_t served = 0;
+    std::uint64_t rejected = 0;
+    for (auto &f : futs) {
+        const Response r = f.get();
+        if (r.ok())
+            ++served;
+        else
+            ++rejected;
+    }
+    const ServerMetrics m = server.metrics();
+    EXPECT_EQ(m.submitted, 80u);
+    EXPECT_EQ(m.completed, served);
+    EXPECT_EQ(m.completed + m.rejected_queue_full +
+                  m.rejected_deadline + m.rejected_shutdown +
+                  m.rejected_breaker + m.rejected_replica_failure,
+              80u);
+    EXPECT_GT(m.chaos_crashes, 0u);
+    EXPECT_GT(m.quarantines, 0u);
+    // The retry budget recovered most crash victims.
+    EXPECT_GT(served, 60u);
+    (void)rejected;
+}
+
+TEST(ChaosHealth, ScriptedCrashQuarantineSpareReadmit)
+{
+    ServerConfig cfg = virtualConfig(4, 4, 100'000);
+    cfg.hot_spares = 1;
+    cfg.retry.max_retries = 3;
+    cfg.retry.backoff_ns = 50'000;
+    cfg.chaos.seed = 1;
+    cfg.chaos.crash_hold_ns = 8'000'000;
+    cfg.chaos.script.push_back(
+        {5'000'000, 0, ChaosKind::Crash, 0});
+    cfg.health.probe_delay_ns = 1'000'000;
+
+    // Replica 4 is the hot spare: instantiated but out of rotation.
+    const auto samples = randomSamples(4, 16, 3, 31);
+    Server server(smallModel(), cfg);
+    EXPECT_EQ(server.replicas(), 5);
+    EXPECT_EQ(server.replicaState(4), ReplicaState::Spare);
+
+    // Groups of 16 simultaneous arrivals form four size-4 batches,
+    // occupying every active replica — so the promoted spare serves
+    // real traffic. The 10 groups span past the probe schedule
+    // (quarantine ~5ms; probes at ~6, 8, 12, 20ms; crash holds
+    // until 13ms), so readmission happens while work is pending.
+    std::vector<std::future<Response>> futs;
+    for (int g = 0; g < 10; ++g)
+        for (int i = 0; i < 16; ++i)
+            futs.push_back(server.submitAt(
+                g * 2'500'000,
+                samples[static_cast<std::size_t>(i) %
+                        samples.size()]));
+    server.runVirtual();
+    for (auto &f : futs)
+        EXPECT_TRUE(f.get().ok()); // retries absorb the crash
+
+    const ServerMetrics m = server.metrics();
+    EXPECT_GE(m.quarantines, 1u);
+    EXPECT_GE(m.spares_promoted, 1u);
+    EXPECT_GE(m.probes, 1u);
+    EXPECT_GE(m.probe_failures, 1u); // crash_hold outlives probe 1
+    EXPECT_GE(m.readmits, 1u);
+    EXPECT_GE(m.replicas[0].quarantines, 1u);
+    EXPECT_GE(m.replicas[0].readmissions, 1u);
+    // The spare served real traffic after promotion.
+    EXPECT_GT(m.replicas[4].batches, 0u);
+    // Readmitted: the pool holds no quarantined replica at the end.
+    for (int r = 0; r < server.replicas(); ++r)
+        EXPECT_NE(server.replicaState(r), ReplicaState::Quarantined)
+            << "replica " << r;
+    EXPECT_EQ(m.completed, 160u);
+}
+
+TEST(ChaosRetry, BudgetExhaustionRejectsReplicaFailure)
+{
+    // Every dispatch dies with an injected transient TimingFault;
+    // the replica itself stays reachable (quarantine disabled), so
+    // each request burns its full retry budget then fast-fails.
+    ServerConfig cfg = virtualConfig(1, 4, 50'000);
+    cfg.retry.max_retries = 2;
+    cfg.retry.backoff_ns = 20'000;
+    cfg.chaos.seed = 1;
+    cfg.chaos.fault_rate = 1.0;
+    cfg.health.quarantine_after = 1'000'000;
+
+    const auto samples = randomSamples(2, 16, 3, 41);
+    Server server(smallModel(), cfg);
+    std::vector<std::future<Response>> futs;
+    for (int i = 0; i < 10; ++i)
+        futs.push_back(server.submitAt(
+            i * 10'000, samples[static_cast<std::size_t>(i) %
+                                samples.size()]));
+    server.runVirtual();
+
+    for (auto &f : futs) {
+        const Response r = f.get();
+        EXPECT_EQ(r.rejected, Reject::ReplicaFailure);
+        EXPECT_EQ(r.retries, 3); // initial dispatch + 2 retries
+    }
+    const ServerMetrics m = server.metrics();
+    EXPECT_EQ(m.rejected_replica_failure, 10u);
+    EXPECT_EQ(m.retries, 20u); // 2 per request
+    EXPECT_GT(m.chaos_faults, 0u);
+    EXPECT_EQ(m.completed, 0u);
+}
+
+TEST(ChaosRetry, DisabledRetryFailsImmediately)
+{
+    ServerConfig cfg = virtualConfig(1, 4, 50'000);
+    cfg.chaos.seed = 1;
+    cfg.chaos.fault_rate = 1.0;
+    cfg.health.quarantine_after = 1'000'000;
+
+    const auto samples = randomSamples(1, 16, 3, 43);
+    Server server(smallModel(), cfg);
+    auto fut = server.submitAt(0, samples[0]);
+    server.runVirtual();
+    const Response r = fut.get();
+    EXPECT_EQ(r.rejected, Reject::ReplicaFailure);
+    EXPECT_EQ(r.retries, 1);
+    EXPECT_EQ(server.metrics().retries, 0u);
+}
+
+TEST(ChaosHedge, StalledPrimaryLosesToHedge)
+{
+    const auto samples = randomSamples(2, 16, 3, 51);
+    const std::int64_t solo = soloServiceNs(samples[0]);
+
+    ServerConfig cfg = virtualConfig(2, 1, 0);
+    cfg.hedge.priority_floor = 0; // every request hedge-eligible
+    cfg.hedge.delay_ns = 2 * solo;
+    cfg.chaos.seed = 1;
+    cfg.chaos.stall_factor = 50.0;
+    cfg.chaos.script.push_back({0, 0, ChaosKind::Stall, 0});
+
+    Server server(smallModel(), cfg);
+    auto fa = server.submitAt(0, samples[0]); // lands on replica 0
+    auto fb = server.submitAt(0, samples[1]); // lands on replica 1
+    server.runVirtual();
+
+    const Response ra = fa.get();
+    const Response rb = fb.get();
+    EXPECT_TRUE(ra.ok());
+    EXPECT_TRUE(rb.ok());
+    // The stalled primary (50x service) lost to its hedge copy,
+    // which ran on the healthy replica after the hedge delay.
+    EXPECT_TRUE(ra.hedged);
+    EXPECT_EQ(ra.replica, 1);
+    EXPECT_LT(ra.totalNs(), 50 * solo);
+    const ServerMetrics m = server.metrics();
+    EXPECT_EQ(m.chaos_stalls, 1u);
+    EXPECT_EQ(m.hedges_launched, 1u);
+    EXPECT_EQ(m.hedges_won, 1u);
+    EXPECT_EQ(m.hedges_lost, 0u);
+    EXPECT_EQ(m.completed, 2u);
+    // The hedged request's counts match an unhedged run bit-for-bit.
+    Server plain(smallModel(), virtualConfig(1, 1, 0));
+    auto fp = plain.submitAt(0, samples[0]);
+    plain.runVirtual();
+    EXPECT_EQ(ra.result.counts, fp.get().result.counts);
+}
+
+TEST(ChaosBreaker, OpenFastFailsThenRecloses)
+{
+    ServerConfig cfg = virtualConfig(1, 2, 50'000);
+    cfg.breaker.failure_threshold = 1;
+    cfg.breaker.open_ns = 5'000'000;
+    cfg.breaker.half_open_probes = 1;
+    cfg.chaos.seed = 1;
+    cfg.chaos.crash_hold_ns = 8'000'000;
+    cfg.chaos.script.push_back(
+        {1'000'000, 0, ChaosKind::Crash, 0});
+    cfg.health.probe_delay_ns = 1'000'000;
+
+    const auto samples = randomSamples(2, 16, 3, 61);
+    Server server(smallModel(), cfg);
+
+    auto ok_before = server.submitAt(0, samples[0]);
+    // Fails at ~1.25ms (crash detect), tripping the breaker Open.
+    auto victim = server.submitAt(1'200'000, samples[1]);
+    // Arrivals while Open fast-fail with a typed rejection.
+    std::vector<std::future<Response>> shed;
+    for (int i = 0; i < 3; ++i)
+        shed.push_back(
+            server.submitAt(2'000'000 + i * 1'000'000, samples[0]));
+    // Arrivals after open_ns land in HalfOpen, wait out the probe
+    // schedule, and ride the trial batch that closes the breaker.
+    auto late_a = server.submitAt(7'000'000, samples[0]);
+    auto late_b = server.submitAt(7'500'000, samples[1]);
+    server.runVirtual();
+
+    EXPECT_TRUE(ok_before.get().ok());
+    EXPECT_EQ(victim.get().rejected, Reject::ReplicaFailure);
+    for (auto &f : shed)
+        EXPECT_EQ(f.get().rejected, Reject::BreakerOpen);
+    EXPECT_TRUE(late_a.get().ok());
+    EXPECT_TRUE(late_b.get().ok());
+
+    const ServerMetrics m = server.metrics();
+    EXPECT_GE(m.breaker_opens, 1u);
+    EXPECT_GE(m.breaker_half_opens, 1u);
+    EXPECT_GE(m.breaker_closes, 1u);
+    EXPECT_EQ(m.rejected_breaker, 3u);
+    EXPECT_EQ(server.breakerState(), BreakerState::Closed);
+}
+
+TEST(ChaosNpe, InjectedDegradeSurfacesGaugeAndStaysCorrect)
+{
+    ServerConfig cfg = virtualConfig(1, 2, 50'000);
+    cfg.chaos.seed = 1;
+    cfg.chaos.script.push_back(
+        {0, 0, ChaosKind::NpeDegrade, 2});
+
+    const auto samples = randomSamples(4, 16, 3, 71);
+    Server server(smallModel(), cfg);
+    std::vector<std::future<Response>> futs;
+    for (const auto &s : samples)
+        futs.push_back(server.submitAt(0, s));
+    server.runVirtual();
+
+    // Degraded-mode remap keeps every answer bit-identical.
+    Server clean(smallModel(), virtualConfig(1, 2, 50'000));
+    std::vector<std::future<Response>> cfuts;
+    for (const auto &s : samples)
+        cfuts.push_back(clean.submitAt(0, s));
+    clean.runVirtual();
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+        const Response r = futs[i].get();
+        EXPECT_TRUE(r.ok());
+        EXPECT_EQ(r.result.counts, cfuts[i].get().result.counts);
+    }
+
+    const ServerMetrics m = server.metrics();
+    EXPECT_EQ(m.chaos_degrades, 1u);
+    EXPECT_EQ(m.replicas[0].failed_npes, 1u);
+    EXPECT_TRUE(m.replicas[0].degraded());
+    EXPECT_EQ(m.degradedReplicas(), 1u);
+    EXPECT_NE(m.toJson().find("\"failed_npes\": 1"),
+              std::string::npos);
+    EXPECT_EQ(server.engine().replicaAccount(0).failed_npes, 1u);
+}
+
+TEST(ModelCachePin, DefersEvictionOfPinnedEntries)
+{
+    compiler::ChipConfig chip;
+    chip.n = 8;
+    chip.sc_per_npe = 10;
+    const auto net_a = tinyNet(16, 8, 4, 3, 101);
+    const auto net_b = tinyNet(16, 8, 4, 3, 102);
+    const auto net_c = tinyNet(16, 8, 4, 3, 103);
+
+    engine::ModelCache cache;
+    cache.setCapacity(1);
+    auto a = cache.get(net_a, chip);
+    EXPECT_EQ(cache.size(), 1u);
+    {
+        engine::CompiledModel::Pin pin(a.get());
+        EXPECT_EQ(cache.pinned(), 1u);
+        // Inserting B overflows capacity, but the LRU victim (A) is
+        // pinned: the eviction is deferred and falls on B instead.
+        auto b = cache.get(net_b, chip);
+        ASSERT_NE(b, nullptr);
+        EXPECT_GE(cache.evictionsDeferred(), 1u);
+        EXPECT_EQ(cache.size(), 1u);
+        auto a2 = cache.get(net_a, chip); // still resident: a hit
+        EXPECT_EQ(a2.get(), a.get());
+    }
+    EXPECT_EQ(cache.pinned(), 0u);
+    // Unpinned, A is evictable again.
+    auto c = cache.get(net_c, chip);
+    EXPECT_EQ(cache.size(), 1u);
+    const std::uint64_t deferred = cache.evictionsDeferred();
+    auto a3 = cache.get(net_a, chip); // recompiled: a miss
+    EXPECT_NE(a3.get(), a.get());
+    EXPECT_EQ(cache.evictionsDeferred(), deferred);
+}
+
+TEST(EngineHealth, DegradeHealHammerKeepsResultsIdentical)
+{
+    engine::EngineConfig ec;
+    ec.replicas = 4;
+    const auto samples = randomSamples(32, 16, 3, 81);
+    engine::InferenceEngine eng(smallModel(), ec);
+    const engine::EngineRun clean = eng.run(samples);
+
+    // Hammer degrade/heal on batch boundaries while batches run.
+    // Slots stay in [0, 4) so a replica never loses all 8 NPEs.
+    std::atomic<bool> stop{false};
+    std::thread mutator([&] {
+        int i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            eng.markReplicaDegraded(i % 4, i % 4);
+            eng.healReplica((i + 1) % 4);
+            ++i;
+        }
+    });
+    for (int iter = 0; iter < 12; ++iter) {
+        const engine::EngineRun run = eng.run(samples);
+        ASSERT_EQ(run.samples.size(), samples.size());
+        for (std::size_t s = 0; s < samples.size(); ++s)
+            EXPECT_EQ(run.samples[s].prediction,
+                      clean.samples[s].prediction);
+        // The serving-layer entry point under the same hammer.
+        const engine::ReplicaRun rr =
+            eng.runOnReplica(iter % 4, {samples[0]});
+        EXPECT_EQ(rr.results[0].counts, clean.samples[0].counts);
+    }
+    stop.store(true, std::memory_order_relaxed);
+    mutator.join();
+
+    for (int r = 0; r < 4; ++r)
+        eng.healReplica(r);
+    const engine::EngineRun after = eng.run(samples);
+    for (std::size_t s = 0; s < samples.size(); ++s)
+        EXPECT_EQ(after.samples[s].counts, clean.samples[s].counts);
+}
+
+TEST(ChaosReal, RealModeDrainResolvesEverything)
+{
+    // Wall-clock mode: crashes, faults, quarantines and probes all
+    // race worker threads; drain() must still resolve every future.
+    ServerConfig cfg;
+    cfg.engine.replicas = 2;
+    cfg.hot_spares = 1;
+    cfg.max_batch = 4;
+    cfg.max_delay_ns = 200'000;
+    cfg.clock = ClockMode::Real;
+    cfg.retry.max_retries = 2;
+    cfg.retry.backoff_ns = 50'000;
+    cfg.chaos.seed = 13;
+    cfg.chaos.crash_rate = 0.15;
+    cfg.chaos.fault_rate = 0.10;
+    cfg.chaos.crash_hold_ns = 2'000'000;
+    cfg.health.probe_delay_ns = 100'000;
+
+    const auto samples = randomSamples(4, 16, 3, 91);
+    Server server(smallModel(), cfg);
+    std::vector<std::future<Response>> futs;
+    for (int i = 0; i < 60; ++i)
+        futs.push_back(server.submit(
+            samples[static_cast<std::size_t>(i) % samples.size()]));
+    server.drain();
+
+    std::uint64_t served = 0;
+    for (auto &f : futs) {
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        if (f.get().ok())
+            ++served;
+    }
+    const ServerMetrics m = server.metrics();
+    EXPECT_EQ(m.submitted, 60u);
+    EXPECT_EQ(m.completed, served);
+    EXPECT_EQ(m.completed + m.rejected_queue_full +
+                  m.rejected_deadline + m.rejected_shutdown +
+                  m.rejected_breaker + m.rejected_replica_failure,
+              60u);
+    server.shutdown();
+}
+
+TEST(LoadGenTraces, BurstyDeterministicAndClumped)
+{
+    LoadGenConfig cfg;
+    cfg.rate_rps = 1000.0;
+    cfg.requests = 300;
+    cfg.sample_pool = 8;
+    cfg.seed = 7;
+    const auto a = burstyArrivals(cfg);
+    const auto b = burstyArrivals(cfg);
+    ASSERT_EQ(a.size(), 300u);
+    ASSERT_EQ(b.size(), 300u);
+    std::int64_t max_gap = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival_ns, b[i].arrival_ns);
+        EXPECT_EQ(a[i].sample_index, b[i].sample_index);
+        if (i > 0) {
+            EXPECT_GE(a[i].arrival_ns, a[i - 1].arrival_ns);
+            max_gap = std::max(max_gap,
+                               a[i].arrival_ns - a[i - 1].arrival_ns);
+        }
+    }
+    // OFF silences dwarf the in-burst gaps.
+    EXPECT_GT(max_gap, 2'000'000);
+    cfg.seed = 8;
+    const auto c = burstyArrivals(cfg);
+    bool differs = false;
+    for (std::size_t i = 0; i < c.size() && !differs; ++i)
+        differs = c[i].arrival_ns != a[i].arrival_ns;
+    EXPECT_TRUE(differs);
+}
+
+TEST(LoadGenTraces, DiurnalDeterministicAndRateBiased)
+{
+    LoadGenConfig cfg;
+    cfg.rate_rps = 2000.0;
+    cfg.requests = 400;
+    cfg.sample_pool = 4;
+    cfg.seed = 7;
+    cfg.diurnal_period_ns = 20'000'000;
+    cfg.diurnal_amplitude = 0.8;
+    const auto a = diurnalArrivals(cfg);
+    const auto b = diurnalArrivals(cfg);
+    ASSERT_EQ(a.size(), 400u);
+    double mean_sin = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival_ns, b[i].arrival_ns);
+        if (i > 0) {
+            EXPECT_GE(a[i].arrival_ns, a[i - 1].arrival_ns);
+        }
+        mean_sin += std::sin(
+            2.0 * 3.14159265358979323846 *
+            static_cast<double>(a[i].arrival_ns) /
+            static_cast<double>(cfg.diurnal_period_ns));
+    }
+    mean_sin /= static_cast<double>(a.size());
+    // Arrivals concentrate where the sinusoidal rate is high.
+    EXPECT_GT(mean_sin, 0.1);
+    cfg.seed = 9;
+    const auto c = diurnalArrivals(cfg);
+    bool differs = false;
+    for (std::size_t i = 0; i < c.size() && !differs; ++i)
+        differs = c[i].arrival_ns != a[i].arrival_ns;
+    EXPECT_TRUE(differs);
+}
+
+} // namespace
+} // namespace sushi::serve
