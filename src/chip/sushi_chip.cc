@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <mutex>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
@@ -35,6 +36,37 @@ popcountRange(const std::vector<std::uint64_t> &act,
     }
     return count;
 }
+
+/**
+ * Closed-form NPE counter: the exact recurrence Npe::addPulses
+ * implements (carry per wrap past 2^K counting up, borrow per wrap
+ * below zero counting down) without the per-SC bit materialisation.
+ * Any divergence from the Npe object is a bug the packed-vs-oracle
+ * fuzzer catches.
+ */
+struct FastCounter
+{
+    std::uint64_t v;      ///< counter value
+    std::uint64_t states; ///< 2^K
+
+    std::uint64_t addUp(std::uint64_t count)
+    {
+        const std::uint64_t spikes = (v + count) / states;
+        v = (v + count) % states;
+        return spikes;
+    }
+
+    std::uint64_t addDown(std::uint64_t count)
+    {
+        if (count <= v) {
+            v -= count;
+            return 0;
+        }
+        const std::uint64_t borrows = (count - v + states - 1) / states;
+        v = (v + borrows * states - count) % states;
+        return borrows;
+    }
+};
 
 } // namespace
 
@@ -144,6 +176,31 @@ SushiChip::stepLayer(const compiler::CompiledLayer &layer,
         std::uint64_t multi = 0;
     };
 
+    // Pulse traffic of one (neuron, bucket) pair: scheduled-range
+    // popcounts plus the rare multi-pulse extras. Shared by both
+    // kernels so they can only differ in counter arithmetic.
+    auto bucketCounts = [&](std::size_t o,
+                            const compiler::Block &bucket) {
+        std::uint64_t neg = popcountRange(
+            act_bits, layer.neg_masks[o], bucket.begin, bucket.end);
+        std::uint64_t pos = popcountRange(
+            act_bits, layer.pos_masks[o], bucket.begin, bucket.end);
+        for (const auto &[k, extra] : extras) {
+            if (static_cast<int>(k) >= bucket.begin &&
+                static_cast<int>(k) < bucket.end) {
+                const std::uint64_t bit = std::uint64_t{1}
+                                          << (k % 64);
+                if (layer.neg_masks[o][k / 64] & bit)
+                    neg += static_cast<std::uint64_t>(extra);
+                else
+                    pos += static_cast<std::uint64_t>(extra);
+            }
+        }
+        return std::pair<std::uint64_t, std::uint64_t>{neg, pos};
+    };
+
+    const bool fast_kernel = packedKernels();
+
     auto evalNeuron = [&](std::size_t o, NeuronTally &tl) {
         if (layer.disabled[o])
             return;
@@ -154,6 +211,33 @@ SushiChip::stepLayer(const compiler::CompiledLayer &layer,
         if (degraded &&
             failed_npes_[o % static_cast<std::size_t>(cfg_.n)])
             ++tl.remapped;
+
+        if (fast_kernel) {
+            // Closed-form counter, no Npe object per neuron-step.
+            FastCounter npe{layer.preload[o],
+                            std::uint64_t{1}
+                                << static_cast<unsigned>(
+                                       cfg_.sc_per_npe)};
+            std::uint64_t spikes = npe.addUp(
+                static_cast<std::uint64_t>(layer.bias_pulses[o]));
+            for (const compiler::Block &bucket :
+                 layer.schedule.buckets) {
+                const auto [neg, pos] = bucketCounts(o, bucket);
+                if (neg) {
+                    const std::uint64_t borrows = npe.addDown(neg);
+                    tl.underflow += borrows;
+                    spikes += borrows;
+                }
+                if (pos)
+                    spikes += npe.addUp(pos);
+                tl.syn_ops += neg + pos;
+            }
+            if (spikes > 1)
+                ++tl.multi;
+            out[o] = static_cast<std::uint16_t>(spikes);
+            return;
+        }
+
         // A fresh counter per neuron-step is behaviourally identical
         // to the time-multiplexed physical NPE (rst + write).
         npe::Npe npe(cfg_.sc_per_npe);
@@ -165,23 +249,7 @@ SushiChip::stepLayer(const compiler::CompiledLayer &layer,
 
         for (const compiler::Block &bucket : layer.schedule.buckets) {
             // Inhibitory pass first within every bucket (Sec. 5.1).
-            std::uint64_t neg = popcountRange(
-                act_bits, layer.neg_masks[o], bucket.begin,
-                bucket.end);
-            std::uint64_t pos = popcountRange(
-                act_bits, layer.pos_masks[o], bucket.begin,
-                bucket.end);
-            for (const auto &[k, extra] : extras) {
-                if (static_cast<int>(k) >= bucket.begin &&
-                    static_cast<int>(k) < bucket.end) {
-                    const std::uint64_t bit = std::uint64_t{1}
-                                              << (k % 64);
-                    if (layer.neg_masks[o][k / 64] & bit)
-                        neg += static_cast<std::uint64_t>(extra);
-                    else
-                        pos += static_cast<std::uint64_t>(extra);
-                }
-            }
+            const auto [neg, pos] = bucketCounts(o, bucket);
             if (neg) {
                 npe.setPolarity(npe::Polarity::Inhibitory);
                 const std::uint64_t borrows = npe.addPulses(neg);

@@ -20,6 +20,7 @@
 
 #include "compiler/compile.hh"
 #include "npe/npe.hh"
+#include "snn/packed.hh"
 
 namespace sushi::chip {
 
@@ -119,6 +120,31 @@ class SushiChip
     void setSimThreads(int threads) { sim_threads_ = threads; }
     int simThreads() const { return sim_threads_; }
 
+    /// @name Packed-kernel selection.
+    /// The fast path evaluates each neuron-step with closed-form
+    /// counter arithmetic (the exact recurrence Npe::addPulses
+    /// implements) instead of materialising an Npe object per
+    /// neuron. Pulse outputs and every InferenceStats counter are
+    /// bit-identical either way; tests/test_packed_snn.cc fuzzes the
+    /// equivalence. Per-chip override defaults to following the
+    /// process-wide snn::packed toggle (SUSHI_PACKED).
+    /// @{
+
+    /** Force the fast (true) or oracle (false) kernel on this chip. */
+    void setPackedKernels(bool on) { packed_kernels_ = on ? 1 : 0; }
+
+    /** Revert to following the process-wide toggle. */
+    void clearPackedKernelsOverride() { packed_kernels_ = -1; }
+
+    /** The kernel stepLayer will use right now. */
+    bool packedKernels() const
+    {
+        return packed_kernels_ < 0 ? snn::packed::enabled()
+                                   : packed_kernels_ == 1;
+    }
+
+    /// @}
+
     /**
      * Return the chip to its just-constructed state: statistics
      * cleared and every NPE slot healthy. Replica pools call this
@@ -157,6 +183,7 @@ class SushiChip
     std::vector<std::uint8_t> failed_npes_;
     compiler::NpeRemap remap_;
     int sim_threads_ = 0;
+    int packed_kernels_ = -1; ///< -1 follow global, else 0/1
 };
 
 } // namespace sushi::chip

@@ -60,6 +60,8 @@ InferenceEngine::InferenceEngine(
         chips_.push_back(
             std::make_unique<chip::SushiChip>(model_->chip()));
         chips_.back()->setSimThreads(cfg_.sim_threads);
+        if (cfg_.packed_kernels >= 0)
+            chips_.back()->setPackedKernels(cfg_.packed_kernels != 0);
         chip_mu_.push_back(std::make_unique<std::mutex>());
     }
 }

@@ -65,6 +65,13 @@ struct EngineConfig
      *  results at every setting. Not part of the model fingerprint:
      *  a host execution knob, not a chip property. */
     int sim_threads = 0;
+
+    /** Replica kernel selection (SushiChip::setPackedKernels):
+     *  -1 follows the process-wide snn::packed toggle, 0 forces the
+     *  Npe-object oracle, 1 forces the closed-form fast kernel.
+     *  Results and stats are bit-identical at every setting — like
+     *  sim_threads, a host knob, not a chip property. */
+    int packed_kernels = -1;
 };
 
 /** Per-sample inference outcome. */

@@ -1,10 +1,65 @@
 #include "snn/binarize.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
 
 namespace sushi::snn {
+
+namespace {
+
+/**
+ * The single binarization sign predicate: w >= 0 maps to +1 (so
+ * -0.0f and +0.0f agree), NaN maps to -1 (the comparison is false).
+ * binarizeLayer, binaryEffectiveWeights, and the packed kernels must
+ * round identically or the differential fuzzer's packed-vs-scalar
+ * parity breaks on sign-of-zero inputs.
+ */
+inline bool
+binaryPositive(float w)
+{
+    return w >= 0.0f;
+}
+
+/** Row scaling factor alpha = mean(|w|), guarded so a degenerate row
+ *  (all zeros, or any NaN poisoning the mean) falls back to 1.0
+ *  instead of producing a NaN threshold. `!(alpha > 0)` is the NaN-
+ *  proof spelling of `alpha <= 0`. */
+double
+rowAlpha(const float *row, std::size_t n)
+{
+    double alpha = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        alpha += std::fabs(row[i]);
+    alpha /= static_cast<double>(n);
+    if (!(alpha > 0.0))
+        alpha = 1.0;
+    return alpha;
+}
+
+/**
+ * Integer firing threshold with deterministic rounding. The raw
+ * ceil((theta - bias) / alpha) can be astronomically large (tiny
+ * alpha, runaway trained bias) and casting that double to int is
+ * undefined behaviour. Membranes live in [-in_dim, +in_dim], so any
+ * threshold at or below -(in_dim + 1) fires every step and any at or
+ * above in_dim + 1 never fires: clamping to that closed range
+ * preserves behaviour bit-for-bit while keeping the cast defined.
+ * NaN input (guarded alpha makes it unreachable from here, but the
+ * clamp must still be total) resolves to the lower bound.
+ */
+int
+clampedThreshold(double raw, std::size_t in_dim)
+{
+    const double hi = static_cast<double>(in_dim) + 1.0;
+    const double lo = -hi;
+    // max(lo, NaN) yields lo, so NaN deterministically "always
+    // fires" rather than tripping float-cast-overflow UB.
+    return static_cast<int>(std::min(hi, std::max(lo, raw)));
+}
+
+} // namespace
 
 long
 BinaryLayer::positiveSynapses() const
@@ -36,21 +91,18 @@ binarizeLayer(const Tensor &w, const std::vector<float> &b,
     layer.thresholds.resize(w.rows());
     for (std::size_t o = 0; o < w.rows(); ++o) {
         const float *row = w.row(o);
-        double alpha = 0.0;
-        for (std::size_t i = 0; i < w.cols(); ++i)
-            alpha += std::fabs(row[i]);
-        alpha /= static_cast<double>(w.cols());
-        if (alpha <= 0.0)
-            alpha = 1.0; // degenerate all-zero row
+        const double alpha = rowAlpha(row, w.cols());
 
         auto &bw = layer.weights[o];
         bw.resize(w.cols());
         for (std::size_t i = 0; i < w.cols(); ++i)
-            bw[i] = row[i] >= 0.0f ? 1 : -1;
+            bw[i] = binaryPositive(row[i]) ? 1 : -1;
 
         // Fire iff alpha * (B . x) + bias >= threshold.
-        layer.thresholds[o] = static_cast<int>(std::ceil(
-            (static_cast<double>(threshold) - b[o]) / alpha));
+        layer.thresholds[o] = clampedThreshold(
+            std::ceil((static_cast<double>(threshold) - b[o]) /
+                      alpha),
+            w.cols());
     }
     return layer;
 }
@@ -61,15 +113,10 @@ binaryEffectiveWeights(const Tensor &w)
     Tensor eff(w.rows(), w.cols());
     for (std::size_t o = 0; o < w.rows(); ++o) {
         const float *row = w.row(o);
-        double alpha = 0.0;
-        for (std::size_t i = 0; i < w.cols(); ++i)
-            alpha += std::fabs(row[i]);
-        alpha /= static_cast<double>(w.cols());
-        if (alpha <= 0.0)
-            alpha = 1.0;
+        const double alpha = rowAlpha(row, w.cols());
         float *erow = eff.row(o);
         for (std::size_t i = 0; i < w.cols(); ++i)
-            erow[i] = row[i] >= 0.0f
+            erow[i] = binaryPositive(row[i])
                           ? static_cast<float>(alpha)
                           : -static_cast<float>(alpha);
     }
@@ -94,6 +141,7 @@ BinarySnn::fromFloat(const SnnMlp &net)
         binarizeLayer(net.w1, net.b1, net.config().threshold));
     out.layers_.push_back(
         binarizeLayer(net.w2, net.b2, net.config().threshold));
+    out.buildPacked();
     return out;
 }
 
@@ -105,7 +153,22 @@ BinarySnn::fromLayers(std::vector<BinaryLayer> layers, int t_steps)
     BinarySnn out;
     out.layers_ = std::move(layers);
     out.t_steps_ = t_steps;
+    out.buildPacked();
     return out;
+}
+
+void
+BinarySnn::buildPacked()
+{
+    packed_.clear();
+    packed_.reserve(layers_.size());
+    bool ok = !layers_.empty();
+    for (const BinaryLayer &layer : layers_) {
+        packed_.push_back(packed::PackedLayer::fromSigned(
+            layer.weights, layer.thresholds));
+        ok = ok && packed_.back().packable();
+    }
+    packed_ready_ = ok;
 }
 
 int
@@ -125,6 +188,22 @@ BinarySnn::membrane(const BinaryLayer &layer, std::size_t neuron,
 std::vector<std::uint8_t>
 BinarySnn::stepForward(const std::vector<std::uint8_t> &frame) const
 {
+    if (packed_ready_ && packed::enabled()) {
+        // XNOR/popcount fast path; the scalar loop below is the
+        // oracle the differential fuzzer checks this against.
+        std::vector<std::uint8_t> act = frame;
+        packed::PackedActivations x;
+        for (const packed::PackedLayer &layer : packed_) {
+            sushi_assert(act.size() == layer.inDim());
+            packed::packRow(act, x);
+            std::vector<std::uint8_t> next(layer.outDim(), 0);
+            packed::spikeForward(layer, x, next.data(),
+                                 packed::Backend::Packed,
+                                 /*threads=*/1);
+            act = std::move(next);
+        }
+        return act;
+    }
     std::vector<std::uint8_t> act = frame;
     for (const BinaryLayer &layer : layers_) {
         sushi_assert(act.size() == layer.inDim());

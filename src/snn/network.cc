@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "snn/packed.hh"
 
 namespace sushi::snn {
 
@@ -70,6 +71,29 @@ SnnMlp::forwardWith(const Tensor &eff_w1, const Tensor &eff_w2,
     Tensor v1_pre(batch, cfg_.hidden), s1(batch, cfg_.hidden);
     Tensor v2_pre(batch, cfg_.output), s2(batch, cfg_.output);
 
+    // XNOR/popcount fast path: when both weight tensors carry the
+    // exact XNOR-Net structure (rows of +-alpha, as produced by
+    // binaryEffectiveWeights) and every frame is a 0/1 spike matrix,
+    // the charge step runs as bias + alpha * (integer bit dot). Both
+    // toggle states route through the same integer kernel (packed vs
+    // element-wise scalar backend), so flipping SUSHI_PACKED never
+    // changes a single bit of the trainer's numerics. Raw float
+    // weights (SnnMlp::forward) fail the structure check and keep
+    // the dense linearForward path untouched.
+    const packed::PackedLayer p1 =
+        packed::PackedLayer::fromEffective(eff_w1, b1);
+    const packed::PackedLayer p2 =
+        packed::PackedLayer::fromEffective(eff_w2, b2);
+    bool use_packed = p1.packable() && p2.packable();
+    std::vector<packed::PackedActivations> px;
+    if (use_packed) {
+        px.resize(frames.size());
+        for (std::size_t t = 0; t < frames.size() && use_packed; ++t)
+            use_packed = packed::packFloatRows(frames[t], px[t]);
+    }
+    const packed::Backend backend = packed::activeBackend();
+    packed::PackedActivations ps1;
+
     for (int t = 0; t < cfg_.t_steps; ++t) {
         const Tensor &x = frames[static_cast<std::size_t>(t)];
         sushi_assert(x.cols() == cfg_.input);
@@ -81,11 +105,21 @@ SnnMlp::forwardWith(const Tensor &eff_w1, const Tensor &eff_w2,
         }
 
         // Hidden layer: charge (Eq. 1), fire (Eq. 2), reset (Eq. 3).
-        linearForward(x, eff_w1, b1, h1);
+        if (use_packed)
+            packed::effectiveForward(
+                p1, px[static_cast<std::size_t>(t)], h1, backend);
+        else
+            linearForward(x, eff_w1, b1, h1);
         ifStep(v1, h1, theta, v1_pre, s1);
 
         // Output layer driven by the hidden spikes.
-        linearForward(s1, eff_w2, b2, h2);
+        if (use_packed) {
+            const bool ok = packed::packFloatRows(s1, ps1);
+            sushi_assert(ok); // ifStep emits exact 0/1 spikes
+            packed::effectiveForward(p2, ps1, h2, backend);
+        } else {
+            linearForward(s1, eff_w2, b2, h2);
+        }
         ifStep(v2, h2, theta, v2_pre, s2);
 
         for (std::size_t i = 0; i < counts.size(); ++i)
