@@ -15,6 +15,7 @@
 
 #include "bench_util.hh"
 #include "chip/sushi_chip.hh"
+#include "compiler/driver.hh"
 #include "data/synth_digits.hh"
 #include "fabric/timing_model.hh"
 #include "snn/train.hh"
@@ -28,7 +29,9 @@ chipAccuracy(const snn::BinarySnn &bin,
              const compiler::ChipConfig &cfg,
              const data::Dataset &test, chip::InferenceStats *stats)
 {
-    auto compiled = compiler::compileNetwork(bin, cfg);
+    auto compiled =
+        compiler::CompilerDriver(compiler::DriverOptions::legacy())
+            .compileSingle(bin, cfg);
     chip::SushiChip sushi_chip(cfg);
     snn::PoissonEncoder enc(99);
     std::size_t hits = 0;

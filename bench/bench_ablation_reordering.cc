@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
-#include "compiler/compile.hh"
+#include "compiler/driver.hh"
 #include "data/synth_digits.hh"
 #include "snn/train.hh"
 
@@ -39,8 +39,18 @@ main()
     compiler::ChipConfig sorted = plain;
     sorted.bucketing.reorder = true;
 
-    auto plain_net = compiler::compileNetwork(bin, plain);
-    auto sorted_net = compiler::compileNetwork(bin, sorted);
+    // The legacy driver preset is the paper's schedule; the scored
+    // preset lets the driver pick the cheaper fitting candidate per
+    // layer (Sec. 4.2.2 reload cost as the score).
+    const compiler::CompilerDriver legacy(
+        compiler::DriverOptions::legacy());
+    compiler::DriverOptions scored_opts;
+    scored_opts.score_schedules = true;
+    const compiler::CompilerDriver scored(scored_opts);
+
+    auto plain_net = legacy.compileSingle(bin, plain);
+    auto sorted_net = legacy.compileSingle(bin, sorted);
+    auto scored_net = scored.compileSingle(bin, sorted);
 
     std::printf("=== Ablation: synapse reordering (Sec. 4.2.2) "
                 "===\n");
@@ -56,8 +66,13 @@ main()
     const long tb = sorted_net.totalReloads();
     std::printf("%-8s %18ld %18ld %9.1f%%\n", "total", ta, tb,
                 ta ? 100.0 * (ta - tb) / ta : 0.0);
+    std::printf("driver's reload-scored selection: %ld reloads "
+                "(first-fit rule: %ld)\n",
+                scored_net.totalReloads(), tb);
+    std::printf("chip budget: %.1f%% of the JJ cap used\n",
+                100.0 * sorted_net.budget.jjUtilisation());
     std::printf("paper: reordering + bucketing reduce reload "
                 "frequency so reloading stays ~20%% of inference "
                 "time\n");
-    return 0;
+    return scored_net.totalReloads() <= tb ? 0 : 1;
 }

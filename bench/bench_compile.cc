@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Compiler pipeline benchmark: plan time, resource utilisation and
+ * multi-chip splitting on two workloads —
+ *
+ *  - the paper's flagship 784-800-10 model, which must fill most of
+ *    (but fit) one 16x16 chip's Table 2 budget as a single stage;
+ *  - an oversized 784-800-800-800-10 chain whose resident cost
+ *    overflows one chip, which the cost-aware driver must split into
+ *    a multi-chip plan with explicit inter-chip cuts.
+ *
+ * Environment:
+ *   SUSHI_JSON_OUT  output path (default BENCH_compile.json)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "compiler/driver.hh"
+#include "snn/binarize.hh"
+#include "snn/network.hh"
+
+#include "bench_util.hh"
+
+using namespace sushi;
+
+namespace {
+
+snn::BinaryLayer
+randomLayer(int in_dim, int out_dim, std::uint64_t seed)
+{
+    Rng rng(seed);
+    snn::BinaryLayer layer;
+    layer.weights.resize(static_cast<std::size_t>(out_dim));
+    layer.thresholds.resize(static_cast<std::size_t>(out_dim));
+    for (int o = 0; o < out_dim; ++o) {
+        auto &row = layer.weights[static_cast<std::size_t>(o)];
+        row.resize(static_cast<std::size_t>(in_dim));
+        for (int i = 0; i < in_dim; ++i)
+            row[static_cast<std::size_t>(i)] =
+                rng.chance(0.5) ? -1 : 1;
+        layer.thresholds[static_cast<std::size_t>(o)] =
+            static_cast<int>(rng.range(1, 32));
+    }
+    return layer;
+}
+
+struct PlanPoint
+{
+    std::string workload;
+    double compile_ms = 0.0;
+    int stages = 0;
+    long cross_chip_wires = 0;
+    double jj_utilisation = 0.0;
+    double area_utilisation = 0.0;
+    long plan_reloads = 0;
+    long disabled_neurons = 0;
+};
+
+PlanPoint
+measure(const std::string &workload, const snn::BinarySnn &net,
+        const compiler::ChipConfig &chip)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    compiler::MultiChipPlan plan =
+        compiler::CompilerDriver(compiler::DriverOptions::costAware())
+            .compilePlan(net, chip);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    PlanPoint p;
+    p.workload = workload;
+    p.compile_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    p.stages = plan.numChips();
+    p.cross_chip_wires = plan.crossChipWires();
+    p.jj_utilisation = plan.maxJjUtilisation();
+    p.area_utilisation = plan.maxAreaUtilisation();
+    for (const auto &stage : plan.stages) {
+        p.plan_reloads += stage->net.plan_reloads;
+        p.disabled_neurons += stage->net.disabled_count;
+    }
+    std::printf("%-22s %8.1f ms  %d chip(s)  %5ld cut wires  "
+                "%5.1f%% JJ  %5.1f%% area\n",
+                workload.c_str(), p.compile_ms, p.stages,
+                p.cross_chip_wires, 100.0 * p.jj_utilisation,
+                100.0 * p.area_utilisation);
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    compiler::ChipConfig chip;
+    chip.n = 16;
+    chip.sc_per_npe = 10;
+
+    std::printf("=== Cost-aware compiler pipeline ===\n");
+    std::printf("16x16 mesh, Table 2 default budget "
+                "(%ld JJs, %.2f mm^2 per chip)\n",
+                compiler::ChipBudget::tableDefaults(16, 10).jj_cap,
+                compiler::ChipBudget::tableDefaults(16, 10)
+                    .area_cap_mm2);
+
+    // Flagship: the paper's 784-800-10 MNIST model.
+    snn::SnnConfig cfg;
+    cfg.t_steps = 5;
+    cfg.stateless = true;
+    snn::SnnMlp mlp(cfg, 7);
+    const auto flagship_net = snn::BinarySnn::fromFloat(mlp);
+    const PlanPoint flagship =
+        measure("784-800-10", flagship_net, chip);
+
+    // Oversized: a 784-800-800-800-10 chain. Every layer fits one
+    // chip alone, the whole model does not.
+    const auto oversized_net = snn::BinarySnn::fromLayers(
+        {randomLayer(784, 800, 11), randomLayer(800, 800, 12),
+         randomLayer(800, 800, 13), randomLayer(800, 10, 14)},
+        5);
+    const PlanPoint oversized =
+        measure("784-800-800-800-10", oversized_net, chip);
+
+    const bool flagship_ok = flagship.stages == 1 &&
+                             flagship.jj_utilisation > 0.90 &&
+                             flagship.jj_utilisation <= 1.0;
+    const bool oversized_ok = oversized.stages >= 2 &&
+                              oversized.cross_chip_wires > 0 &&
+                              oversized.jj_utilisation <= 1.0;
+    std::printf("flagship fits one chip at >90%% utilisation: %s\n",
+                flagship_ok ? "yes" : "NO");
+    std::printf("oversized model splits across chips: %s\n",
+                oversized_ok ? "yes" : "NO");
+
+    JsonWriter w;
+    w.field("mesh", chip.n);
+    w.field("sc_per_npe", chip.sc_per_npe);
+    w.field("jj_cap",
+            static_cast<std::uint64_t>(
+                compiler::ChipBudget::tableDefaults(16, 10).jj_cap));
+    w.field("flagship_single_chip", flagship_ok);
+    w.field("oversized_splits", oversized_ok);
+    w.beginArray("plans");
+    for (const PlanPoint &p : {flagship, oversized}) {
+        w.beginObject();
+        w.field("workload", p.workload);
+        w.field("compile_ms", p.compile_ms);
+        w.field("chips", p.stages);
+        w.field("cross_chip_wires",
+                static_cast<std::uint64_t>(p.cross_chip_wires));
+        w.field("jj_utilisation", p.jj_utilisation);
+        w.field("area_utilisation", p.area_utilisation);
+        w.field("plan_reloads",
+                static_cast<std::uint64_t>(p.plan_reloads));
+        w.field("disabled_neurons",
+                static_cast<std::uint64_t>(p.disabled_neurons));
+        w.endObject();
+    }
+    w.endArray();
+    const std::string json = w.finish();
+
+    const char *env_path = std::getenv("SUSHI_JSON_OUT");
+    const std::string path =
+        env_path != nullptr && env_path[0] != '\0'
+            ? env_path
+            : "BENCH_compile.json";
+    if (!JsonWriter::writeFile(path, json)) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("JSON written to %s\n", path.c_str());
+
+    return flagship_ok && oversized_ok ? 0 : 1;
+}

@@ -17,6 +17,7 @@
 #include "chip/sampler.hh"
 #include "chip/sushi_chip.hh"
 #include "common/rng.hh"
+#include "compiler/driver.hh"
 #include "sfq/waveform.hh"
 
 using namespace sushi;
@@ -35,7 +36,9 @@ main()
     compiler::ChipConfig cfg;
     cfg.n = 1;
     cfg.sc_per_npe = 4;
-    auto compiled = compiler::compileNetwork(net, cfg);
+    auto compiled =
+        compiler::CompilerDriver(compiler::DriverOptions::legacy())
+            .compileSingle(net, cfg);
 
     // Encoded input stream: spikes at steps 1..4 (label pattern
     // "0-1-1-1-1" as in Fig. 16(d)).

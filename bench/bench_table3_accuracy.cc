@@ -17,6 +17,7 @@
 
 #include "bench_util.hh"
 #include "chip/sushi_chip.hh"
+#include "compiler/driver.hh"
 #include "data/synth_digits.hh"
 #include "data/synth_fashion.hh"
 #include "snn/train.hh"
@@ -73,7 +74,9 @@ runDataset(const data::Dataset &all, const Sizes &sz,
     compiler::ChipConfig chip_cfg;
     chip_cfg.n = 16;
     chip_cfg.sc_per_npe = 10;
-    auto compiled = compiler::compileNetwork(bin, chip_cfg);
+    auto compiled =
+        compiler::CompilerDriver(compiler::DriverOptions::legacy())
+            .compileSingle(bin, chip_cfg);
     chip::SushiChip sushi_chip(chip_cfg);
 
     const std::size_t n = test.size();

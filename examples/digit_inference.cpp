@@ -54,6 +54,15 @@ main()
                 compiled.layers[0].slices.numInBlocks(),
                 compiled.layers[0].slices.numOutBlocks(),
                 compiled.totalReloads());
+    std::printf("chip budget: %ld of %ld JJs (%.1f%%), "
+                "%.2f of %.2f mm^2 (%.1f%%), %ld disabled neurons\n",
+                compiled.budget.totalJjs(),
+                compiled.budget.budget.jj_cap,
+                100.0 * compiled.budget.jjUtilisation(),
+                compiled.budget.totalAreaMm2(),
+                compiled.budget.budget.area_cap_mm2,
+                100.0 * compiled.budget.areaUtilisation(),
+                compiled.disabled_count);
 
     // Encode the test set (per-sample deterministic streams) and run
     // it through a pool of chip replicas.

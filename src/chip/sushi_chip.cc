@@ -84,9 +84,42 @@ InferenceStats::accumulate(const InferenceStats &other)
     failed_npes = std::max(failed_npes, other.failed_npes);
     remapped_neurons += other.remapped_neurons;
     degraded_passes += other.degraded_passes;
+    disabled_neurons = std::max(disabled_neurons,
+                                other.disabled_neurons);
+    plan_reloads = std::max(plan_reloads, other.plan_reloads);
+    jj_utilisation = std::max(jj_utilisation, other.jj_utilisation);
+    area_utilisation =
+        std::max(area_utilisation, other.area_utilisation);
     est_time_ps += other.est_time_ps;
     reload_time_ps += other.reload_time_ps;
     dynamic_energy_j += other.dynamic_energy_j;
+}
+
+void
+InferenceStats::accumulatePipeline(const InferenceStats &stage)
+{
+    frames = std::max(frames, stage.frames);
+    time_steps = std::max(time_steps, stage.time_steps);
+    input_pulses += stage.input_pulses;
+    synaptic_ops += stage.synaptic_ops;
+    output_spikes += stage.output_spikes;
+    underflow_spikes += stage.underflow_spikes;
+    multi_fires += stage.multi_fires;
+    reload_events += stage.reload_events;
+    failed_npes = std::max(failed_npes, stage.failed_npes);
+    remapped_neurons += stage.remapped_neurons;
+    degraded_passes += stage.degraded_passes;
+    // Per-chip plan diagnostics add up across the plan's stages;
+    // utilisation reports the worst chip of the plan.
+    disabled_neurons += stage.disabled_neurons;
+    plan_reloads += stage.plan_reloads;
+    jj_utilisation = std::max(jj_utilisation, stage.jj_utilisation);
+    area_utilisation =
+        std::max(area_utilisation, stage.area_utilisation);
+    // Stages run sequentially within a time step: latency adds.
+    est_time_ps += stage.est_time_ps;
+    reload_time_ps += stage.reload_time_ps;
+    dynamic_energy_j += stage.dynamic_energy_j;
 }
 
 double
@@ -341,6 +374,44 @@ SushiChip::stepLayer(const compiler::CompiledLayer &layer,
     return out;
 }
 
+PulseVector
+SushiChip::stepNetwork(const compiler::CompiledNetwork &net,
+                       const PulseVector &input)
+{
+    sushi_assert(net.net != nullptr);
+    sushi_assert(net.layers.size() == net.net->layers().size());
+    ++stats_.time_steps;
+    // Refresh the compile-plan gauges from the compiler's cached
+    // diagnostics (O(1): computed once at compile time).
+    stats_.disabled_neurons =
+        std::max(stats_.disabled_neurons,
+                 static_cast<std::uint64_t>(net.disabled_count));
+    stats_.plan_reloads =
+        std::max(stats_.plan_reloads,
+                 static_cast<std::uint64_t>(net.plan_reloads));
+    stats_.jj_utilisation = std::max(stats_.jj_utilisation,
+                                     net.budget.jjUtilisation());
+    stats_.area_utilisation = std::max(
+        stats_.area_utilisation, net.budget.areaUtilisation());
+    PulseVector act = input;
+    for (std::size_t l = 0; l < net.layers.size(); ++l)
+        act = stepLayer(net.layers[l], net.net->layers()[l], act);
+    return act;
+}
+
+void
+SushiChip::countOutputSpikes(const PulseVector &act)
+{
+    for (const auto pulses : act)
+        stats_.output_spikes += static_cast<std::uint64_t>(pulses);
+}
+
+void
+SushiChip::finishRun()
+{
+    stats_.dynamic_energy_j = dynamicEnergyJ(stats_.synaptic_ops);
+}
+
 std::vector<int>
 SushiChip::inferCounts(
     const compiler::CompiledNetwork &net,
@@ -350,21 +421,15 @@ SushiChip::inferCounts(
     sushi_assert(net.layers.size() == net.net->layers().size());
     const std::size_t out_dim = net.net->layers().back().outDim();
     std::vector<int> counts(out_dim, 0);
-    ++stats_.frames;
+    beginFrame();
     for (const auto &frame : frames) {
-        ++stats_.time_steps;
-        PulseVector act(frame.begin(), frame.end());
-        for (std::size_t l = 0; l < net.layers.size(); ++l) {
-            act = stepLayer(net.layers[l], net.net->layers()[l],
-                            act);
-        }
-        for (std::size_t o = 0; o < out_dim; ++o) {
+        const PulseVector act =
+            stepNetwork(net, PulseVector(frame.begin(), frame.end()));
+        for (std::size_t o = 0; o < out_dim; ++o)
             counts[o] += act[o];
-            stats_.output_spikes +=
-                static_cast<std::uint64_t>(act[o]);
-        }
+        countOutputSpikes(act);
     }
-    stats_.dynamic_energy_j = dynamicEnergyJ(stats_.synaptic_ops);
+    finishRun();
     return counts;
 }
 

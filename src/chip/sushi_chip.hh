@@ -44,6 +44,20 @@ struct InferenceStats
     std::uint64_t degraded_passes = 0;   ///< extra group passes run
     /// @}
 
+    /// @name Compile-plan gauges (realizability headroom).
+    /// Snapshot of the executed plan's compiler diagnostics, set by
+    /// the chip from `CompiledNetwork::budget` each network step so
+    /// serving metrics expose how close the resident model sits to
+    /// the chip's Table 2 caps. Gauges, not counters: accumulate()
+    /// keeps the maximum; stage merges sum the per-chip neuron /
+    /// reload counts and keep the worst utilisation.
+    /// @{
+    std::uint64_t disabled_neurons = 0; ///< compile-disabled neurons
+    std::uint64_t plan_reloads = 0;  ///< compiled reloads per step
+    double jj_utilisation = 0.0;     ///< worst chip JJ cap fraction
+    double area_utilisation = 0.0;   ///< worst chip area cap fraction
+    /// @}
+
     double est_time_ps = 0.0;        ///< modelled wall time
     double reload_time_ps = 0.0;     ///< serialised reload time
     double dynamic_energy_j = 0.0;   ///< switching energy
@@ -52,13 +66,26 @@ struct InferenceStats
 
     /**
      * Fold another stats record into this one. Counters and time /
-     * energy totals add; failed_npes is a gauge (current failed
-     * slots), so the maximum is kept. Addition order matters for the
-     * floating-point fields: merging per-sample records in sample
-     * order gives byte-identical totals regardless of how the
-     * samples were sharded across replicas or threads.
+     * energy totals add; failed_npes and the compile-plan fields are
+     * gauges (current failed slots / plan shape), so the maximum is
+     * kept. Addition order matters for the floating-point fields:
+     * merging per-sample records in sample order gives byte-identical
+     * totals regardless of how the samples were sharded across
+     * replicas or threads.
      */
     void accumulate(const InferenceStats &other);
+
+    /**
+     * Fold the stats of another *pipeline stage of the same sample*
+     * into this one (multi-chip plans: one record per stage chip).
+     * Unlike accumulate, frames and time_steps take the maximum —
+     * every stage saw the same frames — while the per-chip plan
+     * diagnostics (disabled_neurons, plan_reloads) add up across the
+     * plan's chips and utilisation keeps the worst chip. Energy is
+     * recomputed from the merged synaptic_ops by the caller's
+     * dynamicEnergyJ so stage merge order cannot perturb it.
+     */
+    void accumulatePipeline(const InferenceStats &stage);
 
     /** True if any inference ran with failed NPEs remapped. */
     bool degraded() const { return remapped_neurons > 0; }
@@ -93,12 +120,41 @@ class SushiChip
 
     /**
      * Full rate-coded inference of a compiled network over binary
-     * input frames (one per time step).
+     * input frames (one per time step). Composed from beginFrame /
+     * stepNetwork / countOutputSpikes / finishRun below, so a
+     * multi-chip engine can chain several chips per time step with
+     * the same arithmetic.
      * @return output pulse counts summed over time steps
      */
     std::vector<int>
     inferCounts(const compiler::CompiledNetwork &net,
                 const std::vector<std::vector<std::uint8_t>> &frames);
+
+    /// @name Staged execution (multi-chip plans).
+    /// One sample = beginFrame once, then per time step a stepNetwork
+    /// per stage chip (chained through the activation vector), then
+    /// finishRun on every chip. inferCounts is exactly this sequence
+    /// on a single chip.
+    /// @{
+
+    /** Account the start of one input sample. */
+    void beginFrame() { ++stats_.frames; }
+
+    /**
+     * Run every layer of @p net for one time step: the full chip
+     * pass of one stage. Also refreshes the compile-plan gauges in
+     * stats() from the network's budget report.
+     */
+    PulseVector stepNetwork(const compiler::CompiledNetwork &net,
+                            const PulseVector &act);
+
+    /** Account final-layer output pulses. */
+    void countOutputSpikes(const PulseVector &act);
+
+    /** Recompute the cumulative dynamic energy from synaptic_ops. */
+    void finishRun();
+
+    /// @}
 
     /** Argmax label from inferCounts. */
     int predict(const compiler::CompiledNetwork &net,

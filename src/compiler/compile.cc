@@ -1,6 +1,7 @@
 #include "compiler/compile.hh"
 
-#include <algorithm>
+#include "common/logging.hh"
+#include "compiler/driver.hh"
 
 namespace sushi::compiler {
 
@@ -22,89 +23,6 @@ CompiledNetwork::disabledNeurons() const
             total += d;
     return total;
 }
-
-namespace {
-
-CompiledLayer
-compileLayer(const snn::BinaryLayer &layer, const ChipConfig &chip)
-{
-    CompiledLayer out;
-    BucketingConfig bcfg = chip.bucketing;
-    bcfg.state_bits = chip.sc_per_npe;
-    bcfg.mesh_width = chip.n;
-
-    out.slices = sliceLayer(static_cast<int>(layer.inDim()),
-                            static_cast<int>(layer.outDim()), chip.n);
-
-    // Adaptive bucketing (Sec. 5.1): the exact traversal — all
-    // inhibitory synapses first, so the counter crosses the
-    // threshold at most once and only when the total demands it —
-    // is used whenever its state range fits the NPE budget.
-    // Alternating-polarity buckets trade a small chance of
-    // premature firing for a bounded excursion, so they are only
-    // engaged when the unbucketed range would overflow the states.
-    if (bcfg.bucketing) {
-        BucketingConfig single = bcfg;
-        single.bucketing = false;
-        LayerSchedule unbucketed = scheduleLayer(layer, single);
-        StateRangeReport unb_range =
-            analyzeStateRange(layer, unbucketed, single);
-        if (unb_range.fitsUnbucketed()) {
-            out.schedule = std::move(unbucketed);
-            out.range = unb_range;
-        } else {
-            out.schedule = scheduleLayer(layer, bcfg);
-            out.range =
-                analyzeStateRange(layer, out.schedule, bcfg);
-        }
-    } else {
-        out.schedule = scheduleLayer(layer, bcfg);
-        out.range = analyzeStateRange(layer, out.schedule, bcfg);
-    }
-    out.switch_reloads = countReloads(layer, out.schedule, chip.n);
-
-    const std::uint64_t budget = std::uint64_t{1} << chip.sc_per_npe;
-    const std::size_t n_out = layer.outDim();
-    out.preload.resize(n_out, 0);
-    out.bias_pulses.resize(n_out, 0);
-    out.disabled.resize(n_out, 0);
-    for (std::size_t o = 0; o < n_out; ++o) {
-        const int theta = layer.thresholds[o];
-        // Thresholds <= 0 must still be able to fire: deliver bias
-        // pulses so the effective threshold is at least 1.
-        const int bias = std::max(0, 1 - theta);
-        const int eff = theta + bias; // >= 1
-        if (static_cast<std::uint64_t>(eff) >= budget) {
-            // Cannot be represented: the neuron never fires.
-            out.disabled[o] = 1;
-            continue;
-        }
-        out.bias_pulses[o] = bias;
-        out.preload[o] = budget - static_cast<std::uint64_t>(eff);
-    }
-
-    // Bitmask kernels over the scheduled order.
-    const std::size_t in_dim = layer.inDim();
-    const std::size_t words = (in_dim + 63) / 64;
-    out.neg_masks.assign(n_out, std::vector<std::uint64_t>(words, 0));
-    out.pos_masks.assign(n_out, std::vector<std::uint64_t>(words, 0));
-    for (std::size_t o = 0; o < n_out; ++o) {
-        const auto &w = layer.weights[o];
-        for (std::size_t k = 0; k < in_dim; ++k) {
-            const auto idx = static_cast<std::size_t>(
-                out.schedule.order[k]);
-            if (w[idx] < 0)
-                out.neg_masks[o][k / 64] |= std::uint64_t{1}
-                                            << (k % 64);
-            else
-                out.pos_masks[o][k / 64] |= std::uint64_t{1}
-                                            << (k % 64);
-        }
-    }
-    return out;
-}
-
-} // namespace
 
 NpeRemap
 planNpeRemap(int n, const std::vector<std::uint8_t> &failed_slots)
@@ -143,14 +61,8 @@ planNpeRemap(int n, const std::vector<std::uint8_t> &failed_slots)
 CompiledNetwork
 compileNetwork(const snn::BinarySnn &net, const ChipConfig &chip)
 {
-    sushi_assert(chip.n >= 1);
-    sushi_assert(chip.sc_per_npe >= 1 && chip.sc_per_npe <= 30);
-    CompiledNetwork out;
-    out.chip = chip;
-    out.net = &net;
-    for (const auto &layer : net.layers())
-        out.layers.push_back(compileLayer(layer, chip));
-    return out;
+    return CompilerDriver(DriverOptions::legacy())
+        .compileSingle(net, chip);
 }
 
 } // namespace sushi::compiler

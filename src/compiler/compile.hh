@@ -13,6 +13,7 @@
 
 #include "compiler/bitslice.hh"
 #include "compiler/bucketing.hh"
+#include "compiler/budget.hh"
 #include "snn/binarize.hh"
 
 namespace sushi::compiler {
@@ -64,6 +65,16 @@ struct CompiledNetwork
     const snn::BinarySnn *net = nullptr;
     std::vector<CompiledLayer> layers;
 
+    /** Budget analysis from the driver's cost model: fabric +
+     *  resident model cost against the per-chip caps. Always
+     *  computed; only enforced by budget-enforcing presets. */
+    BudgetReport budget;
+    /** Cached diagnostics (== disabledNeurons()/totalReloads()),
+     *  filled at compile so the chip can surface them per step in
+     *  O(1). */
+    long disabled_count = 0;
+    long plan_reloads = 0;
+
     /** Total cross-structure reload events per time step. */
     long totalReloads() const;
 
@@ -71,7 +82,13 @@ struct CompiledNetwork
     long disabledNeurons() const;
 };
 
-/** Compile a binarized network for a chip. */
+/**
+ * Compile a binarized network for a chip — the *legacy preset* of
+ * the pass-based `CompilerDriver` (driver.hh): single chip, budget
+ * reported but not enforced, paper-rule schedule selection.
+ * Bit-identical to the historical single-shot compiler. Throws
+ * CompileError{BadChipConfig} on an invalid geometry.
+ */
 CompiledNetwork compileNetwork(const snn::BinarySnn &net,
                                const ChipConfig &chip);
 

@@ -1,0 +1,108 @@
+#include "compiler/cost_model.hh"
+
+#include <map>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "fabric/resource_model.hh"
+#include "sfq/cell_params.hh"
+
+namespace sushi::compiler {
+
+BitCost
+synapseBitCost()
+{
+    const auto &ndro = sfq::cellParams(sfq::CellKind::NDRO);
+    return BitCost{ndro.jjs, ndro.area_um2 *
+                                 sfq::storageArrayDensity() * 1e-6};
+}
+
+BitCost
+preloadBitCost()
+{
+    const auto &dff = sfq::cellParams(sfq::CellKind::DFF);
+    return BitCost{dff.jjs, dff.area_um2 *
+                                sfq::storageArrayDensity() * 1e-6};
+}
+
+FabricCost
+fabricCost(int n)
+{
+    // designPoint builds the full mesh netlist — cache per width so
+    // repeated compiles (engine replicas, fuzz tests) pay it once.
+    static std::mutex mu;
+    static std::map<int, FabricCost> cache;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(n);
+    if (it != cache.end())
+        return it->second;
+    const fabric::DesignPoint dp = fabric::designPoint(n);
+    FabricCost fc{dp.total_jjs, dp.area_mm2};
+    cache.emplace(n, fc);
+    return fc;
+}
+
+CostModel::CostModel(int n, int sc_per_npe)
+    : n_(n), sc_per_npe_(sc_per_npe), fabric_(fabricCost(n))
+{
+    sushi_assert(n >= 1);
+    sushi_assert(sc_per_npe >= 1);
+}
+
+LayerCost
+CostModel::layerCost(std::size_t in_dim, std::size_t out_dim) const
+{
+    const BitCost syn = synapseBitCost();
+    const BitCost pre = preloadBitCost();
+    LayerCost c;
+    c.synapses = static_cast<long>(in_dim) *
+                 static_cast<long>(out_dim);
+    c.weight_jjs = c.synapses * syn.jjs;
+    c.weight_area_mm2 =
+        static_cast<double>(c.synapses) * syn.area_mm2;
+    const long preload_bits =
+        static_cast<long>(out_dim) * sc_per_npe_;
+    c.preload_jjs = preload_bits * pre.jjs;
+    c.preload_area_mm2 =
+        static_cast<double>(preload_bits) * pre.area_mm2;
+    return c;
+}
+
+LayerCost
+CostModel::layerCost(const snn::BinaryLayer &layer) const
+{
+    return layerCost(layer.inDim(), layer.outDim());
+}
+
+double
+CostModel::switchEnergyPerSynOpJ() const
+{
+    return sfq::synapseEventJjs() * sfq::switchEnergyPerJj();
+}
+
+BudgetReport
+CostModel::rollUp(const std::vector<LayerCost> &costs,
+                  std::size_t begin, std::size_t end,
+                  const ChipBudget &budget) const
+{
+    sushi_assert(begin <= end && end <= costs.size());
+    BudgetReport r;
+    r.budget = budget;
+    r.fabric_jjs = fabric_.jjs;
+    r.fabric_area_mm2 = fabric_.area_mm2;
+    for (std::size_t i = begin; i < end; ++i) {
+        r.synapses += costs[i].synapses;
+        r.model_jjs += costs[i].totalJjs();
+        r.model_area_mm2 += costs[i].totalAreaMm2();
+    }
+    return r;
+}
+
+BudgetReport
+CostModel::rollUp(const std::vector<LayerCost> &costs,
+                  const ChipBudget &budget) const
+{
+    return rollUp(costs, 0, costs.size(), budget);
+}
+
+} // namespace sushi::compiler

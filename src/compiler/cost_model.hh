@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Hardware cost model: JJ count, area and switching energy of a
+ * compiled model, derived from the `sfq/cell_params` library table.
+ *
+ * Three cost sources roll up per layer and per chip:
+ *
+ *  - *Fabric*: the mesh itself (crosspoints, NPEs, wiring) — taken
+ *    from `fabric::designPoint`, which builds the actual gate-level
+ *    netlist, so the cost model can never drift from the simulated
+ *    design.
+ *  - *Weight bank*: one resident NDRO storage loop per synapse sign
+ *    bit, packed at `sfq::storageArrayDensity()` relative to logic.
+ *  - *Preload bank*: sc_per_npe DFF bits per output neuron holding
+ *    the counter preload word.
+ *
+ * Energy is derived, not restated: the per-synaptic-op switching
+ * energy is the `sfq::synapseEventJjs()` cell-path total times the
+ * per-JJ flip energy, which tests assert equals the chip model's
+ * `dynamicEnergyJ(1)`.
+ */
+
+#ifndef SUSHI_COMPILER_COST_MODEL_HH
+#define SUSHI_COMPILER_COST_MODEL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "compiler/budget.hh"
+#include "snn/binarize.hh"
+
+namespace sushi::compiler {
+
+struct ChipConfig;
+
+/** JJ + area cost of one resident storage bit. */
+struct BitCost
+{
+    int jjs = 0;
+    double area_mm2 = 0.0;
+};
+
+/** Cost of a synapse sign bit in the weight bank (NDRO loop). */
+BitCost synapseBitCost();
+
+/** Cost of one preload-word bit (DFF) in the neuron bank. */
+BitCost preloadBitCost();
+
+/** Mesh fabric cost at width @p n (cached per n; thread-safe). */
+struct FabricCost
+{
+    long jjs = 0;
+    double area_mm2 = 0.0;
+};
+FabricCost fabricCost(int n);
+
+/** Resident cost of one compiled layer. */
+struct LayerCost
+{
+    long synapses = 0;
+    long weight_jjs = 0;
+    long preload_jjs = 0;
+    double weight_area_mm2 = 0.0;
+    double preload_area_mm2 = 0.0;
+
+    long totalJjs() const { return weight_jjs + preload_jjs; }
+    double totalAreaMm2() const
+    {
+        return weight_area_mm2 + preload_area_mm2;
+    }
+};
+
+/** Per-chip cost model bound to one chip geometry. */
+class CostModel
+{
+  public:
+    explicit CostModel(int n, int sc_per_npe);
+
+    /** Resident cost of a dense in_dim x out_dim binary layer. */
+    LayerCost layerCost(std::size_t in_dim, std::size_t out_dim) const;
+    LayerCost layerCost(const snn::BinaryLayer &layer) const;
+
+    long fabricJjs() const { return fabric_.jjs; }
+    double fabricAreaMm2() const { return fabric_.area_mm2; }
+
+    /** Energy charged per synaptic event, joules (cell-path total). */
+    double switchEnergyPerSynOpJ() const;
+
+    /**
+     * Roll layers [begin, end) up against @p budget. The caller fills
+     * `required_states` afterwards (it depends on the schedule, not
+     * on the cost model).
+     */
+    BudgetReport rollUp(const std::vector<LayerCost> &costs,
+                        std::size_t begin, std::size_t end,
+                        const ChipBudget &budget) const;
+    BudgetReport rollUp(const std::vector<LayerCost> &costs,
+                        const ChipBudget &budget) const;
+
+  private:
+    int n_;
+    int sc_per_npe_;
+    FabricCost fabric_;
+};
+
+} // namespace sushi::compiler
+
+#endif // SUSHI_COMPILER_COST_MODEL_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Pass-based compiler driver (Fig. 12, made cost-aware).
+ *
+ * The driver runs a fixed pass sequence per layer —
+ *
+ *   analyze -> slice -> schedule (bucket/reorder candidates)
+ *           -> budget-check -> place
+ *
+ * — where the schedule pass builds *candidate* schedules (unbucketed
+ * exact traversal, alternating-polarity buckets) and *selects* one
+ * instead of applying a rule unconditionally:
+ *
+ *  - the legacy preset (`DriverOptions::legacy()`, the default) keeps
+ *    the paper's Sec. 5.1 rule — first candidate whose state range
+ *    fits wins, unbucketed preferred — and is bit-identical to the
+ *    historical `compileNetwork`;
+ *  - the cost-aware preset (`DriverOptions::costAware()`) scores
+ *    fitting candidates by reload cost (Sec. 4.2.2) and enforces the
+ *    `ChipBudget`, splitting an overflowing model into a
+ *    `MultiChipPlan` of per-chip stages.
+ */
+
+#ifndef SUSHI_COMPILER_DRIVER_HH
+#define SUSHI_COMPILER_DRIVER_HH
+
+#include "compiler/budget.hh"
+#include "compiler/compile.hh"
+#include "compiler/cost_model.hh"
+#include "compiler/multichip.hh"
+#include "snn/binarize.hh"
+
+namespace sushi::compiler {
+
+/** Driver preset knobs. Default-constructed == legacy(). */
+struct DriverOptions
+{
+    /**
+     * Per-chip caps. Caps of 0 mean "fill from
+     * ChipBudget::tableDefaults(chip)" at compile entry; negative
+     * caps are rejected with CompileError{BadBudget}.
+     */
+    ChipBudget budget{};
+    /** Reject / split models whose roll-up overflows the caps.
+     *  Off: the budget is still computed and reported, never
+     *  enforced (the legacy behaviour). */
+    bool enforce_budget = false;
+    /** Score fitting schedule candidates by reload cost instead of
+     *  taking the first fit. */
+    bool score_schedules = false;
+    /** Allow splitting an overflowing model across chips (needs
+     *  enforce_budget). */
+    bool allow_multichip = false;
+    /** Most chips a plan may use. */
+    int max_chips = 64;
+
+    /** The historical single-chip behaviour, bit-identical. */
+    static DriverOptions legacy() { return DriverOptions{}; }
+
+    /** Budget-enforcing, reload-scored, multi-chip-splitting. */
+    static DriverOptions
+    costAware()
+    {
+        DriverOptions o;
+        o.enforce_budget = true;
+        o.score_schedules = true;
+        o.allow_multichip = true;
+        return o;
+    }
+};
+
+/**
+ * Validate a chip geometry at compile entry. Throws
+ * CompileError{BadChipConfig} on n <= 0, sc_per_npe outside [1, 30]
+ * or a non-positive bucket size.
+ */
+void validateChipConfig(const ChipConfig &chip);
+
+/** The staged compiler. */
+class CompilerDriver
+{
+  public:
+    explicit CompilerDriver(DriverOptions options = {});
+
+    const DriverOptions &options() const { return options_; }
+
+    /**
+     * Compile onto exactly one chip. With enforce_budget set, throws
+     * CompileError{BudgetOverflow} when the roll-up overflows the
+     * caps; otherwise the report is attached to the result
+     * (`CompiledNetwork::budget`) without being enforced.
+     */
+    CompiledNetwork compileSingle(const snn::BinarySnn &net,
+                                  const ChipConfig &chip) const;
+
+    /**
+     * Compile into a (possibly multi-chip) plan. A model that fits
+     * one chip — or a non-enforcing preset — yields a single-stage
+     * plan. Each stage owns a copy of its layer range, so the plan
+     * is self-contained and outlives @p net.
+     */
+    MultiChipPlan compilePlan(const snn::BinarySnn &net,
+                              const ChipConfig &chip) const;
+
+  private:
+    /** Resolve zero caps to table defaults; reject negatives. */
+    ChipBudget resolveBudget(const ChipConfig &chip) const;
+
+    CompiledLayer compileLayerPasses(const snn::BinaryLayer &layer,
+                                     const ChipConfig &chip) const;
+
+    DriverOptions options_;
+};
+
+} // namespace sushi::compiler
+
+#endif // SUSHI_COMPILER_DRIVER_HH

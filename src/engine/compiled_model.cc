@@ -1,6 +1,9 @@
 #include "engine/compiled_model.hh"
 
+#include <bit>
 #include <iterator>
+
+#include "common/logging.hh"
 
 namespace sushi::engine {
 
@@ -60,6 +63,22 @@ CompiledModel::fingerprintOf(const snn::BinarySnn &net,
     return h;
 }
 
+std::uint64_t
+CompiledModel::fingerprintOf(const snn::BinarySnn &net,
+                             const compiler::ChipConfig &chip,
+                             const compiler::DriverOptions &options)
+{
+    std::uint64_t h = fingerprintOf(net, chip);
+    fnv(h, options.enforce_budget ? 1 : 0);
+    fnv(h, options.score_schedules ? 1 : 0);
+    fnv(h, options.allow_multichip ? 1 : 0);
+    fnv(h, static_cast<std::uint64_t>(options.max_chips));
+    fnv(h, static_cast<std::uint64_t>(options.budget.jj_cap));
+    fnv(h, std::bit_cast<std::uint64_t>(
+               options.budget.area_cap_mm2));
+    return h;
+}
+
 CompiledModel::CompiledModel(Key, snn::BinarySnn net,
                              const compiler::ChipConfig &chip)
     : net_(std::move(net)),
@@ -68,12 +87,61 @@ CompiledModel::CompiledModel(Key, snn::BinarySnn net,
 {
 }
 
+CompiledModel::CompiledModel(Key, snn::BinarySnn net,
+                             const compiler::ChipConfig &chip,
+                             const compiler::DriverOptions &options)
+    : net_(std::move(net)),
+      plan_(compiler::CompilerDriver(options).compilePlan(net_,
+                                                          chip)),
+      fingerprint_(fingerprintOf(net_, chip, options))
+{
+}
+
+const compiler::CompiledNetwork &
+CompiledModel::compiled() const
+{
+    sushi_assert(stageCount() == 1);
+    return stageNet(0);
+}
+
+const compiler::ChipConfig &
+CompiledModel::chip() const
+{
+    return plan_ ? plan_->chip : compiled_.chip;
+}
+
+int
+CompiledModel::stageCount() const
+{
+    return plan_ ? plan_->numChips() : 1;
+}
+
+const compiler::CompiledNetwork &
+CompiledModel::stageNet(int s) const
+{
+    if (plan_) {
+        sushi_assert(s >= 0 && s < plan_->numChips());
+        return plan_->stages[static_cast<std::size_t>(s)]->net;
+    }
+    sushi_assert(s == 0);
+    return compiled_;
+}
+
 std::shared_ptr<const CompiledModel>
 CompiledModel::compile(snn::BinarySnn net,
                        const compiler::ChipConfig &chip)
 {
     return std::make_shared<CompiledModel>(Key{}, std::move(net),
                                            chip);
+}
+
+std::shared_ptr<const CompiledModel>
+CompiledModel::compile(snn::BinarySnn net,
+                       const compiler::ChipConfig &chip,
+                       const compiler::DriverOptions &options)
+{
+    return std::make_shared<CompiledModel>(Key{}, std::move(net),
+                                           chip, options);
 }
 
 std::shared_ptr<const CompiledModel>

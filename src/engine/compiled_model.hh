@@ -10,6 +10,13 @@
  * back into the network it was compiled from, so the two must live
  * (and die) together; CompiledModel pins both behind one
  * shared_ptr and is neither copyable nor movable.
+ *
+ * A model compiled through a budget-enforcing DriverOptions preset
+ * may come out as a multi-chip plan: stageCount() > 1, each stage an
+ * immutable per-chip CompiledNetwork owning its own layer range (the
+ * plan's ChipStage keeps the subnet alive behind a shared_ptr). The
+ * engine pins each stage to one chip of a replica group and chains
+ * them per time step.
  */
 
 #ifndef SUSHI_ENGINE_COMPILED_MODEL_HH
@@ -20,9 +27,11 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
 #include "compiler/compile.hh"
+#include "compiler/driver.hh"
 #include "snn/binarize.hh"
 
 namespace sushi::engine {
@@ -31,21 +40,42 @@ namespace sushi::engine {
 class CompiledModel
 {
   public:
-    /** Compile @p net for @p chip and wrap the result. */
+    /** Compile @p net for @p chip and wrap the result (the legacy
+     *  single-chip driver preset, bit-identical to the historical
+     *  compiler; always one stage). */
     static std::shared_ptr<const CompiledModel>
     compile(snn::BinarySnn net, const compiler::ChipConfig &chip);
+
+    /**
+     * Compile through an explicit driver preset. A budget-enforcing
+     * preset may split the model into a multi-chip plan; throws
+     * compiler::CompileError when the model cannot be realized.
+     */
+    static std::shared_ptr<const CompiledModel>
+    compile(snn::BinarySnn net, const compiler::ChipConfig &chip,
+            const compiler::DriverOptions &options);
 
     CompiledModel(const CompiledModel &) = delete;
     CompiledModel &operator=(const CompiledModel &) = delete;
 
     const snn::BinarySnn &network() const { return net_; }
-    const compiler::CompiledNetwork &compiled() const
+
+    /** The single-chip artifact; asserts stageCount() == 1. */
+    const compiler::CompiledNetwork &compiled() const;
+
+    const compiler::ChipConfig &chip() const;
+
+    /** Chips the plan needs (1 for every legacy-compiled model). */
+    int stageCount() const;
+    bool multiChip() const { return stageCount() > 1; }
+
+    /** Compiled artifact of stage @p s (0 <= s < stageCount()). */
+    const compiler::CompiledNetwork &stageNet(int s) const;
+
+    /** The multi-chip plan, or nullptr for legacy-compiled models. */
+    const compiler::MultiChipPlan *plan() const
     {
-        return compiled_;
-    }
-    const compiler::ChipConfig &chip() const
-    {
-        return compiled_.chip;
+        return plan_ ? &*plan_ : nullptr;
     }
 
     /** Content fingerprint of (network, chip config); the cache key. */
@@ -58,6 +88,12 @@ class CompiledModel
     static std::uint64_t
     fingerprintOf(const snn::BinarySnn &net,
                   const compiler::ChipConfig &chip);
+
+    /** Fingerprint salted with the driver preset (plan compiles). */
+    static std::uint64_t
+    fingerprintOf(const snn::BinarySnn &net,
+                  const compiler::ChipConfig &chip,
+                  const compiler::DriverOptions &options);
 
     /**
      * RAII execution pin. While any Pin on a model is alive the
@@ -106,10 +142,16 @@ class CompiledModel
   public:
     CompiledModel(Key, snn::BinarySnn net,
                   const compiler::ChipConfig &chip);
+    CompiledModel(Key, snn::BinarySnn net,
+                  const compiler::ChipConfig &chip,
+                  const compiler::DriverOptions &options);
 
   private:
     snn::BinarySnn net_;
+    /** Legacy single-chip artifact (unused when plan_ is set). */
     compiler::CompiledNetwork compiled_;
+    /** Driver-preset plan (set by the options overload). */
+    std::optional<compiler::MultiChipPlan> plan_;
     std::uint64_t fingerprint_;
     mutable std::atomic<int> pins_{0};
 };

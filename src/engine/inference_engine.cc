@@ -53,15 +53,21 @@ InferenceEngine::InferenceEngine(
     if (cfg_.shard_block == 0)
         cfg_.shard_block = 1;
     cfg_.replicas = replicas;
-    chips_.reserve(static_cast<std::size_t>(replicas));
+    // One chip per plan stage per replica group: the whole pipeline
+    // of a multi-chip plan is pinned to its group.
+    stages_ = model_->stageCount();
+    chips_.reserve(static_cast<std::size_t>(replicas * stages_));
     chip_mu_.reserve(static_cast<std::size_t>(replicas));
     accounts_.resize(static_cast<std::size_t>(replicas));
     for (int r = 0; r < replicas; ++r) {
-        chips_.push_back(
-            std::make_unique<chip::SushiChip>(model_->chip()));
-        chips_.back()->setSimThreads(cfg_.sim_threads);
-        if (cfg_.packed_kernels >= 0)
-            chips_.back()->setPackedKernels(cfg_.packed_kernels != 0);
+        for (int s = 0; s < stages_; ++s) {
+            chips_.push_back(
+                std::make_unique<chip::SushiChip>(model_->chip()));
+            chips_.back()->setSimThreads(cfg_.sim_threads);
+            if (cfg_.packed_kernels >= 0)
+                chips_.back()->setPackedKernels(cfg_.packed_kernels !=
+                                                0);
+        }
         chip_mu_.push_back(std::make_unique<std::mutex>());
     }
 }
@@ -72,7 +78,11 @@ InferenceEngine::markReplicaDegraded(int replica, int slot)
     sushi_assert(replica >= 0 && replica < replicas());
     std::lock_guard<std::mutex> lock(
         *chip_mu_[static_cast<std::size_t>(replica)]);
-    chips_[static_cast<std::size_t>(replica)]->markNpeFailed(slot);
+    // The physical failure hits the whole group: every stage chip of
+    // the replica remaps the slot (results stay bit-identical; only
+    // the time/reload surcharges change).
+    for (int s = 0; s < stages_; ++s)
+        chipAt(replica, s).markNpeFailed(slot);
 }
 
 void
@@ -81,7 +91,8 @@ InferenceEngine::healReplica(int replica)
     sushi_assert(replica >= 0 && replica < replicas());
     std::lock_guard<std::mutex> lock(
         *chip_mu_[static_cast<std::size_t>(replica)]);
-    chips_[static_cast<std::size_t>(replica)]->clearFailedNpes();
+    for (int s = 0; s < stages_; ++s)
+        chipAt(replica, s).clearFailedNpes();
 }
 
 bool
@@ -96,9 +107,9 @@ InferenceEngine::failedNpeSlots(int replica) const
     sushi_assert(replica >= 0 && replica < replicas());
     std::lock_guard<std::mutex> lock(
         *chip_mu_[static_cast<std::size_t>(replica)]);
-    return chips_[static_cast<std::size_t>(replica)]
-        ->remapPlan()
-        .failed;
+    // Degrade/heal keep every stage chip of the group in lockstep,
+    // so stage 0 is authoritative.
+    return chipAt(replica, 0).remapPlan().failed;
 }
 
 int
@@ -162,19 +173,63 @@ InferenceEngine::runOnReplica(int replica,
     CompiledModel::Pin pin(model_.get());
     std::lock_guard<std::mutex> lock(
         *chip_mu_[static_cast<std::size_t>(replica)]);
-    chip::SushiChip &chip = *chips_[static_cast<std::size_t>(replica)];
-    const compiler::CompiledNetwork &net = model_->compiled();
     ReplicaRun out;
     out.results.resize(count);
     out.per_sample.resize(count);
+
+    if (stages_ == 1) {
+        // Single-chip plan: the historical path, bit for bit.
+        chip::SushiChip &chip = chipAt(replica, 0);
+        const compiler::CompiledNetwork &net = model_->stageNet(0);
+        for (std::size_t i = 0; i < count; ++i) {
+            chip.resetStats();
+            SampleResult &res = out.results[i];
+            res.counts = chip.inferCounts(net, *samples[i]);
+            res.prediction = static_cast<int>(
+                std::max_element(res.counts.begin(),
+                                 res.counts.end()) -
+                res.counts.begin());
+            out.per_sample[i] = chip.stats();
+        }
+        return out;
+    }
+
+    // Multi-chip plan: the stage chips run the sample in lockstep,
+    // chained per time step through the inter-chip activation cut.
+    // The stats delta merges the stage chips' records per sample
+    // (frames/time_steps max, worst-chip utilisation, energy
+    // recomputed from the summed synaptic work).
+    const std::size_t out_dim =
+        model_->network().layers().back().outDim();
     for (std::size_t i = 0; i < count; ++i) {
-        chip.resetStats();
+        for (int s = 0; s < stages_; ++s)
+            chipAt(replica, s).resetStats();
+        for (int s = 0; s < stages_; ++s)
+            chipAt(replica, s).beginFrame();
+        std::vector<int> counts(out_dim, 0);
+        for (const auto &frame : *samples[i]) {
+            chip::PulseVector act(frame.begin(), frame.end());
+            for (int s = 0; s < stages_; ++s)
+                act = chipAt(replica, s)
+                          .stepNetwork(model_->stageNet(s), act);
+            for (std::size_t o = 0; o < out_dim; ++o)
+                counts[o] += act[o];
+            chipAt(replica, stages_ - 1).countOutputSpikes(act);
+        }
+        for (int s = 0; s < stages_; ++s)
+            chipAt(replica, s).finishRun();
+
         SampleResult &res = out.results[i];
-        res.counts = chip.inferCounts(net, *samples[i]);
+        res.counts = std::move(counts);
         res.prediction = static_cast<int>(
             std::max_element(res.counts.begin(), res.counts.end()) -
             res.counts.begin());
-        out.per_sample[i] = chip.stats();
+        chip::InferenceStats delta = chipAt(replica, 0).stats();
+        for (int s = 1; s < stages_; ++s)
+            delta.accumulatePipeline(chipAt(replica, s).stats());
+        delta.dynamic_energy_j =
+            chip::dynamicEnergyJ(delta.synaptic_ops);
+        out.per_sample[i] = delta;
     }
     return out;
 }
@@ -330,12 +385,20 @@ statsJson(const chip::InferenceStats &stats)
     field("failed_npes", stats.failed_npes);
     field("remapped_neurons", stats.remapped_neurons);
     field("degraded_passes", stats.degraded_passes);
+    // Compile-plan gauges: realizability headroom of the plan the
+    // traffic actually ran on (ISSUE 8 serving diagnostics).
+    field("disabled_neurons", stats.disabled_neurons);
+    field("plan_reloads", stats.plan_reloads);
     out += ", \"est_time_ps\": ";
     appendJsonDouble(out, stats.est_time_ps);
     out += ", \"reload_time_ps\": ";
     appendJsonDouble(out, stats.reload_time_ps);
     out += ", \"dynamic_energy_j\": ";
     appendJsonDouble(out, stats.dynamic_energy_j);
+    out += ", \"jj_utilisation\": ";
+    appendJsonDouble(out, stats.jj_utilisation);
+    out += ", \"area_utilisation\": ";
+    appendJsonDouble(out, stats.area_utilisation);
     out += "}";
     return out;
 }

@@ -144,7 +144,15 @@ struct EngineRun
     double modeledMakespanPs() const;
 };
 
-/** The batched multi-chip inference service. */
+/**
+ * The batched multi-chip inference service.
+ *
+ * Each *replica* is a group of stageCount() chips: one chip per
+ * stage of the model's (multi-chip) plan, chained per time step
+ * through the inter-chip activation cut. Legacy single-chip models
+ * keep exactly one chip per replica and the historical execution
+ * path, bit for bit.
+ */
 class InferenceEngine
 {
   public:
@@ -154,7 +162,13 @@ class InferenceEngine
 
     const EngineConfig &config() const { return cfg_; }
     const CompiledModel &model() const { return *model_; }
-    int replicas() const { return static_cast<int>(chips_.size()); }
+    int replicas() const
+    {
+        return static_cast<int>(chips_.size()) / stages_;
+    }
+
+    /** Chips per replica group (the plan's stage count). */
+    int stagesPerReplica() const { return stages_; }
 
     /** Mark output-NPE @p slot of replica @p replica failed (the
      *  PR 1 degraded mode). Serialized against any batch running on
@@ -212,13 +226,22 @@ class InferenceEngine
                             const std::vector<Sample> &samples);
 
   private:
+    /** Chip @p stage of replica group @p replica. */
+    chip::SushiChip &chipAt(int replica, int stage) const
+    {
+        return *chips_[static_cast<std::size_t>(replica * stages_ +
+                                                stage)];
+    }
+
     std::shared_ptr<const CompiledModel> model_;
     EngineConfig cfg_;
+    int stages_ = 1;
+    /** Replica-major: chip s of group r at index r * stages_ + s. */
     std::vector<std::unique_ptr<chip::SushiChip>> chips_;
 
-    /** One lock per replica: held for the whole of runOnReplica and
-     *  by the degrade/heal mutators, so health mutations land on
-     *  batch boundaries. */
+    /** One lock per replica group: held for the whole of
+     *  runOnReplica and by the degrade/heal mutators, so health
+     *  mutations land on batch boundaries. */
     mutable std::vector<std::unique_ptr<std::mutex>> chip_mu_;
 
     mutable std::mutex accounts_mu_;

@@ -119,7 +119,10 @@ struct ServerMetrics
     std::vector<ReplicaMetrics> replicas;
 
     /** Engine stats folded at batch completion, in completion order
-     *  (deterministic under the virtual clock). */
+     *  (deterministic under the virtual clock). Includes the
+     *  compiler-diagnostic gauges (disabled_neurons, plan_reloads,
+     *  jj/area utilisation of the worst plan stage) surfaced through
+     *  engine::statsJson. */
     chip::InferenceStats merged;
 
     std::int64_t first_submit_ns = -1; ///< first admission (-1: none)

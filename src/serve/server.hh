@@ -4,7 +4,11 @@
  * with self-healing replica management (PR 6).
  *
  * The engine (PR 2/3) answers closed offline batches; this layer is
- * what faces traffic. A Server accepts single inference requests
+ * what faces traffic. A "replica" here is the engine's replica
+ * *group*: for a multi-chip compiled plan (compiler PR 8) each
+ * scheduling slot owns one chip per plan stage, dispatched as a
+ * unit — quarantine, spares, probes and chaos degrades all operate
+ * on whole groups, never on an individual stage chip. A Server accepts single inference requests
  * (submit() returns a future), coalesces them with a dynamic batcher
  * (flush at max_batch requests or once the oldest waits max_delay_ns),
  * schedules each batch onto a dedicated SushiChip replica through

@@ -86,4 +86,31 @@ wiringAreaPerJj()
     return kAreaPerJjUm2 * 1.07;
 }
 
+double
+switchEnergyPerJj()
+{
+    return kEswPerJj;
+}
+
+int
+synapseEventJjs()
+{
+    // One synaptic event reads the resident strength bit (NDRO),
+    // fans it toward the row merge (SPL), joins the row (CB3) and
+    // rides four JTL wiring stages into the NPE.
+    return cellParams(CellKind::NDRO).jjs +
+           cellParams(CellKind::SPL).jjs +
+           cellParams(CellKind::CB3).jjs +
+           4 * cellParams(CellKind::JTL).jjs;
+}
+
+double
+storageArrayDensity()
+{
+    // Banked loops share bias rails and drive lines; calibrated so a
+    // 16x16 chip's default weight-bank allowance stays within the
+    // same order of area as the Table 2 fabric.
+    return 0.25;
+}
+
 } // namespace sushi::sfq

@@ -66,6 +66,29 @@ double biasPowerPerJj();
 /** Area occupied per wiring (JTL) JJ including track spacing, um^2. */
 double wiringAreaPerJj();
 
+/** Switching energy of one JJ flip, joules (paper Sec. 1). */
+double switchEnergyPerJj();
+
+/**
+ * JJs flipped along the synapse event path — one pulse traversing
+ * NDRO (strength readout) + SPL + CB3 (row merge) + four JTL wiring
+ * stages into the NPE. The 30-JJ figure the chip's dynamic-energy
+ * model charges per synaptic op is *derived* from the cell table
+ * here, not restated (tests assert the two agree).
+ */
+int synapseEventJjs();
+
+/**
+ * Area-packing density of banked storage (resident weight/preload
+ * bits) relative to logic cells: a storage loop in a bank shares
+ * bias rails and drive lines and carries no per-cell splitter/merge
+ * fan-out, so it packs denser than the same cell placed as logic.
+ * Multiplies CellParams::area_um2 for bank bits in the compiler's
+ * cost model and in the ChipBudget default caps (same constant on
+ * both sides keeps the caps and the costs commensurable).
+ */
+double storageArrayDensity();
+
 } // namespace sushi::sfq
 
 #endif // SUSHI_SFQ_CELL_PARAMS_HH

@@ -1,7 +1,8 @@
 /**
  * @file
  * Tests for the SSNN compiler: slicing, bucketing/reordering,
- * state-range analysis and network compilation.
+ * state-range analysis, network compilation, the pass-based driver
+ * (cost model, budgets, typed validation) and multi-chip splitting.
  */
 
 #include <gtest/gtest.h>
@@ -11,6 +12,8 @@
 
 #include "common/rng.hh"
 #include "compiler/compile.hh"
+#include "compiler/driver.hh"
+#include "sfq/cell_params.hh"
 
 namespace sushi::compiler {
 namespace {
@@ -261,6 +264,328 @@ TEST(Compile, MasksPartitionInputs)
         }
         EXPECT_EQ(bits, 70u);
     }
+}
+
+TEST(Validate, RejectsBadGeometry)
+{
+    snn::BinaryLayer layer;
+    layer.weights = {{1, -1}};
+    layer.thresholds = {1};
+    auto net = snn::BinarySnn::fromLayers({layer}, 1);
+
+    ChipConfig bad_n;
+    bad_n.n = 0;
+    EXPECT_THROW(
+        {
+            try {
+                compileNetwork(net, bad_n);
+            } catch (const CompileError &e) {
+                EXPECT_EQ(e.kind(),
+                          CompileError::Kind::BadChipConfig);
+                throw;
+            }
+        },
+        CompileError);
+
+    ChipConfig bad_sc;
+    bad_sc.sc_per_npe = 0;
+    EXPECT_THROW(compileNetwork(net, bad_sc), CompileError);
+    bad_sc.sc_per_npe = 31;
+    EXPECT_THROW(compileNetwork(net, bad_sc), CompileError);
+
+    ChipConfig bad_bucket;
+    bad_bucket.bucketing.bucket_size = 0;
+    EXPECT_THROW(compileNetwork(net, bad_bucket), CompileError);
+}
+
+TEST(Validate, RejectsNegativeBudgetCaps)
+{
+    snn::BinaryLayer layer;
+    layer.weights = {{1, -1}};
+    layer.thresholds = {1};
+    auto net = snn::BinarySnn::fromLayers({layer}, 1);
+    ChipConfig chip;
+    chip.n = 2;
+    DriverOptions opts = DriverOptions::costAware();
+    opts.budget.jj_cap = -1;
+    EXPECT_THROW(
+        {
+            try {
+                CompilerDriver(opts).compileSingle(net, chip);
+            } catch (const CompileError &e) {
+                EXPECT_EQ(e.kind(), CompileError::Kind::BadBudget);
+                throw;
+            }
+        },
+        CompileError);
+}
+
+TEST(Validate, EmptyNetworkIsTyped)
+{
+    snn::BinarySnn net; // no layers
+    ChipConfig chip;
+    chip.n = 2;
+    EXPECT_THROW(
+        {
+            try {
+                CompilerDriver().compilePlan(net, chip);
+            } catch (const CompileError &e) {
+                EXPECT_EQ(e.kind(), CompileError::Kind::EmptyNetwork);
+                EXPECT_STREQ(CompileError::kindName(e.kind()),
+                             "EmptyNetwork");
+                throw;
+            }
+        },
+        CompileError);
+}
+
+TEST(Remap, SingleHealthySlot)
+{
+    // Three of four slots dead: every failed slot lands on the one
+    // healthy host, needing three extra serialized passes.
+    NpeRemap plan = planNpeRemap(4, {1, 1, 0, 1});
+    EXPECT_EQ(plan.failed, 3);
+    EXPECT_EQ(plan.extra_passes, 3);
+    EXPECT_EQ(plan.host[0], 2);
+    EXPECT_EQ(plan.host[1], 2);
+    EXPECT_EQ(plan.host[2], 2);
+    EXPECT_EQ(plan.host[3], 2);
+}
+
+TEST(Remap, AlternatingFailures)
+{
+    // Odd slots dead: the round-robin deals them across the even
+    // hosts, one extra pass covers them all.
+    NpeRemap plan = planNpeRemap(8, {0, 1, 0, 1, 0, 1, 0, 1});
+    EXPECT_EQ(plan.failed, 4);
+    EXPECT_EQ(plan.extra_passes, 1);
+    for (int s = 0; s < 8; s += 2)
+        EXPECT_EQ(plan.host[static_cast<std::size_t>(s)], s);
+    // Failed slots cycle through the healthy hosts in order.
+    EXPECT_EQ(plan.host[1], 0);
+    EXPECT_EQ(plan.host[3], 2);
+    EXPECT_EQ(plan.host[5], 4);
+    EXPECT_EQ(plan.host[7], 6);
+}
+
+TEST(Remap, SingleSlotMesh)
+{
+    NpeRemap plan = planNpeRemap(1, {0});
+    EXPECT_EQ(plan.failed, 0);
+    EXPECT_EQ(plan.extra_passes, 0);
+    EXPECT_EQ(plan.host[0], 0);
+}
+
+TEST(CostModel, EnergyDerivedFromCellTable)
+{
+    // The 30-JJ synapse-event path is derived from the cell table,
+    // not restated.
+    EXPECT_EQ(sfq::synapseEventJjs(), 30);
+    CostModel model(4, 10);
+    EXPECT_EQ(model.switchEnergyPerSynOpJ(),
+              30 * sfq::switchEnergyPerJj());
+}
+
+TEST(CostModel, FlagshipFitsOneChip)
+{
+    // The paper's 784-800-10 model must fill most of — but fit —
+    // the default n = 16 budget (the Table 2 story).
+    CostModel model(16, 10);
+    std::vector<LayerCost> costs = {model.layerCost(784, 800),
+                                    model.layerCost(800, 10)};
+    const ChipBudget budget = ChipBudget::tableDefaults(16, 10);
+    const BudgetReport r = model.rollUp(costs, budget);
+    EXPECT_TRUE(r.fits());
+    EXPECT_GT(r.jjUtilisation(), 0.90);
+    EXPECT_LE(r.jjUtilisation(), 1.0);
+    EXPECT_EQ(r.synapses, 784L * 800 + 800L * 10);
+}
+
+TEST(Driver, LegacyPresetMatchesCompileNetwork)
+{
+    snn::SnnConfig cfg;
+    cfg.input = 48;
+    cfg.hidden = 20;
+    cfg.output = 6;
+    cfg.t_steps = 2;
+    cfg.stateless = true;
+    snn::SnnMlp mlp(cfg, 31);
+    auto bin = snn::BinarySnn::fromFloat(mlp);
+    ChipConfig chip;
+    chip.n = 4;
+    chip.sc_per_npe = 6; // tight: exercises the bucketed fallback
+
+    const auto a = compileNetwork(bin, chip);
+    const auto b =
+        CompilerDriver(DriverOptions::legacy()).compileSingle(bin,
+                                                              chip);
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (std::size_t l = 0; l < a.layers.size(); ++l) {
+        EXPECT_EQ(a.layers[l].schedule.order,
+                  b.layers[l].schedule.order);
+        EXPECT_EQ(a.layers[l].schedule.buckets.size(),
+                  b.layers[l].schedule.buckets.size());
+        EXPECT_EQ(a.layers[l].switch_reloads,
+                  b.layers[l].switch_reloads);
+        EXPECT_EQ(a.layers[l].preload, b.layers[l].preload);
+        EXPECT_EQ(a.layers[l].bias_pulses, b.layers[l].bias_pulses);
+        EXPECT_EQ(a.layers[l].disabled, b.layers[l].disabled);
+        EXPECT_EQ(a.layers[l].neg_masks, b.layers[l].neg_masks);
+        EXPECT_EQ(a.layers[l].pos_masks, b.layers[l].pos_masks);
+    }
+    EXPECT_EQ(a.totalReloads(), b.totalReloads());
+    EXPECT_EQ(a.disabled_count, a.disabledNeurons());
+    EXPECT_EQ(a.plan_reloads, a.totalReloads());
+    EXPECT_GT(a.budget.totalJjs(), 0);
+}
+
+TEST(Driver, LegacyKeepsAdaptiveBucketingRule)
+{
+    // The legacy selection must reproduce the Sec. 5.1 rule: the
+    // exact unbucketed traversal wins whenever its range fits.
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        auto layer = randomLayer(128, 8, 0.5, 1, 6, seed);
+        auto net = snn::BinarySnn::fromLayers({layer}, 1);
+        ChipConfig chip;
+        chip.n = 8;
+        chip.sc_per_npe = 6;
+        auto compiled = compileNetwork(net, chip);
+
+        BucketingConfig single = chip.bucketing;
+        single.state_bits = chip.sc_per_npe;
+        single.mesh_width = chip.n;
+        single.bucketing = false;
+        auto unb = scheduleLayer(layer, single);
+        auto unb_range = analyzeStateRange(layer, unb, single);
+        if (unb_range.fitsUnbucketed())
+            EXPECT_EQ(compiled.layers[0].schedule.buckets.size(), 1u)
+                << "seed " << seed;
+        else
+            EXPECT_GT(compiled.layers[0].schedule.buckets.size(), 1u)
+                << "seed " << seed;
+    }
+}
+
+TEST(Driver, ScoredSelectionNeverLosesFit)
+{
+    // Scoring may pick a different fitting schedule (cheaper
+    // reloads) but must never choose an unfitting one when a
+    // fitting candidate exists.
+    for (std::uint64_t seed = 11; seed <= 16; ++seed) {
+        auto layer = randomLayer(96, 8, 0.5, 1, 5, seed);
+        auto net = snn::BinarySnn::fromLayers({layer}, 1);
+        ChipConfig chip;
+        chip.n = 8;
+        chip.sc_per_npe = 6;
+        DriverOptions opts;
+        opts.score_schedules = true;
+        auto scored =
+            CompilerDriver(opts).compileSingle(net, chip);
+        auto legacy = compileNetwork(net, chip);
+        if (legacy.layers[0].range.fits()) {
+            EXPECT_TRUE(scored.layers[0].range.fits())
+                << "seed " << seed;
+        }
+        EXPECT_LE(scored.layers[0].switch_reloads,
+                  legacy.layers[0].switch_reloads)
+            << "seed " << seed;
+    }
+}
+
+TEST(MultiChipSplit, ExactCapBoundary)
+{
+    // A budget of exactly fabric + model cost fits one chip; one JJ
+    // less forces a split.
+    CostModel model(2, 10);
+    std::vector<LayerCost> costs = {model.layerCost(8, 8),
+                                    model.layerCost(8, 4)};
+    std::vector<int> wires = {8, 4};
+    ChipBudget budget;
+    budget.sc_per_npe = 10;
+    budget.area_cap_mm2 = 1e9; // isolate the JJ cap
+    const long total = costs[0].totalJjs() + costs[1].totalJjs();
+
+    budget.jj_cap = model.fabricJjs() + total;
+    StageSplit fit = splitLayersUnderBudget(costs, wires, model,
+                                            budget, 8);
+    EXPECT_EQ(fit.stages.size(), 1u);
+    EXPECT_TRUE(fit.cuts.empty());
+
+    budget.jj_cap = model.fabricJjs() + total - 1;
+    StageSplit split = splitLayersUnderBudget(costs, wires, model,
+                                              budget, 8);
+    ASSERT_EQ(split.stages.size(), 2u);
+    EXPECT_EQ(split.stages[0].begin, 0);
+    EXPECT_EQ(split.stages[0].end, 1);
+    EXPECT_EQ(split.stages[1].begin, 1);
+    EXPECT_EQ(split.stages[1].end, 2);
+    ASSERT_EQ(split.cuts.size(), 1u);
+    EXPECT_EQ(split.cuts[0].boundary_layer, 0);
+    EXPECT_EQ(split.cuts[0].wires, 8);
+}
+
+TEST(MultiChipSplit, ContractsWidestBoundariesFirst)
+{
+    // Three layers; the budget allows merging exactly one boundary.
+    // The heavier-traffic boundary (wider producer) must be the one
+    // contracted, leaving the cheap cut.
+    CostModel model(2, 10);
+    std::vector<LayerCost> costs = {model.layerCost(8, 16),
+                                    model.layerCost(16, 8),
+                                    model.layerCost(8, 2)};
+    std::vector<int> wires = {16, 8, 2};
+    ChipBudget budget;
+    budget.sc_per_npe = 10;
+    budget.area_cap_mm2 = 1e9;
+    // Fits layers 0+1 together (the wide boundary) but not 1+2+0.
+    budget.jj_cap = model.fabricJjs() + costs[0].totalJjs() +
+                    costs[1].totalJjs();
+    StageSplit split = splitLayersUnderBudget(costs, wires, model,
+                                              budget, 8);
+    ASSERT_EQ(split.stages.size(), 2u);
+    EXPECT_EQ(split.stages[0].end, 2); // layers 0,1 share a chip
+    ASSERT_EQ(split.cuts.size(), 1u);
+    EXPECT_EQ(split.cuts[0].boundary_layer, 1);
+    EXPECT_EQ(split.cuts[0].wires, 8);
+}
+
+TEST(MultiChipSplit, SingleLayerOverflowIsTyped)
+{
+    CostModel model(2, 10);
+    std::vector<LayerCost> costs = {model.layerCost(64, 64)};
+    std::vector<int> wires = {64};
+    ChipBudget budget;
+    budget.sc_per_npe = 10;
+    budget.area_cap_mm2 = 1e9;
+    budget.jj_cap = model.fabricJjs() + 1; // no layer can fit
+    EXPECT_THROW(
+        {
+            try {
+                splitLayersUnderBudget(costs, wires, model, budget,
+                                       8);
+            } catch (const CompileError &e) {
+                EXPECT_EQ(e.kind(),
+                          CompileError::Kind::BudgetOverflow);
+                throw;
+            }
+        },
+        CompileError);
+}
+
+TEST(MultiChipSplit, MaxChipsIsTyped)
+{
+    CostModel model(2, 10);
+    std::vector<LayerCost> costs = {model.layerCost(8, 8),
+                                    model.layerCost(8, 8),
+                                    model.layerCost(8, 8)};
+    std::vector<int> wires = {8, 8, 8};
+    ChipBudget budget;
+    budget.sc_per_npe = 10;
+    budget.area_cap_mm2 = 1e9;
+    budget.jj_cap = model.fabricJjs() + costs[0].totalJjs();
+    EXPECT_THROW(
+        splitLayersUnderBudget(costs, wires, model, budget, 2),
+        CompileError);
 }
 
 } // namespace

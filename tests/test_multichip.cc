@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for budget-driven multi-chip plans end to end: plan
+ * structure, engine execution equivalence with the single-chip
+ * compile, stats surfacing (utilisation gauges, plan diagnostics in
+ * statsJson), determinism across thread counts, and the derived
+ * energy constant shared by cost model and chip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/sushi_chip.hh"
+#include "common/rng.hh"
+#include "compiler/driver.hh"
+#include "engine/inference_engine.hh"
+#include "sfq/cell_params.hh"
+#include "snn/binarize.hh"
+#include "snn/network.hh"
+
+namespace sushi::engine {
+namespace {
+
+snn::BinarySnn
+tinyNet(std::size_t input, std::size_t hidden, std::size_t output,
+        int t_steps, std::uint64_t seed)
+{
+    snn::SnnConfig cfg;
+    cfg.input = input;
+    cfg.hidden = hidden;
+    cfg.output = output;
+    cfg.t_steps = t_steps;
+    cfg.stateless = true;
+    snn::SnnMlp mlp(cfg, seed);
+    return snn::BinarySnn::fromFloat(mlp);
+}
+
+std::vector<Sample>
+randomSamples(std::size_t n, std::size_t dim, int t_steps,
+              std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Sample> samples(n);
+    for (auto &s : samples) {
+        for (int t = 0; t < t_steps; ++t) {
+            std::vector<std::uint8_t> f(dim);
+            for (auto &v : f)
+                v = rng.chance(0.4) ? 1 : 0;
+            s.push_back(std::move(f));
+        }
+    }
+    return samples;
+}
+
+compiler::ChipConfig
+smallChip()
+{
+    compiler::ChipConfig cfg;
+    cfg.n = 4;
+    cfg.sc_per_npe = 10;
+    return cfg;
+}
+
+/**
+ * Driver preset whose JJ cap fits each layer of @p net alone but not
+ * all of them together, forcing a split — with legacy schedule
+ * selection, so every stage's per-layer artifacts are bit-identical
+ * to an unbounded single-chip compile of the same network.
+ */
+compiler::DriverOptions
+splittingOptions(const snn::BinarySnn &net,
+                 const compiler::ChipConfig &chip)
+{
+    compiler::CostModel model(chip.n, chip.sc_per_npe);
+    long biggest = 0;
+    long total = 0;
+    for (const auto &layer : net.layers()) {
+        const long jjs = model.layerCost(layer).totalJjs();
+        biggest = std::max(biggest, jjs);
+        total += jjs;
+    }
+    EXPECT_LT(biggest, total); // a split point must exist
+    compiler::DriverOptions opts;
+    opts.enforce_budget = true;
+    opts.allow_multichip = true;
+    opts.score_schedules = false; // keep stage artifacts legacy-equal
+    opts.budget.sc_per_npe = chip.sc_per_npe;
+    opts.budget.jj_cap = model.fabricJjs() + biggest;
+    opts.budget.area_cap_mm2 = 1e9;
+    return opts;
+}
+
+TEST(MultiChipPlan, OverflowingModelSplitsIntoStages)
+{
+    auto net = tinyNet(24, 16, 12, 3, 5);
+    const auto chip = smallChip();
+    auto model = CompiledModel::compile(
+        net, chip, splittingOptions(net, chip));
+
+    ASSERT_TRUE(model->multiChip());
+    ASSERT_NE(model->plan(), nullptr);
+    const compiler::MultiChipPlan &plan = *model->plan();
+    ASSERT_EQ(model->stageCount(), 2);
+    ASSERT_EQ(plan.cuts.size(), 1u);
+
+    // Stages cover the layer chain contiguously, in order.
+    EXPECT_EQ(plan.stages[0]->first_layer, 0);
+    EXPECT_EQ(plan.stages[0]->num_layers, 1);
+    EXPECT_EQ(plan.stages[1]->first_layer, 1);
+    EXPECT_EQ(plan.stages[1]->num_layers, 1);
+
+    // The cut sits after layer 0 and carries its activations.
+    EXPECT_EQ(plan.cuts[0].boundary_layer, 0);
+    EXPECT_EQ(plan.cuts[0].wires, 16);
+    EXPECT_EQ(plan.crossChipWires(), 16);
+
+    // Every stage artifact points into the stage's own subnet and
+    // respects the per-chip caps it was planned against.
+    for (int s = 0; s < model->stageCount(); ++s) {
+        const auto &stage = *plan.stages[static_cast<std::size_t>(s)];
+        EXPECT_EQ(model->stageNet(s).net, &stage.subnet);
+        EXPECT_TRUE(stage.net.budget.fits());
+        EXPECT_EQ(stage.subnet.layers().size(),
+                  static_cast<std::size_t>(stage.num_layers));
+    }
+    EXPECT_GT(plan.maxJjUtilisation(), 0.0);
+    EXPECT_LE(plan.maxJjUtilisation(), 1.0);
+}
+
+TEST(MultiChipPlan, FittingModelStaysSingleStage)
+{
+    auto net = tinyNet(24, 16, 12, 3, 5);
+    const auto chip = smallChip();
+    auto model = CompiledModel::compile(
+        net, chip, compiler::DriverOptions::costAware());
+    EXPECT_EQ(model->stageCount(), 1);
+    EXPECT_FALSE(model->multiChip());
+    EXPECT_TRUE(model->stageNet(0).budget.fits());
+}
+
+TEST(MultiChipPlan, EngineMatchesSingleChipBitExactly)
+{
+    auto net = tinyNet(24, 16, 12, 3, 9);
+    const auto chip = smallChip();
+    auto samples = randomSamples(12, 24, 3, 77);
+
+    auto single = CompiledModel::compile(net, chip);
+    auto split = CompiledModel::compile(net, chip,
+                                        splittingOptions(net, chip));
+    ASSERT_EQ(split->stageCount(), 2);
+
+    EngineConfig cfg;
+    cfg.replicas = 2;
+    EngineRun a = InferenceEngine(single, cfg).run(samples);
+    EngineRun b = InferenceEngine(split, cfg).run(samples);
+
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (std::size_t i = 0; i < a.samples.size(); ++i) {
+        EXPECT_EQ(a.samples[i].counts, b.samples[i].counts) << i;
+        EXPECT_EQ(a.samples[i].prediction, b.samples[i].prediction)
+            << i;
+    }
+    // The pipelined stages execute the same compiled layers, so the
+    // behavioural counters agree exactly with the single chip.
+    EXPECT_EQ(a.merged.frames, b.merged.frames);
+    EXPECT_EQ(a.merged.time_steps, b.merged.time_steps);
+    EXPECT_EQ(a.merged.synaptic_ops, b.merged.synaptic_ops);
+    EXPECT_EQ(a.merged.output_spikes, b.merged.output_spikes);
+    EXPECT_EQ(a.merged.dynamic_energy_j, b.merged.dynamic_energy_j);
+}
+
+TEST(MultiChipPlan, MergedStatsDeterministicAcrossThreads)
+{
+    auto net = tinyNet(24, 16, 12, 3, 13);
+    const auto chip = smallChip();
+    auto model = CompiledModel::compile(net, chip,
+                                        splittingOptions(net, chip));
+    auto samples = randomSamples(10, 24, 3, 31);
+
+    std::string baseline;
+    for (unsigned threads : {1u, 2u, 4u}) {
+        EngineConfig cfg;
+        cfg.replicas = 3;
+        cfg.max_threads = threads;
+        EngineRun run = InferenceEngine(model, cfg).run(samples);
+        const std::string json = statsJson(run.merged);
+        if (baseline.empty())
+            baseline = json;
+        else
+            EXPECT_EQ(json, baseline) << threads << " threads";
+    }
+}
+
+TEST(MultiChipPlan, StatsSurfaceCompilerDiagnostics)
+{
+    auto net = tinyNet(24, 16, 12, 3, 9);
+    const auto chip = smallChip();
+    auto model = CompiledModel::compile(net, chip,
+                                        splittingOptions(net, chip));
+    auto samples = randomSamples(4, 24, 3, 5);
+
+    EngineConfig cfg;
+    cfg.replicas = 1;
+    EngineRun run = InferenceEngine(model, cfg).run(samples);
+
+    // The utilisation gauges come from the per-stage budget reports
+    // (worst stage wins) and flow into the JSON rendering.
+    EXPECT_GT(run.merged.jj_utilisation, 0.0);
+    EXPECT_LE(run.merged.jj_utilisation, 1.0);
+    EXPECT_EQ(run.merged.jj_utilisation,
+              model->plan()->maxJjUtilisation());
+    long disabled = 0;
+    long reloads = 0;
+    for (int s = 0; s < model->stageCount(); ++s) {
+        disabled += model->stageNet(s).disabled_count;
+        reloads += model->stageNet(s).plan_reloads;
+    }
+    EXPECT_EQ(run.merged.disabled_neurons,
+              static_cast<std::uint64_t>(disabled));
+    EXPECT_EQ(run.merged.plan_reloads,
+              static_cast<std::uint64_t>(reloads));
+
+    const std::string json = statsJson(run.merged);
+    EXPECT_NE(json.find("\"jj_utilisation\""), std::string::npos);
+    EXPECT_NE(json.find("\"area_utilisation\""), std::string::npos);
+    EXPECT_NE(json.find("\"disabled_neurons\""), std::string::npos);
+    EXPECT_NE(json.find("\"plan_reloads\""), std::string::npos);
+}
+
+TEST(MultiChipPlan, DegradedReplicaKeepsResults)
+{
+    auto net = tinyNet(24, 16, 12, 3, 9);
+    const auto chip = smallChip();
+    auto model = CompiledModel::compile(net, chip,
+                                        splittingOptions(net, chip));
+    auto samples = randomSamples(6, 24, 3, 19);
+
+    EngineConfig cfg;
+    cfg.replicas = 1;
+    cfg.drain_degraded = false; // force work onto the degraded group
+    InferenceEngine healthy(model, cfg);
+    EngineRun want = healthy.run(samples);
+
+    InferenceEngine degraded(model, cfg);
+    degraded.markReplicaDegraded(0, 1);
+    EXPECT_GT(degraded.failedNpeSlots(0), 0);
+    EngineRun got = degraded.run(samples);
+    for (std::size_t i = 0; i < want.samples.size(); ++i)
+        EXPECT_EQ(want.samples[i].counts, got.samples[i].counts) << i;
+
+    degraded.healReplica(0);
+    EXPECT_EQ(degraded.failedNpeSlots(0), 0);
+}
+
+TEST(EnergyModel, ChipAndCostModelShareTheDerivedConstant)
+{
+    // The chip's per-op energy and the compiler's cost model must be
+    // the same derived quantity: the 30-JJ synapse event path times
+    // the per-JJ switching energy.
+    compiler::CostModel model(4, 10);
+    EXPECT_EQ(chip::dynamicEnergyJ(1), model.switchEnergyPerSynOpJ());
+    EXPECT_EQ(chip::dynamicEnergyJ(1),
+              sfq::synapseEventJjs() * sfq::switchEnergyPerJj());
+}
+
+} // namespace
+} // namespace sushi::engine
