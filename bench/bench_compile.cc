@@ -60,6 +60,9 @@ struct PlanPoint
     double area_utilisation = 0.0;
     long plan_reloads = 0;
     long disabled_neurons = 0;
+    /** Per-cut wiring (the NoC's traffic input), in plan order. */
+    std::vector<compiler::InterChipCut> cuts;
+    long cut_traffic_total = 0;
 };
 
 PlanPoint
@@ -84,6 +87,8 @@ measure(const std::string &workload, const snn::BinarySnn &net,
         p.plan_reloads += stage->net.plan_reloads;
         p.disabled_neurons += stage->net.disabled_count;
     }
+    p.cuts = plan.cuts;
+    p.cut_traffic_total = plan.cutTrafficPerStep();
     std::printf("%-22s %8.1f ms  %d chip(s)  %5ld cut wires  "
                 "%5.1f%% JJ  %5.1f%% area\n",
                 workload.c_str(), p.compile_ms, p.stages,
@@ -159,6 +164,18 @@ main()
                 static_cast<std::uint64_t>(p.plan_reloads));
         w.field("disabled_neurons",
                 static_cast<std::uint64_t>(p.disabled_neurons));
+        w.field("cut_traffic_total",
+                static_cast<std::uint64_t>(p.cut_traffic_total));
+        w.beginArray("cuts");
+        for (const compiler::InterChipCut &c : p.cuts) {
+            w.beginObject();
+            w.field("boundary_layer", c.boundary_layer);
+            w.field("wires", c.wires);
+            w.field("est_pulses_per_step",
+                    static_cast<std::uint64_t>(c.est_pulses_per_step));
+            w.endObject();
+        }
+        w.endArray();
         w.endObject();
     }
     w.endArray();

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * NoC scaling study: the Fig. 13 scaling question asked at board
+ * level — how does multi-chip pipeline throughput scale with link
+ * bandwidth and mesh shape when the inter-chip cuts ride the
+ * modelled NoC fabric instead of the ideal transport?
+ *
+ * A four-stage pipeline (one layer per chip, forced by a tight JJ
+ * budget) is swept across
+ *
+ *  - link bandwidths (flits/cycle) from uncongested down to 1, and
+ *  - mesh shapes (auto near-square, degenerate row, oversized mesh)
+ *
+ * and the run *enforces* the acceptance contract by exit code:
+ *
+ *  1. spike results over every NoC configuration are bit-identical
+ *     to the ideal transport (the fabric never touches payloads);
+ *  2. modelled throughput drops monotonically as bandwidth shrinks,
+ *     and strictly once bandwidth falls below the heaviest cut's
+ *     observed per-step link demand (serialization dominates);
+ *  3. the transport's flit accounting is consistent with the
+ *     compiler's own cut-traffic estimate.
+ *
+ * Environment:
+ *   SUSHI_JSON_OUT  output path (default BENCH_noc.json)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "compiler/driver.hh"
+#include "engine/inference_engine.hh"
+#include "noc/transport.hh"
+#include "snn/binarize.hh"
+#include "snn/network.hh"
+
+using namespace sushi;
+using engine::CompiledModel;
+using engine::EngineConfig;
+using engine::EngineRun;
+using engine::InferenceEngine;
+using engine::Sample;
+
+namespace {
+
+snn::BinaryLayer
+randomLayer(int in_dim, int out_dim, std::uint64_t seed)
+{
+    Rng rng(seed);
+    snn::BinaryLayer layer;
+    layer.weights.resize(static_cast<std::size_t>(out_dim));
+    layer.thresholds.resize(static_cast<std::size_t>(out_dim));
+    for (int o = 0; o < out_dim; ++o) {
+        auto &row = layer.weights[static_cast<std::size_t>(o)];
+        row.resize(static_cast<std::size_t>(in_dim));
+        for (int i = 0; i < in_dim; ++i)
+            row[static_cast<std::size_t>(i)] =
+                rng.chance(0.5) ? -1 : 1;
+        layer.thresholds[static_cast<std::size_t>(o)] =
+            static_cast<int>(rng.range(1, 16));
+    }
+    return layer;
+}
+
+std::vector<Sample>
+randomSamples(std::size_t n, std::size_t dim, int t_steps,
+              std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Sample> samples(n);
+    for (auto &s : samples) {
+        for (int t = 0; t < t_steps; ++t) {
+            std::vector<std::uint8_t> f(dim);
+            for (auto &v : f)
+                v = rng.chance(0.4) ? 1 : 0;
+            s.push_back(std::move(f));
+        }
+    }
+    return samples;
+}
+
+/** One layer per chip: cap = fabric + biggest layer (the
+ *  test_multichip splitting idiom). */
+compiler::DriverOptions
+oneLayerPerChip(const snn::BinarySnn &net,
+                const compiler::ChipConfig &chip)
+{
+    compiler::CostModel model(chip.n, chip.sc_per_npe);
+    long biggest = 0;
+    for (const auto &layer : net.layers())
+        biggest =
+            std::max(biggest, model.layerCost(layer).totalJjs());
+    compiler::DriverOptions opts;
+    opts.enforce_budget = true;
+    opts.allow_multichip = true;
+    opts.score_schedules = false;
+    opts.budget.sc_per_npe = chip.sc_per_npe;
+    opts.budget.jj_cap = model.fabricJjs() + biggest;
+    opts.budget.area_cap_mm2 = 1e9;
+    return opts;
+}
+
+struct SweepPoint
+{
+    int bandwidth = 0;
+    int mesh_width = 0;
+    int mesh_height = 0;
+    double est_time_ps = 0.0;
+    double throughput_fps = 0.0; ///< modelled frames per second
+    std::uint64_t noc_latency_cycles = 0;
+    std::uint64_t noc_flits = 0;
+    std::uint64_t hol_stall_cycles = 0;
+    std::uint64_t backpressure_stalls = 0;
+    std::uint64_t max_step_link_flits = 0;
+    double max_link_utilisation = 0.0;
+    bool bit_identical = false;
+};
+
+bool
+sameResults(const EngineRun &a, const EngineRun &b)
+{
+    if (a.samples.size() != b.samples.size())
+        return false;
+    for (std::size_t i = 0; i < a.samples.size(); ++i)
+        if (a.samples[i].counts != b.samples[i].counts ||
+            a.samples[i].prediction != b.samples[i].prediction)
+            return false;
+    return true;
+}
+
+SweepPoint
+measure(const std::shared_ptr<const CompiledModel> &model,
+        const std::vector<Sample> &samples, const EngineRun &ideal,
+        int bandwidth, int mesh_w, int mesh_h)
+{
+    EngineConfig cfg;
+    cfg.replicas = 1;
+    cfg.noc.enabled = true;
+    cfg.noc.link_bandwidth_flits = bandwidth;
+    cfg.noc.mesh_width = mesh_w;
+    cfg.noc.mesh_height = mesh_h;
+    InferenceEngine eng(model, cfg);
+    const EngineRun run = eng.run(samples);
+
+    SweepPoint p;
+    p.bandwidth = bandwidth;
+    p.mesh_width = eng.nocTransport(0).placement().width;
+    p.mesh_height = eng.nocTransport(0).placement().height;
+    p.est_time_ps = run.merged.est_time_ps;
+    p.throughput_fps = static_cast<double>(run.merged.frames) /
+                       (run.merged.est_time_ps * 1e-12);
+    p.noc_latency_cycles = run.merged.noc_latency_cycles;
+    p.noc_flits = run.merged.noc_flits;
+    p.hol_stall_cycles = run.merged.noc_hol_stall_cycles;
+    p.backpressure_stalls = run.merged.noc_backpressure_stalls;
+    p.max_step_link_flits = run.merged.noc_max_step_link_flits;
+    p.max_link_utilisation = run.merged.noc_max_link_utilisation;
+    p.bit_identical = sameResults(ideal, run);
+    return p;
+}
+
+void
+writePoint(JsonWriter &w, const SweepPoint &p)
+{
+    w.beginObject();
+    w.field("bandwidth_flits", p.bandwidth);
+    w.field("mesh_width", p.mesh_width);
+    w.field("mesh_height", p.mesh_height);
+    w.field("est_time_ps", p.est_time_ps);
+    w.field("throughput_fps", p.throughput_fps);
+    w.field("noc_latency_cycles", p.noc_latency_cycles);
+    w.field("noc_flits", p.noc_flits);
+    w.field("hol_stall_cycles", p.hol_stall_cycles);
+    w.field("backpressure_stalls", p.backpressure_stalls);
+    w.field("max_step_link_flits", p.max_step_link_flits);
+    w.field("max_link_utilisation", p.max_link_utilisation);
+    w.field("bit_identical", p.bit_identical);
+    w.endObject();
+}
+
+} // namespace
+
+int
+main()
+{
+    compiler::ChipConfig chip;
+    chip.n = 8;
+    chip.sc_per_npe = 10;
+
+    // Four dense layers, one chip stage each: three inter-chip cuts
+    // of 96 wires — worst-case spike packets of 49 flits under the
+    // default 64b-flit / 32b-entry format.
+    const auto net = snn::BinarySnn::fromLayers(
+        {randomLayer(64, 96, 21), randomLayer(96, 96, 22),
+         randomLayer(96, 96, 23), randomLayer(96, 12, 24)},
+        4);
+    auto model =
+        CompiledModel::compile(net, chip, oneLayerPerChip(net, chip));
+    std::printf("=== NoC scaling (Fig. 13 at board level) ===\n");
+    std::printf("pipeline: %d chip stages, %ld cut wires, "
+                "%ld worst-case pulses/step\n",
+                model->stageCount(), model->plan()->crossChipWires(),
+                model->plan()->cutTrafficPerStep());
+
+    const auto samples = randomSamples(6, 64, 4, 97);
+    EngineConfig ideal_cfg;
+    ideal_cfg.replicas = 1;
+    const EngineRun ideal =
+        InferenceEngine(model, ideal_cfg).run(samples);
+
+    // --- Bandwidth sweep on the auto-sized mesh ------------------
+    const std::vector<int> bandwidths = {64, 32, 16, 8, 4, 2, 1};
+    std::vector<SweepPoint> bw_sweep;
+    std::printf("\n%8s %10s %14s %12s %8s %8s\n", "bw", "lat cyc",
+                "throughput/s", "flits", "HOL", "ident");
+    for (const int bw : bandwidths) {
+        bw_sweep.push_back(measure(model, samples, ideal, bw, 0, 0));
+        const SweepPoint &p = bw_sweep.back();
+        std::printf("%8d %10llu %14.3e %12llu %8llu %8s\n",
+                    p.bandwidth,
+                    static_cast<unsigned long long>(
+                        p.noc_latency_cycles),
+                    p.throughput_fps,
+                    static_cast<unsigned long long>(p.noc_flits),
+                    static_cast<unsigned long long>(
+                        p.hol_stall_cycles),
+                    p.bit_identical ? "yes" : "NO");
+    }
+
+    // The per-step link demand is a pure function of the packet
+    // schedule, not of bandwidth — every sweep point observes it
+    // identically.
+    const std::uint64_t demand = bw_sweep.front().max_step_link_flits;
+    std::printf("\nheaviest per-step link demand: %llu flits\n",
+                static_cast<unsigned long long>(demand));
+
+    bool identical = true;
+    for (const SweepPoint &p : bw_sweep)
+        identical = identical && p.bit_identical;
+
+    // Monotone throughput drop as bandwidth shrinks; strict once the
+    // *upper* bandwidth of the pair already sits below the demand
+    // (then halving it must lengthen serialization on the critical
+    // path).
+    bool monotone = true;
+    bool strict_below_demand = true;
+    for (std::size_t i = 1; i < bw_sweep.size(); ++i) {
+        const SweepPoint &hi = bw_sweep[i - 1];
+        const SweepPoint &lo = bw_sweep[i];
+        if (lo.throughput_fps > hi.throughput_fps)
+            monotone = false;
+        if (static_cast<std::uint64_t>(hi.bandwidth) < demand &&
+            !(lo.throughput_fps < hi.throughput_fps))
+            strict_below_demand = false;
+        if (lo.max_step_link_flits != demand)
+            monotone = false; // demand must be bandwidth-invariant
+    }
+
+    // Flit accounting vs the compiler's traffic estimate: observed
+    // cut flits can never exceed worst-case serialization of the
+    // plan's own pulses-per-step figure.
+    EngineConfig probe_cfg = ideal_cfg;
+    probe_cfg.noc.enabled = true;
+    InferenceEngine probe(model, probe_cfg);
+    const EngineRun probe_run = probe.run(samples);
+    const noc::PacketFormat fmt = probe_cfg.noc.packetFormat();
+    std::uint64_t cut_flit_cap = 0;
+    for (const auto &cut : model->plan()->cuts)
+        cut_flit_cap += fmt.worstCaseFlits(cut.wires);
+    cut_flit_cap *= probe_run.merged.time_steps;
+    std::uint64_t cut_flits_seen = 0;
+    for (const std::uint64_t f : probe_run.merged.noc_cut_flits)
+        cut_flits_seen += f;
+    const bool accounting_ok =
+        cut_flits_seen > 0 && cut_flits_seen <= cut_flit_cap;
+
+    // --- Mesh-shape sweep at a mid bandwidth ---------------------
+    std::vector<SweepPoint> mesh_sweep;
+    const int stages = model->stageCount();
+    for (const auto &dims :
+         std::vector<std::pair<int, int>>{{0, 0}, {1, stages},
+                                          {stages, stages}}) {
+        mesh_sweep.push_back(measure(model, samples, ideal, 8,
+                                     dims.first, dims.second));
+        const SweepPoint &p = mesh_sweep.back();
+        std::printf("mesh %dx%d @ bw 8: %llu cycles, util %.3f, "
+                    "identical %s\n",
+                    p.mesh_width, p.mesh_height,
+                    static_cast<unsigned long long>(
+                        p.noc_latency_cycles),
+                    p.max_link_utilisation,
+                    p.bit_identical ? "yes" : "NO");
+        identical = identical && p.bit_identical;
+    }
+
+    std::printf("\nbit-identical to ideal transport: %s\n",
+                identical ? "yes" : "NO");
+    std::printf("throughput monotone in bandwidth: %s\n",
+                monotone ? "yes" : "NO");
+    std::printf("strict drop below link demand: %s\n",
+                strict_below_demand ? "yes" : "NO");
+    std::printf("cut-flit accounting within plan estimate: %s\n",
+                accounting_ok ? "yes" : "NO");
+
+    JsonWriter w;
+    w.field("stages", stages);
+    w.field("cut_traffic_per_step",
+            static_cast<std::uint64_t>(
+                model->plan()->cutTrafficPerStep()));
+    w.field("max_step_link_demand_flits", demand);
+    w.field("ideal_est_time_ps", ideal.merged.est_time_ps);
+    w.field("bit_identical", identical);
+    w.field("throughput_monotone", monotone);
+    w.field("strict_drop_below_demand", strict_below_demand);
+    w.field("cut_flit_accounting_ok", accounting_ok);
+    w.beginArray("bandwidth_sweep");
+    for (const SweepPoint &p : bw_sweep)
+        writePoint(w, p);
+    w.endArray();
+    w.beginArray("mesh_sweep");
+    for (const SweepPoint &p : mesh_sweep)
+        writePoint(w, p);
+    w.endArray();
+    const std::string json = w.finish();
+
+    const char *env_path = std::getenv("SUSHI_JSON_OUT");
+    const std::string path =
+        env_path != nullptr && env_path[0] != '\0'
+            ? env_path
+            : "BENCH_noc.json";
+    if (!JsonWriter::writeFile(path, json)) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("JSON written to %s\n", path.c_str());
+
+    return identical && monotone && strict_below_demand &&
+                   accounting_ok
+               ? 0
+               : 1;
+}

@@ -68,6 +68,17 @@ struct FastCounter
     }
 };
 
+/** Element-wise sum of per-cut flit counters (ragged-safe). */
+void
+mergeCutFlits(std::vector<std::uint64_t> &into,
+              const std::vector<std::uint64_t> &from)
+{
+    if (into.size() < from.size())
+        into.resize(from.size(), 0);
+    for (std::size_t c = 0; c < from.size(); ++c)
+        into[c] += from[c];
+}
+
 } // namespace
 
 void
@@ -90,6 +101,18 @@ InferenceStats::accumulate(const InferenceStats &other)
     jj_utilisation = std::max(jj_utilisation, other.jj_utilisation);
     area_utilisation =
         std::max(area_utilisation, other.area_utilisation);
+    noc_packets += other.noc_packets;
+    noc_flits += other.noc_flits;
+    noc_flit_hops += other.noc_flit_hops;
+    noc_hol_stall_cycles += other.noc_hol_stall_cycles;
+    noc_backpressure_stalls += other.noc_backpressure_stalls;
+    noc_latency_cycles += other.noc_latency_cycles;
+    noc_max_step_link_flits = std::max(noc_max_step_link_flits,
+                                       other.noc_max_step_link_flits);
+    noc_latency_ps += other.noc_latency_ps;
+    noc_max_link_utilisation = std::max(
+        noc_max_link_utilisation, other.noc_max_link_utilisation);
+    mergeCutFlits(noc_cut_flits, other.noc_cut_flits);
     est_time_ps += other.est_time_ps;
     reload_time_ps += other.reload_time_ps;
     dynamic_energy_j += other.dynamic_energy_j;
@@ -116,6 +139,21 @@ InferenceStats::accumulatePipeline(const InferenceStats &stage)
     jj_utilisation = std::max(jj_utilisation, stage.jj_utilisation);
     area_utilisation =
         std::max(area_utilisation, stage.area_utilisation);
+    // Transport is accounted once per replica group (the engine
+    // folds it in after this merge), but stray per-stage records
+    // still merge with counter/gauge semantics.
+    noc_packets += stage.noc_packets;
+    noc_flits += stage.noc_flits;
+    noc_flit_hops += stage.noc_flit_hops;
+    noc_hol_stall_cycles += stage.noc_hol_stall_cycles;
+    noc_backpressure_stalls += stage.noc_backpressure_stalls;
+    noc_latency_cycles += stage.noc_latency_cycles;
+    noc_max_step_link_flits = std::max(noc_max_step_link_flits,
+                                       stage.noc_max_step_link_flits);
+    noc_latency_ps += stage.noc_latency_ps;
+    noc_max_link_utilisation = std::max(
+        noc_max_link_utilisation, stage.noc_max_link_utilisation);
+    mergeCutFlits(noc_cut_flits, stage.noc_cut_flits);
     // Stages run sequentially within a time step: latency adds.
     est_time_ps += stage.est_time_ps;
     reload_time_ps += stage.reload_time_ps;

@@ -58,6 +58,28 @@ struct InferenceStats
     double area_utilisation = 0.0;   ///< worst chip area cap fraction
     /// @}
 
+    /// @name NoC transport (modelled mesh fabric; EngineConfig::noc
+    /// multi-chip runs only — all zero under the ideal transport).
+    /// The engine folds one NocSampleStats per sample into these
+    /// after the stage-pipeline merge; chip code never sets them.
+    /// accumulate() sums the counters and keeps the utilisation /
+    /// step-load gauges' maxima; noc_cut_flits merges element-wise
+    /// (index = plan cut index).
+    /// @{
+    std::uint64_t noc_packets = 0; ///< spike packets injected
+    std::uint64_t noc_flits = 0;   ///< flits injected
+    std::uint64_t noc_flit_hops = 0; ///< flits x links traversed
+    std::uint64_t noc_hol_stall_cycles = 0; ///< head-of-line waits
+    std::uint64_t noc_backpressure_stalls = 0; ///< NIC credit waits
+    std::uint64_t noc_latency_cycles = 0; ///< added fabric cycles
+    std::uint64_t noc_max_step_link_flits = 0; ///< worst step link
+                                               ///< load (gauge)
+    double noc_latency_ps = 0.0; ///< added transport latency
+    double noc_max_link_utilisation = 0.0; ///< worst link busy
+                                           ///< fraction (gauge)
+    std::vector<std::uint64_t> noc_cut_flits; ///< flits per plan cut
+    /// @}
+
     double est_time_ps = 0.0;        ///< modelled wall time
     double reload_time_ps = 0.0;     ///< serialised reload time
     double dynamic_energy_j = 0.0;   ///< switching energy

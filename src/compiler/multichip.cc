@@ -34,6 +34,15 @@ MultiChipPlan::crossChipWires() const
     return w;
 }
 
+long
+MultiChipPlan::cutTrafficPerStep() const
+{
+    long p = 0;
+    for (const auto &c : cuts)
+        p += c.est_pulses_per_step;
+    return p;
+}
+
 namespace {
 
 /** Union-find with path compression (partitionNetlist idiom). */
@@ -119,10 +128,25 @@ splitLayersUnderBudget(const std::vector<LayerCost> &costs,
             cut.wires =
                 boundary_wires[static_cast<std::size_t>(i - 1)];
             cut.est_pulses_per_step = cut.wires;
+            cut.wire_indices.resize(
+                static_cast<std::size_t>(cut.wires));
+            std::iota(cut.wire_indices.begin(),
+                      cut.wire_indices.end(), 0);
             split.cuts.push_back(cut);
         }
         begin = i;
     }
+
+    // Ordering guarantee for NoC packet schedules: cuts ascending by
+    // boundary layer, wire lists ascending by index. Both hold by
+    // construction above; the sorts pin the contract against future
+    // traversal-order changes.
+    std::sort(split.cuts.begin(), split.cuts.end(),
+              [](const InterChipCut &a, const InterChipCut &b) {
+                  return a.boundary_layer < b.boundary_layer;
+              });
+    for (auto &cut : split.cuts)
+        std::sort(cut.wire_indices.begin(), cut.wire_indices.end());
 
     // A stage that still overflows can only be a single layer the
     // contraction could never have merged — the model is not

@@ -26,7 +26,15 @@
 
 namespace sushi::compiler {
 
-/** One surviving cut between adjacent chip stages. */
+/**
+ * One surviving cut between adjacent chip stages.
+ *
+ * Ordering guarantee (the NoC packet schedule depends on it):
+ * `MultiChipPlan::cuts` is sorted ascending by boundary_layer, and
+ * each cut's wire_indices list is sorted ascending — both invariants
+ * are enforced by construction in splitLayersUnderBudget, so packet
+ * serialization order is byte-stable across plan rebuilds.
+ */
 struct InterChipCut
 {
     /** Global index of the layer *producing* the crossing
@@ -37,6 +45,9 @@ struct InterChipCut
     /** Worst-case pulses per time step across the cut (binary
      *  activations: one pulse per wire). */
     long est_pulses_per_step = 0;
+    /** The crossing activation lines in the producer's index space,
+     *  ascending — the order spike-packet entries serialize in. */
+    std::vector<int> wire_indices;
 };
 
 /**
@@ -77,6 +88,11 @@ struct MultiChipPlan
 
     /** Total activation wires crossing chip boundaries. */
     long crossChipWires() const;
+
+    /** Total worst-case pulses per time step across all cuts (the
+     *  compiler's own traffic estimate the NoC benches cross-check
+     *  observed flit counts against). */
+    long cutTrafficPerStep() const;
 };
 
 /** Layer index ranges of a budget split, before stage compilation. */

@@ -70,6 +70,25 @@ InferenceEngine::InferenceEngine(
         }
         chip_mu_.push_back(std::make_unique<std::mutex>());
     }
+    // Modelled NoC transport: one fabric per replica group, driven
+    // sequentially under the replica lock. Single-stage plans have
+    // no cut traffic to route, so the toggle is ignored there.
+    if (cfg_.noc.enabled && stages_ > 1) {
+        const compiler::MultiChipPlan *plan = model_->plan();
+        sushi_assert(plan != nullptr);
+        noc_.reserve(static_cast<std::size_t>(replicas));
+        for (int r = 0; r < replicas; ++r)
+            noc_.push_back(
+                std::make_unique<noc::NocTransport>(*plan, cfg_.noc));
+    }
+}
+
+const noc::NocTransport &
+InferenceEngine::nocTransport(int replica) const
+{
+    sushi_assert(nocEnabled());
+    sushi_assert(replica >= 0 && replica < replicas());
+    return *noc_[static_cast<std::size_t>(replica)];
 }
 
 void
@@ -201,20 +220,40 @@ InferenceEngine::runOnReplica(int replica,
     // recomputed from the summed synaptic work).
     const std::size_t out_dim =
         model_->network().layers().back().outDim();
+    // NoC transport of this replica group (nullptr = ideal
+    // transport). It never touches `act`, so spike results are
+    // bit-identical either way; it only charges modelled fabric time
+    // and congestion counters into the per-sample stats delta.
+    noc::NocTransport *nt =
+        noc_.empty() ? nullptr
+                     : noc_[static_cast<std::size_t>(replica)].get();
     for (std::size_t i = 0; i < count; ++i) {
         for (int s = 0; s < stages_; ++s)
             chipAt(replica, s).resetStats();
         for (int s = 0; s < stages_; ++s)
             chipAt(replica, s).beginFrame();
+        if (nt != nullptr)
+            nt->beginSample();
         std::vector<int> counts(out_dim, 0);
         for (const auto &frame : *samples[i]) {
             chip::PulseVector act(frame.begin(), frame.end());
-            for (int s = 0; s < stages_; ++s)
+            if (nt != nullptr) {
+                nt->beginStep();
+                nt->hostIngress(act);
+            }
+            for (int s = 0; s < stages_; ++s) {
                 act = chipAt(replica, s)
                           .stepNetwork(model_->stageNet(s), act);
+                if (nt != nullptr && s < stages_ - 1)
+                    nt->transferCut(s, act);
+            }
             for (std::size_t o = 0; o < out_dim; ++o)
                 counts[o] += act[o];
             chipAt(replica, stages_ - 1).countOutputSpikes(act);
+            if (nt != nullptr) {
+                nt->hostEgress(act);
+                nt->endStep();
+            }
         }
         for (int s = 0; s < stages_; ++s)
             chipAt(replica, s).finishRun();
@@ -227,6 +266,26 @@ InferenceEngine::runOnReplica(int replica,
         chip::InferenceStats delta = chipAt(replica, 0).stats();
         for (int s = 1; s < stages_; ++s)
             delta.accumulatePipeline(chipAt(replica, s).stats());
+        if (nt != nullptr) {
+            // Fold the sample's transport account into the delta: the
+            // fabric serialises the pipeline's cut traffic, so its
+            // cycles extend the modelled makespan.
+            const noc::NocSampleStats ns = nt->finishSample();
+            delta.noc_packets += ns.packets;
+            delta.noc_flits += ns.flits;
+            delta.noc_flit_hops += ns.flit_hops;
+            delta.noc_hol_stall_cycles += ns.hol_stall_cycles;
+            delta.noc_backpressure_stalls += ns.backpressure_stalls;
+            delta.noc_latency_cycles += ns.latency_cycles;
+            delta.noc_max_step_link_flits = std::max(
+                delta.noc_max_step_link_flits, ns.max_step_link_flits);
+            delta.noc_latency_ps += ns.latency_ps;
+            delta.noc_max_link_utilisation =
+                std::max(delta.noc_max_link_utilisation,
+                         ns.max_link_utilisation);
+            delta.noc_cut_flits = ns.cut_flits;
+            delta.est_time_ps += ns.latency_ps;
+        }
         delta.dynamic_energy_j =
             chip::dynamicEnergyJ(delta.synaptic_ops);
         out.per_sample[i] = delta;
@@ -399,7 +458,26 @@ statsJson(const chip::InferenceStats &stats)
     appendJsonDouble(out, stats.jj_utilisation);
     out += ", \"area_utilisation\": ";
     appendJsonDouble(out, stats.area_utilisation);
-    out += "}";
+    // NoC transport block (all zero / empty under the ideal
+    // transport — kept unconditional so the schema is stable).
+    field("noc_packets", stats.noc_packets);
+    field("noc_flits", stats.noc_flits);
+    field("noc_flit_hops", stats.noc_flit_hops);
+    field("noc_hol_stall_cycles", stats.noc_hol_stall_cycles);
+    field("noc_backpressure_stalls", stats.noc_backpressure_stalls);
+    field("noc_latency_cycles", stats.noc_latency_cycles);
+    field("noc_max_step_link_flits", stats.noc_max_step_link_flits);
+    out += ", \"noc_latency_ps\": ";
+    appendJsonDouble(out, stats.noc_latency_ps);
+    out += ", \"noc_max_link_utilisation\": ";
+    appendJsonDouble(out, stats.noc_max_link_utilisation);
+    out += ", \"noc_cut_flits\": [";
+    for (std::size_t c = 0; c < stats.noc_cut_flits.size(); ++c) {
+        if (c != 0)
+            out += ", ";
+        out += std::to_string(stats.noc_cut_flits[c]);
+    }
+    out += "]}";
     return out;
 }
 

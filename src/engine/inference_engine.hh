@@ -34,6 +34,7 @@
 
 #include "chip/sushi_chip.hh"
 #include "engine/compiled_model.hh"
+#include "noc/transport.hh"
 #include "snn/tensor.hh"
 
 namespace sushi::engine {
@@ -72,6 +73,16 @@ struct EngineConfig
      *  Results and stats are bit-identical at every setting — like
      *  sim_threads, a host knob, not a chip property. */
     int packed_kernels = -1;
+
+    /** Modelled NoC transport for multi-chip plan cuts (noc.enabled;
+     *  off by default — the ideal zero-cost transport stays
+     *  bit-identical to the historical path). With it on, spike
+     *  results are still bit-identical to the ideal transport (the
+     *  fabric never touches the payload); only latency and the
+     *  noc_* counters in InferenceStats change. Ignored by
+     *  single-stage plans. A host modelling knob, not part of the
+     *  model fingerprint. */
+    noc::NocConfig noc;
 };
 
 /** Per-sample inference outcome. */
@@ -170,6 +181,15 @@ class InferenceEngine
     /** Chips per replica group (the plan's stage count). */
     int stagesPerReplica() const { return stages_; }
 
+    /** True when multi-chip cut traffic rides the modelled NoC
+     *  fabric instead of the ideal transport. */
+    bool nocEnabled() const { return !noc_.empty(); }
+
+    /** The NoC transport of replica @p replica (placement, topology
+     *  and fabric counters for tests/benches); asserts nocEnabled().
+     */
+    const noc::NocTransport &nocTransport(int replica) const;
+
     /** Mark output-NPE @p slot of replica @p replica failed (the
      *  PR 1 degraded mode). Serialized against any batch running on
      *  the same replica: the mark waits for the batch to finish, so
@@ -238,6 +258,10 @@ class InferenceEngine
     int stages_ = 1;
     /** Replica-major: chip s of group r at index r * stages_ + s. */
     std::vector<std::unique_ptr<chip::SushiChip>> chips_;
+
+    /** Per-replica NoC transport (empty when the ideal transport is
+     *  active); guarded by the same replica lock as the chips. */
+    std::vector<std::unique_ptr<noc::NocTransport>> noc_;
 
     /** One lock per replica group: held for the whole of
      *  runOnReplica and by the degrade/heal mutators, so health

@@ -1,0 +1,42 @@
+#include "noc/packet.hh"
+
+#include "noc/topology.hh"
+
+namespace sushi::noc {
+
+int
+PacketFormat::entriesPerFlit() const
+{
+    if (flit_payload_bits <= 0 || entry_bits <= 0)
+        throw NocError("packet format needs positive flit and entry "
+                       "widths");
+    const int per = flit_payload_bits / entry_bits;
+    return per > 0 ? per : 1;
+}
+
+std::uint64_t
+PacketFormat::flitsFor(std::uint64_t entries) const
+{
+    const auto per = static_cast<std::uint64_t>(entriesPerFlit());
+    return 1 + (entries + per - 1) / per;
+}
+
+std::uint64_t
+PacketFormat::worstCaseFlits(int wires) const
+{
+    return flitsFor(
+        static_cast<std::uint64_t>(wires > 0 ? wires : 0));
+}
+
+PacketSize
+packetOf(const std::vector<std::uint16_t> &act,
+         const PacketFormat &format)
+{
+    PacketSize size;
+    for (const std::uint16_t v : act)
+        size.entries += v != 0 ? 1 : 0;
+    size.flits = format.flitsFor(size.entries);
+    return size;
+}
+
+} // namespace sushi::noc

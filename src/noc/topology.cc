@@ -1,0 +1,170 @@
+#include "noc/topology.hh"
+
+#include <cstdlib>
+
+namespace sushi::noc {
+
+namespace {
+
+/** Direction index in the fixed enumeration order. */
+enum Dir { PlusX = 0, MinusX = 1, PlusY = 2, MinusY = 3 };
+
+} // namespace
+
+MeshTopology::MeshTopology(int width, int height)
+    : width_(width), height_(height)
+{
+    if (width <= 0 || height <= 0)
+        throw NocError("mesh dimensions must be positive, got " +
+                       std::to_string(width) + "x" +
+                       std::to_string(height));
+    link_of_.assign(static_cast<std::size_t>(numNodes()),
+                    {-1, -1, -1, -1});
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            auto &links =
+                link_of_[static_cast<std::size_t>(y * width_ + x)];
+            if (x + 1 < width_)
+                links[PlusX] = num_links_++;
+            if (x > 0)
+                links[MinusX] = num_links_++;
+            if (y + 1 < height_)
+                links[PlusY] = num_links_++;
+            if (y > 0)
+                links[MinusY] = num_links_++;
+        }
+    }
+}
+
+int
+MeshTopology::checkNode(int node) const
+{
+    if (node < 0 || node >= numNodes())
+        throw NocError("node " + std::to_string(node) +
+                       " outside the " + std::to_string(width_) +
+                       "x" + std::to_string(height_) + " mesh");
+    return node;
+}
+
+int
+MeshTopology::nodeAt(Coord c) const
+{
+    if (c.x < 0 || c.x >= width_ || c.y < 0 || c.y >= height_)
+        throw NocError("coordinate (" + std::to_string(c.x) + ", " +
+                       std::to_string(c.y) + ") outside the " +
+                       std::to_string(width_) + "x" +
+                       std::to_string(height_) + " mesh");
+    return c.y * width_ + c.x;
+}
+
+Coord
+MeshTopology::coordOf(int node) const
+{
+    checkNode(node);
+    return Coord{node % width_, node / width_};
+}
+
+int
+MeshTopology::linkBetween(int from, int to) const
+{
+    const Coord a = coordOf(from);
+    const Coord b = coordOf(to);
+    const int dx = b.x - a.x;
+    const int dy = b.y - a.y;
+    int dir = -1;
+    if (dy == 0 && dx == 1)
+        dir = PlusX;
+    else if (dy == 0 && dx == -1)
+        dir = MinusX;
+    else if (dx == 0 && dy == 1)
+        dir = PlusY;
+    else if (dx == 0 && dy == -1)
+        dir = MinusY;
+    if (dir < 0)
+        throw NocError("nodes " + std::to_string(from) + " and " +
+                       std::to_string(to) +
+                       " are not mesh neighbours");
+    return link_of_[static_cast<std::size_t>(from)]
+                   [static_cast<std::size_t>(dir)];
+}
+
+Coord
+MeshTopology::linkSource(int id) const
+{
+    for (int node = 0; node < numNodes(); ++node)
+        for (int d = 0; d < 4; ++d)
+            if (link_of_[static_cast<std::size_t>(node)]
+                        [static_cast<std::size_t>(d)] == id)
+                return coordOf(node);
+    throw NocError("unknown link id " + std::to_string(id));
+}
+
+Coord
+MeshTopology::linkDest(int id) const
+{
+    for (int node = 0; node < numNodes(); ++node)
+        for (int d = 0; d < 4; ++d)
+            if (link_of_[static_cast<std::size_t>(node)]
+                        [static_cast<std::size_t>(d)] == id) {
+                Coord c = coordOf(node);
+                if (d == PlusX)
+                    ++c.x;
+                else if (d == MinusX)
+                    --c.x;
+                else if (d == PlusY)
+                    ++c.y;
+                else
+                    --c.y;
+                return c;
+            }
+    throw NocError("unknown link id " + std::to_string(id));
+}
+
+std::vector<int>
+MeshTopology::route(int src, int dst) const
+{
+    checkNode(src);
+    checkNode(dst);
+    std::vector<int> links;
+    Coord at = coordOf(src);
+    const Coord to = coordOf(dst);
+    while (at.x != to.x) {
+        const int next_x = at.x + (to.x > at.x ? 1 : -1);
+        links.push_back(
+            linkBetween(nodeAt(at), nodeAt(Coord{next_x, at.y})));
+        at.x = next_x;
+    }
+    while (at.y != to.y) {
+        const int next_y = at.y + (to.y > at.y ? 1 : -1);
+        links.push_back(
+            linkBetween(nodeAt(at), nodeAt(Coord{at.x, next_y})));
+        at.y = next_y;
+    }
+    return links;
+}
+
+int
+MeshTopology::hopDistance(int src, int dst) const
+{
+    const Coord a = coordOf(src);
+    const Coord b = coordOf(dst);
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+std::vector<int>
+MeshTopology::snakeOrder() const
+{
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(numNodes()));
+    for (int y = 0; y < height_; ++y) {
+        if (y % 2 == 0)
+            for (int x = 0; x < width_; ++x)
+                order.push_back(nodeAt(Coord{x, y}));
+        else
+            for (int x = width_ - 1; x >= 0; --x)
+                order.push_back(nodeAt(Coord{x, y}));
+    }
+    return order;
+}
+
+} // namespace sushi::noc

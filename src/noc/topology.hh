@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Mesh interconnect geometry for the multi-chip NoC co-simulation.
+ *
+ * A W x H mesh of NoC nodes, each hosting one chip stage behind a
+ * NIC, connected by *directed* links between orthogonal neighbours
+ * (a physical bidirectional channel is two directed links with
+ * independent occupancy). Routing is XY dimension-order — x first,
+ * then y — which is deadlock-free on a mesh and, being a pure
+ * function of (src, dst), keeps every packet schedule deterministic.
+ *
+ * The paper's chip is a 4x4 crosspoint mesh internally; this layer
+ * models the *board-level* fabric between chips, so W and H are free
+ * (Fig. 13-class scaling studies sweep them).
+ */
+
+#ifndef SUSHI_NOC_TOPOLOGY_HH
+#define SUSHI_NOC_TOPOLOGY_HH
+
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sushi::noc {
+
+/** Typed error for invalid NoC geometry or configuration. */
+class NocError : public std::runtime_error
+{
+  public:
+    explicit NocError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Node coordinate on the mesh. */
+struct Coord
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Coord &o) const
+    {
+        return x == o.x && y == o.y;
+    }
+};
+
+/**
+ * The W x H mesh: node ids are row-major (node = y * W + x), link
+ * ids enumerate each node's outgoing links in a fixed direction
+ * order (+x, -x, +y, -y), so the whole id space is a pure function
+ * of the dimensions.
+ */
+class MeshTopology
+{
+  public:
+    MeshTopology(int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int numNodes() const { return width_ * height_; }
+    int numLinks() const { return num_links_; }
+
+    int nodeAt(Coord c) const;
+    Coord coordOf(int node) const;
+
+    /** Directed link id from @p from to an adjacent @p to; throws
+     *  NocError if the nodes are not mesh neighbours. */
+    int linkBetween(int from, int to) const;
+
+    /** Endpoints of link @p id (for diagnostics). */
+    Coord linkSource(int id) const;
+    Coord linkDest(int id) const;
+
+    /**
+     * XY dimension-order route: the link ids a packet traverses from
+     * @p src to @p dst (empty when src == dst). x is corrected
+     * first, then y.
+     */
+    std::vector<int> route(int src, int dst) const;
+
+    /** Manhattan hop count of the XY route. */
+    int hopDistance(int src, int dst) const;
+
+    /**
+     * Boustrophedon (snake) node order: row 0 left-to-right, row 1
+     * right-to-left, ... Consecutive nodes in this order are always
+     * mesh neighbours, which is what the placement pass lays chains
+     * of pipeline stages along.
+     */
+    std::vector<int> snakeOrder() const;
+
+  private:
+    int checkNode(int node) const;
+
+    int width_;
+    int height_;
+    int num_links_ = 0;
+    /** link_of_[node][dir], dir in {+x, -x, +y, -y}; -1 = no link. */
+    std::vector<std::array<int, 4>> link_of_;
+};
+
+} // namespace sushi::noc
+
+#endif // SUSHI_NOC_TOPOLOGY_HH

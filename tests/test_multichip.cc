@@ -51,6 +51,25 @@ randomSamples(std::size_t n, std::size_t dim, int t_steps,
     return samples;
 }
 
+snn::BinaryLayer
+randomLayer(int in_dim, int out_dim, std::uint64_t seed)
+{
+    Rng rng(seed);
+    snn::BinaryLayer layer;
+    layer.weights.resize(static_cast<std::size_t>(out_dim));
+    layer.thresholds.resize(static_cast<std::size_t>(out_dim));
+    for (int o = 0; o < out_dim; ++o) {
+        auto &row = layer.weights[static_cast<std::size_t>(o)];
+        row.resize(static_cast<std::size_t>(in_dim));
+        for (int i = 0; i < in_dim; ++i)
+            row[static_cast<std::size_t>(i)] =
+                rng.chance(0.5) ? -1 : 1;
+        layer.thresholds[static_cast<std::size_t>(o)] =
+            static_cast<int>(rng.range(1, 8));
+    }
+    return layer;
+}
+
 compiler::ChipConfig
 smallChip()
 {
@@ -224,6 +243,143 @@ TEST(MultiChipPlan, StatsSurfaceCompilerDiagnostics)
     EXPECT_NE(json.find("\"area_utilisation\""), std::string::npos);
     EXPECT_NE(json.find("\"disabled_neurons\""), std::string::npos);
     EXPECT_NE(json.find("\"plan_reloads\""), std::string::npos);
+}
+
+TEST(MultiChipPlan, CutsAndWireListsAreDeterministicallyOrdered)
+{
+    // Four layers whose per-boundary widths differ, so the splitter's
+    // heaviest-traffic-first contraction visits boundaries out of
+    // chain order — the published plan must still come out sorted.
+    const auto net = snn::BinarySnn::fromLayers(
+        {randomLayer(20, 12, 3), randomLayer(12, 18, 4),
+         randomLayer(18, 10, 5), randomLayer(10, 6, 6)},
+        3);
+    const auto chip = smallChip();
+    auto model = CompiledModel::compile(net, chip,
+                                        splittingOptions(net, chip));
+    ASSERT_GE(model->stageCount(), 3);
+    const compiler::MultiChipPlan &plan = *model->plan();
+    ASSERT_EQ(plan.cuts.size(),
+              static_cast<std::size_t>(model->stageCount() - 1));
+
+    long traffic = 0;
+    for (std::size_t c = 0; c < plan.cuts.size(); ++c) {
+        const compiler::InterChipCut &cut = plan.cuts[c];
+        if (c > 0) {
+            EXPECT_LT(plan.cuts[c - 1].boundary_layer,
+                      cut.boundary_layer);
+        }
+        // The wire list enumerates the producer's index space
+        // ascending: exactly 0..wires-1.
+        ASSERT_EQ(cut.wire_indices.size(),
+                  static_cast<std::size_t>(cut.wires));
+        for (std::size_t w = 0; w < cut.wire_indices.size(); ++w)
+            EXPECT_EQ(cut.wire_indices[w], static_cast<int>(w));
+        traffic += cut.est_pulses_per_step;
+    }
+    EXPECT_EQ(plan.cutTrafficPerStep(), traffic);
+    EXPECT_EQ(plan.cutTrafficPerStep(), plan.crossChipWires());
+}
+
+TEST(InferenceStatsMerge, PipelineMergeOverThreeStages)
+{
+    // Three stage records of one sample: frames/time_steps are
+    // per-sample gauges (every stage saw the same frames), the
+    // behavioural counters and plan diagnostics add up, utilisation
+    // keeps the worst chip and modelled time extends the makespan.
+    chip::InferenceStats s0;
+    s0.frames = 1;
+    s0.time_steps = 4;
+    s0.synaptic_ops = 100;
+    s0.input_pulses = 10;
+    s0.disabled_neurons = 2;
+    s0.plan_reloads = 1;
+    s0.jj_utilisation = 0.4;
+    s0.est_time_ps = 50.0;
+    chip::InferenceStats s1 = s0;
+    s1.synaptic_ops = 200;
+    s1.disabled_neurons = 3;
+    s1.jj_utilisation = 0.9;
+    s1.est_time_ps = 70.0;
+    chip::InferenceStats s2 = s0;
+    s2.synaptic_ops = 50;
+    s2.output_spikes = 7;
+    s2.jj_utilisation = 0.6;
+    s2.est_time_ps = 30.0;
+
+    chip::InferenceStats merged = s0;
+    merged.accumulatePipeline(s1);
+    merged.accumulatePipeline(s2);
+    EXPECT_EQ(merged.frames, 1u);
+    EXPECT_EQ(merged.time_steps, 4u);
+    EXPECT_EQ(merged.synaptic_ops, 350u);
+    EXPECT_EQ(merged.input_pulses, 30u);
+    EXPECT_EQ(merged.output_spikes, 7u);
+    EXPECT_EQ(merged.disabled_neurons, 7u);
+    EXPECT_EQ(merged.plan_reloads, 3u);
+    EXPECT_EQ(merged.jj_utilisation, 0.9);
+    EXPECT_EQ(merged.est_time_ps, 150.0);
+}
+
+TEST(InferenceStatsMerge, GaugeVsCounterUnderDegradedStageGroup)
+{
+    // A degraded replica degrades every stage chip of the group in
+    // lockstep: the failed-slot count is a gauge (same physical
+    // failure seen by each stage — max, not sum), while the remap
+    // work and extra passes are real per-stage costs that add.
+    chip::InferenceStats s0;
+    s0.frames = 1;
+    s0.time_steps = 3;
+    s0.failed_npes = 2;
+    s0.remapped_neurons = 12;
+    s0.degraded_passes = 3;
+    chip::InferenceStats s1 = s0;
+    s1.remapped_neurons = 9;
+    chip::InferenceStats s2 = s0;
+    s2.remapped_neurons = 4;
+    s2.degraded_passes = 6;
+
+    chip::InferenceStats merged = s0;
+    merged.accumulatePipeline(s1);
+    merged.accumulatePipeline(s2);
+    EXPECT_EQ(merged.failed_npes, 2u);
+    EXPECT_EQ(merged.remapped_neurons, 25u);
+    EXPECT_EQ(merged.degraded_passes, 12u);
+
+    // The sample-merge (accumulate) treats failed_npes the same way —
+    // a gauge — while frames become a counter again.
+    chip::InferenceStats across = merged;
+    across.accumulate(merged);
+    EXPECT_EQ(across.failed_npes, 2u);
+    EXPECT_EQ(across.frames, 2u);
+    EXPECT_EQ(across.remapped_neurons, 50u);
+}
+
+TEST(InferenceStatsMerge, DegradedMultiStageEngineKeepsGaugeSemantics)
+{
+    auto net = tinyNet(24, 16, 12, 3, 9);
+    const auto chip = smallChip();
+    auto model = CompiledModel::compile(net, chip,
+                                        splittingOptions(net, chip));
+    ASSERT_GE(model->stageCount(), 2);
+    auto samples = randomSamples(3, 24, 3, 23);
+
+    EngineConfig cfg;
+    cfg.replicas = 1;
+    cfg.drain_degraded = false;
+    InferenceEngine eng(model, cfg);
+    eng.markReplicaDegraded(0, 1);
+    EngineRun run = eng.run(samples);
+
+    // One failed slot, mirrored on every stage chip of the group and
+    // across every sample: the gauge must stay 1 through both the
+    // pipeline merge and the sample merge, never the stage- or
+    // sample-count multiple.
+    EXPECT_EQ(run.merged.failed_npes, 1u);
+    // The remap work is a counter: each stage that hosts remapped
+    // neurons contributes per time step, summed over samples.
+    EXPECT_GT(run.merged.remapped_neurons, 0u);
+    EXPECT_EQ(run.merged.frames, samples.size());
 }
 
 TEST(MultiChipPlan, DegradedReplicaKeepsResults)

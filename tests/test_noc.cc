@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Tests for the NoC subsystem: mesh geometry and XY routing, spike-
+ * packet serialization, the discrete-event fabric's closed-form
+ * timing (HOL stalls, NIC backpressure, per-link counters), the
+ * traffic-aware placement pass, and the engine integration contract —
+ * NoC-transport spike results bit-identical to the ideal transport,
+ * NoC metrics byte-deterministic across thread counts, and the
+ * transport block surfaced through statsJson / ServerMetrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hh"
+#include "compiler/driver.hh"
+#include "engine/inference_engine.hh"
+#include "noc/fabric.hh"
+#include "noc/packet.hh"
+#include "noc/placement.hh"
+#include "noc/topology.hh"
+#include "noc/transport.hh"
+#include "serve/metrics.hh"
+#include "snn/binarize.hh"
+#include "snn/network.hh"
+
+namespace sushi {
+namespace {
+
+using engine::CompiledModel;
+using engine::EngineConfig;
+using engine::EngineRun;
+using engine::InferenceEngine;
+using engine::Sample;
+
+// --- Topology ---------------------------------------------------
+
+TEST(NocTopology, RowMajorNodesAndLinkCount)
+{
+    noc::MeshTopology topo(3, 2);
+    EXPECT_EQ(topo.numNodes(), 6);
+    // Directed links: 2 per horizontal + vertical neighbour pair.
+    EXPECT_EQ(topo.numLinks(), 2 * (2 * 3 * 2 - 3 - 2));
+    EXPECT_EQ(topo.nodeAt({2, 1}), 5);
+    EXPECT_EQ(topo.coordOf(4).x, 1);
+    EXPECT_EQ(topo.coordOf(4).y, 1);
+    // A physical channel is two directed links with distinct ids.
+    EXPECT_NE(topo.linkBetween(0, 1), topo.linkBetween(1, 0));
+    EXPECT_THROW(topo.linkBetween(0, 5), noc::NocError);
+    EXPECT_THROW(noc::MeshTopology(0, 3), noc::NocError);
+}
+
+TEST(NocTopology, XyRouteCorrectsXThenY)
+{
+    noc::MeshTopology topo(3, 3);
+    const int src = topo.nodeAt({0, 0});
+    const int dst = topo.nodeAt({2, 1});
+    const std::vector<int> route = topo.route(src, dst);
+    ASSERT_EQ(route.size(), 3u);
+    EXPECT_EQ(topo.hopDistance(src, dst), 3);
+    // Hop endpoints chain src -> dst, x corrected before y.
+    EXPECT_EQ(topo.linkSource(route[0]), (noc::Coord{0, 0}));
+    EXPECT_EQ(topo.linkDest(route[0]), (noc::Coord{1, 0}));
+    EXPECT_EQ(topo.linkDest(route[1]), (noc::Coord{2, 0}));
+    EXPECT_EQ(topo.linkDest(route[2]), (noc::Coord{2, 1}));
+    EXPECT_TRUE(topo.route(src, src).empty());
+    // Pure function: the same query yields the same route.
+    EXPECT_EQ(topo.route(src, dst), route);
+}
+
+TEST(NocTopology, SnakeOrderVisitsAllNodesAdjacent)
+{
+    noc::MeshTopology topo(4, 3);
+    const std::vector<int> order = topo.snakeOrder();
+    ASSERT_EQ(order.size(), 12u);
+    std::vector<int> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 12; ++i)
+        EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+    for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_EQ(topo.hopDistance(order[i - 1], order[i]), 1) << i;
+}
+
+// --- Packet format ----------------------------------------------
+
+TEST(NocPacket, HeaderPlusPackedEntries)
+{
+    noc::PacketFormat fmt; // 64-bit flits, 32-bit entries
+    EXPECT_EQ(fmt.entriesPerFlit(), 2);
+    EXPECT_EQ(fmt.flitsFor(0), 1u); // header only
+    EXPECT_EQ(fmt.flitsFor(1), 2u);
+    EXPECT_EQ(fmt.flitsFor(5), 4u); // 1 + ceil(5/2)
+    EXPECT_EQ(fmt.worstCaseFlits(16), fmt.flitsFor(16));
+
+    // Only nonzero wires serialize; an all-silent step still pays
+    // the header flit for the step boundary.
+    const noc::PacketSize silent =
+        noc::packetOf({0, 0, 0, 0}, fmt);
+    EXPECT_EQ(silent.entries, 0u);
+    EXPECT_EQ(silent.flits, 1u);
+    const noc::PacketSize sparse =
+        noc::packetOf({0, 2, 0, 1, 1}, fmt);
+    EXPECT_EQ(sparse.entries, 3u);
+    EXPECT_EQ(sparse.flits, 1u + 2u);
+    EXPECT_THROW(noc::packetOf({1}, noc::PacketFormat{0, 32}),
+                 noc::NocError);
+}
+
+// --- Fabric timing ----------------------------------------------
+
+noc::NocConfig
+fabricConfig(int bandwidth, int queue)
+{
+    noc::NocConfig cfg;
+    cfg.link_latency_cycles = 1;
+    cfg.link_bandwidth_flits = bandwidth;
+    cfg.nic_queue_flits = queue;
+    return cfg;
+}
+
+TEST(NocFabric, ClosedFormSinglePacketLatency)
+{
+    noc::MeshTopology topo(3, 1);
+    noc::NocFabric fab(topo, fabricConfig(4, 64));
+    const std::vector<int> route = topo.route(0, 2); // 2 hops
+    fab.resetSample();
+    fab.beginStep();
+    // 8 flits at bandwidth 4: 2 serialization cycles + 1 latency per
+    // hop = (2 + 1) * 2 = 6 cycles, no contention.
+    EXPECT_EQ(fab.send(route, 8), 6u);
+    fab.endStep();
+    EXPECT_EQ(fab.clock().cycles, 6u);
+    EXPECT_EQ(fab.packets(), 1u);
+    EXPECT_EQ(fab.totalFlits(), 8u);
+    EXPECT_EQ(fab.flitHops(), 16u);
+    EXPECT_EQ(fab.holStallCycles(), 0u);
+    EXPECT_EQ(fab.backpressureStalls(), 0u);
+    EXPECT_EQ(fab.maxStepLinkFlits(), 8u);
+    EXPECT_EQ(fab.link(route[0]).busy_cycles, 2u);
+}
+
+TEST(NocFabric, SharedLinkCountsHeadOfLineStalls)
+{
+    noc::MeshTopology topo(2, 1);
+    noc::NocFabric fab(topo, fabricConfig(4, 64));
+    const std::vector<int> route = topo.route(0, 1);
+    fab.resetSample();
+    fab.beginStep();
+    EXPECT_EQ(fab.send(route, 4), 2u); // occupies the link 1 cycle
+    // The second packet waits for the first's serialization slot.
+    EXPECT_EQ(fab.send(route, 4), 3u);
+    fab.endStep();
+    EXPECT_EQ(fab.holStallCycles(), 1u);
+    EXPECT_EQ(fab.link(route[0]).hol_stall_cycles, 1u);
+    EXPECT_EQ(fab.maxStepLinkFlits(), 8u);
+    // Occupancy resets at the next step: no cross-step stall.
+    fab.beginStep();
+    EXPECT_EQ(fab.send(route, 4), 2u);
+    fab.endStep();
+    EXPECT_EQ(fab.holStallCycles(), 1u);
+    EXPECT_EQ(fab.clock().cycles, 3u + 2u);
+    EXPECT_GT(fab.maxLinkUtilisation(), 0.0);
+    EXPECT_LE(fab.maxLinkUtilisation(), 1.0);
+}
+
+TEST(NocFabric, NicBackpressureChargesCreditStalls)
+{
+    noc::MeshTopology topo(2, 1);
+    noc::NocFabric fab(topo, fabricConfig(4, 8));
+    const std::vector<int> route = topo.route(0, 1);
+    fab.resetSample();
+    fab.beginStep();
+    // 11 flits into an 8-flit credit window: 3 credit-return waits
+    // before injection, then ceil(11/4)=3 serialization + 1 latency.
+    EXPECT_EQ(fab.send(route, 11), 3u + 3u + 1u);
+    fab.endStep();
+    EXPECT_EQ(fab.backpressureStalls(), 3u);
+}
+
+TEST(NocFabric, GuardsAgainstProtocolMisuse)
+{
+    noc::MeshTopology topo(2, 1);
+    noc::NocFabric fab(topo, fabricConfig(4, 8));
+    EXPECT_THROW(fab.send(topo.route(0, 1), 1), noc::NocError);
+    EXPECT_THROW(fab.endStep(), noc::NocError);
+    EXPECT_THROW(noc::NocFabric(topo, fabricConfig(0, 8)),
+                 noc::NocError);
+    EXPECT_THROW(noc::NocFabric(topo, fabricConfig(4, 0)),
+                 noc::NocError);
+}
+
+// --- Placement --------------------------------------------------
+
+std::vector<noc::CutTraffic>
+chainEdges(int stages, long weight)
+{
+    std::vector<noc::CutTraffic> edges;
+    for (int s = 0; s + 1 < stages; ++s)
+        edges.push_back(noc::CutTraffic{s, s + 1, weight});
+    return edges;
+}
+
+TEST(NocPlacement, PipelineChainLandsOnAdjacentNodes)
+{
+    const noc::Placement p =
+        noc::placeStages(4, chainEdges(4, 16));
+    EXPECT_EQ(p.width * p.height, 4); // auto-sized near-square
+    noc::MeshTopology topo(p.width, p.height);
+    ASSERT_EQ(p.stage_node.size(), 4u);
+    // The contraction chains the pipeline along the snake order, so
+    // every cut travels exactly one hop.
+    for (int s = 0; s + 1 < 4; ++s)
+        EXPECT_EQ(topo.hopDistance(
+                      p.stage_node[static_cast<std::size_t>(s)],
+                      p.stage_node[static_cast<std::size_t>(s + 1)]),
+                  1)
+            << s;
+    // Deterministic: same inputs, same placement.
+    const noc::Placement q =
+        noc::placeStages(4, chainEdges(4, 16));
+    EXPECT_EQ(q.stage_node, p.stage_node);
+    EXPECT_EQ(p.host_node, 0);
+}
+
+TEST(NocPlacement, ExplicitDimensionsRespectedOrRejected)
+{
+    const noc::Placement p =
+        noc::placeStages(3, chainEdges(3, 8), 3, 1);
+    EXPECT_EQ(p.width, 3);
+    EXPECT_EQ(p.height, 1);
+    std::vector<int> nodes = p.stage_node;
+    std::sort(nodes.begin(), nodes.end());
+    EXPECT_EQ(nodes, (std::vector<int>{0, 1, 2}));
+    EXPECT_THROW(noc::placeStages(5, chainEdges(5, 8), 2, 2),
+                 noc::NocError);
+}
+
+// --- Engine integration -----------------------------------------
+
+snn::BinarySnn
+tinyNet(std::size_t input, std::size_t hidden, std::size_t output,
+        int t_steps, std::uint64_t seed)
+{
+    snn::SnnConfig cfg;
+    cfg.input = input;
+    cfg.hidden = hidden;
+    cfg.output = output;
+    cfg.t_steps = t_steps;
+    cfg.stateless = true;
+    snn::SnnMlp mlp(cfg, seed);
+    return snn::BinarySnn::fromFloat(mlp);
+}
+
+snn::BinaryLayer
+randomLayer(int in_dim, int out_dim, std::uint64_t seed)
+{
+    Rng rng(seed);
+    snn::BinaryLayer layer;
+    layer.weights.resize(static_cast<std::size_t>(out_dim));
+    layer.thresholds.resize(static_cast<std::size_t>(out_dim));
+    for (int o = 0; o < out_dim; ++o) {
+        auto &row = layer.weights[static_cast<std::size_t>(o)];
+        row.resize(static_cast<std::size_t>(in_dim));
+        for (int i = 0; i < in_dim; ++i)
+            row[static_cast<std::size_t>(i)] =
+                rng.chance(0.5) ? -1 : 1;
+        layer.thresholds[static_cast<std::size_t>(o)] =
+            static_cast<int>(rng.range(1, 8));
+    }
+    return layer;
+}
+
+std::vector<Sample>
+randomSamples(std::size_t n, std::size_t dim, int t_steps,
+              std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Sample> samples(n);
+    for (auto &s : samples) {
+        for (int t = 0; t < t_steps; ++t) {
+            std::vector<std::uint8_t> f(dim);
+            for (auto &v : f)
+                v = rng.chance(0.4) ? 1 : 0;
+            s.push_back(std::move(f));
+        }
+    }
+    return samples;
+}
+
+compiler::ChipConfig
+smallChip()
+{
+    compiler::ChipConfig cfg;
+    cfg.n = 4;
+    cfg.sc_per_npe = 10;
+    return cfg;
+}
+
+/** Budget that fits each layer alone but never two together, so the
+ *  driver splits one stage per layer (test_multichip idiom). */
+compiler::DriverOptions
+splittingOptions(const snn::BinarySnn &net,
+                 const compiler::ChipConfig &chip)
+{
+    compiler::CostModel model(chip.n, chip.sc_per_npe);
+    long biggest = 0;
+    for (const auto &layer : net.layers())
+        biggest = std::max(biggest, model.layerCost(layer).totalJjs());
+    compiler::DriverOptions opts;
+    opts.enforce_budget = true;
+    opts.allow_multichip = true;
+    opts.score_schedules = false;
+    opts.budget.sc_per_npe = chip.sc_per_npe;
+    opts.budget.jj_cap = model.fabricJjs() + biggest;
+    opts.budget.area_cap_mm2 = 1e9;
+    return opts;
+}
+
+std::shared_ptr<const CompiledModel>
+twoStageModel()
+{
+    auto net = tinyNet(24, 16, 12, 3, 9);
+    return CompiledModel::compile(net, smallChip(),
+                                  splittingOptions(net, smallChip()));
+}
+
+std::shared_ptr<const CompiledModel>
+fourStageModel()
+{
+    const auto net = snn::BinarySnn::fromLayers(
+        {randomLayer(20, 12, 3), randomLayer(12, 18, 4),
+         randomLayer(18, 10, 5), randomLayer(10, 6, 6)},
+        3);
+    return CompiledModel::compile(net, smallChip(),
+                                  splittingOptions(net, smallChip()));
+}
+
+TEST(NocEngine, SpikeResultsBitIdenticalToIdealTransport)
+{
+    // The acceptance contract: for every tested plan, results over
+    // the NoC match the ideal transport bit for bit — the fabric
+    // only charges time, never touches the payload.
+    for (const auto &model : {twoStageModel(), fourStageModel()}) {
+        ASSERT_GE(model->stageCount(), 2);
+        const std::size_t in_dim =
+            model->network().layers().front().inDim();
+        auto samples = randomSamples(8, in_dim, 3, 71);
+
+        EngineConfig ideal;
+        ideal.replicas = 2;
+        EngineConfig noced = ideal;
+        noced.noc.enabled = true;
+        noced.noc.link_bandwidth_flits = 2;
+        noced.noc.nic_queue_flits = 4; // force congestion accounting
+
+        InferenceEngine a(model, ideal);
+        InferenceEngine b(model, noced);
+        EXPECT_FALSE(a.nocEnabled());
+        ASSERT_TRUE(b.nocEnabled());
+        EngineRun ra = a.run(samples);
+        EngineRun rb = b.run(samples);
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+            EXPECT_EQ(ra.samples[i].counts, rb.samples[i].counts)
+                << i;
+            EXPECT_EQ(ra.samples[i].prediction,
+                      rb.samples[i].prediction)
+                << i;
+        }
+        // Behavioural counters agree; only transport accounting and
+        // the modelled makespan differ.
+        EXPECT_EQ(ra.merged.synaptic_ops, rb.merged.synaptic_ops);
+        EXPECT_EQ(ra.merged.output_spikes, rb.merged.output_spikes);
+        EXPECT_EQ(ra.merged.dynamic_energy_j,
+                  rb.merged.dynamic_energy_j);
+        EXPECT_EQ(ra.merged.noc_packets, 0u);
+        EXPECT_GT(rb.merged.noc_packets, 0u);
+        EXPECT_GT(rb.merged.noc_flits, 0u);
+        EXPECT_GT(rb.merged.noc_latency_ps, 0.0);
+        EXPECT_GT(rb.merged.est_time_ps, ra.merged.est_time_ps);
+        EXPECT_EQ(rb.merged.noc_latency_cycles * 20,
+                  static_cast<std::uint64_t>(
+                      rb.merged.noc_latency_ps));
+    }
+}
+
+TEST(NocEngine, TransportStatsSizedToThePlan)
+{
+    auto model = fourStageModel();
+    EngineConfig cfg;
+    cfg.replicas = 1;
+    cfg.noc.enabled = true;
+    InferenceEngine eng(model, cfg);
+    ASSERT_TRUE(eng.nocEnabled());
+    const noc::NocTransport &nt = eng.nocTransport(0);
+    EXPECT_EQ(nt.cuts(), model->stageCount() - 1);
+    EXPECT_EQ(nt.placement().stage_node.size(),
+              static_cast<std::size_t>(model->stageCount()));
+    EXPECT_GT(nt.worstCaseCutFlits(), 0u);
+
+    const std::size_t in_dim =
+        model->network().layers().front().inDim();
+    EngineRun run = eng.run(randomSamples(4, in_dim, 3, 5));
+    ASSERT_EQ(run.merged.noc_cut_flits.size(),
+              static_cast<std::size_t>(model->stageCount() - 1));
+    for (const std::uint64_t f : run.merged.noc_cut_flits)
+        EXPECT_GT(f, 0u); // every step pays at least the header flit
+    // Per-step packets: ingress + cuts + egress, per sample frame.
+    EXPECT_EQ(run.merged.noc_packets,
+              run.merged.time_steps *
+                  static_cast<std::uint64_t>(model->stageCount() + 1));
+}
+
+TEST(NocEngine, MetricsReplayByteIdenticallyAcrossThreads)
+{
+    auto model = fourStageModel();
+    const std::size_t in_dim =
+        model->network().layers().front().inDim();
+    auto samples = randomSamples(10, in_dim, 3, 41);
+
+    std::string baseline;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        EngineConfig cfg;
+        cfg.replicas = 3;
+        cfg.max_threads = threads;
+        cfg.noc.enabled = true;
+        cfg.noc.link_bandwidth_flits = 2;
+        EngineRun run = InferenceEngine(model, cfg).run(samples);
+        const std::string json = engine::statsJson(run.merged);
+        if (baseline.empty())
+            baseline = json;
+        else
+            EXPECT_EQ(json, baseline) << threads << " threads";
+    }
+    EXPECT_NE(baseline.find("\"noc_flits\""), std::string::npos);
+    EXPECT_NE(baseline.find("\"noc_cut_flits\": ["),
+              std::string::npos);
+    EXPECT_NE(baseline.find("\"noc_max_link_utilisation\""),
+              std::string::npos);
+}
+
+TEST(NocEngine, SingleStagePlansIgnoreTheToggle)
+{
+    auto net = tinyNet(24, 16, 12, 3, 5);
+    auto model = CompiledModel::compile(
+        net, smallChip(), compiler::DriverOptions::costAware());
+    ASSERT_EQ(model->stageCount(), 1);
+    EngineConfig cfg;
+    cfg.replicas = 1;
+    cfg.noc.enabled = true;
+    InferenceEngine eng(model, cfg);
+    EXPECT_FALSE(eng.nocEnabled());
+    EngineRun run = eng.run(randomSamples(3, 24, 3, 7));
+    EXPECT_EQ(run.merged.noc_packets, 0u);
+    EXPECT_TRUE(run.merged.noc_cut_flits.empty());
+}
+
+TEST(NocEngine, ServerMetricsSurfaceTheTransportBlock)
+{
+    // ServerMetrics renders merged engine stats through statsJson,
+    // so the transport block reaches the serving observability
+    // snapshot unchanged.
+    serve::ServerMetrics m;
+    m.merged.noc_flits = 42;
+    m.merged.noc_cut_flits = {40, 2};
+    const std::string json = m.toJson();
+    EXPECT_NE(json.find("\"noc_flits\": 42"), std::string::npos);
+    EXPECT_NE(json.find("\"noc_cut_flits\": [40, 2]"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace sushi
