@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Front-door submit throughput of the sharded admission path
+ * (PR 10): a closed-loop multi-threaded hammer drives submit()
+ * against a server whose queue is pinned at the admission bound, so
+ * every timed call is PURE front-end work — shard lock, shed scan,
+ * bound check, typed rejection — with no batch execution behind it.
+ *
+ * The sweep compares the sharded default (admission_shards = 0, one
+ * shard per replica) against the single-lock S=1 baseline under an
+ * 8-thread hammer and exit-code-enforces a >= 3x throughput floor.
+ * The speedup has two sources, and which dominates depends on the
+ * host: on many-core machines the shard locks admit in parallel; on
+ * few-core machines (including single-core CI containers) the win
+ * is that the serialized critical section is S times smaller — the
+ * per-submit expired-entry scan walks one shard's slots, not the
+ * whole queue, and uncontended shard locks skip the futex round
+ * trips the single hot lock pays for.
+ *
+ * The bench also replays a virtual-clock mixed workload (priorities,
+ * deadlines, queue pressure) at several shard counts and requires
+ * the ServerMetrics JSON to be byte-identical — the determinism
+ * half of the PR 10 contract, enforced alongside the speed half.
+ *
+ * Environment:
+ *   SUSHI_JSON_OUT  output path (default BENCH_frontend.json)
+ *   SUSHI_FULL=1    more submits per thread (slower, less noisy)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "serve/load_gen.hh"
+#include "serve/server.hh"
+#include "snn/binarize.hh"
+#include "snn/network.hh"
+
+#include "bench_util.hh"
+
+using namespace sushi;
+
+namespace {
+
+constexpr double kSpeedupFloor = 3.0;
+
+snn::BinarySnn
+tinyNet()
+{
+    snn::SnnConfig cfg;
+    cfg.input = 16;
+    cfg.hidden = 8;
+    cfg.output = 4;
+    cfg.t_steps = 3;
+    cfg.stateless = true;
+    snn::SnnMlp mlp(cfg, 7);
+    return snn::BinarySnn::fromFloat(mlp);
+}
+
+std::vector<engine::Sample>
+randomSamples(std::size_t n, std::size_t dim, int t_steps,
+              std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<engine::Sample> samples(n);
+    for (auto &s : samples) {
+        for (int t = 0; t < t_steps; ++t) {
+            std::vector<std::uint8_t> f(dim);
+            for (auto &v : f)
+                v = rng.chance(0.4) ? 1 : 0;
+            s.push_back(std::move(f));
+        }
+    }
+    return samples;
+}
+
+/**
+ * One hammer run: fill the queue to the admission bound (the batcher
+ * is configured so it can never flush during the run — max_batch
+ * above max_queue, effectively infinite delay knob), then time
+ * `threads` x `per_thread` submit() calls that all reject QueueFull
+ * at the front door.
+ */
+double
+hammerRps(const std::shared_ptr<const engine::CompiledModel> &model,
+          int shards, int threads, std::size_t per_thread,
+          const std::vector<engine::Sample> &samples)
+{
+    serve::ServerConfig cfg;
+    cfg.engine.replicas = 8; // default shard count = 8
+    cfg.admission_shards = shards;
+    cfg.max_queue = 2048;
+    cfg.max_batch = cfg.max_queue * 4; // no size flush mid-hammer
+    cfg.max_delay_ns = INT64_MAX / 2;  // no delay flush mid-hammer
+    cfg.clock = serve::ClockMode::Real;
+    serve::Server server(model, cfg);
+
+    for (std::size_t i = 0; i < cfg.max_queue; ++i)
+        server.submit(samples[i % samples.size()]);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> hammers;
+    hammers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+        hammers.emplace_back([&, t] {
+            for (std::size_t k = 0; k < per_thread; ++k) {
+                serve::RequestOptions opts;
+                opts.priority = static_cast<int>(k % 3);
+                // The future is already resolved (typed rejection);
+                // dropping it is the closed-loop steady state.
+                server.submit(
+                    samples[(static_cast<std::size_t>(t) + k) %
+                            samples.size()],
+                    opts);
+            }
+        });
+    for (std::thread &h : hammers)
+        h.join();
+    const auto t1 = std::chrono::steady_clock::now();
+    server.shutdown();
+
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count();
+    const double total =
+        static_cast<double>(threads) *
+        static_cast<double>(per_thread);
+    return secs > 0.0 ? total / secs : 0.0;
+}
+
+/** Best-of-N to shave scheduler noise off the closed-loop number. */
+double
+bestHammerRps(
+    const std::shared_ptr<const engine::CompiledModel> &model,
+    int shards, int threads, std::size_t per_thread,
+    const std::vector<engine::Sample> &samples, int trials,
+    std::vector<double> *all)
+{
+    double best = 0.0;
+    for (int i = 0; i < trials; ++i) {
+        const double rps =
+            hammerRps(model, shards, threads, per_thread, samples);
+        all->push_back(rps);
+        if (rps > best)
+            best = rps;
+    }
+    return best;
+}
+
+/** Virtual-clock mixed workload at a given shard count; returns the
+ *  metrics JSON for the byte-identity check. */
+std::string
+replayJson(const std::shared_ptr<const engine::CompiledModel> &model,
+           int shards, const std::vector<engine::Sample> &samples)
+{
+    serve::ServerConfig cfg;
+    cfg.engine.replicas = 3;
+    cfg.max_batch = 4;
+    cfg.max_delay_ns = 40'000;
+    cfg.max_queue = 24;
+    cfg.admission_shards = shards;
+    cfg.max_threads = 2;
+    cfg.clock = serve::ClockMode::Virtual;
+    cfg.retry.max_retries = 2;
+    cfg.hedge.priority_floor = 2;
+    cfg.hedge.delay_ns = 30'000;
+    cfg.chaos.seed = 21;
+    cfg.chaos.crash_rate = 0.05;
+    cfg.chaos.fault_rate = 0.04;
+    cfg.chaos.crash_hold_ns = 2'000'000;
+
+    serve::LoadGenConfig lg;
+    lg.rate_rps = 150'000.0;
+    lg.requests = 400;
+    lg.sample_pool = samples.size();
+    lg.seed = 1234;
+    lg.deadline_ns = 600'000;
+    lg.priorities = 3;
+
+    serve::Server server(model, cfg);
+    for (const auto &a : serve::poissonArrivals(lg))
+        server.submitAt(a.arrival_ns, samples[a.sample_index],
+                        a.opts);
+    server.runVirtual();
+    return server.metrics().toJson();
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool full = benchutil::envFlag("SUSHI_FULL");
+    const int threads = 8;
+    const std::size_t per_thread = full ? 20'000 : 4'000;
+    const int trials = 3;
+
+    compiler::ChipConfig chip;
+    chip.n = 8;
+    chip.sc_per_npe = 10;
+    auto model = engine::CompiledModel::compile(tinyNet(), chip);
+    const auto samples = randomSamples(8, 16, 3, 5);
+
+    std::printf("=== Sharded front-end submit throughput ===\n");
+    std::printf("%d submit threads x %zu calls, queue pinned at the "
+                "admission bound, best of %d trials\n",
+                threads, per_thread, trials);
+
+    std::vector<double> s1_trials;
+    std::vector<double> sharded_trials;
+    const double s1_rps = bestHammerRps(
+        model, 1, threads, per_thread, samples, trials, &s1_trials);
+    const double sharded_rps =
+        bestHammerRps(model, 0, threads, per_thread, samples, trials,
+                      &sharded_trials);
+    const double speedup =
+        s1_rps > 0.0 ? sharded_rps / s1_rps : 0.0;
+
+    std::printf("%-24s %14.0f submits/s\n", "single lock (S=1)",
+                s1_rps);
+    std::printf("%-24s %14.0f submits/s\n", "sharded (S=8, default)",
+                sharded_rps);
+    std::printf("speedup %.2fx (floor %.1fx): %s\n", speedup,
+                kSpeedupFloor,
+                speedup >= kSpeedupFloor ? "pass" : "FAIL");
+
+    // --- Determinism half of the contract -------------------------
+    const std::string reference = replayJson(model, 1, samples);
+    bool identical = true;
+    for (int shards : {2, 3, 8})
+        identical &=
+            replayJson(model, shards, samples) == reference;
+    std::printf("virtual replay byte-identical across shard "
+                "counts: %s\n",
+                identical ? "yes" : "NO");
+
+    JsonWriter w;
+    w.field("threads", threads);
+    w.field("per_thread_submits", std::uint64_t{per_thread});
+    w.field("trials", trials);
+    w.field("max_queue", std::uint64_t{2048});
+    w.field("single_lock_rps", s1_rps);
+    w.field("sharded_rps", sharded_rps);
+    w.field("speedup", speedup);
+    w.field("speedup_floor", kSpeedupFloor);
+    w.field("speedup_ok", speedup >= kSpeedupFloor);
+    w.field("replay_byte_identical", identical);
+    w.beginArray("single_lock_trials_rps");
+    for (double rps : s1_trials) {
+        w.beginObject();
+        w.field("rps", rps);
+        w.endObject();
+    }
+    w.endArray();
+    w.beginArray("sharded_trials_rps");
+    for (double rps : sharded_trials) {
+        w.beginObject();
+        w.field("rps", rps);
+        w.endObject();
+    }
+    w.endArray();
+    const std::string json = w.finish();
+
+    const char *env_path = std::getenv("SUSHI_JSON_OUT");
+    const std::string path =
+        env_path != nullptr && env_path[0] != '\0'
+            ? env_path
+            : "BENCH_frontend.json";
+    if (!JsonWriter::writeFile(path, json)) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("JSON written to %s\n", path.c_str());
+
+    return speedup >= kSpeedupFloor && identical ? 0 : 1;
+}

@@ -1,6 +1,9 @@
 #include "serve/load_gen.hh"
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -136,6 +139,70 @@ diurnalArrivals(const LoadGenConfig &cfg)
             out.push_back(makeArrival(cfg, rng, t));
     }
     return out;
+}
+
+ClosedLoopReport
+runClosedLoop(Server &server,
+              const std::vector<engine::Sample> &samples,
+              const ClosedLoopConfig &cfg)
+{
+    sushi_assert(server.config().clock == ClockMode::Real);
+    sushi_assert(cfg.concurrency >= 1);
+    sushi_assert(cfg.priorities >= 1);
+    sushi_assert(!samples.empty());
+    sushi_assert(cfg.sample_pool >= 1 &&
+                 cfg.sample_pool <= samples.size());
+
+    const auto slots = static_cast<std::size_t>(cfg.concurrency);
+    std::vector<std::uint64_t> served(slots, 0);
+    std::vector<std::uint64_t> rejected(slots, 0);
+    std::atomic<std::uint64_t> issued{0};
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> drivers;
+    drivers.reserve(slots);
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+        drivers.emplace_back([&, slot] {
+            // Each slot's draw stream is keyed by (seed, slot, k):
+            // request contents replay for a given seed regardless of
+            // how the threads interleave on the wall clock.
+            for (std::uint64_t k = 0;; ++k) {
+                if (issued.fetch_add(1) >= cfg.requests)
+                    return;
+                const std::uint64_t pick =
+                    keyedBits(cfg.seed, slot, 2 * k);
+                const std::size_t idx = static_cast<std::size_t>(
+                    pick % cfg.sample_pool);
+                RequestOptions opts;
+                if (cfg.priorities > 1)
+                    opts.priority = static_cast<int>(
+                        keyedBits(cfg.seed, slot, 2 * k + 1) %
+                        static_cast<std::uint64_t>(cfg.priorities));
+                if (cfg.deadline_ns != kNoDeadline)
+                    opts.deadline_ns =
+                        server.now() + cfg.deadline_ns;
+                auto fut = server.submit(samples[idx], opts);
+                const Response resp = fut.get();
+                if (resp.ok())
+                    ++served[slot];
+                else
+                    ++rejected[slot];
+            }
+        });
+    }
+    for (std::thread &t : drivers)
+        t.join();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    ClosedLoopReport report;
+    report.submitted = cfg.requests;
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+        report.served += served[slot];
+        report.rejected += rejected[slot];
+    }
+    report.wall_seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return report;
 }
 
 } // namespace sushi::serve

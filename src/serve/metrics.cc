@@ -1,5 +1,7 @@
 #include "serve/metrics.hh"
 
+#include <algorithm>
+
 #include "common/stats.hh"
 #include "engine/inference_engine.hh"
 
@@ -43,6 +45,58 @@ ServerMetrics::degradedReplicas() const
     for (const ReplicaMetrics &r : replicas)
         n += r.degraded() ? 1 : 0;
     return n;
+}
+
+bool
+MetricsDelta::empty() const
+{
+    return submitted == 0 && accepted == 0 &&
+           rejected_queue_full == 0 && rejected_deadline == 0 &&
+           rejected_shutdown == 0 && rejected_breaker == 0 &&
+           rejected_replica_failure == 0 && hedges_launched == 0 &&
+           hedges_cancelled == 0 && retries == 0 && completed == 0 &&
+           deadline_missed == 0 && hedges_won == 0 &&
+           hedges_lost == 0 && first_submit_ns < 0 &&
+           last_event_ns == 0 && queue_ns.count() == 0 &&
+           service_ns.count() == 0 && total_ns.count() == 0;
+}
+
+void
+MetricsDelta::foldInto(ServerMetrics &into)
+{
+    into.submitted += submitted;
+    into.accepted += accepted;
+    into.rejected_queue_full += rejected_queue_full;
+    into.rejected_deadline += rejected_deadline;
+    into.rejected_shutdown += rejected_shutdown;
+    into.rejected_breaker += rejected_breaker;
+    into.rejected_replica_failure += rejected_replica_failure;
+    into.hedges_launched += hedges_launched;
+    into.hedges_cancelled += hedges_cancelled;
+    into.retries += retries;
+    into.completed += completed;
+    into.deadline_missed += deadline_missed;
+    into.hedges_won += hedges_won;
+    into.hedges_lost += hedges_lost;
+    if (first_submit_ns >= 0 &&
+        (into.first_submit_ns < 0 ||
+         first_submit_ns < into.first_submit_ns))
+        into.first_submit_ns = first_submit_ns;
+    into.last_event_ns = std::max(into.last_event_ns, last_event_ns);
+    into.queue_ns.merge(queue_ns);
+    into.service_ns.merge(service_ns);
+    into.total_ns.merge(total_ns);
+    submitted = accepted = 0;
+    rejected_queue_full = rejected_deadline = 0;
+    rejected_shutdown = rejected_breaker = 0;
+    rejected_replica_failure = 0;
+    hedges_launched = hedges_cancelled = retries = 0;
+    completed = deadline_missed = hedges_won = hedges_lost = 0;
+    first_submit_ns = -1;
+    last_event_ns = 0;
+    queue_ns.reset();
+    service_ns.reset();
+    total_ns.reset();
 }
 
 std::string

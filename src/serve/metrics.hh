@@ -160,6 +160,65 @@ struct ServerMetrics
     std::string toJson() const;
 };
 
+/**
+ * Shard-local metrics accumulator of the sharded front-end (PR 10).
+ *
+ * Admission-path events (submissions, acceptances, typed rejections)
+ * are recorded here under the owning shard's lock instead of taking
+ * the global metrics lock per request; completion processing records
+ * one delta per batch the same way. Deltas are folded into the
+ * ServerMetrics rollup at snapshot/drain time in ascending shard
+ * order — every field is an integer counter, a min/max watermark, or
+ * a fixed-bucket histogram (Histogram::merge), so the fold commutes
+ * and the rollup is byte-identical for any shard count and any fold
+ * schedule.
+ */
+struct MetricsDelta
+{
+    /// @name Admission-side counters (shard deltas).
+    /// @{
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t rejected_deadline = 0;
+    std::uint64_t rejected_shutdown = 0;
+    std::uint64_t rejected_breaker = 0;
+    std::uint64_t rejected_replica_failure = 0;
+    std::uint64_t hedges_launched = 0;
+    std::uint64_t hedges_cancelled = 0;
+    std::uint64_t retries = 0;
+    /// @}
+
+    /// @name Completion-side counters (per-batch deltas).
+    /// @{
+    std::uint64_t completed = 0;
+    std::uint64_t deadline_missed = 0;
+    std::uint64_t hedges_won = 0;
+    std::uint64_t hedges_lost = 0;
+    /// @}
+
+    /// @name Watermarks (min / max merge).
+    /// @{
+    std::int64_t first_submit_ns = -1; ///< min (-1 = none)
+    std::int64_t last_event_ns = 0;    ///< max
+    /// @}
+
+    /// @name Latency histogram deltas (Histogram::merge path).
+    /// @{
+    Histogram queue_ns{Histogram::exponential()};
+    Histogram service_ns{Histogram::exponential()};
+    Histogram total_ns{Histogram::exponential()};
+    /// @}
+
+    /** True when nothing has been recorded since the last fold —
+     *  the steady-state early-out of the snapshot path. */
+    bool empty() const;
+
+    /** Add every field into @p into, then reset this delta in place
+     *  (histograms keep their bucket allocation). */
+    void foldInto(ServerMetrics &into);
+};
+
 } // namespace sushi::serve
 
 #endif // SUSHI_SERVE_METRICS_HH

@@ -66,6 +66,12 @@ Server::Server(std::shared_ptr<const engine::CompiledModel> model,
     target_active_ =
         engine_.replicas() - std::max(0, cfg_.hot_spares);
     sushi_assert(target_active_ >= 1);
+    const int nshards = cfg_.admission_shards > 0
+                            ? cfg_.admission_shards
+                            : engine_.replicas();
+    shards_.reserve(static_cast<std::size_t>(nshards));
+    for (int s = 0; s < nshards; ++s)
+        shards_.push_back(std::make_unique<Shard>());
     health_.resize(static_cast<std::size_t>(engine_.replicas()));
     metrics_.replicas.resize(
         static_cast<std::size_t>(engine_.replicas()));
@@ -120,6 +126,23 @@ Server::breakerState() const
     return breaker_.state;
 }
 
+PendingReq
+Server::makeRequest(engine::Sample &&sample,
+                    const RequestOptions &opts, std::int64_t t)
+{
+    PendingReq req;
+    req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    req.request_id = req.id;
+    req.priority = opts.priority;
+    req.submit_ns = t;
+    req.queued_ns = t;
+    req.deadline_ns = opts.deadline_ns;
+    req.sample =
+        std::make_shared<const engine::Sample>(std::move(sample));
+    req.state = std::make_shared<ReqState>();
+    return req;
+}
+
 std::future<Response>
 Server::submit(engine::Sample sample, const RequestOptions &opts)
 {
@@ -129,45 +152,49 @@ Server::submit(engine::Sample sample, const RequestOptions &opts)
         return submitAtLocked(virtual_now_, std::move(sample), opts);
     }
 
-    std::unique_lock<std::mutex> lock(mu_);
     const std::int64_t t = realNow();
-    Pending req;
-    req.id = next_id_++;
-    req.request_id = req.id;
-    req.priority = opts.priority;
-    req.submit_ns = t;
-    req.queued_ns = t;
-    req.deadline_ns = opts.deadline_ns;
-    req.sample =
-        std::make_shared<const engine::Sample>(std::move(sample));
-    req.state = std::make_shared<ReqState>();
+    PendingReq req = makeRequest(std::move(sample), opts, t);
     auto fut = req.state->promise.get_future();
-    {
-        std::lock_guard<std::mutex> mlock(metrics_mu_);
-        ++metrics_.submitted;
+
+    // Breaker state is central (it aggregates outcomes from every
+    // replica), so a breaker-enabled server pays for mu_ here. With
+    // the breaker off — the default — the fast path below touches
+    // only the owning shard.
+    std::unique_lock<std::mutex> global;
+    if (cfg_.breaker.enabled()) {
+        global = std::unique_lock<std::mutex>(mu_);
+        breakerAdvanceLocked(t);
     }
 
-    if (draining_ || stop_) {
-        resolveReject(req, Reject::ShuttingDown, t);
+    Shard &sh = shardOf(req.request_id);
+    std::unique_lock<std::mutex> slock(sh.mu);
+    ++sh.delta.submitted;
+    if (draining_.load() || stop_.load()) {
+        fulfillRejectLocked(sh, req, Reject::ShuttingDown, t);
         return fut;
     }
     if (req.deadline_ns <= t) {
-        resolveReject(req, Reject::DeadlineExceeded, t);
+        fulfillRejectLocked(sh, req, Reject::DeadlineExceeded, t);
         return fut;
     }
-    breakerAdvanceLocked(t);
     if (cfg_.breaker.enabled() &&
         breaker_.state == BreakerState::Open) {
-        resolveReject(req, Reject::BreakerOpen, t);
+        fulfillRejectLocked(sh, req, Reject::BreakerOpen, t);
         return fut;
     }
-    shedExpiredLocked(t);
-    if (pending_.size() >= cfg_.max_queue) {
-        resolveReject(req, Reject::QueueFull, t);
+    // Shed this shard's expired entries (their retry/hedge timers
+    // are reaped lazily — firing a timer of a resolved request is a
+    // no-op); the global sweep happens on the worker side.
+    shedShardLocked(sh, t, /*reap=*/false);
+    if (!tryReserveQueueSlot()) {
+        fulfillRejectLocked(sh, req, Reject::QueueFull, t);
         return fut;
     }
-    admitLocked(std::move(req), t);
-    work_cv_.notify_all();
+    admitShardLocked(sh, std::move(req), t);
+    slock.unlock();
+    if (global.owns_lock())
+        global.unlock();
+    wakeWorkers();
     return fut;
 }
 
@@ -185,45 +212,46 @@ Server::submitAtLocked(std::int64_t arrival_ns,
                        engine::Sample sample,
                        const RequestOptions &opts)
 {
-    Pending req;
-    req.id = next_id_++;
-    req.request_id = req.id;
-    req.priority = opts.priority;
-    req.submit_ns = arrival_ns;
-    req.queued_ns = arrival_ns;
-    req.deadline_ns = opts.deadline_ns;
-    req.sample =
-        std::make_shared<const engine::Sample>(std::move(sample));
-    req.state = std::make_shared<ReqState>();
+    PendingReq req = makeRequest(std::move(sample), opts, arrival_ns);
     auto fut = req.state->promise.get_future();
-    {
-        std::lock_guard<std::mutex> mlock(metrics_mu_);
-        ++metrics_.submitted;
-    }
-    if (draining_ || stop_) {
-        resolveReject(req, Reject::ShuttingDown,
-                      std::max(arrival_ns, virtual_now_));
+    Shard &sh = shardOf(req.request_id);
+    std::lock_guard<std::mutex> slock(sh.mu);
+    ++sh.delta.submitted;
+    if (draining_.load() || stop_.load()) {
+        fulfillRejectLocked(sh, req, Reject::ShuttingDown,
+                            std::max(arrival_ns, virtual_now_));
         return fut;
     }
     arrivals_.push_back(Arrival{arrival_ns, std::move(req)});
     return fut;
 }
 
-void
-Server::admitLocked(Pending &&req, std::int64_t t)
+bool
+Server::tryReserveQueueSlot()
 {
-    std::uint64_t id = req.id;
-    ++req.state->live;
-    pending_.emplace(id, std::move(req));
-    std::lock_guard<std::mutex> mlock(metrics_mu_);
-    ++metrics_.accepted;
-    if (metrics_.first_submit_ns < 0 || t < metrics_.first_submit_ns)
-        metrics_.first_submit_ns = t;
+    // fetch_add-then-check keeps the bound exact under concurrent
+    // submits to different shards: each admit atomically claims one
+    // slot and rolls back on overflow.
+    if (queued_.fetch_add(1) < cfg_.max_queue)
+        return true;
+    queued_.fetch_sub(1);
+    return false;
 }
 
 void
-Server::resolveReject(Pending &req, Reject reason,
-                      std::int64_t event_ns)
+Server::admitShardLocked(Shard &sh, PendingReq &&req, std::int64_t t)
+{
+    ++req.state->live;
+    ++sh.delta.accepted;
+    if (sh.delta.first_submit_ns < 0 || t < sh.delta.first_submit_ns)
+        sh.delta.first_submit_ns = t;
+    sh.pool.enqueue(std::move(req));
+}
+
+void
+Server::fulfillRejectLocked(Shard &sh, PendingReq &req, Reject reason,
+                            std::int64_t event_ns,
+                            std::vector<Resolution> *defer)
 {
     Response resp;
     resp.rejected = reason;
@@ -233,65 +261,73 @@ Server::resolveReject(Pending &req, Reject reason,
     resp.complete_ns = event_ns;
     resp.retries = req.state->failures;
     resp.hedged = req.state->hedged;
-    {
-        std::lock_guard<std::mutex> mlock(metrics_mu_);
-        switch (reason) {
-          case Reject::QueueFull:
-            ++metrics_.rejected_queue_full;
-            break;
-          case Reject::DeadlineExceeded:
-            ++metrics_.rejected_deadline;
-            break;
-          case Reject::ShuttingDown:
-            ++metrics_.rejected_shutdown;
-            break;
-          case Reject::BreakerOpen:
-            ++metrics_.rejected_breaker;
-            break;
-          case Reject::ReplicaFailure:
-            ++metrics_.rejected_replica_failure;
-            break;
-          case Reject::None:
-            break;
-        }
-        metrics_.last_event_ns =
-            std::max(metrics_.last_event_ns, event_ns);
+    switch (reason) {
+      case Reject::QueueFull:
+        ++sh.delta.rejected_queue_full;
+        break;
+      case Reject::DeadlineExceeded:
+        ++sh.delta.rejected_deadline;
+        break;
+      case Reject::ShuttingDown:
+        ++sh.delta.rejected_shutdown;
+        break;
+      case Reject::BreakerOpen:
+        ++sh.delta.rejected_breaker;
+        break;
+      case Reject::ReplicaFailure:
+        ++sh.delta.rejected_replica_failure;
+        break;
+      case Reject::None:
+        break;
     }
+    sh.delta.last_event_ns =
+        std::max(sh.delta.last_event_ns, event_ns);
     req.state->resolved = true;
-    req.state->promise.set_value(std::move(resp));
-    purgeCopiesLocked(req.state);
+    if (defer != nullptr)
+        defer->push_back(Resolution{req.state, std::move(resp)});
+    else
+        req.state->promise.set_value(std::move(resp));
 }
 
 void
-Server::purgeCopiesLocked(const std::shared_ptr<ReqState> &state)
+Server::rejectQueuedLocked(Shard &sh, PendingReq &req, Reject reason,
+                           std::int64_t event_ns)
+{
+    fulfillRejectLocked(sh, req, reason, event_ns);
+    purgeShardCopiesLocked(sh, req.state);
+}
+
+void
+Server::purgeShardCopiesLocked(
+    Shard &sh, const std::shared_ptr<ReqState> &state)
 {
     // First resolution wins: remove every still-queued copy of the
     // request (running copies discard themselves at completion).
-    if (state->live > 0) {
-        std::uint64_t cancelled = 0;
-        for (auto it = pending_.begin();
-             it != pending_.end() && state->live > 0;) {
-            if (it->second.state == state) {
-                if (it->second.is_hedge)
-                    ++cancelled;
-                --state->live;
-                it = pending_.erase(it);
-            } else {
-                ++it;
-            }
-        }
-        for (auto it = retries_.begin();
-             it != retries_.end() && state->live > 0;) {
-            if (it->req.state == state) {
-                --state->live;
-                it = retries_.erase(it);
-            } else {
-                ++it;
-            }
-        }
-        if (cancelled > 0) {
-            std::lock_guard<std::mutex> mlock(metrics_mu_);
-            metrics_.hedges_cancelled += cancelled;
+    // All copies share the request_id, so they all live here.
+    if (state->live <= 0)
+        return;
+    sh.pool.removeIf(
+        [&](const PendingReq &q) {
+            return state->live > 0 && q.state == state;
+        },
+        [&](PendingReq &&q) {
+            if (q.is_hedge)
+                ++sh.delta.hedges_cancelled;
+            --state->live;
+            queued_.fetch_sub(1);
+        });
+}
+
+void
+Server::reapTimersLocked(const std::shared_ptr<ReqState> &state)
+{
+    for (auto it = retries_.begin();
+         it != retries_.end() && state->live > 0;) {
+        if (it->req.state == state) {
+            --state->live;
+            it = retries_.erase(it);
+        } else {
+            ++it;
         }
     }
     if (!hedges_.empty())
@@ -304,35 +340,61 @@ Server::purgeCopiesLocked(const std::shared_ptr<ReqState> &state)
 }
 
 void
-Server::shedExpiredLocked(std::int64_t t)
+Server::shedShardLocked(Shard &sh, std::int64_t t, bool reap)
 {
-    for (auto it = pending_.begin(); it != pending_.end();) {
-        Pending &req = it->second;
-        if (req.deadline_ns > t) {
-            ++it;
-            continue;
-        }
-        --req.state->live;
-        if (!req.state->resolved && req.state->live <= 0)
-            resolveReject(req, Reject::DeadlineExceeded, t);
-        it = pending_.erase(it);
+    sh.pool.removeIf(
+        [&](const PendingReq &q) { return q.deadline_ns <= t; },
+        [&](PendingReq &&q) {
+            queued_.fetch_sub(1);
+            --q.state->live;
+            if (!q.state->resolved && q.state->live <= 0) {
+                fulfillRejectLocked(sh, q, Reject::DeadlineExceeded,
+                                    t);
+                if (reap)
+                    reapTimersLocked(q.state);
+            }
+        });
+}
+
+void
+Server::shedExpiredAllLocked(std::int64_t t)
+{
+    for (auto &sh : shards_) {
+        std::lock_guard<std::mutex> slock(sh->mu);
+        shedShardLocked(*sh, t, /*reap=*/true);
     }
+}
+
+void
+Server::wakeWorkers()
+{
+    // Workers publish themselves in sleepers_ before re-checking the
+    // queue depth and waiting; the seq_cst total order over that
+    // re-check and our enqueue guarantees either they saw the new
+    // entry or we see sleepers_ > 0 here. Notifying under mu_ closes
+    // the re-check-to-wait window.
+    if (sleepers_.load() == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    work_cv_.notify_all();
 }
 
 bool
 Server::flushReadyLocked(std::int64_t t, FlushCause *cause) const
 {
-    if (pending_.empty())
+    const std::size_t depth = queued_.load();
+    if (depth == 0)
         return false;
-    if (pending_.size() >= cfg_.max_batch) {
+    if (depth >= cfg_.max_batch) {
         *cause = FlushCause::Size;
         return true;
     }
-    if (draining_ || stop_) {
+    if (draining_.load() || stop_.load()) {
         *cause = FlushCause::Drain;
         return true;
     }
-    if (t - oldestQueuedLocked() >= cfg_.max_delay_ns) {
+    const std::int64_t oldest = oldestQueuedAnyLocked();
+    if (oldest != kNever && t - oldest >= cfg_.max_delay_ns) {
         *cause = FlushCause::Delay;
         return true;
     }
@@ -361,57 +423,83 @@ Server::takeBatchLocked(int replica, std::int64_t t, FlushCause cause)
     batch.dispatch_ns = t;
     batch.cause = cause;
 
-    // Selection order: priority desc, then arrival (id) asc.
-    std::vector<std::pair<int, std::uint64_t>> order;
-    order.reserve(pending_.size());
-    for (const auto &[id, req] : pending_)
-        order.emplace_back(req.priority, id);
-    std::sort(order.begin(), order.end(),
-              [](const auto &a, const auto &b) {
-                  return a.first != b.first ? a.first > b.first
-                                            : a.second < b.second;
-              });
-    batch.reqs.reserve(std::min<std::size_t>(cfg_.max_batch,
-                                             order.size()));
-    for (const auto &[prio, id] : order) {
-        if (batch.reqs.size() >= cfg_.max_batch)
+    // K-way merge over the shard lanes: hold every shard lock
+    // (ascending index — the one multi-shard section) and repeatedly
+    // pop the global (priority desc, id asc) best. Each pop is
+    // O(shards), the whole flush O(batch * shards) — independent of
+    // queue depth.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (auto &sh : shards_)
+        locks.emplace_back(sh->mu);
+
+    batch.reqs.reserve(cfg_.max_batch);
+    std::vector<PendingReq> stash; // dup copies skipped this flush
+    while (batch.reqs.size() < cfg_.max_batch) {
+        Shard *best_sh = nullptr;
+        const PendingReq *best = nullptr;
+        for (auto &sh : shards_) {
+            const PendingReq *p = sh->pool.peekBest();
+            if (!p)
+                continue;
+            if (!best || p->priority > best->priority ||
+                (p->priority == best->priority && p->id < best->id)) {
+                best = p;
+                best_sh = sh.get();
+            }
+        }
+        if (!best)
             break;
-        auto it = pending_.find(id);
+        PendingReq req = best_sh->pool.popBest();
+        queued_.fetch_sub(1);
         // Never put two copies of one request (primary + hedge) in
         // the same batch — the duplicate would be wasted work.
         bool dup = false;
-        for (const Pending &q : batch.reqs)
-            if (q.state == it->second.state) {
+        for (const PendingReq &q : batch.reqs)
+            if (q.state == req.state) {
                 dup = true;
                 break;
             }
         if (dup)
-            continue;
-        batch.reqs.push_back(std::move(it->second));
-        pending_.erase(it);
+            stash.push_back(std::move(req));
+        else
+            batch.reqs.push_back(std::move(req));
+    }
+    // Skipped duplicates stay queued: re-enqueue keeps their old ids
+    // (sorted insert restores their lane position exactly).
+    for (PendingReq &req : stash) {
+        queued_.fetch_add(1);
+        shardOf(req.request_id).pool.enqueue(std::move(req));
     }
     return batch;
 }
 
 std::int64_t
-Server::oldestQueuedLocked() const
+Server::oldestQueuedAnyLocked() const
 {
-    sushi_assert(!pending_.empty());
     // Retry and hedge copies re-enter the queue with fresh enqueue
     // times, so the longest-waiting copy is found by scan, not by
-    // smallest id.
+    // smallest id. Min over shards is order-independent.
     std::int64_t oldest = kNever;
-    for (const auto &[id, req] : pending_)
-        oldest = std::min(oldest, req.queued_ns);
+    for (const auto &sh : shards_) {
+        std::lock_guard<std::mutex> slock(sh->mu);
+        sh->pool.forEachLive([&](const PendingReq &q) {
+            oldest = std::min(oldest, q.queued_ns);
+        });
+    }
     return oldest;
 }
 
 std::int64_t
-Server::nearestDeadlineLocked() const
+Server::nearestDeadlineAnyLocked() const
 {
     std::int64_t nearest = kNoDeadline;
-    for (const auto &[id, req] : pending_)
-        nearest = std::min(nearest, req.deadline_ns);
+    for (const auto &sh : shards_) {
+        std::lock_guard<std::mutex> slock(sh->mu);
+        sh->pool.forEachLive([&](const PendingReq &q) {
+            nearest = std::min(nearest, q.deadline_ns);
+        });
+    }
     return nearest;
 }
 
@@ -427,7 +515,8 @@ Server::activeCountLocked() const
 bool
 Server::workPendingLocked() const
 {
-    return !pending_.empty() || !retries_.empty() || in_flight_ > 0;
+    return queued_.load() > 0 || !retries_.empty() ||
+           in_flight_ > 0;
 }
 
 std::int64_t
@@ -671,15 +760,20 @@ Server::fireRetriesLocked(std::int64_t t)
                              : a.req.id < b.req.id;
               });
     for (RetryEntry &e : due) {
-        Pending &req = e.req;
+        PendingReq &req = e.req;
+        Shard &sh = shardOf(req.request_id);
+        std::lock_guard<std::mutex> slock(sh.mu);
         if (req.state->resolved) {
             --req.state->live;
             continue;
         }
         if (req.deadline_ns <= t) {
             --req.state->live;
-            if (req.state->live <= 0)
-                resolveReject(req, Reject::DeadlineExceeded, t);
+            if (req.state->live <= 0) {
+                fulfillRejectLocked(sh, req,
+                                    Reject::DeadlineExceeded, t);
+                reapTimersLocked(req.state);
+            }
             continue;
         }
         if (cfg_.breaker.enabled() &&
@@ -687,12 +781,15 @@ Server::fireRetriesLocked(std::int64_t t)
             // The breaker converts a retry storm into typed
             // fast-fails instead of re-queueing against a dead model.
             --req.state->live;
-            if (req.state->live <= 0)
-                resolveReject(req, Reject::BreakerOpen, t);
+            if (req.state->live <= 0) {
+                fulfillRejectLocked(sh, req, Reject::BreakerOpen, t);
+                reapTimersLocked(req.state);
+            }
             continue;
         }
         req.queued_ns = t;
-        pending_.emplace(req.id, std::move(req));
+        queued_.fetch_add(1); // re-admission bypasses max_queue
+        sh.pool.enqueue(std::move(req));
     }
 }
 
@@ -718,21 +815,24 @@ Server::fireHedgesLocked(std::int64_t t)
                                    b.proto.request_id;
               });
     for (HedgeTimer &h : due) {
+        Shard &sh = shardOf(h.proto.request_id);
+        std::lock_guard<std::mutex> slock(sh.mu);
         ReqState &st = *h.proto.state;
         // Void if resolved, already hedged, the armed dispatch
         // failed meanwhile, the deadline passed, or we're draining.
         if (st.resolved || st.hedged || st.failures != h.attempt ||
-            h.proto.deadline_ns <= t || draining_ || stop_)
+            h.proto.deadline_ns <= t || draining_.load() ||
+            stop_.load())
             continue;
-        Pending copy = std::move(h.proto);
-        copy.id = next_id_++;
+        PendingReq copy = std::move(h.proto);
+        copy.id = next_id_.fetch_add(1, std::memory_order_relaxed);
         copy.queued_ns = t;
         copy.is_hedge = true;
         st.hedged = true;
         ++st.live;
-        pending_.emplace(copy.id, std::move(copy));
-        std::lock_guard<std::mutex> mlock(metrics_mu_);
-        ++metrics_.hedges_launched;
+        ++sh.delta.hedges_launched;
+        queued_.fetch_add(1); // hedge copies bypass max_queue
+        sh.pool.enqueue(std::move(copy));
     }
 }
 
@@ -741,7 +841,9 @@ Server::scheduleHedgeLocked(const Batch &batch)
 {
     if (!cfg_.hedge.enabled())
         return;
-    for (const Pending &req : batch.reqs) {
+    for (const PendingReq &req : batch.reqs) {
+        Shard &sh = shardOf(req.request_id);
+        std::lock_guard<std::mutex> slock(sh.mu);
         if (req.is_hedge || req.state->hedged ||
             req.priority < cfg_.hedge.priority_floor)
             continue;
@@ -765,7 +867,7 @@ Server::executeBatch(Batch &batch)
     }
     std::vector<const engine::Sample *> ptrs;
     ptrs.reserve(batch.reqs.size());
-    for (const Pending &req : batch.reqs)
+    for (const PendingReq &req : batch.reqs)
         ptrs.push_back(req.sample.get());
     try {
         out.run = engine_.runOnReplica(batch.replica, ptrs.data(),
@@ -822,6 +924,97 @@ Server::processOutcomeLocked(Batch &batch, Outcome &outcome,
     engine_.recordBatchOutcome(r, ok, service, ok ? n : 0);
     breakerOnOutcomeLocked(ok, batch.half_open_trial, complete_ns);
 
+    std::uint64_t served_here = 0;
+    std::vector<std::size_t> answered; // merged-stats fold order
+    std::vector<Resolution> to_resolve;
+
+    if (ok) {
+        sushi_assert(outcome.run.results.size() == n);
+        answered.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            PendingReq &req = batch.reqs[i];
+            Shard &sh = shardOf(req.request_id);
+            std::lock_guard<std::mutex> slock(sh.mu);
+            ReqState &st = *req.state;
+            --st.live;
+            if (st.resolved)
+                continue; // a sibling copy already answered
+            st.resolved = true;
+            const bool was_hedged = st.hedged;
+            sh.delta.queue_ns.sample(batch.dispatch_ns -
+                                     req.submit_ns);
+            sh.delta.service_ns.sample(service);
+            sh.delta.total_ns.sample(complete_ns - req.submit_ns);
+            ++sh.delta.completed;
+            if (complete_ns > req.deadline_ns)
+                ++sh.delta.deadline_missed;
+            if (was_hedged) {
+                if (req.is_hedge)
+                    ++sh.delta.hedges_won;
+                else
+                    ++sh.delta.hedges_lost;
+            }
+            sh.delta.last_event_ns =
+                std::max(sh.delta.last_event_ns, complete_ns);
+            ++served_here;
+            answered.push_back(i);
+            Response resp;
+            resp.result = std::move(outcome.run.results[i]);
+            resp.id = req.request_id;
+            resp.submit_ns = req.submit_ns;
+            resp.dispatch_ns = batch.dispatch_ns;
+            resp.complete_ns = complete_ns;
+            resp.deadline_missed = complete_ns > req.deadline_ns;
+            resp.replica = r;
+            resp.batch_size = static_cast<int>(n);
+            resp.retries = st.failures;
+            resp.hedged = was_hedged;
+            to_resolve.push_back(
+                Resolution{req.state, std::move(resp)});
+            purgeShardCopiesLocked(sh, req.state);
+            reapTimersLocked(req.state);
+        }
+    } else {
+        // Failure path: every request in the batch either rides
+        // another live copy, re-queues within its retry budget, or
+        // rejects.
+        for (std::size_t i = 0; i < n; ++i) {
+            PendingReq &req = batch.reqs[i];
+            Shard &sh = shardOf(req.request_id);
+            std::lock_guard<std::mutex> slock(sh.mu);
+            ReqState &st = *req.state;
+            --st.live;
+            if (st.resolved)
+                continue;
+            if (st.live > 0)
+                continue; // a hedge/retry copy is still carrying it
+            ++st.failures;
+            const int attempt = st.failures;
+            if (cfg_.retry.enabled() &&
+                attempt <= cfg_.retry.max_retries &&
+                req.deadline_ns > complete_ns) {
+                const std::int64_t delay =
+                    backoffNs(req.request_id, attempt);
+                ++st.live;
+                ++sh.delta.retries;
+                retries_.push_back(
+                    RetryEntry{complete_ns + delay, std::move(req)});
+            } else if (req.deadline_ns <= complete_ns) {
+                fulfillRejectLocked(sh, req,
+                                    Reject::DeadlineExceeded,
+                                    complete_ns, &to_resolve);
+                reapTimersLocked(req.state);
+            } else {
+                fulfillRejectLocked(sh, req, Reject::ReplicaFailure,
+                                    complete_ns, &to_resolve);
+                reapTimersLocked(req.state);
+            }
+        }
+    }
+
+    // One central metrics section per BATCH (not per request): the
+    // batch counters plus the order-sensitive merged engine stats,
+    // folded in request order.
     {
         std::lock_guard<std::mutex> mlock(metrics_mu_);
         ++metrics_.batches;
@@ -834,64 +1027,29 @@ Server::processOutcomeLocked(Batch &batch, Outcome &outcome,
         auto &rep = metrics_.replicas[rr];
         ++rep.batches;
         rep.busy_ns += service;
+        rep.samples += served_here;
         if (!ok) {
             ++metrics_.batch_failures;
             ++rep.failures;
         }
         metrics_.last_event_ns =
             std::max(metrics_.last_event_ns, complete_ns);
-    }
-
-    if (ok) {
-        sushi_assert(outcome.run.results.size() == n);
-        for (std::size_t i = 0; i < n; ++i) {
-            Pending &req = batch.reqs[i];
-            ReqState &st = *req.state;
-            --st.live;
-            if (st.resolved)
-                continue; // a sibling copy already answered
-            st.resolved = true;
-            const bool was_hedged = st.hedged;
-            {
-                std::lock_guard<std::mutex> mlock(metrics_mu_);
-                metrics_.queue_ns.sample(batch.dispatch_ns -
-                                         req.submit_ns);
-                metrics_.service_ns.sample(service);
-                metrics_.total_ns.sample(complete_ns -
-                                         req.submit_ns);
-                ++metrics_.completed;
-                ++metrics_.replicas[rr].samples;
-                if (complete_ns > req.deadline_ns)
-                    ++metrics_.deadline_missed;
-                metrics_.merged.accumulate(outcome.run.per_sample[i]);
-                if (was_hedged) {
-                    if (req.is_hedge)
-                        ++metrics_.hedges_won;
-                    else
-                        ++metrics_.hedges_lost;
-                }
-            }
-            Response resp;
-            resp.result = std::move(outcome.run.results[i]);
-            resp.id = req.request_id;
-            resp.submit_ns = req.submit_ns;
-            resp.dispatch_ns = batch.dispatch_ns;
-            resp.complete_ns = complete_ns;
-            resp.deadline_missed = complete_ns > req.deadline_ns;
-            resp.replica = r;
-            resp.batch_size = static_cast<int>(n);
-            resp.retries = st.failures;
-            resp.hedged = was_hedged;
-            st.promise.set_value(std::move(resp));
-            purgeCopiesLocked(req.state);
-        }
-        {
+        for (std::size_t i : answered)
+            metrics_.merged.accumulate(outcome.run.per_sample[i]);
+        if (ok)
             // Energy is a pure function of synaptic work (matches
             // the engine's own merge).
-            std::lock_guard<std::mutex> mlock(metrics_mu_);
             metrics_.merged.dynamic_energy_j =
                 chip::dynamicEnergyJ(metrics_.merged.synaptic_ops);
-        }
+    }
+
+    // Only now resolve the futures: a caller that observes its
+    // future complete and immediately snapshots metrics() must see
+    // this batch fully recorded.
+    for (Resolution &res : to_resolve)
+        res.state->promise.set_value(std::move(res.resp));
+
+    if (ok) {
         // Slow-degrade detection: a successful but slow batch still
         // counts against the replica's health streak.
         RepHealth &h = health_[rr];
@@ -904,38 +1062,6 @@ Server::processOutcomeLocked(Batch &batch, Outcome &outcome,
             h.consecutive_bad = 0;
         }
         return;
-    }
-
-    // Failure path: every request in the batch either rides another
-    // live copy, re-queues within its retry budget, or rejects.
-    for (std::size_t i = 0; i < n; ++i) {
-        Pending &req = batch.reqs[i];
-        ReqState &st = *req.state;
-        --st.live;
-        if (st.resolved)
-            continue;
-        if (st.live > 0)
-            continue; // a hedge/retry copy is still carrying it
-        ++st.failures;
-        const int attempt = st.failures;
-        if (cfg_.retry.enabled() &&
-            attempt <= cfg_.retry.max_retries &&
-            req.deadline_ns > complete_ns) {
-            const std::int64_t delay =
-                backoffNs(req.request_id, attempt);
-            ++st.live;
-            {
-                std::lock_guard<std::mutex> mlock(metrics_mu_);
-                ++metrics_.retries;
-            }
-            retries_.push_back(
-                RetryEntry{complete_ns + delay, std::move(req)});
-        } else if (req.deadline_ns <= complete_ns) {
-            resolveReject(req, Reject::DeadlineExceeded,
-                          complete_ns);
-        } else {
-            resolveReject(req, Reject::ReplicaFailure, complete_ns);
-        }
     }
     // Health: a crash quarantines immediately; other failures feed
     // the consecutive-bad-batch detector.
@@ -956,13 +1082,13 @@ Server::workerMain(int replica)
         breakerAdvanceLocked(t);
         RepHealth &h = health_[static_cast<std::size_t>(replica)];
         if (h.state == ReplicaState::Spare) {
-            if (stop_)
+            if (stop_.load())
                 return;
             work_cv_.wait(lock);
             continue;
         }
         if (h.state == ReplicaState::Quarantined) {
-            if (stop_)
+            if (stop_.load())
                 return;
             if (t < h.probe_at) {
                 const std::int64_t wake =
@@ -976,23 +1102,32 @@ Server::workerMain(int replica)
         }
         fireRetriesLocked(t);
         fireHedgesLocked(t);
-        shedExpiredLocked(t);
-        if (pending_.empty()) {
+        shedExpiredAllLocked(t);
+        const std::size_t q0 = queued_.load();
+        if (q0 == 0) {
             if (!workPendingLocked())
                 drain_cv_.notify_all();
-            if (stop_)
+            if (stop_.load())
                 return;
-            std::int64_t wake = std::min(
+            const std::int64_t wake = std::min(
                 {nextRetryNsLocked(), nextHedgeNsLocked(),
                  t + kMaxWaitNs});
-            work_cv_.wait_until(
-                lock, epoch_ + std::chrono::nanoseconds(wake));
+            // Publish-then-recheck: a submitter that enqueued after
+            // our load either sees sleepers_ > 0 and notifies under
+            // mu_, or we see its entry here and skip the wait.
+            sleepers_.fetch_add(1);
+            if (queued_.load() == 0)
+                work_cv_.wait_until(
+                    lock, epoch_ + std::chrono::nanoseconds(wake));
+            sleepers_.fetch_sub(1);
             continue;
         }
         FlushCause cause;
         if (replicaEligibleLocked(replica) &&
             flushReadyLocked(t, &cause)) {
             Batch batch = takeBatchLocked(replica, t, cause);
+            if (batch.reqs.empty())
+                continue; // a concurrent shed raced the decision
             applyChaosAtDispatchLocked(batch);
             if (cfg_.breaker.enabled() &&
                 breaker_.state == BreakerState::HalfOpen) {
@@ -1017,14 +1152,18 @@ Server::workerMain(int replica)
         // arrivals and state changes notify).
         std::int64_t wake = t + kMaxWaitNs;
         if (replicaEligibleLocked(replica)) {
-            wake = std::min(wake, oldestQueuedLocked() +
-                                      cfg_.max_delay_ns);
-            wake = std::min(wake, nearestDeadlineLocked());
+            const std::int64_t oldest = oldestQueuedAnyLocked();
+            if (oldest != kNever)
+                wake = std::min(wake, oldest + cfg_.max_delay_ns);
+            wake = std::min(wake, nearestDeadlineAnyLocked());
         }
         wake = std::min(
             {wake, nextRetryNsLocked(), nextHedgeNsLocked()});
-        work_cv_.wait_until(
-            lock, epoch_ + std::chrono::nanoseconds(wake));
+        sleepers_.fetch_add(1);
+        if (queued_.load() == q0)
+            work_cv_.wait_until(
+                lock, epoch_ + std::chrono::nanoseconds(wake));
+        sleepers_.fetch_sub(1);
     }
 }
 
@@ -1040,7 +1179,8 @@ void
 Server::runVirtualLocked(std::unique_lock<std::mutex> &lock)
 {
     // Fire arrivals in logical-time order; ties keep submission
-    // order (stable sort).
+    // order (stable sort — ids are assigned in submission order, so
+    // this is independent of the shard count).
     std::stable_sort(arrivals_.begin(), arrivals_.end(),
                      [](const Arrival &a, const Arrival &b) {
                          return a.arrival_ns < b.arrival_ns;
@@ -1076,19 +1216,24 @@ Server::runVirtualLocked(std::unique_lock<std::mutex> &lock)
                 any_eligible_free = true;
             }
         }
-        if (!pending_.empty()) {
-            t = std::min(t, nearestDeadlineLocked());
+        const std::size_t depth = queued_.load();
+        if (depth > 0) {
+            t = std::min(t, nearestDeadlineAnyLocked());
             if (any_eligible_free) {
-                if (pending_.size() >= cfg_.max_batch || draining_)
+                if (depth >= cfg_.max_batch || draining_.load()) {
                     t = std::min(t, virtual_now_);
-                else
-                    t = std::min(t, oldestQueuedLocked() +
-                                        cfg_.max_delay_ns);
+                } else {
+                    const std::int64_t oldest =
+                        oldestQueuedAnyLocked();
+                    if (oldest != kNever)
+                        t = std::min(t,
+                                     oldest + cfg_.max_delay_ns);
+                }
             }
         }
         t = std::min(t, nextRetryNsLocked());
         t = std::min(t, nextHedgeNsLocked());
-        const bool work = !pending_.empty() || !retries_.empty() ||
+        const bool work = depth > 0 || !retries_.empty() ||
                           any_running || next < arrivals.size();
         if (work) {
             t = std::min(t, nextProbeNsLocked());
@@ -1136,25 +1281,29 @@ Server::runVirtualLocked(std::unique_lock<std::mutex> &lock)
         // 4. Shed queued requests whose deadlines have now passed,
         //    re-admit due retries, then fire due arrivals against
         //    the cleaned queue.
-        shedExpiredLocked(virtual_now_);
+        shedExpiredAllLocked(virtual_now_);
         fireRetriesLocked(virtual_now_);
         while (next < arrivals.size() &&
                arrivals[next].arrival_ns <= virtual_now_) {
             const std::int64_t at =
                 std::max(arrivals[next].arrival_ns, virtual_now_);
-            Pending req = std::move(arrivals[next].req);
+            PendingReq req = std::move(arrivals[next].req);
             ++next;
             req.submit_ns = at;
             req.queued_ns = at;
+            Shard &sh = shardOf(req.request_id);
+            std::lock_guard<std::mutex> slock(sh.mu);
             if (req.deadline_ns <= at) {
-                resolveReject(req, Reject::DeadlineExceeded, at);
+                fulfillRejectLocked(sh, req,
+                                    Reject::DeadlineExceeded, at);
             } else if (cfg_.breaker.enabled() &&
                        breaker_.state == BreakerState::Open) {
-                resolveReject(req, Reject::BreakerOpen, at);
-            } else if (pending_.size() >= cfg_.max_queue) {
-                resolveReject(req, Reject::QueueFull, at);
+                fulfillRejectLocked(sh, req, Reject::BreakerOpen,
+                                    at);
+            } else if (!tryReserveQueueSlot()) {
+                fulfillRejectLocked(sh, req, Reject::QueueFull, at);
             } else {
-                admitLocked(std::move(req), at);
+                admitShardLocked(sh, std::move(req), at);
             }
         }
 
@@ -1170,6 +1319,8 @@ Server::runVirtualLocked(std::unique_lock<std::mutex> &lock)
                 break;
             Batch batch = takeBatchLocked(static_cast<int>(r),
                                           virtual_now_, cause);
+            if (batch.reqs.empty())
+                break;
             applyChaosAtDispatchLocked(batch);
             if (cfg_.breaker.enabled() &&
                 breaker_.state == BreakerState::HalfOpen) {
@@ -1207,12 +1358,22 @@ Server::runVirtualLocked(std::unique_lock<std::mutex> &lock)
 void
 Server::drain()
 {
-    std::unique_lock<std::mutex> lock(mu_);
-    draining_ = true;
     if (cfg_.clock == ClockMode::Virtual) {
+        std::unique_lock<std::mutex> lock(mu_);
+        draining_.store(true);
         runVirtualLocked(lock);
         return;
     }
+    draining_.store(true);
+    // Barrier sweep: admission checks draining_ INSIDE the shard
+    // critical section, so once every shard mutex has been locked
+    // and released here, any submit that read draining_ == false has
+    // finished admitting — its queued_ increment is visible to the
+    // wait below, and every later submit rejects ShuttingDown.
+    for (auto &sh : shards_) {
+        std::lock_guard<std::mutex> slock(sh->mu);
+    }
+    std::unique_lock<std::mutex> lock(mu_);
     work_cv_.notify_all();
     drain_cv_.wait(lock, [this] { return !workPendingLocked(); });
 }
@@ -1223,9 +1384,9 @@ Server::shutdown()
     drain();
     {
         std::lock_guard<std::mutex> lock(mu_);
-        if (stop_ && workers_.empty())
+        if (stop_.load() && workers_.empty())
             return;
-        stop_ = true;
+        stop_.store(true);
     }
     work_cv_.notify_all();
     for (auto &t : workers_)
@@ -1236,6 +1397,18 @@ Server::shutdown()
 ServerMetrics
 Server::metrics() const
 {
+    // Fold the shard deltas into the rollup in ascending shard
+    // order. Folding resets each delta, so back-to-back snapshots
+    // are byte-identical; every delta field commutes, so the result
+    // is independent of the shard count and of when previous folds
+    // happened.
+    for (const auto &sh : shards_) {
+        std::lock_guard<std::mutex> slock(sh->mu);
+        if (sh->delta.empty())
+            continue;
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        sh->delta.foldInto(metrics_);
+    }
     std::lock_guard<std::mutex> mlock(metrics_mu_);
     return metrics_;
 }

@@ -1,7 +1,8 @@
 /**
  * @file
  * Request-level serving frontend over the batched inference engine,
- * with self-healing replica management (PR 6).
+ * with self-healing replica management (PR 6) and a sharded,
+ * allocation-light admission path (PR 10).
  *
  * The engine (PR 2/3) answers closed offline batches; this layer is
  * what faces traffic. A "replica" here is the engine's replica
@@ -17,6 +18,34 @@
  * request's deadline has passed. drain()/shutdown() finish all
  * admitted work before stopping; every future is always resolved —
  * including under injected replica crashes.
+ *
+ * Sharded front-end (PR 10): admission no longer funnels through the
+ * scheduler mutex. The pending queue is split over
+ * ServerConfig::admission_shards independent shards (default: one
+ * per replica), each owning its own mutex, a slab-allocated
+ * RequestPool with per-priority FIFO lanes (request_pool.hh), and a
+ * MetricsDelta accumulator (metrics.hh). submit() routes by
+ * request id (request_id % shards) and touches ONLY that shard:
+ * admission control, typed rejections and the submitted/accepted
+ * counters all happen under the shard lock, with the global queue
+ * bound enforced by one atomic depth counter. Every copy of a
+ * request — primary, retry, hedge — routes to the same shard (copies
+ * share the request_id), so first-resolution-wins cancellation stays
+ * a single-shard operation. Batch formation k-way-merges the shard
+ * lanes under all shard locks (taken in ascending index order) and
+ * pops exactly max_batch entries in (priority desc, arrival asc)
+ * order — O(batch), not O(queue log queue). Shard metric deltas are
+ * folded into the ServerMetrics rollup in ascending shard order at
+ * snapshot time; every delta field commutes (counters, min/max
+ * watermarks, histogram merges), so the rollup — and therefore
+ * virtual-mode replay — is byte-identical for ANY shard count.
+ *
+ * Lock order (strict): scheduler mutex mu_ -> shard mutexes in
+ * ascending index (only batch formation holds more than one) ->
+ * metrics_mu_. The submit() fast path takes only the owning shard's
+ * mutex; mu_ is taken first only when the circuit breaker is
+ * enabled (breaker state is central). ReqState fields are guarded
+ * by the owning shard's mutex.
  *
  * Resilience layer (all policies default OFF; see resilience.hh):
  *
@@ -47,7 +76,7 @@
  * Two clock modes:
  *
  *  - ClockMode::Real — wall-clock serving. One worker thread per
- *    replica pulls batches from the shared pending queue; timestamps
+ *    replica pulls batches from the sharded pending queue; timestamps
  *    are steady_clock nanoseconds since construction. Quarantined
  *    replicas' workers run their own probe schedule; spare workers
  *    sleep until promoted. Throughput is whatever the host delivers;
@@ -62,7 +91,8 @@
  *    virtual_ns_per_ps, then by the chaos service scale), and
  *    completions/rejections/retries/hedges/probes are processed in a
  *    fixed order. Same seed + config => byte-identical
- *    ServerMetrics::toJson() for ANY worker-thread count.
+ *    ServerMetrics::toJson() for ANY worker-thread count AND any
+ *    admission-shard count.
  *
  * Batcher state machine (both modes share it):
  *
@@ -83,11 +113,11 @@
 #ifndef SUSHI_SERVE_SERVER_HH
 #define SUSHI_SERVE_SERVER_HH
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -96,28 +126,11 @@
 #include "engine/inference_engine.hh"
 #include "serve/chaos.hh"
 #include "serve/metrics.hh"
+#include "serve/request.hh"
+#include "serve/request_pool.hh"
 #include "serve/resilience.hh"
 
 namespace sushi::serve {
-
-/** "No deadline" sentinel for RequestOptions::deadline_ns. */
-constexpr std::int64_t kNoDeadline = INT64_MAX;
-
-/** Clock domain the server schedules in. */
-enum class ClockMode { Real, Virtual };
-
-/** Why a request was rejected instead of served. */
-enum class Reject : std::uint8_t {
-    None = 0,         ///< served
-    QueueFull,        ///< admission bound hit
-    DeadlineExceeded, ///< deadline passed before execution
-    ShuttingDown,     ///< submitted after drain()/shutdown()
-    BreakerOpen,      ///< circuit breaker fast-fail
-    ReplicaFailure,   ///< dispatch failed and retry budget exhausted
-};
-
-/** Stable lowercase name for a rejection cause. */
-const char *rejectName(Reject r);
 
 /** Serving knobs. */
 struct ServerConfig
@@ -143,6 +156,16 @@ struct ServerConfig
      *  re-queues bypass the bound — they recover already-admitted
      *  work.) */
     std::size_t max_queue = 1024;
+
+    /**
+     * Independent admission shards of the front-end (0 = one per
+     * replica in the pool). Each shard has its own lock, pending
+     * lanes and metrics delta; submit() contends only on the shard
+     * that owns the request id. Purely a throughput knob: virtual
+     * replay and the metrics rollup are byte-identical for every
+     * value.
+     */
+    int admission_shards = 0;
 
     ClockMode clock = ClockMode::Real;
 
@@ -171,44 +194,6 @@ struct ServerConfig
     /// @}
 };
 
-/** Per-request scheduling options. */
-struct RequestOptions
-{
-    /** Absolute deadline in the server's clock domain; the request
-     *  is shed (never executed) once this instant passes. */
-    std::int64_t deadline_ns = kNoDeadline;
-
-    /** Higher priorities are dequeued first; ties serve in arrival
-     *  order. */
-    int priority = 0;
-};
-
-/** What a request's future resolves to. */
-struct Response
-{
-    engine::SampleResult result; ///< empty when rejected
-    Reject rejected = Reject::None;
-
-    bool ok() const { return rejected == Reject::None; }
-
-    std::uint64_t id = 0;        ///< admission sequence number
-    std::int64_t submit_ns = 0;  ///< admission instant
-    std::int64_t dispatch_ns = 0; ///< batch formation instant
-    std::int64_t complete_ns = 0; ///< completion / rejection instant
-    bool deadline_missed = false; ///< served, but past its deadline
-    int replica = -1;            ///< replica that served it
-    int batch_size = 0;          ///< size of its batch
-    int retries = 0;             ///< failed dispatches beforehand
-    bool hedged = false;         ///< a hedge copy was launched
-
-    std::int64_t queueNs() const { return dispatch_ns - submit_ns; }
-    std::int64_t serviceNs() const
-    {
-        return complete_ns - dispatch_ns;
-    }
-    std::int64_t totalNs() const { return complete_ns - submit_ns; }
-};
-
 /** The request-level inference server. */
 class Server
 {
@@ -225,6 +210,12 @@ class Server
     /** Total replica pool (active target + hot spares). */
     int replicas() const { return engine_.replicas(); }
 
+    /** Admission shards the front-end was built with. */
+    int admissionShards() const
+    {
+        return static_cast<int>(shards_.size());
+    }
+
     /** The engine (per-replica accounts live there). */
     const engine::InferenceEngine &engine() const { return engine_; }
 
@@ -234,7 +225,8 @@ class Server
     /**
      * Submit one request; never blocks. The future always resolves —
      * with a result, or with a typed rejection. In virtual mode this
-     * is submitAt(now()).
+     * is submitAt(now()); in real mode the fast path locks only the
+     * owning admission shard.
      */
     std::future<Response> submit(engine::Sample sample,
                                  const RequestOptions &opts = {});
@@ -266,7 +258,8 @@ class Server
      *  the destructor calls it. */
     void shutdown();
 
-    /** Coherent snapshot of the serving metrics. */
+    /** Coherent snapshot of the serving metrics (shard deltas are
+     *  folded into the rollup, in ascending shard order, first). */
     ServerMetrics metrics() const;
 
     /** Current lifecycle state of replica @p r. */
@@ -279,29 +272,17 @@ class Server
     /** Why a batch flushed. */
     enum class FlushCause : std::uint8_t { Size, Delay, Drain };
 
-    /** Shared per-request bookkeeping: the promise plus the copy /
-     *  retry / hedge state every live copy of the request points at. */
-    struct ReqState
+    /**
+     * One admission shard: its lock, its slice of the pending queue,
+     * and its metrics accumulator. All copies of request r live in
+     * shard (r.request_id % shards). ReqState fields of those
+     * requests are guarded by this mutex.
+     */
+    struct Shard
     {
-        std::promise<Response> promise;
-        bool resolved = false;
-        int failures = 0; ///< failed dispatches (retry budget)
-        int live = 0;     ///< copies queued / running / backing off
-        bool hedged = false; ///< hedge copy launched
-    };
-
-    /** One queued copy of a request. */
-    struct Pending
-    {
-        std::uint64_t id = 0;         ///< per-copy admission key
-        std::uint64_t request_id = 0; ///< original admission id
-        int priority = 0;
-        std::int64_t submit_ns = 0; ///< original arrival (latency t0)
-        std::int64_t queued_ns = 0; ///< this copy's enqueue instant
-        std::int64_t deadline_ns = kNoDeadline;
-        bool is_hedge = false;
-        std::shared_ptr<const engine::Sample> sample;
-        std::shared_ptr<ReqState> state;
+        mutable std::mutex mu;
+        RequestPool pool;   ///< queued copies owned by this shard
+        MetricsDelta delta; ///< folded into metrics_ at snapshot
     };
 
     struct Batch
@@ -311,7 +292,7 @@ class Server
         FlushCause cause = FlushCause::Size;
         bool half_open_trial = false;
         ChaosEngine::BatchFate fate;
-        std::vector<Pending> reqs;
+        std::vector<PendingReq> reqs;
     };
 
     /** Result of executing (or failing to execute) one batch. */
@@ -325,14 +306,14 @@ class Server
     struct Arrival
     {
         std::int64_t arrival_ns = 0;
-        Pending req;
+        PendingReq req;
     };
 
     /** A failed request waiting out its retry backoff. */
     struct RetryEntry
     {
         std::int64_t ready_ns = 0;
-        Pending req;
+        PendingReq req;
     };
 
     /** An armed hedge: fires a duplicate dispatch of the request
@@ -343,7 +324,7 @@ class Server
         int attempt = 0; ///< state->failures when armed; a mismatch
                          ///< at fire time means the dispatch failed
                          ///< and the timer is void
-        Pending proto; ///< copy inserted on fire (id assigned then)
+        PendingReq proto; ///< copy inserted on fire (id assigned then)
     };
 
     struct RepHealth
@@ -363,23 +344,73 @@ class Server
         int half_open_successes = 0;
     };
 
-    // Shared batcher/admission logic (mu_ held).
+    /** Shard owning every copy of request @p request_id. */
+    Shard &shardOf(std::uint64_t request_id) const
+    {
+        return *shards_[static_cast<std::size_t>(
+            request_id % shards_.size())];
+    }
+
+    // ---- Admission path (owning shard's lock held unless noted).
     std::future<Response> submitAtLocked(std::int64_t arrival_ns,
                                          engine::Sample sample,
                                          const RequestOptions &opts);
-    void admitLocked(Pending &&req, std::int64_t t);
-    void resolveReject(Pending &req, Reject reason,
-                       std::int64_t event_ns);
-    void purgeCopiesLocked(const std::shared_ptr<ReqState> &state);
-    void shedExpiredLocked(std::int64_t t);
+    PendingReq makeRequest(engine::Sample &&sample,
+                           const RequestOptions &opts,
+                           std::int64_t t);
+    /** Claim one queue slot against max_queue (exact global bound;
+     *  no lock needed — the depth counter is atomic). */
+    bool tryReserveQueueSlot();
+    void admitShardLocked(Shard &sh, PendingReq &&req,
+                          std::int64_t t);
+    /** A resolution deferred past the batch's central metrics
+     *  section: "my future completed" must imply a subsequent
+     *  metrics() snapshot already shows the whole batch (flush
+     *  cause, batch counters) — so outcome processing records
+     *  first and resolves last. */
+    struct Resolution
+    {
+        std::shared_ptr<ReqState> state;
+        Response resp;
+    };
+
+    /** Record the typed rejection in the shard delta and resolve
+     *  the promise (or stash it on @p defer when non-null). Does
+     *  NOT purge sibling copies. */
+    void fulfillRejectLocked(Shard &sh, PendingReq &req,
+                             Reject reason, std::int64_t event_ns,
+                             std::vector<Resolution> *defer =
+                                 nullptr);
+    /** fulfillRejectLocked + purge of still-queued sibling copies in
+     *  the owning shard. */
+    void rejectQueuedLocked(Shard &sh, PendingReq &req, Reject reason,
+                            std::int64_t event_ns);
+    void purgeShardCopiesLocked(
+        Shard &sh, const std::shared_ptr<ReqState> &state);
+    /** Drop retry entries / hedge timers of a resolved request.
+     *  Requires mu_ AND the owning shard's lock. */
+    void reapTimersLocked(const std::shared_ptr<ReqState> &state);
+    /** Shed expired entries of one shard (shard lock held). @p reap
+     *  additionally drops the resolved requests' central timers and
+     *  requires mu_. */
+    void shedShardLocked(Shard &sh, std::int64_t t, bool reap);
+    void shedExpiredAllLocked(std::int64_t t);
+    /** Notify sleeping workers — called lock-free after an admit. */
+    void wakeWorkers();
+
+    // ---- Batcher (mu_ held; these take shard locks internally).
     bool flushReadyLocked(std::int64_t t, FlushCause *cause) const;
     bool replicaEligibleLocked(int replica) const;
+    /** K-way merge over the shard lanes under ALL shard locks
+     *  (ascending); pops up to max_batch in (priority desc, id asc)
+     *  order. May return an empty batch if a concurrent shed raced
+     *  the flush decision. */
     Batch takeBatchLocked(int replica, std::int64_t t,
                           FlushCause cause);
-    std::int64_t oldestQueuedLocked() const;
-    std::int64_t nearestDeadlineLocked() const;
+    std::int64_t oldestQueuedAnyLocked() const;
+    std::int64_t nearestDeadlineAnyLocked() const;
 
-    // Resilience machinery (mu_ held).
+    // ---- Resilience machinery (mu_ held).
     void breakerAdvanceLocked(std::int64_t t);
     void breakerOnOutcomeLocked(bool ok, bool trial, std::int64_t t);
     void applyChaosAtDispatchLocked(Batch &batch);
@@ -396,7 +427,7 @@ class Server
     int activeCountLocked() const;
     bool workPendingLocked() const;
 
-    // Execution + outcome (mu_ NOT held for executeBatch).
+    // ---- Execution + outcome (mu_ NOT held for executeBatch).
     Outcome executeBatch(Batch &batch);
     std::int64_t virtualServiceNs(const Batch &batch,
                                   const Outcome &outcome) const;
@@ -413,23 +444,32 @@ class Server
     ChaosEngine chaos_;
     int target_active_ = 0; ///< active-pool size the server defends
 
-    mutable std::mutex mu_;
+    /** Admission shards (fixed at construction; unique_ptr keeps
+     *  the mutexes pinned). */
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    /// @name Lock-free admission state.
+    /// @{
+    std::atomic<std::uint64_t> next_id_{0};
+    std::atomic<std::size_t> queued_{0}; ///< live entries, all shards
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> stop_{false};
+    std::atomic<int> sleepers_{0}; ///< workers parked on work_cv_
+    /// @}
+
+    mutable std::mutex mu_; ///< scheduler state below
     std::condition_variable work_cv_;  ///< workers: queue activity
     std::condition_variable drain_cv_; ///< drain(): progress
-    std::map<std::uint64_t, Pending> pending_; ///< keyed by id (FIFO)
     std::vector<Arrival> arrivals_;    ///< virtual mode, un-fired
     std::vector<RetryEntry> retries_;  ///< backing off
     std::vector<HedgeTimer> hedges_;   ///< armed hedge timers
     std::vector<RepHealth> health_;    ///< per-replica state
     Breaker breaker_;
-    std::uint64_t next_id_ = 0;
     std::size_t in_flight_ = 0;
-    bool draining_ = false;
-    bool stop_ = false;
     std::int64_t virtual_now_ = 0;
 
     mutable std::mutex metrics_mu_;
-    ServerMetrics metrics_;
+    mutable ServerMetrics metrics_; ///< rollup (deltas fold here)
 
     std::chrono::steady_clock::time_point epoch_;
     std::vector<std::thread> workers_; ///< real mode only
